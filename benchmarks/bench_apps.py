@@ -1,0 +1,115 @@
+"""Benchmark: the application workloads (FFT / scan / stencil).
+
+The paper evaluates only transposes; these benches extend the
+evaluation to three workloads whose conflict structure is *algorithmic*
+(strides and assignments fixed by the computation), quantifying the
+abstract's claim that RAP removes the need to hand-optimize.
+"""
+
+import pytest
+
+from repro.apps.fft import run_fft
+from repro.apps.scan import run_scan
+from repro.apps.stencil import run_stencil
+from repro.core.mappings import RAPMapping, RAWMapping
+
+from .conftest import BENCH_SEED
+
+W = 8  # n = 64-point FFT / scan; keeps the cycle-accurate runs snappy
+
+
+@pytest.mark.parametrize("layout", ["RAW", "RAP"])
+def test_fft(benchmark, layout):
+    mapping = (
+        RAWMapping(W) if layout == "RAW" else RAPMapping.random(W, BENCH_SEED)
+    )
+    outcome = benchmark(run_fft, mapping, seed=BENCH_SEED)
+    assert outcome.correct
+
+
+@pytest.mark.parametrize("layout", ["RAW", "RAP"])
+def test_scan(benchmark, layout):
+    mapping = (
+        RAWMapping(W) if layout == "RAW" else RAPMapping.random(W, BENCH_SEED)
+    )
+    outcome = benchmark(run_scan, mapping, seed=BENCH_SEED)
+    assert outcome.correct
+
+
+@pytest.mark.parametrize("layout", ["RAW", "RAP"])
+def test_bitonic_sort(benchmark, layout):
+    from repro.apps.sort import run_bitonic_sort
+
+    mapping = (
+        RAWMapping(W) if layout == "RAW" else RAPMapping.random(W, BENCH_SEED)
+    )
+    outcome = benchmark(run_bitonic_sort, mapping, seed=BENCH_SEED)
+    assert outcome.correct
+
+
+@pytest.mark.parametrize("layout", ["RAW", "RAP"])
+@pytest.mark.parametrize("assignment", ["row", "column"])
+def test_stencil(benchmark, assignment, layout):
+    mapping = (
+        RAWMapping(16) if layout == "RAW" else RAPMapping.random(16, BENCH_SEED)
+    )
+    outcome = benchmark(run_stencil, mapping, assignment, seed=BENCH_SEED)
+    assert outcome.correct
+
+
+def test_workload_scorecard(benchmark):
+    """The headline numbers across all three workloads."""
+
+    def measure():
+        raw, rap = RAWMapping(W), RAPMapping.random(W, BENCH_SEED)
+        card = {}
+        card["fft"] = (
+            run_fft(raw, seed=BENCH_SEED).time_units,
+            run_fft(rap, seed=BENCH_SEED).time_units,
+        )
+        card["scan"] = (
+            run_scan(raw, seed=BENCH_SEED).time_units,
+            run_scan(rap, seed=BENCH_SEED).time_units,
+        )
+        raw16, rap16 = RAWMapping(16), RAPMapping.random(16, BENCH_SEED)
+        card["stencil-col"] = (
+            run_stencil(raw16, "column", seed=BENCH_SEED).time_units,
+            run_stencil(rap16, "column", seed=BENCH_SEED).time_units,
+        )
+        return card
+
+    card = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nworkload (RAW, RAP) time units and speedup:")
+    for name, (raw_t, rap_t) in card.items():
+        print(f"  {name:12s} {raw_t:>6d} {rap_t:>6d}   {raw_t / rap_t:.1f}x")
+    assert card["fft"][1] < card["fft"][0]
+    assert card["scan"][1] < card["scan"][0]
+    assert card["stencil-col"][1] * 5 < card["stencil-col"][0]
+
+
+@pytest.mark.parametrize("dist", ["uniform", "same_bank", "hotspot"])
+@pytest.mark.parametrize("layout", ["RAW", "RAP"])
+def test_gather(benchmark, dist, layout):
+    from repro.apps.gather import run_gather
+
+    mapping = (
+        RAWMapping(16) if layout == "RAW" else RAPMapping.random(16, BENCH_SEED)
+    )
+    outcome = benchmark(run_gather, mapping, distribution=dist, seed=BENCH_SEED)
+    assert outcome.correct
+    if dist == "same_bank":
+        assert outcome.gather_congestion == (16 if layout == "RAW" else 1)
+
+
+@pytest.mark.parametrize("structure", ["banded", "column_block", "random"])
+@pytest.mark.parametrize("layout", ["RAW", "RAP"])
+def test_spmv(benchmark, structure, layout):
+    from repro.apps.spmv import run_spmv
+
+    mapping = (
+        RAWMapping(16) if layout == "RAW" else RAPMapping.random(16, BENCH_SEED)
+    )
+    outcome = benchmark(run_spmv, mapping, structure=structure, seed=BENCH_SEED)
+    assert outcome.correct
+    if structure == "column_block":
+        assert outcome.worst_gather_congestion == (16 if layout == "RAW" else 1)

@@ -1,0 +1,59 @@
+"""Ablation benchmark: random sigma vs an optimized fixed sigma.
+
+The paper's future-work suggestion (hardware RAP) raises the question:
+should the hardware ship one *optimized* permutation instead of
+drawing one?  This bench quantifies the answer the module's tests
+certify:
+
+* optimization drives the diagonal congestion below the random-sigma
+  expectation (fixed sigmas better than average exist);
+* but a published sigma admits a congestion-``w`` adversarial pattern,
+  so the randomness is load-bearing for Theorem 2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.access.patterns import diagonal_logical
+from repro.core.congestion import congestion_batch
+from repro.core.derand import (
+    adversarial_pattern_for,
+    optimize_permutation,
+    pattern_set_congestion,
+)
+from repro.core.mappings import RAPMapping
+from repro.core.permutation import random_permutation
+
+from .conftest import BENCH_SEED
+
+W = 16
+
+
+def test_optimized_sigma_beats_random_on_diagonal(benchmark):
+    def optimize():
+        return optimize_permutation(
+            W, [diagonal_logical(W)], restarts=8, seed=BENCH_SEED
+        )
+
+    sigma, score = benchmark.pedantic(optimize, rounds=1, iterations=1)
+    random_scores = [
+        pattern_set_congestion(random_permutation(W, s), [diagonal_logical(W)])
+        for s in range(30)
+    ]
+    mean_random = float(np.mean(random_scores))
+    print(f"\noptimized sigma diagonal congestion: {score}; "
+          f"random sigma mean: {mean_random:.2f}")
+    assert score < mean_random
+
+
+def test_fixed_sigma_is_attackable(benchmark):
+    def measure():
+        sigma, _ = optimize_permutation(
+            W, [diagonal_logical(W)], restarts=4, seed=BENCH_SEED
+        )
+        ii, jj = adversarial_pattern_for(sigma)
+        return int(congestion_batch(RAPMapping(W, sigma).address(ii, jj), W).max())
+
+    worst = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nadversarial congestion against the optimized fixed sigma: {worst}")
+    assert worst == W  # the reason the paper randomizes

@@ -1,0 +1,61 @@
+"""Benchmark: congestion *distributions* — the tail the means hide.
+
+Table II reports expectations; kernels stall on the tail.  This bench
+estimates the full per-warp congestion distribution of the key cells,
+prints mean / P95 / worst-seen, and cross-checks the stride-RAS
+histogram against the exact balls-in-bins law (three independent
+subsystems — sampler, simulator, EGF — agreeing digit for digit).
+"""
+
+import pytest
+
+from repro.core.exact import exact_max_load_pmf
+from repro.sim.distributions import congestion_distribution
+
+from .conftest import BENCH_SEED
+
+W = 32
+
+
+@pytest.mark.parametrize(
+    "mapping,pattern", [("RAS", "stride"), ("RAP", "diagonal"), ("RAW", "random")]
+)
+def test_distribution_cell(benchmark, mapping, pattern):
+    dist = benchmark.pedantic(
+        congestion_distribution,
+        args=(mapping, pattern, W),
+        kwargs=dict(trials=1500, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\n{mapping}/{pattern}: mean={dist.mean:.2f} "
+        f"p95={dist.quantile(0.95)} worst={dist.support_max}"
+    )
+    assert 1 <= dist.quantile(0.5) <= dist.quantile(0.95) <= dist.support_max
+    assert dist.support_max <= W
+
+
+def test_deterministic_cells_have_no_tail(benchmark):
+    dist = benchmark.pedantic(
+        congestion_distribution,
+        args=("RAP", "stride", W),
+        kwargs=dict(trials=300, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    assert dist.support_max == 1
+    assert dist.tail(2) == 0.0
+
+
+def test_stride_ras_matches_exact_law(benchmark):
+    def measure():
+        dist = congestion_distribution("RAS", "stride", W, trials=4000, seed=BENCH_SEED)
+        exact = exact_max_load_pmf(W, W)
+        return dist, exact
+
+    dist, exact = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nc   empirical   exact")
+    for c in range(2, 8):
+        print(f"{c}   {dist.pmf[c]:.4f}      {exact[c]:.4f}")
+        assert dist.pmf[c] == pytest.approx(exact[c], abs=0.03)

@@ -1,0 +1,34 @@
+"""Benchmark: exact max-load theory vs the paper's Table II constants.
+
+Computes the exact i.i.d. balls-in-bins expectation — the analytic
+value behind the stride-RAS row — at every paper width, and checks it
+against both the printed table and a fresh Monte-Carlo run.
+"""
+
+import pytest
+
+from repro.core.exact import exact_expected_max_load
+from repro.core.theory import expected_max_load
+
+from .conftest import BENCH_SEED
+
+PAPER_STRIDE_RAS = {16: 3.08, 32: 3.53, 64: 3.96, 128: 4.38, 256: 4.77}
+
+
+@pytest.mark.parametrize("w", sorted(PAPER_STRIDE_RAS))
+def test_exact_value(benchmark, w):
+    exact = benchmark(exact_expected_max_load, w, w)
+    print(f"\nw={w}: exact={exact:.4f}  paper={PAPER_STRIDE_RAS[w]}")
+    assert exact == pytest.approx(PAPER_STRIDE_RAS[w], abs=0.012)
+
+
+def test_exact_vs_monte_carlo(benchmark):
+    def both():
+        return (
+            exact_expected_max_load(32, 32),
+            expected_max_load(32, 32, trials=30000, seed=BENCH_SEED),
+        )
+
+    exact, mc = benchmark.pedantic(both, rounds=1, iterations=1)
+    print(f"\nexact={exact:.4f}  monte-carlo={mc:.4f}")
+    assert mc == pytest.approx(exact, abs=0.04)

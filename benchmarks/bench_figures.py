@@ -1,0 +1,55 @@
+"""Benchmark: regenerate every figure and assert its paper content."""
+
+import numpy as np
+import pytest
+
+from repro.report.figures import (
+    ALL_FIGURES,
+    figure2,
+    figure3,
+    figure5,
+    figure6,
+    figure7,
+)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_FIGURES))
+def test_figure_regeneration(benchmark, name):
+    fig = benchmark(ALL_FIGURES[name])
+    print()
+    print(fig.text)
+    assert fig.data
+
+
+def test_fig2_values(benchmark):
+    fig = benchmark(figure2)
+    assert fig.data["congestion"] == {
+        "distinct_banks": 1,
+        "same_bank": 4,
+        "same_address": 1,
+    }
+
+
+def test_fig3_values(benchmark):
+    fig = benchmark(figure3)
+    assert fig.data["completion_time"] == 7
+    assert fig.data["congestions"] == (2, 1)
+
+
+def test_fig5_values(benchmark):
+    fig = benchmark(figure5)
+    assert all(r["correct"] for r in fig.data["results"].values())
+
+
+def test_fig6_values(benchmark):
+    fig = benchmark(figure6)
+    expected = np.array(
+        [[2, 3, 0, 1], [4, 5, 6, 7], [9, 10, 11, 8], [15, 12, 13, 14]]
+    )
+    assert np.array_equal(fig.data["physical"], expected)
+
+
+def test_fig7_values(benchmark):
+    fig = benchmark(figure7)
+    assert len(fig.data["layout"]) == 6
+    assert fig.data["values_per_word"] == 6

@@ -1,0 +1,80 @@
+"""Benchmark: "the value of w may be increased in future GPUs" (Sec. V).
+
+The paper simulates up to ``w = 256`` precisely because bank counts
+grow across GPU generations.  This bench extends the Table III shape
+to those hypothetical machines: CRSW's RAW stage count grows as
+``w + w^2`` while RAP's grows as ``2w``, so the RAP speedup scales as
+``~(1 + w)/2`` — the technique gets *more* valuable on wider machines.
+Also runs the extended Table II (PAD and XOR columns included) via the
+generic simulator.
+"""
+
+import pytest
+
+from repro.access.transpose import run_transpose
+from repro.core.mappings import RAPMapping, RAWMapping
+from repro.core.padded import PaddedMapping
+from repro.core.swizzle import XORSwizzleMapping
+from repro.sim.congestion_sim import simulate_matrix_congestion_generic
+
+from .conftest import BENCH_SEED
+
+WIDTHS = (16, 32, 64, 128)
+
+
+@pytest.mark.parametrize("w", WIDTHS)
+def test_crsw_speedup_scales_with_width(benchmark, w):
+    def measure():
+        raw = run_transpose("CRSW", RAWMapping(w))
+        rap = run_transpose("CRSW", RAPMapping.random(w, BENCH_SEED))
+        assert raw.correct and rap.correct
+        return raw.time_units / rap.time_units
+
+    speedup = benchmark.pedantic(measure, rounds=1, iterations=1)
+    expected = (w + w * w) / (2 * w)  # (1 + w) / 2 at latency 1
+    print(f"\nw={w}: CRSW RAW/RAP speedup {speedup:.1f}x (stage model {expected:.1f}x)")
+    assert speedup == pytest.approx(expected, rel=0.05)
+
+
+def test_speedup_monotone_in_width(benchmark):
+    def sweep():
+        out = {}
+        for w in WIDTHS:
+            raw = run_transpose("CRSW", RAWMapping(w)).time_units
+            rap = run_transpose("CRSW", RAPMapping.random(w, BENCH_SEED)).time_units
+            out[w] = raw / rap
+        return out
+
+    speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    values = [speedups[w] for w in WIDTHS]
+    assert values == sorted(values)
+    assert speedups[128] > 4 * speedups[16]
+
+
+def test_table2_extended_with_pad_and_xor(benchmark):
+    """Table II with the two deterministic competitors appended."""
+
+    def measure():
+        w = 32
+        cells = {}
+        layouts = {
+            "PAD": lambda rng: PaddedMapping(w),
+            "XOR": lambda rng: XORSwizzleMapping(w),
+        }
+        for name, factory in layouts.items():
+            for pattern in ("contiguous", "stride", "diagonal", "random"):
+                trials = 50 if pattern == "random" else 1
+                stats = simulate_matrix_congestion_generic(
+                    factory, pattern, w, trials=trials, seed=BENCH_SEED
+                )
+                cells[(name, pattern)] = stats.mean
+        return cells
+
+    cells = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nextended Table II cells: {cells}")
+    for name in ("PAD", "XOR"):
+        assert cells[(name, "contiguous")] == 1
+        assert cells[(name, "stride")] == 1
+        assert cells[(name, "random")] == pytest.approx(3.44, abs=0.15)
+    assert cells[("PAD", "diagonal")] == 2  # the even-w two-cycle
+    assert cells[("XOR", "diagonal")] >= 1

@@ -1,0 +1,61 @@
+"""Benchmark: the hierarchical transpose — coalescing x bank conflicts.
+
+The three-way race for an N x N matrix in global memory:
+
+* ``direct``: uncoalesced global writes (w groups per warp);
+* ``tiled/RAW``: coalesced global traffic, but the shared-tile CRSW
+  serializes w-fold — tiling alone can *lose* to direct;
+* ``tiled/RAP``: both levels clean — the synthesis of the paper's
+  refs [13]/[14] (tiling + conflict-free shared transpose), with RAP
+  supplying the conflict freedom for free.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.global_transpose import run_global_transpose
+from repro.core.mappings import RAPMapping
+
+from .conftest import BENCH_SEED
+
+N, W = 32, 8
+
+
+@pytest.mark.parametrize("label", ["direct", "tiled-RAW", "tiled-RAP"])
+def test_strategy(benchmark, label):
+    matrix = np.random.default_rng(BENCH_SEED).random((N, N))
+
+    def run():
+        if label == "direct":
+            return run_global_transpose(N, "direct", w=W, matrix=matrix)
+        mapping = (
+            RAPMapping.random(W, BENCH_SEED) if label == "tiled-RAP" else None
+        )
+        return run_global_transpose(N, "tiled", mapping=mapping, w=W, matrix=matrix)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome.correct
+
+
+def test_three_way_comparison(benchmark):
+    def measure():
+        matrix = np.random.default_rng(BENCH_SEED).random((N, N))
+        return {
+            "direct": run_global_transpose(N, "direct", w=W, matrix=matrix),
+            "tiled/RAW": run_global_transpose(N, "tiled", w=W, matrix=matrix),
+            "tiled/RAP": run_global_transpose(
+                N, "tiled", mapping=RAPMapping.random(W, BENCH_SEED), w=W,
+                matrix=matrix,
+            ),
+        }
+
+    outcomes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nstrategy     global  shared   total")
+    for label, o in outcomes.items():
+        print(f"{label:12s} {o.global_time:>6d} {o.shared_time:>7d} {o.total_time:>7d}")
+        assert o.correct
+    assert (
+        outcomes["tiled/RAP"].total_time
+        < outcomes["direct"].total_time
+        < outcomes["tiled/RAW"].total_time
+    )

@@ -1,0 +1,82 @@
+"""Benchmark: histogramming — correctness under CRCW + fold congestion.
+
+Quantifies the two results of :mod:`repro.apps.histogram`: the naive
+read-modify-write loses a skew-dependent fraction of its votes to
+CRCW write merging, and the privatized table's fold phase is the one
+place a layout choice matters (row fold: RAW optimal; column fold:
+RAP rescues it).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.histogram import make_votes, run_histogram
+from repro.core.mappings import RAPMapping
+
+from .conftest import BENCH_SEED
+
+W = 16
+
+
+@pytest.mark.parametrize("skew", [0.0, 1.0, 2.0])
+def test_naive_loss_vs_skew(benchmark, skew):
+    votes = make_votes(16 * W, W, skew=skew, seed=BENCH_SEED)
+    outcome = benchmark.pedantic(
+        run_histogram, args=(votes, "naive"), kwargs=dict(w=W),
+        rounds=1, iterations=1,
+    )
+    loss_rate = outcome.lost_votes / votes.size
+    print(f"\nskew={skew}: lost {outcome.lost_votes}/{votes.size} votes "
+          f"({loss_rate:.0%})")
+    assert not outcome.correct
+    assert outcome.lost_votes > 0
+
+
+def test_loss_grows_with_skew(benchmark):
+    def measure():
+        losses = {}
+        for skew in (0.0, 1.0, 2.0):
+            votes = make_votes(16 * W, W, skew=skew, seed=BENCH_SEED)
+            losses[skew] = run_histogram(votes, "naive", w=W).lost_votes
+        return losses
+
+    losses = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert losses[0.0] < losses[1.0] < losses[2.0]
+
+
+@pytest.mark.parametrize("fold", ["row", "column"])
+def test_privatized_cell(benchmark, fold):
+    votes = make_votes(8 * W, W, skew=1.0, seed=BENCH_SEED)
+    outcome = benchmark.pedantic(
+        run_histogram,
+        args=(votes, "privatized"),
+        kwargs=dict(w=W, fold_assignment=fold),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.correct
+
+
+def test_fold_scorecard(benchmark):
+    def measure():
+        votes = make_votes(8 * W, W, skew=1.0, seed=BENCH_SEED)
+        rap = RAPMapping.random(W, BENCH_SEED)
+        return {
+            ("row", "RAW"): run_histogram(votes, "privatized", w=W),
+            ("row", "RAP"): run_histogram(votes, "privatized", w=W, mapping=rap),
+            ("column", "RAW"): run_histogram(
+                votes, "privatized", w=W, fold_assignment="column"
+            ),
+            ("column", "RAP"): run_histogram(
+                votes, "privatized", w=W, mapping=rap, fold_assignment="column"
+            ),
+        }
+
+    card = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nfold   layout  fold-congestion  time")
+    for (fold, layout), o in card.items():
+        print(f"{fold:6s} {layout:6s} {o.fold_congestion:>15d} {o.time_units:>5d}")
+        assert o.correct
+    # Column fold: RAP rescues. Row fold: RAW's alignment wins.
+    assert card[("column", "RAP")].time_units < card[("column", "RAW")].time_units
+    assert card[("row", "RAW")].time_units < card[("row", "RAP")].time_units

@@ -1,0 +1,65 @@
+"""Benchmark: in-place vs out-of-place transpose — memory for time.
+
+The in-place variant halves the shared-memory footprint (one matrix
+instead of two — the difference between fitting 6 work tiles or 3 in
+a 48 KB SM) at the cost of a mixed access pattern that neither RAW nor
+RAP fully linearizes.  This bench puts numbers on the trade and checks
+the occupancy-adjusted throughput.
+"""
+
+import pytest
+
+from repro.access.inplace import run_inplace_transpose
+from repro.access.transpose import run_transpose
+from repro.core.mappings import RAPMapping, RAWMapping
+from repro.gpu.occupancy import sm_throughput
+
+from .conftest import BENCH_SEED
+
+W = 16
+
+
+@pytest.mark.parametrize("layout", ["RAW", "RAP"])
+def test_inplace_cell(benchmark, layout):
+    mapping = (
+        RAWMapping(W) if layout == "RAW" else RAPMapping.random(W, BENCH_SEED)
+    )
+    outcome = benchmark(run_inplace_transpose, mapping, seed=BENCH_SEED)
+    assert outcome.correct
+
+
+def test_memory_time_trade(benchmark):
+    def measure():
+        rap = RAPMapping.random(W, BENCH_SEED)
+        inplace = run_inplace_transpose(rap, seed=BENCH_SEED)
+        out_of_place = run_transpose("CRSW", rap, seed=BENCH_SEED)
+        assert inplace.correct and out_of_place.correct
+        return inplace, out_of_place
+
+    inplace, oop = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(
+        f"\nin-place: {inplace.time_units} units, {inplace.storage_words} words; "
+        f"out-of-place: {oop.time_units} units, {2 * W * W} words"
+    )
+    # Half the memory...
+    assert inplace.storage_words == W * W
+    # ...at a bounded time premium (mixed pattern vs pure conflict-free).
+    assert inplace.time_units < 3 * oop.time_units
+
+
+def test_throughput_crossover(benchmark):
+    """Occupancy-adjusted: with tiles streaming through a 48 KB SM,
+    which variant moves more matrices per time unit?"""
+
+    def measure():
+        rap = RAPMapping.random(32, BENCH_SEED)
+        inplace = run_inplace_transpose(rap, seed=BENCH_SEED)
+        oop = run_transpose("CRSW", rap, seed=BENCH_SEED)
+        # In-place needs 1 tile resident per job; out-of-place needs 2.
+        t_in = sm_throughput(rap, inplace.time_units)
+        t_oop = sm_throughput(rap, oop.time_units) / 2
+        return t_in, t_oop
+
+    t_in, t_oop = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nthroughput (tiles/unit): in-place {t_in:.4f}, out-of-place {t_oop:.4f}")
+    assert t_in > 0 and t_oop > 0

@@ -1,0 +1,55 @@
+"""Benchmark: Lemma 1 — exact DMM step counts of the transposes.
+
+Sweeps width and latency, runs each transpose on the cycle-accurate
+executor, and asserts the closed forms:
+
+* CRSW / SRCW: ``(p/w + l - 1) + (p + l - 1)`` — one contiguous and
+  one stride phase;
+* DRDW: ``2 (p/w + l - 1)`` — two conflict-free phases.
+"""
+
+import pytest
+
+from repro.access.transpose import run_transpose
+from repro.core.mappings import RAWMapping
+
+WIDTHS = (4, 8, 16, 32)
+LATENCIES = (1, 5, 20)
+
+
+@pytest.mark.parametrize("w", WIDTHS)
+@pytest.mark.parametrize("latency", LATENCIES)
+def test_lemma1_crsw(benchmark, w, latency):
+    outcome = benchmark(run_transpose, "CRSW", RAWMapping(w), latency=latency)
+    assert outcome.time_units == (w + latency - 1) + (w * w + latency - 1)
+    assert outcome.correct
+
+
+@pytest.mark.parametrize("w", WIDTHS)
+def test_lemma1_srcw(benchmark, w):
+    latency = 5
+    outcome = benchmark(run_transpose, "SRCW", RAWMapping(w), latency=latency)
+    assert outcome.time_units == (w * w + latency - 1) + (w + latency - 1)
+
+
+@pytest.mark.parametrize("w", WIDTHS)
+def test_lemma1_drdw(benchmark, w):
+    latency = 5
+    outcome = benchmark(run_transpose, "DRDW", RAWMapping(w), latency=latency)
+    assert outcome.time_units == 2 * (w + latency - 1)
+
+
+def test_lemma1_asymptotic_gap(benchmark):
+    """The CRSW/DRDW gap grows linearly in w — the reason DRDW exists."""
+
+    def gaps():
+        out = {}
+        for w in WIDTHS:
+            crsw = run_transpose("CRSW", RAWMapping(w)).time_units
+            drdw = run_transpose("DRDW", RAWMapping(w)).time_units
+            out[w] = crsw / drdw
+        return out
+
+    ratios = benchmark.pedantic(gaps, rounds=1, iterations=1)
+    assert ratios[32] > ratios[4]
+    assert ratios[32] > 10

@@ -1,0 +1,100 @@
+"""Benchmark: offline permutation — naive vs scheduled vs RAP.
+
+The application the paper's line of work grew from (their refs [8],
+[13]): move ``w^2`` words through an arbitrary known permutation in
+shared memory.  Three contenders:
+
+* naive one-step under RAW — congestion up to ``w``;
+* the conflict-free ``w``-round graph-coloring schedule — congestion
+  exactly 1, but per-permutation scheduling work and ``2w`` dependent
+  instructions (costly at high latency);
+* naive one-step under RAP — no scheduling, congestion ~log w / log log w.
+"""
+
+import pytest
+
+from repro.core.mappings import RAPMapping, RAWMapping
+from repro.routing.offline import (
+    hostile_permutation,
+    random_data_permutation,
+    run_offline_permutation,
+)
+
+from .conftest import BENCH_SEED
+
+W = 16
+
+
+@pytest.mark.parametrize("algorithm", ["naive", "scheduled"])
+def test_offline_hostile(benchmark, algorithm):
+    perm = hostile_permutation(W)
+    outcome = benchmark(
+        run_offline_permutation, perm, algorithm, w=W, seed=BENCH_SEED
+    )
+    assert outcome.correct
+    if algorithm == "scheduled":
+        assert outcome.max_congestion == 1
+    else:
+        assert outcome.max_congestion == W
+
+
+def test_offline_rap_defuses_hostile(benchmark):
+    perm = hostile_permutation(W)
+
+    def run():
+        return run_offline_permutation(
+            perm, "naive", mapping=RAPMapping.random(W, BENCH_SEED), seed=BENCH_SEED
+        )
+
+    outcome = benchmark(run)
+    assert outcome.correct
+    assert outcome.max_congestion == 1  # transpose perm = stride = RAP's home game
+
+
+def test_offline_comparison_table(benchmark):
+    """Stage counts of all three approaches over random permutations."""
+
+    def measure():
+        rows = {}
+        for trial in range(5):
+            perm = random_data_permutation(W, seed=BENCH_SEED + trial)
+            naive_raw = run_offline_permutation(perm, "naive", w=W)
+            naive_rap = run_offline_permutation(
+                perm, "naive", mapping=RAPMapping.random(W, trial)
+            )
+            sched = run_offline_permutation(perm, "scheduled", w=W)
+            assert naive_raw.correct and naive_rap.correct and sched.correct
+            for key, o in (
+                ("naive/RAW", naive_raw),
+                ("naive/RAP", naive_rap),
+                ("scheduled", sched),
+            ):
+                rows.setdefault(key, []).append(o.total_stages)
+        return {k: sum(v) / len(v) for k, v in rows.items()}
+
+    stages = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nmean pipeline stages over random permutations: {stages}")
+    # Scheduled is the stage-count optimum (2w); RAP lands within a
+    # small factor of it with zero scheduling work; RAW pays more.
+    assert stages["scheduled"] == 2 * W
+    assert stages["scheduled"] <= stages["naive/RAP"] <= stages["naive/RAW"]
+
+
+def test_offline_latency_crossover(benchmark):
+    """At high pipeline latency the 2-instruction RAP algorithm beats
+    the 2w-instruction schedule — the paper's case for RAP."""
+
+    def measure():
+        perm = random_data_permutation(W, seed=BENCH_SEED)
+        out = {}
+        for latency in (1, 8, 32):
+            rap = run_offline_permutation(
+                perm, "naive", mapping=RAPMapping.random(W, 0), latency=latency
+            )
+            sched = run_offline_permutation(perm, "scheduled", w=W, latency=latency)
+            out[latency] = (rap.time_units, sched.time_units)
+        return out
+
+    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\n(RAP, scheduled) time units by latency: {times}")
+    assert times[32][0] < times[32][1]  # RAP wins at high latency

@@ -1,0 +1,56 @@
+"""Benchmark: how much does the drawn sigma matter?
+
+Deployment question for RAP: if you pin one permutation (as the
+hardware proposal would), how bad can your draw be?  This bench maps
+the per-sigma distribution of the worst diagonal congestion over many
+draws — the min/median/max of the "sigma lottery" — and confirms the
+deterministic guarantees are draw-independent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.access.patterns import pattern_addresses
+from repro.core.congestion import congestion_batch
+from repro.core.mappings import RAPMapping
+from repro.core.theory import theorem2_expectation_bound
+
+from .conftest import BENCH_SEED
+
+W = 32
+DRAWS = 300
+
+
+def test_sigma_lottery_diagonal(benchmark):
+    def measure():
+        worst = np.empty(DRAWS)
+        for s in range(DRAWS):
+            mapping = RAPMapping.random(W, BENCH_SEED + s)
+            addrs = pattern_addresses(mapping, "diagonal")
+            worst[s] = congestion_batch(addrs, W).max()
+        return worst
+
+    worst = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lo, med, hi = worst.min(), np.median(worst), worst.max()
+    print(f"\nper-sigma worst diagonal congestion over {DRAWS} draws: "
+          f"min={lo:.0f} median={med:.0f} max={hi:.0f}")
+    # Even the unluckiest draw stays far under w and under the bound.
+    assert hi < W / 2
+    assert hi <= theorem2_expectation_bound(W) * 2
+
+
+def test_guarantees_draw_independent(benchmark):
+    """Contiguous/stride congestion is 1 for every single draw —
+    the lottery only exists on the non-guaranteed patterns."""
+
+    def measure():
+        worst = 0
+        for s in range(DRAWS):
+            mapping = RAPMapping.random(W, BENCH_SEED + s)
+            for pattern in ("contiguous", "stride", "malicious"):
+                addrs = pattern_addresses(mapping, pattern)
+                worst = max(worst, int(congestion_batch(addrs, W).max()))
+        return worst
+
+    worst = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert worst == 1

@@ -1,0 +1,61 @@
+"""Benchmark: power-of-two strided access — the reduction doubling law.
+
+The flat-array conflict scenario the CUDA best-practice guide leads
+with: a tree reduction's stride doubles each level and so does its
+congestion, saturating at ``w``.  RAP caps the whole sweep near the
+balls-in-bins level.
+"""
+
+import pytest
+
+from repro.access.strided import (
+    raw_stride_congestion,
+    reduction_positions,
+    strided_addresses,
+)
+from repro.core.congestion import warp_congestion
+from repro.core.mappings import RAPMapping, RAWMapping
+
+from .conftest import BENCH_SEED
+
+W = 32
+
+
+@pytest.mark.parametrize("level", range(6))
+def test_reduction_level_raw(benchmark, level):
+    mapping = RAWMapping(W)
+
+    def measure():
+        return warp_congestion(
+            strided_addresses(mapping, reduction_positions(W, level)), W
+        )
+
+    measured = benchmark(measure)
+    assert measured == raw_stride_congestion(W, level)
+
+
+def test_reduction_sweep_raw_vs_rap(benchmark):
+    def sweep():
+        rows = {}
+        for level in range(6):
+            pos = reduction_positions(W, level)
+            raw = warp_congestion(strided_addresses(RAWMapping(W), pos), W)
+            rap_vals = [
+                warp_congestion(
+                    strided_addresses(RAPMapping.random(W, s), pos), W
+                )
+                for s in range(30)
+            ]
+            rows[level] = (raw, sum(rap_vals) / len(rap_vals))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nlevel  stride  RAW  RAP(mean of 30)")
+    for level, (raw, rap) in rows.items():
+        print(f"{level:>5d}  {1 << level:>6d}  {raw:>3d}  {rap:.2f}")
+    # The doubling law under RAW...
+    assert [rows[k][0] for k in range(6)] == [1, 2, 4, 8, 16, 32]
+    # ...is capped by RAP: never worse than ~balls-in-bins at any level.
+    assert all(rap < 6 for _, rap in rows.values())
+    # Stride exactly w (level 5) is a column: deterministically 1.
+    assert rows[5][1] == 1.0

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table I (analytic congestion summary).
+
+Table I is analytic, so this bench additionally *verifies* each
+deterministic cell against a live mapping before timing the
+regeneration: 'w' cells must measure exactly w, '1' cells exactly 1.
+"""
+
+import numpy as np
+
+from repro.access.patterns import pattern_addresses
+from repro.core.congestion import congestion_batch
+from repro.core.mappings import RAPMapping, RAWMapping
+from repro.report.tables import render_table1
+from repro.sim.experiments import table1
+
+
+def _verified_table1():
+    result = table1()
+    w = 32
+    # Verify the exact cells against executable mappings.
+    raw, rap = RAWMapping(w), RAPMapping.random(w, seed=0)
+    assert congestion_batch(pattern_addresses(raw, "stride"), w).max() == w
+    assert congestion_batch(pattern_addresses(rap, "stride"), w).max() == 1
+    assert congestion_batch(pattern_addresses(raw, "contiguous"), w).max() == 1
+    assert congestion_batch(pattern_addresses(rap, "contiguous"), w).max() == 1
+    return result
+
+
+def test_table1(benchmark):
+    result = benchmark(_verified_table1)
+    print()
+    print(render_table1(result))
+    assert result.cells[("stride", "RAP")] == "1"
+    assert result.cells[("any", "RAW")] == "w"

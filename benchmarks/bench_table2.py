@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Table II (simulated congestion vs width).
+
+One benchmark per width keeps the timing attribution clean; the final
+full-table bench prints the complete grid and checks every cell
+against the paper's values.
+"""
+
+import pytest
+
+from repro.report.tables import render_table2
+from repro.sim.experiments import TABLE2_WIDTHS, table2
+
+from .conftest import BENCH_SEED, BENCH_TRIALS
+
+
+@pytest.mark.parametrize("w", TABLE2_WIDTHS)
+def test_table2_single_width(benchmark, w):
+    result = benchmark(
+        table2, widths=(w,), trials=max(50, BENCH_TRIALS // (w // 8)), seed=BENCH_SEED
+    )
+    # Deterministic guarantees at every width.
+    assert result.mean("contiguous", "RAP", w) == 1
+    assert result.mean("stride", "RAP", w) == 1
+    assert result.mean("stride", "RAW", w) == w
+    assert result.mean("diagonal", "RAW", w) == 1
+
+
+def test_table2_full(benchmark):
+    result = benchmark.pedantic(
+        table2,
+        kwargs=dict(widths=TABLE2_WIDTHS, trials=200, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table2(result))
+    # Every randomized cell tracks the paper within Monte-Carlo noise.
+    for key, paper_value in result.paper.items():
+        ours = result.stats[key].mean
+        assert ours == pytest.approx(paper_value, abs=0.3), (key, ours, paper_value)

@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Table III (transpose kernels + GPU model).
+
+Times each (algorithm, mapping) kernel's full DMM execution
+individually — the benchmark timings themselves mirror the table's
+ordering (RAW CRSW is the slowest cell to *simulate* too, since it
+serializes 1024 stage computations) — then prints the complete table
+with the calibrated nanosecond predictions next to the paper's
+measurements.
+"""
+
+import pytest
+
+from repro.access.transpose import TRANSPOSE_NAMES, run_transpose
+from repro.core.mappings import MAPPING_NAMES, mapping_by_name
+from repro.report.tables import render_table3
+from repro.sim.experiments import table3
+
+from .conftest import BENCH_SEED
+
+
+@pytest.mark.parametrize("mapping_name", MAPPING_NAMES)
+@pytest.mark.parametrize("algorithm", TRANSPOSE_NAMES)
+def test_transpose_cell(benchmark, algorithm, mapping_name):
+    mapping = mapping_by_name(mapping_name, 32, seed=BENCH_SEED)
+
+    def run():
+        return run_transpose(algorithm, mapping, seed=BENCH_SEED)
+
+    outcome = benchmark(run)
+    assert outcome.correct
+
+
+def test_table3_full(benchmark):
+    result = benchmark.pedantic(
+        table3, kwargs=dict(trials=60, seed=BENCH_SEED), rounds=1, iterations=1
+    )
+    print()
+    print(render_table3(result))
+    # Shape assertions: who wins and by roughly what factor.
+    assert result.speedup_vs("CRSW", "RAW", "RAP") > 7
+    assert result.speedup_vs("CRSW", "RAS", "RAP") > 1.4
+    assert result.speedup_vs("DRDW", "RAP", "RAW") > 2
+    for row in result.rows.values():
+        assert row.all_correct
+        assert abs(row.predicted_ns - row.paper_ns) / row.paper_ns < 0.2

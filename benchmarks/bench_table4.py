@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Table IV (4-D RAP schemes).
+
+Runs the full 6-pattern x 7-scheme grid at ``w = 16`` (the paper
+analyses ``w = 32``; the qualitative classes are width-independent and
+``w = 16`` keeps the w2P permutation sampling cheap), prints the grid
+with the random-number budget row, and asserts each cell's class.
+"""
+
+import pytest
+
+from repro.report.tables import render_table4
+from repro.sim.experiments import PAPER_TABLE4_CLASSES, table4
+from repro.sim.congestion_sim import simulate_nd_congestion
+
+from .conftest import BENCH_SEED
+
+
+@pytest.mark.parametrize("scheme", ["RAS", "1P", "R1P", "3P", "w2P", "1PwR"])
+def test_scheme_random_access(benchmark, scheme):
+    """Per-scheme timing of the most expensive row (random access)."""
+    stats = benchmark.pedantic(
+        simulate_nd_congestion,
+        args=(scheme, "random", 16),
+        kwargs=dict(trials=150, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    assert 1.5 < stats.mean < 6
+
+
+def test_table4_full(benchmark):
+    result = benchmark.pedantic(
+        table4, kwargs=dict(w=16, trials=150, seed=BENCH_SEED), rounds=1, iterations=1
+    )
+    print()
+    print(render_table4(result))
+    w = 16
+    for (pattern, scheme), cls in PAPER_TABLE4_CLASSES.items():
+        stats = result.stats[(pattern, scheme)]
+        if cls == "1":
+            assert stats.maximum == 1, (pattern, scheme)
+        elif cls == "w":
+            assert stats.mean == w, (pattern, scheme)
+        elif cls == "log":
+            assert 1.5 < stats.mean < 7, (pattern, scheme, stats.mean)
+        else:  # "attack" — R1P malicious
+            assert stats.mean >= 6, (pattern, scheme, stats.mean)
+    # The paper's recommendation: 3P dominates R1P under attack and
+    # undercuts RAS's randomness budget.
+    assert result.mean("malicious", "3P") < result.mean("malicious", "R1P")
+    assert result.random_numbers["3P"] < result.random_numbers["RAS"]

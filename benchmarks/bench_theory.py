@@ -1,0 +1,78 @@
+"""Benchmark: Theorem 2 / Lemma 4 — measured congestion vs the bounds.
+
+For each width, simulates RAP congestion under its *worst* patterns
+and checks (a) the expectation stays under the Theorem 2 envelope
+``6 ln w / ln ln w + 1`` and (b) the Lemma 4 tail: the frequency of a
+fixed bank's half-warp load exceeding ``3 ln w / ln ln w`` is at most
+``1/w^2``-order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.congestion import bank_loads_batch
+from repro.core.theory import (
+    lemma4_threshold,
+    log_over_loglog,
+    theorem2_expectation_bound,
+)
+from repro.sim.congestion_sim import simulate_matrix_congestion
+
+from .conftest import BENCH_SEED
+
+WIDTHS = (16, 32, 64, 128)
+
+
+@pytest.mark.parametrize("w", WIDTHS)
+def test_theorem2_envelope(benchmark, w):
+    stats = benchmark.pedantic(
+        simulate_matrix_congestion,
+        args=("RAP", "diagonal", w),
+        kwargs=dict(trials=500, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    bound = theorem2_expectation_bound(w)
+    print(f"\nw={w}: measured E[congestion]={stats.mean:.3f}  bound={bound:.2f}")
+    assert stats.mean <= bound
+
+
+def test_congestion_growth_is_sublogarithmic(benchmark):
+    """Measured congestion grows like log w / log log w, not log w."""
+
+    def measure():
+        return {
+            w: simulate_matrix_congestion(
+                "RAP", "diagonal", w, trials=300, seed=BENCH_SEED
+            ).mean
+            for w in WIDTHS
+        }
+
+    means = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # Ratio to the predicted growth rate must stay within a tight band.
+    ratios = [means[w] / log_over_loglog(w) for w in WIDTHS]
+    assert max(ratios) / min(ratios) < 1.4
+
+
+@pytest.mark.parametrize("w", (16, 32))
+def test_lemma4_tail(benchmark, w):
+    """Per-bank half-warp loads rarely exceed 3 ln w / ln ln w."""
+
+    def tail_frequency():
+        rng = np.random.default_rng(BENCH_SEED)
+        trials = 4000
+        half = w // 2
+        # Worst adversarial half-warp: one request per distinct row
+        # (columns irrelevant by symmetry) under a fresh permutation.
+        base = np.broadcast_to(np.arange(w, dtype=np.int64), (trials, w))
+        sigma = rng.permuted(base, axis=1)
+        rows = np.arange(half)
+        addresses = rows * w + sigma[:, rows] % w
+        loads = bank_loads_batch(addresses, w)
+        return float((loads >= lemma4_threshold(w)).any(axis=1).mean())
+
+    freq = benchmark.pedantic(tail_frequency, rounds=1, iterations=1)
+    print(f"\nw={w}: P[some bank >= 3 ln w / ln ln w] = {freq:.4f}")
+    # Lemma 4 bounds the per-bank tail by 1/w^2, i.e. 1/w after a
+    # union bound over banks; the measured frequency must respect it.
+    assert freq <= 1.0 / w

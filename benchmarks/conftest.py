@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper and prints
+it (run with ``--benchmark-only -s`` to see the output next to the
+timings).  Trial counts are kept moderate so the full harness finishes
+in well under a minute; raise ``BENCH_TRIALS`` for tighter Monte-Carlo
+confidence intervals.
+"""
+
+import pytest
+
+#: Monte-Carlo trials used by the randomized benchmark cells.
+BENCH_TRIALS = 400
+
+#: Seed shared by every benchmark for reproducible output.
+BENCH_SEED = 2014
+
+
+@pytest.fixture(scope="session")
+def bench_trials() -> int:
+    return BENCH_TRIALS
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return BENCH_SEED

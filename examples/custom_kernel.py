@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Protecting *your* kernel with RAP — the library as a user would use it.
+
+The paper's closing argument: "It is not necessary for CUDA developers
+to avoid bank conflicts if they use the RAP."  This example writes a
+deliberately conflict-heavy kernel — a column-wise running sum, i.e. a
+stride read followed by a stride write, the worst case for banked
+memory — against *logical* matrix indices, then runs the identical
+kernel under RAW and RAP:
+
+* same code, same verified output,
+* RAW: every access serializes w ways;
+* RAP: the whole kernel is conflict-free, automatically.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro import GPUTimingModel, RAPMapping, RAWMapping
+from repro.gpu.kernel import KernelStep, SharedMemoryKernel
+
+W = 32
+SEED = 11
+
+
+def column_shift_kernel(mapping) -> SharedMemoryKernel:
+    """b[i][j] = a[(i+1) mod w][j] — every thread reads and writes its
+    column neighbour: both instructions are stride-shaped."""
+    ii, jj = np.meshgrid(np.arange(W), np.arange(W), indexing="ij")
+    # Warp i handles column i (stride assignment): lane j touches row j.
+    read_rows, cols = (jj + 1) % W, ii
+    write_rows = jj
+    steps = [
+        KernelStep("read", "a", read_rows, cols, register="v"),
+        KernelStep("write", "b", write_rows, cols, register="v"),
+    ]
+    return SharedMemoryKernel(W, steps, arrays=("a", "b"), mapping=mapping)
+
+
+def run(mapping, matrix: np.ndarray):
+    kernel = column_shift_kernel(mapping)
+    machine = kernel.make_machine()
+    kernel.load_array(machine, "a", matrix)
+    report = kernel.run(machine, timing_model=GPUTimingModel.fit_to_paper())
+    result = kernel.read_array(machine, "b")
+    return report, result
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    matrix = rng.random((W, W))
+    expected = np.roll(matrix, -1, axis=0)
+
+    raw_report, raw_out = run(RAWMapping(W), matrix)
+    rap_report, rap_out = run(RAPMapping.random(W, seed=SEED), matrix)
+
+    assert np.array_equal(raw_out, expected), "RAW kernel produced wrong data"
+    assert np.array_equal(rap_out, expected), "RAP kernel produced wrong data"
+    print("Both kernels verified against the numpy reference.\n")
+
+    print(f"{'mapping':8s} {'pipeline stages':>16s} {'DMM time':>9s} {'model ns':>9s}")
+    for name, report in (("RAW", raw_report), ("RAP", rap_report)):
+        print(
+            f"{name:8s} {report.total_stages:>16d} {report.time_units:>9d} "
+            f"{report.predicted_ns:>9.1f}"
+        )
+
+    speedup = raw_report.predicted_ns / rap_report.predicted_ns
+    print(
+        f"\nIdentical kernel code, {speedup:.1f}x faster under RAP - no"
+        "\nbank-conflict analysis, no diagonal rewrites, no padding tricks."
+    )
+
+
+if __name__ == "__main__":
+    main()

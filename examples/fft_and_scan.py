@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""FFT and prefix-sum under RAP — multi-stage kernels, zero tuning.
+
+The transpose benchmark of the paper moves each element once; real
+shared-memory kernels make *many* passes with algorithm-dictated
+strides.  This example runs a complete 4096-point radix-2 FFT
+(bit-reversal + 12 butterfly stages) and a Blelloch exclusive scan on
+the cycle-accurate DMM, printing the per-stage congestion under RAW
+and RAP.
+
+Watch two things:
+
+* the RAW congestion column follows the stride of each stage (the
+  bit-reversal is worst — it is a hostile permutation);
+* the RAP column is flat, and the total time drops accordingly —
+  without touching a single index expression in either kernel.
+
+Run:  python examples/fft_and_scan.py
+"""
+
+from repro import RAPMapping, RAWMapping
+from repro.apps import run_fft, run_scan
+
+W = 8          # n = w^2 = 64-point transforms keep the demo instant
+SEED = 17
+
+
+def main() -> None:
+    raw, rap = RAWMapping(W), RAPMapping.random(W, seed=SEED)
+
+    fft_raw = run_fft(raw, seed=SEED)
+    fft_rap = run_fft(rap, seed=SEED)
+    assert fft_raw.correct and fft_rap.correct
+
+    print(f"{fft_raw.n}-point radix-2 FFT (verified against numpy.fft)\n")
+    print(f"{'phase':>14s} {'RAW cong.':>10s} {'RAP cong.':>10s}")
+    labels = ["bit-reversal"] + [
+        f"stage {s} (2^{s})" for s in range(len(fft_raw.stage_congestion) - 1)
+    ]
+    for label, c_raw, c_rap in zip(
+        labels, fft_raw.stage_congestion, fft_rap.stage_congestion
+    ):
+        print(f"{label:>14s} {c_raw:>10d} {c_rap:>10d}")
+    print(
+        f"\ntotal time: RAW {fft_raw.time_units} vs RAP {fft_rap.time_units} "
+        f"({fft_raw.time_units / fft_rap.time_units:.1f}x)"
+    )
+
+    scan_raw = run_scan(raw, seed=SEED)
+    scan_rap = run_scan(rap, seed=SEED)
+    assert scan_raw.correct and scan_rap.correct
+    print(f"\nBlelloch exclusive scan of {scan_raw.n} values (verified)\n")
+    print("per-level worst congestion (up-sweep, root, down-sweep):")
+    print(f"  RAW: {list(scan_raw.level_congestion)}")
+    print(f"  RAP: {list(scan_rap.level_congestion)}")
+    print(
+        f"total time: RAW {scan_raw.time_units} vs RAP {scan_rap.time_units} "
+        f"({scan_raw.time_units / scan_rap.time_units:.1f}x)"
+    )
+
+    print(
+        "\nBoth kernels keep their textbook indexing; the layout alone"
+        "\nabsorbs the conflicts - the paper's claim, on the workloads"
+        "\nCUDA guides spend chapters hand-optimizing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Higher-dimensional RAP — the paper's Section VII and Table IV.
+
+A 4-D array a[w][w][w][w] can be protected by five different shift
+functions.  This example simulates all of them against the six access
+patterns (including the adversarial one tailored to each scheme) and
+shows why the paper recommends 3P:
+
+* 1P leaves two stride directions fully serialized;
+* R1P fixes every stride with just w random values — but its reused
+  permutation admits the permuted-triple attack (watch the
+  'malicious' row explode);
+* 3P costs only 3w random values and has no known attack;
+* w2P / 1PwR spend far more randomness for a weaker guarantee.
+
+Run:  python examples/higher_dim_arrays.py [--w 16] [--trials N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import nd_mapping_by_name, table4
+from repro.access.patterns_nd import malicious_r1p
+from repro.core.congestion import warp_congestion
+from repro.report.tables import render_table4
+
+
+def demonstrate_triple_attack(w: int, seed: int) -> None:
+    """Show the R1P attack mechanics on one concrete mapping draw."""
+    r1p = nd_mapping_by_name("R1P", w, seed)
+    threep = nd_mapping_by_name("3P", w, seed)
+    idx = malicious_r1p(w)
+    r1p_c = warp_congestion(r1p.address(*idx), w)
+    threep_c = warp_congestion(threep.address(*idx), w)
+    print(
+        f"\nPermuted-triple attack at w={w}: R1P congestion {r1p_c}, "
+        f"3P congestion {threep_c}"
+    )
+    # Show why: the six permutations of (0,1,2) share R1P's shift sum.
+    from itertools import permutations
+
+    banks = sorted(
+        int(r1p.bank(a, b, c, 0)) for a, b, c in permutations((0, 1, 2))
+    )
+    print(f"  banks of the 6 permutations of (0,1,2) under R1P: {banks}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--w", type=int, default=16)
+    parser.add_argument("--trials", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=2014)
+    args = parser.parse_args()
+
+    result = table4(w=args.w, trials=args.trials, seed=args.seed)
+    print(render_table4(result))
+
+    demonstrate_triple_attack(max(args.w, 12), args.seed)
+
+    print("\nRandomness budget per scheme (values consumed):")
+    for scheme, count in sorted(result.random_numbers.items(), key=lambda kv: kv[1]):
+        bar = "#" * max(1, int(np.log2(count + 1)))
+        print(f"  {scheme:5s} {count:>8d}  {bar}")
+    print(
+        "\n3P: every stride conflict-free, malicious only ~log w / log log w,"
+        f"\nand just {result.random_numbers['3P']} random values"
+        f" (RAS needs {result.random_numbers['RAS']})."
+    )
+
+
+if __name__ == "__main__":
+    main()

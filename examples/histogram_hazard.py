@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Histogramming in shared memory: a correctness hazard, not just speed.
+
+Every other workload in this library is about *time*; histogramming is
+about *answers*.  The DMM (like real GPUs without atomics) merges
+simultaneous writes to one address — so the textbook read-modify-write
+histogram silently drops every colliding vote.  Privatization (one
+histogram column per lane) fixes correctness by construction; the
+layout question then moves to the *fold* pass that combines the
+columns.
+
+Run:  python examples/histogram_hazard.py
+"""
+
+import numpy as np
+
+from repro import RAPMapping
+from repro.apps import make_votes, run_histogram
+
+W = 16
+SEED = 23
+
+
+def main() -> None:
+    print(f"Building a {W}-bin histogram of {16 * W} votes on the DMM\n")
+
+    print("1. The naive read-modify-write kernel (no atomics):")
+    print(f"   {'skew':>6s} {'lost votes':>12s} {'correct':>8s}")
+    for skew in (0.0, 1.0, 2.0):
+        votes = make_votes(16 * W, W, skew=skew, seed=SEED)
+        o = run_histogram(votes, "naive", w=W)
+        print(f"   {skew:>6.1f} {o.lost_votes:>8d}/{votes.size:<4d}"
+              f" {str(o.correct):>7s}")
+    print("   CRCW write-merging eats colliding increments - the skewier")
+    print("   the data, the more votes vanish.\n")
+
+    votes = make_votes(16 * W, W, skew=1.0, seed=SEED)
+    rap = RAPMapping.random(W, seed=SEED)
+    print("2. The privatized kernel (one column per lane), fold variants:")
+    print(f"   {'fold':>8s} {'layout':>7s} {'fold congestion':>16s} {'time':>6s} {'correct':>8s}")
+    for fold in ("row", "column"):
+        for name, mapping in (("RAW", None), ("RAP", rap)):
+            o = run_histogram(
+                votes, "privatized", w=W, mapping=mapping, fold_assignment=fold
+            )
+            print(
+                f"   {fold:>8s} {name:>7s} {o.fold_congestion:>16d} "
+                f"{o.time_units:>6d} {str(o.correct):>8s}"
+            )
+
+    print(
+        "\nPrivatization restores correctness everywhere.  The layout"
+        "\nlesson is two-sided: a row-shaped fold is already bank-aligned"
+        "\n(RAW optimal - RAP's randomization only taxes it, the DRDW"
+        "\nlesson again), but a column-shaped fold serializes w-fold under"
+        "\nRAW and RAP erases that without touching the kernel."
+    )
+
+
+if __name__ == "__main__":
+    main()

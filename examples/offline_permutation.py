@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Offline permutation: graph-coloring schedules vs just using RAP.
+
+Before RAP, making an arbitrary known data permutation conflict-free
+on the shared memory took real machinery — the paper's earlier work
+edge-colors the source-bank/destination-bank multigraph (König's
+theorem) to split the moves into w provably conflict-free rounds.
+This example runs that schedule, the naive one-step algorithm, and
+the naive algorithm under RAP, side by side on the cycle-accurate
+DMM:
+
+* on the *hostile* permutation (a transpose), naive/RAW hits
+  congestion w while the schedule and RAP both stay at 1;
+* on random permutations, RAP is within a small factor of the
+  scheduled optimum with zero per-permutation work;
+* as pipeline latency grows, the 2w dependent instructions of the
+  schedule become its downfall and the 2-instruction RAP algorithm
+  wins outright — the paper's argument that RAP supersedes the
+  machinery.
+
+Run:  python examples/offline_permutation.py
+"""
+
+from repro import RAPMapping
+from repro.routing import (
+    hostile_permutation,
+    random_data_permutation,
+    run_offline_permutation,
+)
+
+W = 16
+SEED = 3
+
+
+def report(label, outcome):
+    print(
+        f"  {label:22s} correct={str(outcome.correct):5s} "
+        f"max congestion={outcome.max_congestion:>2d}  "
+        f"stages={outcome.total_stages:>4d}  time={outcome.time_units:>4d}"
+    )
+
+
+def main() -> None:
+    print(f"Offline permutation of {W * W} words on a w={W} DMM (latency 1)\n")
+
+    print("Hostile permutation (the transpose):")
+    hostile = hostile_permutation(W)
+    report("naive / RAW", run_offline_permutation(hostile, "naive", w=W))
+    report(
+        "naive / RAP",
+        run_offline_permutation(hostile, "naive", mapping=RAPMapping.random(W, SEED)),
+    )
+    report("scheduled (colored)", run_offline_permutation(hostile, "scheduled", w=W))
+
+    print("\nRandom permutation:")
+    perm = random_data_permutation(W, seed=SEED)
+    report("naive / RAW", run_offline_permutation(perm, "naive", w=W, seed=1))
+    report(
+        "naive / RAP",
+        run_offline_permutation(
+            perm, "naive", mapping=RAPMapping.random(W, SEED), seed=1
+        ),
+    )
+    report("scheduled (colored)", run_offline_permutation(perm, "scheduled", w=W, seed=1))
+
+    print("\nLatency sweep (random permutation, time units):")
+    print(f"  {'latency':>8s} {'naive/RAP':>10s} {'scheduled':>10s}")
+    for latency in (1, 4, 16, 64):
+        rap = run_offline_permutation(
+            perm, "naive", mapping=RAPMapping.random(W, SEED), latency=latency
+        )
+        sched = run_offline_permutation(perm, "scheduled", w=W, latency=latency)
+        marker = "  <- RAP wins" if rap.time_units < sched.time_units else ""
+        print(f"  {latency:>8d} {rap.time_units:>10d} {sched.time_units:>10d}{marker}")
+
+    print(
+        "\nThe schedule is stage-optimal but issues 2w dependent"
+        "\ninstructions; RAP needs two. Past a modest latency, the"
+        "\nzero-effort randomized layout is simply faster."
+    )
+
+
+if __name__ == "__main__":
+    main()

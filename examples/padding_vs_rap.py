@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Padding vs RAP — the comparison every CUDA programmer asks for.
+
+The folk fix for bank conflicts is padding: declare the tile
+``double a[32][33]`` and columns spread across banks for free.  So why
+randomize?  This example renders bank-load heatmaps for both layouts
+under four access patterns and shows the split decision:
+
+* padding wins the diagonal (2 vs ~3.6) and costs no randomness;
+* padding *loses catastrophically* on the anti-diagonal — the pattern
+  its own skew creates — while RAP never loses badly on anything
+  (Theorem 2 quantifies over all patterns);
+* padding burns w words of shared memory per tile; RAP burns none.
+
+Run:  python examples/padding_vs_rap.py
+"""
+
+import numpy as np
+
+from repro import PaddedMapping, RAPMapping
+from repro.access.patterns import pattern_logical
+from repro.core.congestion import congestion_batch
+from repro.core.padded import antidiagonal_logical
+from repro.report.heatmap import render_heatmap
+
+W = 16
+SEED = 21
+
+
+def pattern_indices(name):
+    if name == "antidiagonal":
+        return antidiagonal_logical(W)
+    return pattern_logical(name, W, seed=SEED)
+
+
+def main() -> None:
+    pad = PaddedMapping(W)
+    rap = RAPMapping.random(W, seed=SEED)
+
+    print(f"{'pattern':>14s} {'PAD':>5s} {'RAP':>5s}")
+    for name in ("contiguous", "stride", "diagonal", "antidiagonal", "random"):
+        ii, jj = pattern_indices(name)
+        pad_c = int(congestion_batch(pad.address(ii, jj), W).max())
+        rap_c = int(congestion_batch(rap.address(ii, jj), W).max())
+        print(f"{name:>14s} {pad_c:>5d} {rap_c:>5d}")
+
+    print("\nWhere it goes wrong for padding — the anti-diagonal pattern:")
+    ii, jj = antidiagonal_logical(W)
+    print(render_heatmap(pad.address(ii, jj)[:8], W, title="\nPADDED (first 8 warps)"))
+    print(render_heatmap(rap.address(ii, jj)[:8], W, title="\nRAP (first 8 warps)"))
+
+    print(
+        f"\nMemory per {W}x{W} double tile: padded {pad.storage_words * 8} bytes,"
+        f" RAP {rap.storage_words * 8} bytes"
+        f" ({(pad.storage_words - rap.storage_words) * 8} bytes saved per tile)."
+    )
+    print(
+        "\nVerdict: pad when you control every access pattern; RAP when"
+        "\nyou do not - its guarantee covers the patterns you forgot."
+    )
+
+
+if __name__ == "__main__":
+    main()

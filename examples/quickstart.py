@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: see the RAP technique kill bank conflicts in 30 lines.
+
+We lay a 32x32 matrix out in the DMM's banked shared memory three
+ways — RAW (plain row-major), RAS (i.i.d. random row rotations), and
+RAP (a random *permutation* of rotations) — and measure the congestion
+of the two access patterns every GPU kernel performs: reading a row
+(contiguous) and reading a column (stride).
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+
+W = 32
+SEED = 7
+
+
+def main() -> None:
+    print(f"DMM width w={W} (32 banks, 32-thread warps)\n")
+    print(f"{'mapping':8s} {'contiguous':>12s} {'stride':>8s} {'malicious':>10s}")
+
+    for name in repro.MAPPING_NAMES:
+        mapping = repro.mapping_by_name(name, W, seed=SEED)
+        cells = []
+        for pattern in ("contiguous", "stride", "malicious"):
+            addresses = repro.pattern_addresses(mapping, pattern)
+            worst = int(repro.congestion_batch(addresses, W).max())
+            cells.append(worst)
+        print(f"{name:8s} {cells[0]:>12d} {cells[1]:>8d} {cells[2]:>10d}")
+
+    print(
+        "\nRAW serializes a column access 32x; RAS randomizes it down to"
+        "\n~4; RAP makes it conflict-free outright - and the guarantee is"
+        "\ndeterministic: every drawn permutation gives congestion exactly 1."
+    )
+
+    # And the punchline on a real kernel: the naive transpose.
+    raw = repro.run_transpose("CRSW", repro.RAWMapping(W))
+    rap = repro.run_transpose("CRSW", repro.RAPMapping.random(W, seed=SEED))
+    assert raw.correct and rap.correct
+    print(
+        f"\nNaive CRSW transpose on the DMM: RAW {raw.time_units} time units, "
+        f"RAP {rap.time_units} time units -> {raw.time_units / rap.time_units:.1f}x faster."
+    )
+
+
+if __name__ == "__main__":
+    main()

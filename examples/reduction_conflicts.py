@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The reduction doubling law — bank conflicts beyond matrices.
+
+Matrix transposes are the paper's demo, but the bank conflicts most
+CUDA programmers actually hit come from *flat-array* kernels: tree
+reductions and scans whose stride doubles every level.  On a w-bank
+memory the congestion doubles right along with it — 1, 2, 4, ...,
+w — which is why every optimization guide makes you rewrite the
+indexing.
+
+This example sweeps the reduction levels under RAW and RAP and renders
+the bank heatmaps of the worst level.  RAP caps the whole sweep
+without touching the kernel's indexing — the paper's thesis applied to
+a workload it never shows.
+
+Run:  python examples/reduction_conflicts.py
+"""
+
+import numpy as np
+
+from repro import RAPMapping, RAWMapping, warp_congestion
+from repro.access.strided import (
+    raw_stride_congestion,
+    reduction_positions,
+    strided_addresses,
+)
+from repro.report.heatmap import render_heatmap
+
+W = 32
+SEED = 5
+
+
+def main() -> None:
+    raw = RAWMapping(W)
+    rap = RAPMapping.random(W, seed=SEED)
+    levels = range(6)
+
+    print(f"Tree reduction on a flat array in a w={W} shared memory\n")
+    print(f"{'level':>5s} {'stride':>7s} {'RAW':>5s} {'RAP':>5s}   (closed form: min(2^k, w))")
+    worst_level = 0
+    for level in levels:
+        pos = reduction_positions(W, level)
+        raw_c = warp_congestion(strided_addresses(raw, pos), W)
+        rap_c = warp_congestion(strided_addresses(rap, pos), W)
+        assert raw_c == raw_stride_congestion(W, level)
+        print(f"{level:>5d} {1 << level:>7d} {raw_c:>5d} {rap_c:>5d}")
+        if raw_c == W and not worst_level:
+            worst_level = level
+
+    pos = reduction_positions(W, worst_level)
+    print(f"\nBank heatmap at the worst level (stride {1 << worst_level}):")
+    print(render_heatmap(strided_addresses(raw, pos)[None, :], W, title="\nRAW"))
+    print(render_heatmap(strided_addresses(rap, pos)[None, :], W, title="\nRAP"))
+
+    print(
+        "\nRAW's congestion doubles with the stride and saturates at w;"
+        "\nRAP holds every level near the random-access floor - and the"
+        f"\nstride-{W} level (a matrix column in disguise) is exactly 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

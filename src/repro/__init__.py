@@ -1,0 +1,181 @@
+"""repro — Random Address Permute-Shift (RAP) for GPU shared memory.
+
+A from-scratch Python reproduction of
+
+    Koji Nakano, Susumu Matsumae, Yasuaki Ito,
+    "Random Address Permute-Shift Technique for the Shared Memory on
+    GPUs", Proc. ICPP 2014.
+
+The library provides:
+
+* the Discrete Memory Machine (DMM) and Unified Memory Machine (UMM)
+  executors — cycle-accurate models of GPU shared/global memory
+  (:mod:`repro.dmm`);
+* the RAW / RAS / RAP address mappings and their 4-D extensions
+  (:mod:`repro.core`);
+* access patterns, matrix transpose programs, and a CUDA-like kernel
+  abstraction with a calibrated GPU timing model (:mod:`repro.access`,
+  :mod:`repro.gpu`);
+* Monte-Carlo congestion simulation and the full experiment registry
+  regenerating every table and figure of the paper (:mod:`repro.sim`,
+  :mod:`repro.report`).
+
+Quickstart::
+
+    import repro
+
+    mapping = repro.RAPMapping.random(32, seed=7)
+    outcome = repro.run_transpose("CRSW", mapping)
+    print(outcome.write_congestion)   # 1 — the stride write is conflict-free
+
+Run ``python -m repro table2`` (or any other experiment id) to
+regenerate the paper's evaluation.
+"""
+
+from repro.apps import (
+    run_bitonic_sort,
+    run_fft,
+    run_gather,
+    run_global_transpose,
+    run_histogram,
+    run_scan,
+    run_stencil,
+)
+from repro.access import (
+    PATTERN_NAMES,
+    TRANSPOSE_NAMES,
+    TransposeOutcome,
+    pattern_addresses,
+    pattern_logical,
+    run_transpose,
+    transpose_program,
+)
+from repro.core import (
+    MAPPING_NAMES,
+    ND_MAPPING_NAMES,
+    AddressMapping,
+    GeneralNDMapping,
+    NDMapping,
+    OneP,
+    OnePWRandom,
+    PaddedMapping,
+    XORSwizzleMapping,
+    RAPMapping,
+    RAS4D,
+    RASMapping,
+    RAW4D,
+    RAWMapping,
+    RepeatedOneP,
+    ThreeP,
+    WSquaredP,
+    bank_loads,
+    congestion_batch,
+    exact_expected_max_load,
+    lemma4_threshold,
+    mapping_by_name,
+    nd_mapping_by_name,
+    random_permutation,
+    theorem2_expectation_bound,
+    warp_congestion,
+)
+from repro.dmm import (
+    BankedMemory,
+    DiscreteMemoryMachine,
+    MemoryProgram,
+    PipelinedMMU,
+    UnifiedMemoryMachine,
+    read,
+    write,
+)
+from repro.gpu import (
+    GPUTimingModel,
+    SharedMemoryKernel,
+    run_matmul,
+    transpose_kernel,
+)
+from repro.routing import (
+    hostile_permutation,
+    random_data_permutation,
+    run_offline_permutation,
+)
+from repro.sim import (
+    simulate_matrix_congestion,
+    simulate_nd_congestion,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # mappings
+    "MAPPING_NAMES",
+    "ND_MAPPING_NAMES",
+    "AddressMapping",
+    "RAWMapping",
+    "RASMapping",
+    "RAPMapping",
+    "PaddedMapping",
+    "XORSwizzleMapping",
+    "GeneralNDMapping",
+    "mapping_by_name",
+    "NDMapping",
+    "RAW4D",
+    "RAS4D",
+    "OneP",
+    "RepeatedOneP",
+    "ThreeP",
+    "WSquaredP",
+    "OnePWRandom",
+    "nd_mapping_by_name",
+    "random_permutation",
+    # congestion & theory
+    "bank_loads",
+    "warp_congestion",
+    "congestion_batch",
+    "lemma4_threshold",
+    "theorem2_expectation_bound",
+    "exact_expected_max_load",
+    # machines
+    "BankedMemory",
+    "DiscreteMemoryMachine",
+    "UnifiedMemoryMachine",
+    "PipelinedMMU",
+    "MemoryProgram",
+    "read",
+    "write",
+    # access & kernels
+    "PATTERN_NAMES",
+    "TRANSPOSE_NAMES",
+    "pattern_logical",
+    "pattern_addresses",
+    "TransposeOutcome",
+    "run_transpose",
+    "transpose_program",
+    "SharedMemoryKernel",
+    "transpose_kernel",
+    "run_matmul",
+    "GPUTimingModel",
+    # application workloads
+    "run_fft",
+    "run_scan",
+    "run_stencil",
+    "run_global_transpose",
+    "run_bitonic_sort",
+    "run_histogram",
+    "run_gather",
+    # offline permutation
+    "hostile_permutation",
+    "random_data_permutation",
+    "run_offline_permutation",
+    # experiments
+    "simulate_matrix_congestion",
+    "simulate_nd_congestion",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+]

@@ -1,0 +1,121 @@
+"""In-place matrix transpose — the memory-frugal variant.
+
+The paper's transposes use two matrices (``b[j][i] = a[i][j]``), but a
+48 KB shared memory holding six 32x32 double tiles cannot always spare
+the second copy.  The in-place algorithm swaps symmetric pairs:
+thread ``t`` handling pair ``(i, j)`` with ``i < j`` reads both
+``a[i][j]`` and ``a[j][i]``, then writes them back exchanged (the
+diagonal stays put).  On the DMM this is *safe without
+synchronization* because instructions are phase-sequential — all reads
+complete before any write issues (see ``docs/MODEL.md``).
+
+Conflict structure: with the natural pair enumeration each warp's
+reads mix row-wise and column-wise accesses, so under RAW the
+column-side gather serializes partially; under RAP both sides are
+randomized.  Exposed mainly as a memory/time trade-off:
+``storage = w^2`` (vs ``2 w^2``) at roughly twice the instruction
+count of CRSW-on-RAP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mappings import AddressMapping
+from repro.dmm.machine import DiscreteMemoryMachine
+from repro.dmm.trace import INACTIVE, MemoryProgram, read, write
+from repro.util.rng import SeedLike, as_generator
+
+__all__ = ["InplaceTransposeOutcome", "inplace_transpose_program", "run_inplace_transpose"]
+
+
+def _upper_triangle_pairs(w: int) -> tuple[np.ndarray, np.ndarray]:
+    """All (i, j) with i < j, flattened in row-major pair order."""
+    ii, jj = np.triu_indices(w, k=1)
+    return ii.astype(np.int64), jj.astype(np.int64)
+
+
+def inplace_transpose_program(mapping: AddressMapping, base: int = 0) -> MemoryProgram:
+    """Compile the swap-based in-place transpose for ``mapping``.
+
+    Uses ``p = w^2`` threads; the ``w(w-1)/2`` pair threads are active,
+    the rest idle.  Four instructions: read upper, read lower, write
+    upper (with the lower value), write lower (with the upper value).
+    """
+    w = mapping.w
+    p = w * w
+    ui, uj = _upper_triangle_pairs(w)
+    upper = base + mapping.address(ui, uj)
+    lower = base + mapping.address(uj, ui)
+
+    def pad(addr: np.ndarray) -> np.ndarray:
+        out = np.full(p, INACTIVE, dtype=np.int64)
+        out[: addr.size] = addr
+        return out
+
+    prog = MemoryProgram(p=p)
+    prog.append(read(pad(upper), register="u"))
+    prog.append(read(pad(lower), register="l"))
+    prog.append(write(pad(upper), register="l"))
+    prog.append(write(pad(lower), register="u"))
+    return prog
+
+
+@dataclass(frozen=True)
+class InplaceTransposeOutcome:
+    """Result of one in-place transpose run.
+
+    Attributes
+    ----------
+    mapping_name:
+        Layout used.
+    correct:
+        Output equals the numpy transpose of the input.
+    time_units, total_stages, max_congestion:
+        DMM cost.
+    storage_words:
+        Memory footprint — one matrix, not two.
+    """
+
+    mapping_name: str
+    correct: bool
+    time_units: int
+    total_stages: int
+    max_congestion: int
+    storage_words: int
+
+
+def run_inplace_transpose(
+    mapping: AddressMapping,
+    latency: int = 1,
+    matrix: np.ndarray | None = None,
+    seed: SeedLike = None,
+) -> InplaceTransposeOutcome:
+    """Transpose a matrix in place on the DMM and verify it.
+
+    Parameters mirror :func:`repro.access.transpose.run_transpose`,
+    except only one matrix's worth of shared memory is allocated.
+    """
+    w = mapping.w
+    if matrix is None:
+        matrix = as_generator(seed).random((w, w))
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.shape != (w, w):
+        raise ValueError(f"matrix must be {w}x{w}, got shape {matrix.shape}")
+
+    words = mapping.storage_words
+    machine = DiscreteMemoryMachine(w, latency, memory_size=words)
+    machine.load(0, mapping.apply_layout(matrix))
+    result = machine.run(inplace_transpose_program(mapping))
+    out = mapping.read_layout(machine.dump(0, words))
+
+    return InplaceTransposeOutcome(
+        mapping_name=mapping.name,
+        correct=bool(np.array_equal(out, matrix.T)),
+        time_units=result.time_units,
+        total_stages=sum(t.schedule.total_stages for t in result.traces),
+        max_congestion=result.max_congestion,
+        storage_words=words,
+    )

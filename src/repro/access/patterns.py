@@ -1,0 +1,192 @@
+"""Fundamental memory-access operations on a ``w x w`` matrix (Section III).
+
+Each pattern assigns every thread ``t = i*w + j`` of a ``p = w^2``
+thread grid one logical matrix element to touch; warp ``W(i)`` is the
+``w`` threads sharing the first index ``i``.  The three deterministic
+patterns from the paper, plus the random and malicious ones used in
+the simulations (Section V):
+
+``contiguous``
+    Warp ``i`` reads row ``i``: thread ``(i, j)`` touches ``A[i][j]``.
+``stride``
+    Warp ``i`` reads column ``i``: thread ``(i, j)`` touches ``A[j][i]``.
+``diagonal``
+    Thread ``(i, j)`` touches ``A[j][(i+j) mod w]`` — the wrapped
+    diagonal, which is RAW's conflict-free way to cover columns.
+``random``
+    Every thread touches an independently uniform cell (cells may
+    coincide — the merged-request rule then applies).
+``malicious``
+    The adversary's best *oblivious* attack on RAW: every warp hammers
+    a single column (all requests to one bank under RAW), i.e. stride
+    access concentrated on column 0.
+
+Patterns are expressed in *logical* indices so the same pattern can be
+pushed through any :class:`~repro.core.mappings.AddressMapping`; the
+mapping determines the physical banks and hence the congestion.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.mappings import AddressMapping
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "PATTERN_NAMES",
+    "contiguous_logical",
+    "stride_logical",
+    "diagonal_logical",
+    "random_logical",
+    "malicious_logical",
+    "broadcast_logical",
+    "pairwise_logical",
+    "pattern_logical",
+    "pattern_addresses",
+]
+
+PATTERN_NAMES = (
+    "contiguous",
+    "stride",
+    "diagonal",
+    "random",
+    "malicious",
+    "broadcast",
+    "pairwise",
+)
+
+
+def _warp_thread_grid(w: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Meshgrid of (warp index ``i``, lane index ``j``), each ``(w, w)``."""
+    check_positive_int(w, "w")
+    return np.meshgrid(np.arange(w), np.arange(w), indexing="ij")
+
+
+def contiguous_logical(w: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-major assignment: warp ``i``, lane ``j`` -> ``A[i][j]``.
+
+    Returns
+    -------
+    (ii, jj):
+        Two ``(w, w)`` arrays of logical row/column indices; axis 0 is
+        the warp, axis 1 the lane within the warp.
+    """
+    ii, jj = _warp_thread_grid(w)
+    return ii, jj
+
+
+def stride_logical(w: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Column-major assignment: warp ``i``, lane ``j`` -> ``A[j][i]``."""
+    ii, jj = _warp_thread_grid(w)
+    return jj, ii
+
+
+def diagonal_logical(w: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Wrapped-diagonal assignment: lane ``j`` -> ``A[j][(i+j) mod w]``."""
+    ii, jj = _warp_thread_grid(w)
+    return jj, (ii + jj) % w
+
+
+def random_logical(
+    w: int, n_warps: int = None, seed: SeedLike = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Uniformly random cells, independently per thread.
+
+    Parameters
+    ----------
+    w:
+        Matrix side / warp width.
+    n_warps:
+        Number of warp rows to generate (default ``w``, matching the
+        full ``p = w^2`` grid).
+    seed:
+        RNG seed or generator.
+    """
+    check_positive_int(w, "w")
+    n = w if n_warps is None else check_positive_int(n_warps, "n_warps")
+    rng = as_generator(seed)
+    ii = rng.integers(0, w, size=(n, w), dtype=np.int64)
+    jj = rng.integers(0, w, size=(n, w), dtype=np.int64)
+    return ii, jj
+
+
+def malicious_logical(w: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Every warp hammers column 0 — congestion ``w`` under RAW.
+
+    This is the "malicious" access of the abstract: all ``w`` requests
+    of every warp are destined for one bank in the RAW layout, yet the
+    addresses are distinct (no merging), so RAW pays the full ``w``
+    while RAP pays exactly 1 (column access is stride access).
+    """
+    ii, jj = _warp_thread_grid(w)
+    return jj, np.zeros_like(ii)
+
+
+def broadcast_logical(w: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Every thread of warp ``i`` reads the single cell ``A[i][0]``.
+
+    The CRCW merge rule collapses each warp's ``w`` identical requests
+    into one: congestion is 1 under *every* mapping.  This is CUDA's
+    shared-memory broadcast, and the test that an implementation
+    merges duplicates before counting conflicts.
+    """
+    ii, jj = _warp_thread_grid(w)
+    return ii, np.zeros_like(jj)
+
+
+def pairwise_logical(w: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Lanes pair up: lanes ``2t`` and ``2t+1`` share cell ``A[i][t]``.
+
+    Half the requests merge; the survivors occupy ``ceil(w/2)``
+    distinct banks of row ``i`` — congestion 1 under any per-row
+    rotation, but only *because* of merging (without it every bank
+    would count 2).  Mirrors the paired-lane access of reduction
+    trees' first level.
+    """
+    ii, jj = _warp_thread_grid(w)
+    return ii, jj // 2
+
+
+_GENERATORS = {
+    "contiguous": contiguous_logical,
+    "stride": stride_logical,
+    "diagonal": diagonal_logical,
+    "malicious": malicious_logical,
+    "broadcast": broadcast_logical,
+    "pairwise": pairwise_logical,
+}
+
+
+def pattern_logical(
+    name: str, w: int, seed: SeedLike = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Logical ``(ii, jj)`` index grids of a named pattern.
+
+    ``seed`` is used only by the ``random`` pattern.
+    """
+    key = name.lower()
+    if key == "random":
+        return random_logical(w, seed=seed)
+    gen = _GENERATORS.get(key)
+    if gen is None:
+        raise ValueError(f"unknown pattern {name!r}; expected one of {PATTERN_NAMES}")
+    return gen(w)
+
+
+def pattern_addresses(
+    mapping: AddressMapping, name: str, seed: SeedLike = None
+) -> np.ndarray:
+    """Physical addresses of a named pattern under ``mapping``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n_warps, w)`` int64 — row ``i`` is the address vector
+        warp ``W(i)`` sends to the MMU.
+    """
+    ii, jj = pattern_logical(name, mapping.w, seed=seed)
+    return mapping.address(ii, jj)

@@ -1,0 +1,188 @@
+"""Warp access patterns on a 4-D ``w^4`` array (Section VII, Table IV).
+
+Each pattern yields the logical index tuples one warp of ``w`` threads
+touches.  The paper's six evaluation rows:
+
+``contiguous``
+    ``a[i][j][k][0..w-1]`` — vary the last axis.
+``stride1``
+    ``a[i][j][0..w-1][l]`` — vary axis ``k``.
+``stride2``
+    ``a[i][0..w-1][k][l]`` — vary axis ``j``.
+``stride3``
+    ``a[0..w-1][j][k][l]`` — vary axis ``i``.
+``random``
+    ``w`` independently uniform elements.
+``malicious``
+    The strongest *oblivious* attack we know against each scheme; see
+    :func:`malicious_accesses`.  For R1P this is the permuted-triple
+    attack the paper describes: the six index triples that permute one
+    set ``{a, b, c}`` all receive the shift ``sigma[a]+sigma[b]+sigma[c]``
+    and therefore collide in one bank when ``l`` is shared.
+
+Patterns are logical, so the same tuple grid is pushed through any
+:class:`~repro.core.higher_dim.NDMapping` to obtain banks.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.higher_dim import NDMapping
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "ND_PATTERN_NAMES",
+    "contiguous_nd",
+    "stride_nd",
+    "random_nd",
+    "malicious_r1p",
+    "malicious_accesses",
+    "nd_pattern_logical",
+    "nd_pattern_addresses",
+]
+
+ND_PATTERN_NAMES = (
+    "contiguous",
+    "stride1",
+    "stride2",
+    "stride3",
+    "random",
+    "malicious",
+)
+
+Indices4 = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def contiguous_nd(w: int, i: int = 0, j: int = 0, k: int = 0) -> Indices4:
+    """One warp reading ``a[i][j][k][*]`` (last axis varies)."""
+    check_positive_int(w, "w")
+    lane = np.arange(w, dtype=np.int64)
+    fixed = np.full(w, 0, dtype=np.int64)
+    return fixed + i, fixed + j, fixed + k, lane
+
+
+def stride_nd(w: int, axis: int, fixed: Tuple[int, int, int] = (0, 0, 0)) -> Indices4:
+    """One warp varying a single leading axis (the stride accesses).
+
+    Parameters
+    ----------
+    w:
+        Side length.
+    axis:
+        1 varies ``k`` (stride1), 2 varies ``j`` (stride2), 3 varies
+        ``i`` (stride3) — numbered by the *stride distance* as in the
+        paper (stride1 skips ``w`` words, stride3 skips ``w^3``).
+    fixed:
+        Values of the three non-varying indices, given in the order
+        they appear in ``(i, j, k, l)`` with the varying one removed.
+    """
+    check_positive_int(w, "w")
+    if axis not in (1, 2, 3):
+        raise ValueError(f"axis must be 1, 2, or 3, got {axis}")
+    lane = np.arange(w, dtype=np.int64)
+    a, b, c = (np.full(w, v, dtype=np.int64) for v in fixed)
+    if axis == 1:  # vary k; fixed = (i, j, l)
+        return a, b, lane, c
+    if axis == 2:  # vary j; fixed = (i, k, l)
+        return a, lane, b, c
+    return lane, a, b, c  # vary i; fixed = (j, k, l)
+
+
+def random_nd(w: int, seed: SeedLike = None) -> Indices4:
+    """One warp of ``w`` independently uniform elements."""
+    check_positive_int(w, "w")
+    rng = as_generator(seed)
+    idx = rng.integers(0, w, size=(4, w), dtype=np.int64)
+    return idx[0], idx[1], idx[2], idx[3]
+
+
+def malicious_r1p(w: int, l: int = 0) -> Indices4:
+    """The permuted-triple attack on R1P (Section VII).
+
+    Partition lanes into groups of six; group ``g`` uses the triple
+    ``(3g, 3g+1, 3g+2)`` and assigns its six permutations as
+    ``(i, j, k)``, all with the same ``l``.  Under R1P every group
+    lands entirely in bank ``(l + sigma[3g]+sigma[3g+1]+sigma[3g+2]) mod w``,
+    so congestion is at least 6 whenever ``w >= 6`` — and grows as
+    groups' bank sums collide.  Under 3P the same input behaves like a
+    random access because the three permutations break the symmetry.
+
+    Leftover lanes (``w mod 6``) fall back to distinct diagonal triples
+    ``(t, t, t)``, which cannot help the attack but keep the warp full.
+    """
+    check_positive_int(w, "w")
+    if not 0 <= l < w:
+        raise ValueError(f"l must lie in [0, {w})")
+    i = np.empty(w, dtype=np.int64)
+    j = np.empty(w, dtype=np.int64)
+    k = np.empty(w, dtype=np.int64)
+    lane = 0
+    group = 0
+    while lane + 6 <= w and 3 * group + 2 < w:
+        triple = (3 * group, 3 * group + 1, 3 * group + 2)
+        for perm in permutations(triple):
+            i[lane], j[lane], k[lane] = perm
+            lane += 1
+        group += 1
+    # Fill any remainder with distinct diagonal triples.
+    t = 0
+    while lane < w:
+        i[lane] = j[lane] = k[lane] = t % w
+        t += 1
+        lane += 1
+    return i, j, k, np.full(w, l, dtype=np.int64)
+
+
+def malicious_accesses(scheme: str, w: int) -> Indices4:
+    """Strongest oblivious attack pattern for a named Table IV scheme.
+
+    * RAW, RAS, 1P: ``stride2`` (vary ``j``) already pins RAW/1P to a
+      single bank — congestion ``w``.
+    * R1P and 3P: the permuted-triple attack (:func:`malicious_r1p`).
+      It shatters R1P (one bank per triple group); against 3P the
+      permutations are independent, so it degrades only to the generic
+      ``O(log w / log log w)`` class — which is the paper's point.
+    * w2P, 1PwR: no structural attack is known; stride2 (which these
+      schemes randomize down to the log class) is as strong as
+      anything else the oblivious adversary can do.
+    """
+    key = scheme.upper()
+    if key in ("R1P", "3P"):
+        return malicious_r1p(w)
+    if key in ("RAW", "RAS", "1P", "W2P", "1PWR"):
+        return stride_nd(w, axis=2)
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def nd_pattern_logical(
+    name: str, w: int, scheme: str = "RAW", seed: SeedLike = None
+) -> Indices4:
+    """Logical index tuples of a named 4-D pattern for one warp.
+
+    ``scheme`` is consulted only by the ``malicious`` pattern (the
+    attack is tailored to the mapping family); ``seed`` only by
+    ``random``.
+    """
+    key = name.lower()
+    if key == "contiguous":
+        return contiguous_nd(w)
+    if key in ("stride1", "stride2", "stride3"):
+        return stride_nd(w, axis=int(key[-1]))
+    if key == "random":
+        return random_nd(w, seed=seed)
+    if key == "malicious":
+        return malicious_accesses(scheme, w)
+    raise ValueError(f"unknown pattern {name!r}; expected one of {ND_PATTERN_NAMES}")
+
+
+def nd_pattern_addresses(
+    mapping: NDMapping, name: str, seed: SeedLike = None
+) -> np.ndarray:
+    """Physical address vector (shape ``(w,)``) of a pattern under ``mapping``."""
+    idx = nd_pattern_logical(name, mapping.w, scheme=mapping.name, seed=seed)
+    return mapping.address(*idx)

@@ -1,0 +1,135 @@
+"""Power-of-two strided access — reductions, scans, and FFT butterflies.
+
+The classic *non-matrix* bank-conflict scenarios on real GPUs come
+from kernels that walk a flat shared-memory array with power-of-two
+strides:
+
+* **tree reduction / scan**: at level ``k`` thread ``j`` touches
+  ``data[j << k]`` — stride ``2^k``.  On a ``w``-bank memory (``w`` a
+  power of two) the banks ``(j * 2^k) mod w`` repeat every ``w / 2^k``
+  lanes, so the congestion is exactly ``min(2^k, w)``: it *doubles
+  every level* until the whole warp hammers one bank.
+* **FFT butterflies**: at stage ``k`` lane ``j`` pairs with lane
+  ``j XOR 2^k``, touching two addresses whose conflicts follow the
+  same power-of-two structure.
+
+These flat-array patterns exercise RAP differently from the matrix
+patterns: the accesses cross *rows* of the ``w x w`` layout, so the
+per-row rotations decorrelate the banks and the congestion drops to
+the ``O(log w / log log w)`` class — a real win no amount of
+transpose-style cleverness provides, because the pattern is fixed by
+the algorithm, not the data layout of a matrix.
+
+All generators return *flat logical positions* in ``[0, w^2)``; use
+:func:`strided_addresses` to push them through a 2-D mapping (treating
+the flat array as its row-major ``w x w`` image, exactly how a CUDA
+kernel would overlay a matrix tile on a scratch buffer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mappings import AddressMapping
+from repro.util.validation import check_nonnegative_int, check_positive_int
+
+__all__ = [
+    "reduction_positions",
+    "scan_positions",
+    "butterfly_positions",
+    "strided_addresses",
+    "raw_stride_congestion",
+]
+
+
+def reduction_positions(w: int, level: int) -> np.ndarray:
+    """Lane positions of a tree-reduction step: ``j * 2^level``.
+
+    Parameters
+    ----------
+    w:
+        Warp width (the flat array has ``w^2`` words, enough for every
+        level ``0 <= level <= log2(w)``).
+    level:
+        Reduction level ``k``; lane ``j`` touches position
+        ``j << k``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(w,)`` flat positions.
+    """
+    check_positive_int(w, "w")
+    check_nonnegative_int(level, "level")
+    positions = np.arange(w, dtype=np.int64) << level
+    if positions.max() >= w * w:
+        raise ValueError(
+            f"level {level} exceeds the w^2 array (max position {positions.max()})"
+        )
+    return positions
+
+
+def scan_positions(w: int, level: int) -> np.ndarray:
+    """Lane positions of a Blelloch up-sweep step.
+
+    At level ``k`` lane ``j`` combines positions
+    ``(2j+1)·2^k − 1`` and ``(2j+2)·2^k − 1``; we return the written
+    (second) position per lane — the access whose stride doubles each
+    level, offset by ``−1`` (the offset does not change the conflict
+    structure on power-of-two banks).
+    """
+    check_positive_int(w, "w")
+    check_nonnegative_int(level, "level")
+    positions = (np.arange(w, dtype=np.int64) * 2 + 2) * (1 << level) - 1
+    if positions.max() >= w * w:
+        raise ValueError(f"level {level} exceeds the w^2 array")
+    return positions
+
+
+def butterfly_positions(w: int, stage: int) -> np.ndarray:
+    """Partner positions of an FFT butterfly stage: ``j XOR 2^stage``.
+
+    Lane ``j`` reads its butterfly partner; for ``2^stage < w`` the
+    partners permute lanes within the warp (conflict-free under RAW),
+    but for ``2^stage >= w`` the partner is ``w``-aligned away — all
+    lanes keep their own bank *and* the whole warp's partners collide
+    with the warp's own banks pairwise.  The interesting regime for
+    banked memories is a *batched* butterfly where lane ``j`` works on
+    element ``j * 2^stage``-style distances; we expose the partner
+    pattern as printed and let the mapping decide.
+    """
+    check_positive_int(w, "w")
+    check_nonnegative_int(stage, "stage")
+    positions = np.arange(w, dtype=np.int64) ^ (1 << stage)
+    if positions.max() >= w * w:
+        raise ValueError(f"stage {stage} exceeds the w^2 array")
+    return positions
+
+
+def strided_addresses(
+    mapping: AddressMapping, positions: np.ndarray
+) -> np.ndarray:
+    """Physical addresses of flat logical positions under a 2-D mapping.
+
+    The flat array is overlaid on the mapping's ``w x w`` matrix in
+    row-major order: position ``t`` is logical cell
+    ``(t // w, t mod w)``.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    w = mapping.w
+    if ((positions < 0) | (positions >= w * w)).any():
+        raise IndexError(f"positions out of range [0, {w * w})")
+    return mapping.address(positions // w, positions % w)
+
+
+def raw_stride_congestion(w: int, level: int) -> int:
+    """Closed form for the RAW congestion of ``reduction_positions``.
+
+    ``min(2^level, w)`` when ``w`` is a power of two — the doubling
+    law every CUDA optimization guide warns about.
+    """
+    check_positive_int(w, "w")
+    check_nonnegative_int(level, "level")
+    if w & (w - 1):
+        raise ValueError("closed form requires w to be a power of two")
+    return min(1 << level, w)

@@ -1,0 +1,190 @@
+"""Matrix transpose algorithms as DMM programs (Sections III & VI).
+
+The three algorithms differ only in which logical element thread
+``t = i*w + j`` moves:
+
+=========  ===========================  ==========================
+algorithm  reads                        writes
+=========  ===========================  ==========================
+``CRSW``   ``a[i][j]`` (contiguous)     ``b[j][i]`` (stride)
+``SRCW``   ``a[j][i]`` (stride)         ``b[i][j]`` (contiguous)
+``DRDW``   ``a[j][(i+j) mod w]``        ``b[(i+j) mod w][j]``
+=========  ===========================  ==========================
+
+Both matrices live in shared memory under the *same* address mapping
+(the paper's kernels reuse one packed shift vector ``r`` for ``a`` and
+``b``), and the kernels address them through their *logical* indices —
+that is precisely the RAP trick: CRSW's stride write to logical
+``b[j][i]`` lands in physical bank ``(i + sigma_j) mod w``, and because
+``sigma`` is a permutation those banks are all distinct within a warp.
+
+:func:`transpose_program` compiles an algorithm into a two-instruction
+:class:`~repro.dmm.trace.MemoryProgram` (SIMD read, then SIMD write —
+the DMM forbids mixing); :func:`run_transpose` executes it on a fresh
+machine and checks the result against ``numpy.transpose``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.mappings import AddressMapping
+from repro.dmm.machine import DiscreteMemoryMachine, ExecutionResult
+from repro.dmm.trace import MemoryProgram, read, write
+from repro.util.rng import SeedLike, as_generator
+
+__all__ = [
+    "TRANSPOSE_NAMES",
+    "transpose_indices",
+    "transpose_program",
+    "TransposeOutcome",
+    "run_transpose",
+]
+
+TRANSPOSE_NAMES = ("CRSW", "SRCW", "DRDW")
+
+
+def transpose_indices(
+    kind: str, w: int
+) -> Tuple[Tuple[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]:
+    """Logical (read, write) index grids of a transpose algorithm.
+
+    Returns
+    -------
+    ((ri, rj), (wi, wj)):
+        Four ``(w, w)`` arrays: thread ``(i, j)`` reads logical
+        ``a[ri, rj]`` and writes logical ``b[wi, wj]``.  Axis 0 is the
+        warp index ``i``, axis 1 the lane ``j``.
+    """
+    ii, jj = np.meshgrid(np.arange(w), np.arange(w), indexing="ij")
+    key = kind.upper()
+    if key == "CRSW":
+        return (ii, jj), (jj, ii)
+    if key == "SRCW":
+        return (jj, ii), (ii, jj)
+    if key == "DRDW":
+        diag = (ii + jj) % w
+        return (jj, diag), (diag, jj)
+    raise ValueError(f"unknown transpose {kind!r}; expected one of {TRANSPOSE_NAMES}")
+
+
+def transpose_program(
+    kind: str,
+    mapping: AddressMapping,
+    a_base: int = 0,
+    b_base: Optional[int] = None,
+) -> MemoryProgram:
+    """Compile a transpose algorithm into a DMM memory program.
+
+    Parameters
+    ----------
+    kind:
+        ``"CRSW"``, ``"SRCW"``, or ``"DRDW"``.
+    mapping:
+        Address mapping applied to *both* matrices.
+    a_base, b_base:
+        Base addresses of the source and destination matrices in the
+        shared address space (``b_base`` defaults to just after ``a``).
+
+    Returns
+    -------
+    MemoryProgram
+        Two instructions (read ``a``, write ``b``) over ``p = w^2``
+        threads.
+    """
+    w = mapping.w
+    if b_base is None:
+        b_base = a_base + mapping.storage_words
+    (ri, rj), (wi, wj) = transpose_indices(kind, w)
+    read_addr = a_base + mapping.address(ri, rj)
+    write_addr = b_base + mapping.address(wi, wj)
+    program = MemoryProgram(p=w * w)
+    program.append(read(read_addr.ravel(), register="c"))
+    program.append(write(write_addr.ravel(), register="c"))
+    return program
+
+
+@dataclass(frozen=True)
+class TransposeOutcome:
+    """Result of executing one transpose on the DMM.
+
+    Attributes
+    ----------
+    kind, mapping_name:
+        What ran.
+    correct:
+        Whether the destination equals ``numpy.transpose`` of the
+        source (checked through the mapping's layout inverse).
+    time_units:
+        Exact DMM completion time.
+    read_congestion, write_congestion:
+        Worst warp congestion of the read and write instruction.
+    execution:
+        The full machine trace for further inspection.
+    """
+
+    kind: str
+    mapping_name: str
+    correct: bool
+    time_units: int
+    read_congestion: int
+    write_congestion: int
+    execution: ExecutionResult
+
+
+def run_transpose(
+    kind: str,
+    mapping: AddressMapping,
+    latency: int = 1,
+    matrix: Optional[np.ndarray] = None,
+    seed: SeedLike = None,
+) -> TransposeOutcome:
+    """Execute a transpose end-to-end on a fresh DMM and verify it.
+
+    Parameters
+    ----------
+    kind:
+        Algorithm name (``"CRSW"``, ``"SRCW"``, ``"DRDW"``).
+    mapping:
+        Address mapping for both matrices.
+    latency:
+        DMM pipeline depth ``l``.
+    matrix:
+        Source matrix (``w x w``); random values are drawn when
+        omitted.
+    seed:
+        RNG seed for the random source matrix.
+
+    Returns
+    -------
+    TransposeOutcome
+    """
+    w = mapping.w
+    if matrix is None:
+        matrix = as_generator(seed).random((w, w))
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.shape != (w, w):
+        raise ValueError(f"matrix must be {w}x{w}, got shape {matrix.shape}")
+
+    words = mapping.storage_words
+    machine = DiscreteMemoryMachine(w, latency, memory_size=2 * words)
+    machine.load(0, mapping.apply_layout(matrix))
+
+    program = transpose_program(kind, mapping, a_base=0, b_base=words)
+    execution = machine.run(program)
+
+    result = mapping.read_layout(machine.dump(words, words))
+    correct = bool(np.array_equal(result, matrix.T))
+
+    return TransposeOutcome(
+        kind=kind.upper(),
+        mapping_name=mapping.name,
+        correct=correct,
+        time_units=execution.time_units,
+        read_congestion=execution.traces[0].max_congestion,
+        write_congestion=execution.traces[1].max_congestion,
+        execution=execution,
+    )

@@ -1,0 +1,61 @@
+"""Application workloads built on the DMM: FFT, scan, stencil, and the
+hierarchical (global + shared) large-matrix transpose."""
+
+from repro.apps.fft import FFTOutcome, bit_reverse_indices, run_fft
+from repro.apps.gather import (
+    GATHER_DISTRIBUTIONS,
+    GatherOutcome,
+    make_indices,
+    run_gather,
+)
+from repro.apps.histogram import (
+    HISTOGRAM_STRATEGIES,
+    HistogramOutcome,
+    make_votes,
+    run_histogram,
+)
+from repro.apps.global_transpose import (
+    GLOBAL_STRATEGIES,
+    GlobalTransposeOutcome,
+    run_global_transpose,
+)
+from repro.apps.scan import ScanOutcome, run_scan
+from repro.apps.sort import SortOutcome, bitonic_pairs, run_bitonic_sort
+from repro.apps.spmv import (
+    SPMV_STRUCTURES,
+    EllMatrix,
+    SpmvOutcome,
+    make_ell,
+    run_spmv,
+)
+from repro.apps.stencil import STENCIL_ASSIGNMENTS, StencilOutcome, run_stencil
+
+__all__ = [
+    "FFTOutcome",
+    "bit_reverse_indices",
+    "run_fft",
+    "GATHER_DISTRIBUTIONS",
+    "GatherOutcome",
+    "make_indices",
+    "run_gather",
+    "GLOBAL_STRATEGIES",
+    "GlobalTransposeOutcome",
+    "run_global_transpose",
+    "HISTOGRAM_STRATEGIES",
+    "HistogramOutcome",
+    "make_votes",
+    "run_histogram",
+    "ScanOutcome",
+    "run_scan",
+    "SortOutcome",
+    "bitonic_pairs",
+    "run_bitonic_sort",
+    "SPMV_STRUCTURES",
+    "EllMatrix",
+    "SpmvOutcome",
+    "make_ell",
+    "run_spmv",
+    "STENCIL_ASSIGNMENTS",
+    "StencilOutcome",
+    "run_stencil",
+]

@@ -1,0 +1,210 @@
+"""Radix-2 FFT in shared memory — a full multi-stage workload on the DMM.
+
+FFT is *the* historical motivation for banked-memory conflict analysis:
+an in-place radix-2 butterfly network walks the array with strides
+``1, 2, 4, ..., n/2``, and its bit-reversal prologue is a hostile data
+permutation.  This module runs a complete ``n = w^2``-point FFT on the
+cycle-accurate DMM:
+
+1. **bit-reversal** — a one-step offline permutation (read ``x[i]``,
+   write ``x[rev(i)]``);
+2. **log2(n) butterfly stages** — each stage reads both butterfly
+   inputs (real and imaginary planes), applies the twiddle factors
+   host-side (arithmetic is free in the DMM cost model, as in
+   :mod:`repro.gpu.matmul`), and writes both outputs back.
+
+The result is verified against ``numpy.fft.fft`` to ~1e-9, and the
+per-stage congestion profile is reported: under RAW the early stages
+conflict (the stride-``2^s`` law) and the bit-reversal is brutal, while
+RAP flattens every stage to the randomized floor without touching the
+FFT's indexing.
+
+Complex data is stored as two real planes (``re`` at base 0, ``im``
+after it), each overlaid on the mapping's ``w x w`` matrix in
+row-major order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.access.strided import strided_addresses
+from repro.core.mappings import AddressMapping
+from repro.dmm.machine import DiscreteMemoryMachine
+from repro.dmm.trace import INACTIVE, MemoryProgram, read, write
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_power_of_two
+
+__all__ = ["FFTOutcome", "bit_reverse_indices", "run_fft"]
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """The bit-reversal permutation of ``0..n-1`` (``n`` a power of two)."""
+    check_power_of_two(n, "n")
+    bits = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros_like(idx)
+    for b in range(bits):
+        rev |= ((idx >> b) & 1) << (bits - 1 - b)
+    return rev
+
+
+@dataclass(frozen=True)
+class FFTOutcome:
+    """Result of one FFT run on the DMM.
+
+    Attributes
+    ----------
+    n:
+        Transform length (``w^2``).
+    mapping_name:
+        Layout of the two data planes.
+    correct:
+        ``numpy.allclose`` agreement with ``numpy.fft.fft``.
+    time_units:
+        Total DMM time (bit-reversal + all stages).
+    total_stages:
+        Latency-independent pipeline stages.
+    stage_congestion:
+        Worst warp congestion per phase: index 0 is the bit-reversal,
+        then one entry per butterfly stage.
+    """
+
+    n: int
+    mapping_name: str
+    correct: bool
+    time_units: int
+    total_stages: int
+    stage_congestion: tuple[int, ...]
+
+
+def _pad_to_warps(addresses: np.ndarray, p: int) -> np.ndarray:
+    """Pad a short per-thread address vector with INACTIVE lanes."""
+    out = np.full(p, INACTIVE, dtype=np.int64)
+    out[: addresses.size] = addresses
+    return out
+
+
+def _pad_values(values: np.ndarray, p: int) -> np.ndarray:
+    """Pad per-thread write values with zeros for the inactive lanes."""
+    out = np.zeros(p, dtype=np.float64)
+    out[: values.size] = values
+    return out
+
+
+def run_fft(
+    mapping: AddressMapping,
+    latency: int = 1,
+    signal: np.ndarray | None = None,
+    seed: SeedLike = None,
+) -> FFTOutcome:
+    """Run an ``n = w^2``-point radix-2 FFT under ``mapping``.
+
+    Parameters
+    ----------
+    mapping:
+        2-D address mapping for both the real and imaginary plane
+        (width must make ``w^2`` a power of two, i.e. ``w`` itself a
+        power of two).
+    latency:
+        DMM pipeline depth.
+    signal:
+        Complex input of length ``w^2`` (random when omitted).
+    seed:
+        RNG seed for the random signal.
+    """
+    w = mapping.w
+    check_power_of_two(w, "mapping width")
+    n = w * w
+    if signal is None:
+        rng = as_generator(seed)
+        signal = rng.random(n) + 1j * rng.random(n)
+    signal = np.asarray(signal, dtype=np.complex128)
+    if signal.shape != (n,):
+        raise ValueError(f"signal must have length {n}")
+
+    words = mapping.storage_words
+    re_base, im_base = 0, words
+    machine = DiscreteMemoryMachine(w, latency, memory_size=2 * words)
+    machine.load(re_base, mapping.apply_layout(signal.real.reshape(w, w)))
+    machine.load(im_base, mapping.apply_layout(signal.imag.reshape(w, w)))
+
+    time_units = 0
+    total_stages = 0
+    congestions: list[int] = []
+
+    def run_prog(prog: MemoryProgram) -> dict[str, np.ndarray]:
+        nonlocal time_units, total_stages
+        result = machine.run(prog)
+        time_units += result.time_units
+        total_stages += sum(t.schedule.total_stages for t in result.traces)
+        congestions[-1] = max(congestions[-1], result.max_congestion)
+        return result.registers
+
+    # --- phase 0: bit reversal (a one-step offline permutation) -------
+    congestions.append(0)
+    rev = bit_reverse_indices(n)
+    src = strided_addresses(mapping, np.arange(n))
+    dst = strided_addresses(mapping, rev)
+    for base in (re_base, im_base):
+        prog = MemoryProgram(p=n)
+        prog.append(read(base + src, register="t"))
+        prog.append(write(base + dst, register="t"))
+        run_prog(prog)
+
+    # --- butterfly stages ---------------------------------------------
+    stages = n.bit_length() - 1
+    half = n // 2
+    p = n  # thread grid; only n/2 lanes are active per stage
+    lanes = np.arange(half, dtype=np.int64)
+    for s in range(stages):
+        congestions.append(0)
+        block = lanes >> s
+        offset = lanes & ((1 << s) - 1)
+        a_pos = (block << (s + 1)) | offset
+        b_pos = a_pos + (1 << s)
+        twiddle = np.exp(-2j * np.pi * offset / (1 << (s + 1)))
+
+        a_phys = strided_addresses(mapping, a_pos)
+        b_phys = strided_addresses(mapping, b_pos)
+        # Pad AFTER applying the plane base: INACTIVE must stay -1.
+        a_re = _pad_to_warps(re_base + a_phys, p)
+        a_im = _pad_to_warps(im_base + a_phys, p)
+        b_re = _pad_to_warps(re_base + b_phys, p)
+        b_im = _pad_to_warps(im_base + b_phys, p)
+
+        prog = MemoryProgram(p=p)
+        prog.append(read(a_re, register="ar"))
+        prog.append(read(a_im, register="ai"))
+        prog.append(read(b_re, register="br"))
+        prog.append(read(b_im, register="bi"))
+        regs = run_prog(prog)
+
+        a_val = regs["ar"][:half] + 1j * regs["ai"][:half]
+        b_val = (regs["br"][:half] + 1j * regs["bi"][:half]) * twiddle
+        top = a_val + b_val
+        bot = a_val - b_val
+
+        out = MemoryProgram(p=p)
+        out.append(write(a_re, values=_pad_values(top.real, p)))
+        out.append(write(a_im, values=_pad_values(top.imag, p)))
+        out.append(write(b_re, values=_pad_values(bot.real, p)))
+        out.append(write(b_im, values=_pad_values(bot.imag, p)))
+        run_prog(out)
+
+    re_out = mapping.read_layout(machine.dump(re_base, words)).ravel()
+    im_out = mapping.read_layout(machine.dump(im_base, words)).ravel()
+    result = re_out + 1j * im_out
+    reference = np.fft.fft(signal)
+    correct = bool(np.allclose(result, reference, rtol=1e-9, atol=1e-9))
+
+    return FFTOutcome(
+        n=n,
+        mapping_name=mapping.name,
+        correct=correct,
+        time_units=time_units,
+        total_stages=total_stages,
+        stage_congestion=tuple(congestions),
+    )

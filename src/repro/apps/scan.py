@@ -1,0 +1,174 @@
+"""Blelloch exclusive prefix sum in shared memory — the scan workload.
+
+The work-efficient scan is the canonical victim of the stride-doubling
+bank-conflict law: both its up-sweep and down-sweep touch elements
+``(2j+1)·2^k − 1`` and ``(2j+2)·2^k − 1``, so at level ``k`` the
+active lanes' addresses are ``2^{k+1}`` apart and the RAW congestion
+doubles per level until it saturates at ``w``.  (CUDA's classic scan
+chapter devotes a whole section — "avoiding bank conflicts" — to
+index-mangling this away by hand.)
+
+This module runs the complete two-phase scan of ``n = w^2`` elements
+on the cycle-accurate DMM, verifies against ``numpy.cumsum``, and
+reports per-level congestion, so the hand-mangling can be compared
+with simply storing the buffer under RAP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.access.strided import strided_addresses
+from repro.core.mappings import AddressMapping
+from repro.dmm.machine import DiscreteMemoryMachine
+from repro.dmm.trace import INACTIVE, MemoryProgram, read, write
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_power_of_two
+
+__all__ = ["ScanOutcome", "run_scan"]
+
+
+@dataclass(frozen=True)
+class ScanOutcome:
+    """Result of one exclusive scan on the DMM.
+
+    Attributes
+    ----------
+    n:
+        Input length (``w^2``).
+    mapping_name:
+        Buffer layout.
+    correct:
+        Element-wise agreement with the exclusive ``numpy.cumsum``.
+    time_units, total_stages:
+        DMM cost.
+    level_congestion:
+        Worst warp congestion per level, up-sweep then down-sweep.
+    """
+
+    n: int
+    mapping_name: str
+    correct: bool
+    time_units: int
+    total_stages: int
+    level_congestion: tuple[int, ...]
+
+
+def _padded(addresses: np.ndarray, p: int) -> np.ndarray:
+    out = np.full(p, INACTIVE, dtype=np.int64)
+    out[: addresses.size] = addresses
+    return out
+
+
+def _padded_values(values: np.ndarray, p: int) -> np.ndarray:
+    out = np.zeros(p, dtype=np.float64)
+    out[: values.size] = values
+    return out
+
+
+def run_scan(
+    mapping: AddressMapping,
+    latency: int = 1,
+    data: np.ndarray | None = None,
+    seed: SeedLike = None,
+) -> ScanOutcome:
+    """Exclusive prefix-sum of ``w^2`` values under ``mapping``.
+
+    Parameters
+    ----------
+    mapping:
+        2-D layout of the scan buffer (width must be a power of two so
+        the tree has integral levels).
+    latency:
+        DMM pipeline depth.
+    data:
+        Input values (random when omitted).
+    seed:
+        RNG seed for random input.
+    """
+    w = mapping.w
+    check_power_of_two(w, "mapping width")
+    n = w * w
+    if data is None:
+        data = as_generator(seed).random(n)
+    data = np.asarray(data, dtype=np.float64)
+    if data.shape != (n,):
+        raise ValueError(f"data must have length {n}")
+
+    machine = DiscreteMemoryMachine(w, latency, memory_size=mapping.storage_words)
+    machine.load(0, mapping.apply_layout(data.reshape(w, w)))
+
+    time_units = 0
+    total_stages = 0
+    congestion: list[int] = []
+    levels = n.bit_length() - 1
+
+    def run_prog(prog: MemoryProgram) -> dict[str, np.ndarray]:
+        nonlocal time_units, total_stages
+        result = machine.run(prog)
+        time_units += result.time_units
+        total_stages += sum(t.schedule.total_stages for t in result.traces)
+        congestion[-1] = max(congestion[-1], result.max_congestion)
+        return result.registers
+
+    # --- up-sweep (reduce) ----------------------------------------------
+    for k in range(levels):
+        congestion.append(0)
+        active = n >> (k + 1)
+        j = np.arange(active, dtype=np.int64)
+        left = (2 * j + 1) * (1 << k) - 1
+        right = (2 * j + 2) * (1 << k) - 1
+        la = _padded(strided_addresses(mapping, left), n)
+        ra = _padded(strided_addresses(mapping, right), n)
+        prog = MemoryProgram(p=n)
+        prog.append(read(la, register="lv"))
+        prog.append(read(ra, register="rv"))
+        regs = run_prog(prog)
+        summed = regs["lv"][:active] + regs["rv"][:active]
+        out = MemoryProgram(p=n)
+        out.append(write(ra, values=_padded_values(summed, n)))
+        run_prog(out)
+
+    # --- clear the root ----------------------------------------------------
+    congestion.append(0)
+    root = _padded(strided_addresses(mapping, np.array([n - 1])), n)
+    prog = MemoryProgram(p=n)
+    prog.append(write(root, values=np.zeros(n)))
+    run_prog(prog)
+
+    # --- down-sweep -----------------------------------------------------------
+    for k in range(levels - 1, -1, -1):
+        congestion.append(0)
+        active = n >> (k + 1)
+        j = np.arange(active, dtype=np.int64)
+        left = (2 * j + 1) * (1 << k) - 1
+        right = (2 * j + 2) * (1 << k) - 1
+        la = _padded(strided_addresses(mapping, left), n)
+        ra = _padded(strided_addresses(mapping, right), n)
+        prog = MemoryProgram(p=n)
+        prog.append(read(la, register="lv"))
+        prog.append(read(ra, register="rv"))
+        regs = run_prog(prog)
+        new_left = regs["rv"][:active]
+        new_right = regs["rv"][:active] + regs["lv"][:active]
+        out = MemoryProgram(p=n)
+        out.append(write(la, values=_padded_values(new_left, n)))
+        out.append(write(ra, values=_padded_values(new_right, n)))
+        run_prog(out)
+
+    result = mapping.read_layout(
+        machine.dump(0, mapping.storage_words)
+    ).ravel()
+    reference = np.concatenate([[0.0], np.cumsum(data)[:-1]])
+    correct = bool(np.allclose(result, reference, rtol=1e-12, atol=1e-9))
+
+    return ScanOutcome(
+        n=n,
+        mapping_name=mapping.name,
+        correct=correct,
+        time_units=time_units,
+        total_stages=total_stages,
+        level_congestion=tuple(congestion),
+    )

@@ -1,0 +1,168 @@
+"""Bitonic sort in shared memory — the compare-exchange network.
+
+Bitonic sort is the canonical shared-memory sorting network on GPUs:
+``log2(n) * (log2(n)+1) / 2`` compare-exchange stages, each pairing
+element ``t`` with ``t XOR j`` for a power-of-two ``j``.  Like the FFT
+butterfly it sweeps every power-of-two distance, so its bank behaviour
+cycles through the whole stride spectrum: partners ``j < w`` permute
+lanes inside a row (conflict-free under RAW), while the *pair-leader*
+gather of larger ``j`` strides across rows.
+
+The implementation runs the full network for ``n = w^2`` keys on the
+cycle-accurate DMM — every stage reads both partners, compares
+host-side (arithmetic is free, as everywhere in this library), and
+writes both back — and verifies the output against ``numpy.sort``.
+Per-stage congestion is reported for the layout comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.access.strided import strided_addresses
+from repro.core.mappings import AddressMapping
+from repro.dmm.machine import DiscreteMemoryMachine
+from repro.dmm.trace import INACTIVE, MemoryProgram, read, write
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_power_of_two
+
+__all__ = ["SortOutcome", "bitonic_pairs", "run_bitonic_sort"]
+
+
+def bitonic_pairs(n: int) -> list[tuple[int, int, np.ndarray]]:
+    """The compare-exchange schedule of a bitonic network on ``n`` keys.
+
+    Returns a list of ``(k, j, direction)`` stages: at stage ``(k, j)``
+    the pair leaders are the indices ``t`` with ``t & j == 0`` whose
+    partner is ``t | j``; ``direction[t] == 1`` sorts the pair
+    ascending, ``0`` descending (the classic ``t & k`` rule).
+    """
+    check_power_of_two(n, "n")
+    stages = []
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            t = np.arange(n, dtype=np.int64)
+            leaders = (t & j) == 0
+            ascending = (t & k) == 0
+            stages.append((k, j, np.where(leaders, ascending, False)))
+            j //= 2
+        k *= 2
+    return stages
+
+
+@dataclass(frozen=True)
+class SortOutcome:
+    """Result of one bitonic sort on the DMM.
+
+    Attributes
+    ----------
+    n, mapping_name:
+        Problem size and buffer layout.
+    correct:
+        Output equals ``numpy.sort`` of the input.
+    time_units, total_stages:
+        DMM cost over all compare-exchange stages.
+    max_congestion:
+        Worst warp congestion anywhere in the network.
+    """
+
+    n: int
+    mapping_name: str
+    correct: bool
+    time_units: int
+    total_stages: int
+    max_congestion: int
+
+
+def run_bitonic_sort(
+    mapping: AddressMapping,
+    latency: int = 1,
+    keys: np.ndarray | None = None,
+    seed: SeedLike = None,
+) -> SortOutcome:
+    """Sort ``n = w^2`` keys in shared memory under ``mapping``.
+
+    Parameters
+    ----------
+    mapping:
+        2-D buffer layout (width must be a power of two so the network
+        has integral stages).
+    latency:
+        DMM pipeline depth.
+    keys:
+        Input keys (random when omitted).
+    seed:
+        RNG seed for random keys.
+    """
+    w = mapping.w
+    check_power_of_two(w, "mapping width")
+    n = w * w
+    if keys is None:
+        keys = as_generator(seed).random(n)
+    keys = np.asarray(keys, dtype=np.float64)
+    if keys.shape != (n,):
+        raise ValueError(f"keys must have length {n}")
+
+    machine = DiscreteMemoryMachine(w, latency, memory_size=mapping.storage_words)
+    machine.load(0, mapping.apply_layout(keys.reshape(w, w)))
+
+    time_units = 0
+    total_stages = 0
+    max_congestion = 0
+    p = n  # thread grid; only the n/2 pair leaders are active
+
+    for _, j, ascending in bitonic_pairs(n):
+        t = np.arange(n, dtype=np.int64)
+        leaders = np.flatnonzero((t & j) == 0)
+        partners = leaders | j
+        asc = ascending[leaders]
+
+        a_addr = np.full(p, INACTIVE, dtype=np.int64)
+        b_addr = np.full(p, INACTIVE, dtype=np.int64)
+        a_addr[: leaders.size] = strided_addresses(mapping, leaders)
+        b_addr[: leaders.size] = strided_addresses(mapping, partners)
+
+        prog = MemoryProgram(p=p)
+        prog.append(read(a_addr, register="a"))
+        prog.append(read(b_addr, register="b"))
+        result = machine.run(prog)
+        time_units += result.time_units
+        total_stages += sum(tr.schedule.total_stages for tr in result.traces)
+        max_congestion = max(max_congestion, result.max_congestion)
+
+        a_val = result.registers["a"][: leaders.size]
+        b_val = result.registers["b"][: leaders.size]
+        lo = np.minimum(a_val, b_val)
+        hi = np.maximum(a_val, b_val)
+        new_a = np.where(asc, lo, hi)
+        new_b = np.where(asc, hi, lo)
+
+        vals_a = np.zeros(p)
+        vals_b = np.zeros(p)
+        vals_a[: leaders.size] = new_a
+        vals_b[: leaders.size] = new_b
+        out = MemoryProgram(p=p)
+        out.append(write(a_addr, values=vals_a))
+        out.append(write(b_addr, values=vals_b))
+        result = machine.run(out)
+        time_units += result.time_units
+        total_stages += sum(tr.schedule.total_stages for tr in result.traces)
+        max_congestion = max(max_congestion, result.max_congestion)
+
+    out_keys = mapping.read_layout(
+        machine.dump(0, mapping.storage_words)
+    ).ravel()
+    correct = bool(np.array_equal(out_keys, np.sort(keys)))
+
+    return SortOutcome(
+        n=n,
+        mapping_name=mapping.name,
+        correct=correct,
+        time_units=time_units,
+        total_stages=total_stages,
+        max_congestion=max_congestion,
+    )

@@ -1,0 +1,170 @@
+"""Derandomizing RAP — searching for one good fixed permutation.
+
+The paper closes by suggesting RAP be baked into GPU hardware ("a
+circuit that evaluates (j + sigma_i) mod w ... can be embedded").  A
+hardware vendor would not draw sigma at runtime; it would ship *one
+fixed permutation* chosen to be good for the access patterns that
+matter.  This module explores that design point:
+
+* :func:`pattern_set_congestion` scores a permutation by its worst
+  congestion over a set of access patterns;
+* :func:`optimize_permutation` hill-climbs with restarts (transposition
+  moves) to find a permutation minimizing that score;
+* :func:`exhaustive_best` enumerates all ``w!`` permutations for small
+  ``w`` to certify the optimum.
+
+Findings this module makes checkable (see ``tests/test_derand.py`` and
+``bench_ablations.py``):
+
+* contiguous and stride access cost 1 under *every* permutation — the
+  guarantee needs no search;
+* the diagonal pattern can be driven far below the random-sigma
+  expectation (~3.6 at w=32) by optimization — good fixed sigmas exist;
+* but a fixed sigma surrenders Theorem 2: once published, an adversary
+  can craft a pattern with congestion ``w`` against it
+  (:func:`adversarial_pattern_for`), which is precisely why the paper
+  randomizes.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations as iter_permutations
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.congestion import congestion_batch
+from repro.core.mappings import RAPMapping
+from repro.core.permutation import random_permutation, require_permutation
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "pattern_set_congestion",
+    "optimize_permutation",
+    "exhaustive_best",
+    "adversarial_pattern_for",
+]
+
+PatternSet = Sequence[Tuple[np.ndarray, np.ndarray]]
+
+
+def pattern_set_congestion(sigma: np.ndarray, patterns: PatternSet) -> int:
+    """Worst warp congestion of ``sigma`` over a set of patterns.
+
+    Parameters
+    ----------
+    sigma:
+        Candidate permutation of ``{0..w-1}``.
+    patterns:
+        Logical ``(ii, jj)`` index-grid pairs (warp-major), e.g. from
+        :func:`repro.access.patterns.pattern_logical`.
+
+    Returns
+    -------
+    int
+        ``max`` over patterns and warps of the congestion.
+    """
+    sigma = require_permutation(sigma, "sigma")
+    w = sigma.size
+    mapping = RAPMapping(w, sigma)
+    worst = 0
+    for ii, jj in patterns:
+        addrs = mapping.address(ii, jj)
+        worst = max(worst, int(congestion_batch(addrs, w).max()))
+    return worst
+
+
+def optimize_permutation(
+    w: int,
+    patterns: PatternSet,
+    restarts: int = 10,
+    iterations: int = 300,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, int]:
+    """Hill-climb (transposition moves, random restarts) a permutation.
+
+    Parameters
+    ----------
+    w:
+        Permutation size.
+    patterns:
+        Patterns to optimize against (see
+        :func:`pattern_set_congestion`).
+    restarts:
+        Independent random starting permutations.
+    iterations:
+        Proposed swaps per restart; a swap is kept when it does not
+        worsen the score (sideways moves escape plateaus).
+    seed:
+        RNG seed.
+
+    Returns
+    -------
+    (sigma, score):
+        Best permutation found and its pattern-set congestion.
+    """
+    check_positive_int(w, "w")
+    check_positive_int(restarts, "restarts")
+    check_positive_int(iterations, "iterations")
+    rng = as_generator(seed)
+    best_sigma = None
+    best_score = None
+    for _ in range(restarts):
+        sigma = random_permutation(w, rng)
+        score = pattern_set_congestion(sigma, patterns)
+        for _ in range(iterations):
+            if score == 1:
+                break
+            a, b = rng.integers(0, w, size=2)
+            if a == b:
+                continue
+            sigma[[a, b]] = sigma[[b, a]]
+            new_score = pattern_set_congestion(sigma, patterns)
+            if new_score <= score:
+                score = new_score
+            else:
+                sigma[[a, b]] = sigma[[b, a]]  # revert
+        if best_score is None or score < best_score:
+            best_sigma, best_score = sigma.copy(), score
+        if best_score == 1:
+            break
+    return best_sigma, int(best_score)
+
+
+def exhaustive_best(w: int, patterns: PatternSet) -> Tuple[np.ndarray, int]:
+    """Certified optimum over all ``w!`` permutations (small ``w`` only).
+
+    Refuses ``w > 8`` (8! = 40320 candidates is the practical limit
+    for an exact certificate in tests).
+    """
+    check_positive_int(w, "w")
+    if w > 8:
+        raise ValueError(f"exhaustive search is limited to w <= 8, got {w}")
+    best_sigma = None
+    best_score = None
+    for cand in iter_permutations(range(w)):
+        sigma = np.array(cand, dtype=np.int64)
+        score = pattern_set_congestion(sigma, patterns)
+        if best_score is None or score < best_score:
+            best_sigma, best_score = sigma, score
+            if best_score == 1:
+                break
+    return best_sigma, int(best_score)
+
+
+def adversarial_pattern_for(sigma: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """A warp access with congestion ``w`` against a *known* sigma.
+
+    Target bank 0: in row ``i`` the logical column ``(-sigma_i) mod w``
+    lands in bank ``(j + sigma_i) mod w = 0``.  One request per row,
+    all in one bank, all distinct addresses — congestion ``w``.
+
+    This is the formal reason RAP must be *randomized*: the guarantee
+    of Theorem 2 is against adversaries oblivious to sigma.
+    """
+    sigma = require_permutation(sigma, "sigma")
+    w = sigma.size
+    ii = np.arange(w, dtype=np.int64)[None, :]
+    jj = ((-sigma) % w)[None, :]
+    return ii, jj

@@ -1,0 +1,368 @@
+"""RAP for higher-dimensional arrays (Section VII, Table IV).
+
+A 4-D array ``a`` of size ``w x w x w x w`` stores element
+``a[i][j][k][l]`` at logical address ``i*w^3 + j*w^2 + k*w + l`` and
+therefore — under plain RAW storage — in bank ``l``.  The generalized
+RAP rotates the last axis by a *shift function* ``f(i, j, k)``::
+
+    a[i][j][k][l]  ->  address  i*w^3 + j*w^2 + k*w + ((l + f(i,j,k)) mod w)
+
+so the element lands in bank ``(l + f(i,j,k)) mod w``.  The paper
+proposes five shift functions, trading random-number budget against
+which access patterns stay conflict-free:
+
+=========  ==========================  ================  =============
+scheme     ``f(i, j, k)``              random values     weak spot
+=========  ==========================  ================  =============
+``1P``     ``sigma[k]``                ``w``             stride-2/3 hit one bank (congestion ``w``)
+``R1P``    ``sigma[i]+sigma[j]+sigma[k]``  ``w``         malicious inputs: permuting a triple ``(i,j,k)`` keeps the shift sum, giving ``Theta(w^{1/3} log w / log log w)``-class congestion
+``3P``     ``sigma[i]+tau[j]+rho[k]``  ``3w``            none — the paper's recommendation
+``w2P``    ``perm_{i*w+j}[k]``         ``w^3``           stride-2/3 only ``O(log w/log log w)``; costly randomness
+``1PwR``   ``r[i*w+j]+sigma[k]``       ``w + w^2``       stride-2/3 only ``O(log w/log log w)``
+=========  ==========================  ================  =============
+
+``RAW`` (``f = 0``) and ``RAS`` (an independent shift per ``w``-element
+row, ``w^3`` values) are included as the baselines of Table IV.
+
+All mappings are bijections on ``[0, w^4)`` for any shift function,
+because the rotation stays inside one ``w``-word row.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.permutation import random_permutation, random_shifts, require_permutation
+from repro.util.rng import SeedLike, as_generator, spawn_generators
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "NDMapping",
+    "RAW4D",
+    "RAS4D",
+    "OneP",
+    "RepeatedOneP",
+    "ThreeP",
+    "WSquaredP",
+    "OnePWRandom",
+    "ND_MAPPING_NAMES",
+    "nd_mapping_by_name",
+]
+
+
+class NDMapping(ABC):
+    """Logical-index -> physical-address mapping for a ``w^4`` array.
+
+    Subclasses implement :meth:`shift_function`; everything else
+    (addressing, banks, inversion, layout application) is shared.
+
+    Attributes
+    ----------
+    w:
+        Side length of every axis == bank count == warp width.
+    name:
+        Identifier used in Table IV (``"RAW"``, ``"RAS"``, ``"1P"``,
+        ``"R1P"``, ``"3P"``, ``"w2P"``, ``"1PwR"``).
+    random_numbers_used:
+        Size of the scheme's random-value budget — the bottom row of
+        Table IV.
+    """
+
+    def __init__(self, w: int, name: str, random_numbers_used: int):
+        self.w = check_positive_int(w, "w")
+        self.name = name
+        self.random_numbers_used = int(random_numbers_used)
+
+    @abstractmethod
+    def shift_function(self, i, j, k) -> np.ndarray:
+        """The per-row rotation ``f(i, j, k)`` (any non-negative int)."""
+
+    def _check_indices(self, *indices) -> tuple[np.ndarray, ...]:
+        out = []
+        for axis, idx in enumerate(indices):
+            idx = np.asarray(idx, dtype=np.int64)
+            if ((idx < 0) | (idx >= self.w)).any():
+                raise IndexError(
+                    f"axis-{axis} index out of range for w={self.w}"
+                )
+            out.append(idx)
+        return tuple(out)
+
+    def address(self, i, j, k, l) -> np.ndarray:
+        """Physical address of ``a[i][j][k][l]``; broadcasts."""
+        i, j, k, l = self._check_indices(i, j, k, l)
+        w = self.w
+        rotated = (l + self.shift_function(i, j, k)) % w
+        return ((i * w + j) * w + k) * w + rotated
+
+    def bank(self, i, j, k, l) -> np.ndarray:
+        """Bank of ``a[i][j][k][l]``: ``(l + f(i,j,k)) mod w``."""
+        return self.address(i, j, k, l) % self.w
+
+    def logical(self, address) -> Tuple[np.ndarray, ...]:
+        """Invert :meth:`address`: physical address -> ``(i, j, k, l)``."""
+        address = np.asarray(address, dtype=np.int64)
+        w = self.w
+        if ((address < 0) | (address >= w**4)).any():
+            raise IndexError(f"address out of range for w={w}")
+        rotated = address % w
+        k = (address // w) % w
+        j = (address // w**2) % w
+        i = address // w**3
+        l = (rotated - self.shift_function(i, j, k)) % w
+        return i, j, k, l
+
+    def apply_layout(self, array: np.ndarray) -> np.ndarray:
+        """Lay a logical ``(w,w,w,w)`` array out into its flat store."""
+        array = np.asarray(array)
+        expect = (self.w,) * 4
+        if array.shape != expect:
+            raise ValueError(f"expected shape {expect}, got {array.shape}")
+        grids = np.meshgrid(*(np.arange(self.w),) * 4, indexing="ij")
+        flat = np.empty(self.w**4, dtype=array.dtype)
+        flat[self.address(*grids)] = array
+        return flat
+
+    def read_layout(self, flat: np.ndarray) -> np.ndarray:
+        """Invert :meth:`apply_layout`."""
+        flat = np.asarray(flat)
+        if flat.shape != (self.w**4,):
+            raise ValueError(
+                f"expected a flat array of length {self.w**4}, got shape {flat.shape}"
+            )
+        grids = np.meshgrid(*(np.arange(self.w),) * 4, indexing="ij")
+        return flat[self.address(*grids)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(w={self.w})"
+
+
+class RAW4D(NDMapping):
+    """Baseline: no rotation; bank of ``a[i][j][k][l]`` is ``l``."""
+
+    def __init__(self, w: int):
+        super().__init__(w, "RAW", random_numbers_used=0)
+
+    def shift_function(self, i, j, k) -> np.ndarray:
+        i = np.asarray(i, dtype=np.int64)
+        return np.zeros_like(np.broadcast_arrays(i, j, k)[0])
+
+
+class RAS4D(NDMapping):
+    """Random address shift: one i.i.d. shift per ``w``-element row.
+
+    Needs ``w^3`` random values — one per ``(i, j, k)`` triple — which
+    is the randomness cost the RAP variants below undercut.
+    """
+
+    def __init__(self, w: int, shifts: np.ndarray):
+        super().__init__(w, "RAS", random_numbers_used=w**3)
+        shifts = np.ascontiguousarray(shifts, dtype=np.int64)
+        if shifts.shape != (w, w, w):
+            raise ValueError(f"shifts must have shape ({w},{w},{w}), got {shifts.shape}")
+        if ((shifts < 0) | (shifts >= w)).any():
+            raise ValueError(f"shifts must lie in [0, {w})")
+        self.shifts = shifts
+
+    @classmethod
+    def random(cls, w: int, seed: SeedLike = None) -> "RAS4D":
+        rng = as_generator(seed)
+        return cls(w, rng.integers(0, w, size=(w, w, w), dtype=np.int64))
+
+    def shift_function(self, i, j, k) -> np.ndarray:
+        return self.shifts[i, j, k]
+
+
+class _SinglePermutationMapping(NDMapping):
+    """Shared storage for the schemes built on one permutation sigma."""
+
+    def __init__(self, w: int, sigma: np.ndarray, name: str):
+        sigma = require_permutation(sigma, "sigma")
+        if sigma.size != w:
+            raise ValueError(f"sigma must have length w={w}, got {sigma.size}")
+        super().__init__(w, name, random_numbers_used=w)
+        self.sigma = sigma
+
+
+class OneP(_SinglePermutationMapping):
+    """1P: ``f(i,j,k) = sigma[k]`` — one permutation, ``w`` values.
+
+    Fixes stride-1 access (varying ``k``) but leaves stride-2/3 access
+    (varying ``j`` or ``i`` with ``k`` fixed) hitting a single bank:
+    congestion ``w``, as bad as RAW.
+    """
+
+    def __init__(self, w: int, sigma: np.ndarray):
+        super().__init__(w, sigma, "1P")
+
+    @classmethod
+    def random(cls, w: int, seed: SeedLike = None) -> "OneP":
+        return cls(w, random_permutation(w, seed))
+
+    def shift_function(self, i, j, k) -> np.ndarray:
+        k = np.asarray(k, dtype=np.int64)
+        out = self.sigma[k]
+        return np.broadcast_arrays(out, i, j)[0]
+
+
+class RepeatedOneP(_SinglePermutationMapping):
+    """R1P: ``f(i,j,k) = sigma[i] + sigma[j] + sigma[k]``.
+
+    All three stride accesses become conflict-free with only ``w``
+    random values — but reusing one permutation creates *malicious*
+    inputs: the six requests whose ``(i, j, k)`` are the permutations
+    of one triple share the shift sum ``sigma[a]+sigma[b]+sigma[c]``
+    and (for equal ``l``) collide in one bank, which an adversary can
+    stack into ``Theta(w^{1/3})``-size groups.  See
+    :func:`repro.access.patterns_nd.malicious_r1p`.
+    """
+
+    def __init__(self, w: int, sigma: np.ndarray):
+        super().__init__(w, sigma, "R1P")
+
+    @classmethod
+    def random(cls, w: int, seed: SeedLike = None) -> "RepeatedOneP":
+        return cls(w, random_permutation(w, seed))
+
+    def shift_function(self, i, j, k) -> np.ndarray:
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        k = np.asarray(k, dtype=np.int64)
+        return self.sigma[i] + self.sigma[j] + self.sigma[k]
+
+
+class ThreeP(NDMapping):
+    """3P: ``f(i,j,k) = sigma[i] + tau[j] + rho[k]`` — the recommended scheme.
+
+    Three independent permutations (``3w`` random values) make all
+    three stride directions conflict-free *and* break the R1P
+    symmetry, so malicious inputs degrade only to the generic
+    ``O(log w / log log w)`` class.
+    """
+
+    def __init__(self, w: int, sigma: np.ndarray, tau: np.ndarray, rho: np.ndarray):
+        super().__init__(w, "3P", random_numbers_used=3 * w)
+        for name, perm in (("sigma", sigma), ("tau", tau), ("rho", rho)):
+            perm = require_permutation(perm, name)
+            if perm.size != w:
+                raise ValueError(f"{name} must have length w={w}, got {perm.size}")
+            setattr(self, name, perm)
+
+    @classmethod
+    def random(cls, w: int, seed: SeedLike = None) -> "ThreeP":
+        rngs = spawn_generators(seed, 3)
+        return cls(
+            w,
+            random_permutation(w, rngs[0]),
+            random_permutation(w, rngs[1]),
+            random_permutation(w, rngs[2]),
+        )
+
+    def shift_function(self, i, j, k) -> np.ndarray:
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        k = np.asarray(k, dtype=np.int64)
+        return self.sigma[i] + self.tau[j] + self.rho[k]
+
+
+class WSquaredP(NDMapping):
+    """w2P: ``f(i,j,k) = perm_{i*w+j}[k]`` — ``w^2`` permutations.
+
+    Stride-1 is conflict-free (a permutation along ``k``), but along
+    ``j`` or ``i`` the shifts come from *different* permutations
+    evaluated at one position, which behaves like i.i.d. sampling:
+    only ``O(log w / log log w)``.  Costs ``w^3`` random values — as
+    many as RAS — so the paper lists it mainly for completeness.
+    """
+
+    def __init__(self, w: int, perms: np.ndarray):
+        super().__init__(w, "w2P", random_numbers_used=w**3)
+        perms = np.ascontiguousarray(perms, dtype=np.int64)
+        if perms.shape != (w * w, w):
+            raise ValueError(f"perms must have shape ({w * w},{w}), got {perms.shape}")
+        # Vectorized validation: every row must hit each value once.
+        if ((perms < 0) | (perms >= w)).any():
+            raise ValueError("perms rows must take values in [0, w)")
+        hits = np.zeros((w * w, w), dtype=np.int64)
+        np.put_along_axis(hits, perms, 1, axis=1)
+        if not (hits == 1).all():
+            bad = int(np.flatnonzero((hits != 1).any(axis=1))[0])
+            raise ValueError(f"perms[{bad}] is not a permutation of 0..{w - 1}")
+        self.perms = perms
+
+    @classmethod
+    def random(cls, w: int, seed: SeedLike = None) -> "WSquaredP":
+        rng = as_generator(seed)
+        # Batch-sample all w^2 permutations in one vectorized call.
+        base = np.broadcast_to(np.arange(w, dtype=np.int64), (w * w, w))
+        return cls(w, rng.permuted(base, axis=1))
+
+    def shift_function(self, i, j, k) -> np.ndarray:
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        k = np.asarray(k, dtype=np.int64)
+        return self.perms[i * self.w + j, k]
+
+
+class OnePWRandom(NDMapping):
+    """1PwR: ``f(i,j,k) = r[i*w+j] + sigma[k]`` — ``w + w^2`` values.
+
+    One permutation handles stride-1; i.i.d. offsets ``r`` randomize
+    the planes, giving ``O(log w / log log w)`` for stride-2/3 — a
+    middle ground between 1P and w2P in randomness cost.
+    """
+
+    def __init__(self, w: int, sigma: np.ndarray, offsets: np.ndarray):
+        super().__init__(w, "1PwR", random_numbers_used=w + w * w)
+        sigma = require_permutation(sigma, "sigma")
+        if sigma.size != w:
+            raise ValueError(f"sigma must have length w={w}, got {sigma.size}")
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        if offsets.shape != (w * w,):
+            raise ValueError(f"offsets must have shape ({w * w},), got {offsets.shape}")
+        if ((offsets < 0) | (offsets >= w)).any():
+            raise ValueError(f"offsets must lie in [0, {w})")
+        self.sigma = sigma
+        self.offsets = offsets
+
+    @classmethod
+    def random(cls, w: int, seed: SeedLike = None) -> "OnePWRandom":
+        rngs = spawn_generators(seed, 2)
+        return cls(
+            w,
+            random_permutation(w, rngs[0]),
+            random_shifts(w * w, w, rngs[1]),
+        )
+
+    def shift_function(self, i, j, k) -> np.ndarray:
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        k = np.asarray(k, dtype=np.int64)
+        return self.offsets[i * self.w + j] + self.sigma[k]
+
+
+ND_MAPPING_NAMES = ("RAW", "RAS", "1P", "R1P", "3P", "w2P", "1PwR")
+
+_ND_FACTORIES = {
+    "RAW": lambda w, seed: RAW4D(w),
+    "RAS": RAS4D.random,
+    "1P": OneP.random,
+    "R1P": RepeatedOneP.random,
+    "3P": ThreeP.random,
+    "W2P": WSquaredP.random,
+    "1PWR": OnePWRandom.random,
+}
+
+
+def nd_mapping_by_name(name: str, w: int, seed: SeedLike = None) -> NDMapping:
+    """Factory for the 4-D mappings of Table IV, by column name."""
+    key = name.upper()
+    factory = _ND_FACTORIES.get(key)
+    if factory is None:
+        raise ValueError(
+            f"unknown 4-D mapping {name!r}; expected one of {ND_MAPPING_NAMES}"
+        )
+    return factory(w, seed)

@@ -1,0 +1,280 @@
+"""Address mappings for a ``w x w`` matrix in DMM shared memory.
+
+The paper compares three ways to lay a logical matrix ``A`` of size
+``w x w`` out in the banked shared memory (Sections I, III, IV):
+
+``RAW``
+    Plain row-major storage: ``A[i][j]`` lives at address ``i*w + j``
+    and therefore in bank ``j``.  Contiguous (row) access is
+    conflict-free; stride (column) access hits one bank ``w`` times.
+
+``RAS`` (random address shift)
+    Row ``i`` is cyclically rotated by an *independent* uniform random
+    shift ``s_i``: ``A[i][j]`` lives at address ``i*w + (j+s_i) mod w``.
+    Any fixed access pattern becomes randomized, but two rows may draw
+    the same shift, so stride access still conflicts (expected max
+    load ~ log w / log log w).
+
+``RAP`` (random address permute-shift — the paper's contribution)
+    Same rotation scheme but the shifts ``sigma_0..sigma_{w-1}`` form a
+    *permutation* of ``{0..w-1}``.  Because all shifts are distinct,
+    stride access touches ``w`` distinct banks — congestion exactly 1 —
+    while every other guarantee of RAS is preserved (Theorem 2).
+
+All three are instances of one mechanism — a per-row cyclic rotation —
+so they share the :class:`ShiftedRowMapping` implementation and differ
+only in how the shift vector is produced.  All index arithmetic is
+vectorized over numpy arrays: ``mapping.bank(i, j)`` accepts scalars or
+arrays and broadcasts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.permutation import (
+    random_permutation,
+    random_shifts,
+    require_permutation,
+)
+from repro.util.rng import SeedLike
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "AddressMapping",
+    "ShiftedRowMapping",
+    "RAWMapping",
+    "RASMapping",
+    "RAPMapping",
+    "mapping_by_name",
+    "MAPPING_NAMES",
+]
+
+
+class AddressMapping(ABC):
+    """Abstract logical-index -> physical-address mapping for a matrix.
+
+    A mapping fixes where logical element ``(i, j)`` of a ``w x w``
+    matrix lives in the single shared-memory address space.  The DMM
+    then derives the bank as ``address mod w``.
+
+    Attributes
+    ----------
+    w:
+        Matrix side length == DMM width == warp size.
+    name:
+        Short identifier used in tables (``"RAW"``, ``"RAS"``, ``"RAP"``).
+    """
+
+    #: Number of extra integer ALU operations a GPU kernel spends per
+    #: access computing the mapped address, relative to RAW.  Used by
+    #: the :mod:`repro.gpu.timing` cost model; subclasses override.
+    address_overhead_ops: int = 0
+
+    #: 32-bit registers per thread block holding the layout's shift
+    #: state (the packed sigma of Fig. 7).  Zero for layouts whose
+    #: address arithmetic needs no table (RAW, padding, XOR swizzle);
+    #: used by :mod:`repro.gpu.occupancy`.
+    shift_state_words: int = 0
+
+    def __init__(self, w: int, name: str):
+        self.w = check_positive_int(w, "w")
+        self.name = name
+
+    @property
+    def storage_words(self) -> int:
+        """Backing-store footprint of one matrix (``w^2`` unless the
+        layout wastes space, e.g. :class:`~repro.core.padded.PaddedMapping`)."""
+        return self.w * self.w
+
+    # -- core interface -------------------------------------------------
+    @abstractmethod
+    def address(self, i, j) -> np.ndarray:
+        """Physical address of logical element ``(i, j)``; broadcasts."""
+
+    def bank(self, i, j) -> np.ndarray:
+        """Bank of logical element ``(i, j)``: ``address(i, j) mod w``."""
+        return self.address(i, j) % self.w
+
+    @abstractmethod
+    def logical(self, address) -> Tuple[np.ndarray, np.ndarray]:
+        """Invert :meth:`address`: physical address -> ``(i, j)``."""
+
+    # -- convenience ----------------------------------------------------
+    def apply_layout(self, matrix: np.ndarray) -> np.ndarray:
+        """Physically lay ``matrix`` out: returns the flat backing store.
+
+        ``apply_layout(A)[self.address(i, j)] == A[i, j]`` for all
+        ``i, j``.  Useful for verifying mapped kernels against plain
+        numpy reference results.
+        """
+        matrix = np.asarray(matrix)
+        if matrix.shape != (self.w, self.w):
+            raise ValueError(
+                f"expected a {self.w}x{self.w} matrix, got shape {matrix.shape}"
+            )
+        ii, jj = np.meshgrid(
+            np.arange(self.w), np.arange(self.w), indexing="ij"
+        )
+        flat = np.empty(self.w * self.w, dtype=matrix.dtype)
+        flat[self.address(ii, jj)] = matrix
+        return flat
+
+    def read_layout(self, flat: np.ndarray) -> np.ndarray:
+        """Invert :meth:`apply_layout`: backing store -> logical matrix."""
+        flat = np.asarray(flat)
+        if flat.shape != (self.w * self.w,):
+            raise ValueError(
+                f"expected a flat array of length {self.w * self.w}, got shape {flat.shape}"
+            )
+        ii, jj = np.meshgrid(
+            np.arange(self.w), np.arange(self.w), indexing="ij"
+        )
+        return flat[self.address(ii, jj)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(w={self.w})"
+
+
+class ShiftedRowMapping(AddressMapping):
+    """Per-row cyclic rotation: ``(i, j) -> i*w + (j + shift[i]) mod w``.
+
+    This is the shared mechanism of RAW (all-zero shifts), RAS (i.i.d.
+    shifts), and RAP (a permutation of shifts).  The physical address
+    stays inside row ``i``'s block of ``w`` words, so the layout is a
+    bijection on ``[0, w^2)`` for *any* shift vector.
+    """
+
+    def __init__(self, w: int, shifts: np.ndarray, name: str):
+        super().__init__(w, name)
+        shifts = np.ascontiguousarray(shifts, dtype=np.int64)
+        if shifts.shape != (w,):
+            raise ValueError(
+                f"shift vector must have shape ({w},), got {shifts.shape}"
+            )
+        if ((shifts < 0) | (shifts >= w)).any():
+            raise ValueError(f"shifts must lie in [0, {w})")
+        self.shifts = shifts
+
+    def address(self, i, j) -> np.ndarray:
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        if ((i < 0) | (i >= self.w)).any() or ((j < 0) | (j >= self.w)).any():
+            raise IndexError(f"matrix indices out of range for w={self.w}")
+        return i * self.w + (j + self.shifts[i]) % self.w
+
+    def logical(self, address) -> Tuple[np.ndarray, np.ndarray]:
+        address = np.asarray(address, dtype=np.int64)
+        if ((address < 0) | (address >= self.w * self.w)).any():
+            raise IndexError(f"address out of range for w={self.w}")
+        i = address // self.w
+        j = (address % self.w - self.shifts[i]) % self.w
+        return i, j
+
+
+class RAWMapping(ShiftedRowMapping):
+    """Row-major ("RAW access to memory") baseline: no rotation at all."""
+
+    address_overhead_ops = 0
+
+    def __init__(self, w: int):
+        super().__init__(w, np.zeros(w, dtype=np.int64), "RAW")
+
+    def address(self, i, j) -> np.ndarray:
+        # Specialized fast path: i*w + j with bounds checking.
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        if ((i < 0) | (i >= self.w)).any() or ((j < 0) | (j >= self.w)).any():
+            raise IndexError(f"matrix indices out of range for w={self.w}")
+        return i * self.w + j
+
+
+class RASMapping(ShiftedRowMapping):
+    """Random address shift: i.i.d. uniform per-row rotations.
+
+    Reproduces the authors' earlier technique (their reference [7]).
+    Construct with an explicit shift vector or draw one with
+    :meth:`random`.
+    """
+
+    #: load shift from register file, add, mask — mirrored from the
+    #: paper's CUDA kernels (Section VI), where the packed-shift
+    #: unpacking costs a shift + mask + add per access.
+    address_overhead_ops = 3
+
+    def __init__(self, w: int, shifts: np.ndarray):
+        super().__init__(w, shifts, "RAS")
+        self.shift_state_words = _packed_shift_words(w)
+
+    @classmethod
+    def random(cls, w: int, seed: SeedLike = None) -> "RASMapping":
+        """Draw the ``w`` i.i.d. shifts and build the mapping."""
+        return cls(w, random_shifts(w, w, seed))
+
+
+class RAPMapping(ShiftedRowMapping):
+    """Random address permute-shift: the paper's technique.
+
+    The shift vector is a permutation ``sigma`` of ``{0..w-1}``; the
+    constructor enforces this, which is exactly the property that makes
+    stride access conflict-free (all rotated columns
+    ``(j + sigma_i) mod w`` are distinct when ``j`` is fixed and ``i``
+    varies).
+    """
+
+    #: same unpacking cost as RAS — the kernels are identical, only the
+    #: values packed into the registers differ.
+    address_overhead_ops = 3
+
+    def __init__(self, w: int, sigma: np.ndarray):
+        sigma = require_permutation(sigma, "sigma")
+        if sigma.size != w:
+            raise ValueError(f"sigma must have length w={w}, got {sigma.size}")
+        super().__init__(w, sigma, "RAP")
+        self.shift_state_words = _packed_shift_words(w)
+
+    @property
+    def sigma(self) -> np.ndarray:
+        """The underlying permutation (alias for ``shifts``)."""
+        return self.shifts
+
+    @classmethod
+    def random(cls, w: int, seed: SeedLike = None) -> "RAPMapping":
+        """Draw ``sigma`` uniformly from all ``w!`` permutations."""
+        return cls(w, random_permutation(w, seed))
+
+
+def _packed_shift_words(w: int) -> int:
+    """Registers needed for a packed w-entry shift vector (Fig. 7)."""
+    from repro.core.register_pack import required_words
+
+    bits = max(1, (w - 1).bit_length())
+    return required_words(w, bits_per_value=bits)
+
+
+MAPPING_NAMES = ("RAW", "RAS", "RAP")
+
+
+def mapping_by_name(name: str, w: int, seed: SeedLike = None) -> AddressMapping:
+    """Factory: build a (randomized, if applicable) mapping by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"RAW"``, ``"RAS"``, ``"RAP"`` (case-insensitive).
+    w:
+        Matrix side length / DMM width.
+    seed:
+        Seed for the randomized mappings; ignored by RAW.
+    """
+    key = name.upper()
+    if key == "RAW":
+        return RAWMapping(w)
+    if key == "RAS":
+        return RASMapping.random(w, seed)
+    if key == "RAP":
+        return RAPMapping.random(w, seed)
+    raise ValueError(f"unknown mapping {name!r}; expected one of {MAPPING_NAMES}")

@@ -1,0 +1,188 @@
+"""RAP for arrays of arbitrary rank — the d-dimensional generalization.
+
+Section VII of the paper works the 4-D case in detail and concludes
+that *one independent random permutation per leading axis* (their
+"3P") is the right construction.  This module generalizes that to any
+rank ``d >= 2``: an array of shape ``(w,) * d`` with element
+``a[i_0][i_1]...[i_{d-1}]`` at logical address
+``i_0 w^{d-1} + ... + i_{d-1}`` gets the shift function
+
+    f(i_0, .., i_{d-2}) = sigma_0[i_0] + sigma_1[i_1] + ... + sigma_{d-2}[i_{d-2}]
+
+for ``d - 1`` independent permutations — ``(d-1)P`` in the paper's
+nomenclature.  The 4-D properties carry over verbatim:
+
+* contiguous access (vary the last axis) is conflict-free;
+* stride access along *any* single axis is conflict-free, because the
+  corresponding permutation contributes ``w`` distinct shift values
+  while all other terms are constant;
+* the randomness budget is ``(d-1) w`` values, versus ``w^{d-1}`` for
+  a per-row RAS shift table;
+* no R1P-style malicious structure exists, since the per-axis
+  permutations are independent.
+
+``GeneralNDMapping`` also provides RAW (zero shifts) and RAS (i.i.d.
+per-row shifts) constructions for baseline comparisons at any rank.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.permutation import random_permutation, require_permutation
+from repro.util.rng import SeedLike, as_generator, spawn_generators
+from repro.util.validation import check_positive_int
+
+__all__ = ["GeneralNDMapping"]
+
+
+class GeneralNDMapping:
+    """Rank-``d`` RAP/RAW/RAS mapping over a ``(w,) * d`` array.
+
+    Construct via :meth:`rap`, :meth:`raw`, or :meth:`ras`.
+
+    Attributes
+    ----------
+    w:
+        Side length of every axis (= bank count).
+    ndim:
+        Array rank ``d >= 2``.
+    name:
+        ``"RAW"``, ``"RAS"``, or ``"(d-1)P"``.
+    random_numbers_used:
+        Randomness budget of the construction.
+    """
+
+    def __init__(self, w: int, ndim: int, name: str, random_numbers_used: int):
+        self.w = check_positive_int(w, "w")
+        self.ndim = check_positive_int(ndim, "ndim")
+        if ndim < 2:
+            raise ValueError(f"ndim must be >= 2, got {ndim}")
+        self.name = name
+        self.random_numbers_used = int(random_numbers_used)
+
+    # -- constructions ----------------------------------------------------
+    @classmethod
+    def rap(
+        cls, w: int, ndim: int, perms: Sequence[np.ndarray] | None = None,
+        seed: SeedLike = None,
+    ) -> "GeneralNDMapping":
+        """The ``(d-1)P`` construction: one permutation per leading axis."""
+        self = cls(w, ndim, f"{ndim - 1}P", random_numbers_used=(ndim - 1) * w)
+        if perms is None:
+            rngs = spawn_generators(seed, ndim - 1)
+            perms = [random_permutation(w, r) for r in rngs]
+        perms = [require_permutation(p, f"perm[{i}]") for i, p in enumerate(perms)]
+        if len(perms) != ndim - 1 or any(p.size != w for p in perms):
+            raise ValueError(f"need {ndim - 1} permutations of length {w}")
+        self._perms = perms
+        self._shift = self._shift_sum_of_perms
+        return self
+
+    @classmethod
+    def raw(cls, w: int, ndim: int) -> "GeneralNDMapping":
+        """Plain storage: no rotation (all conflicts intact)."""
+        self = cls(w, ndim, "RAW", random_numbers_used=0)
+        self._shift = lambda leading: np.zeros_like(leading[0])
+        return self
+
+    @classmethod
+    def ras(cls, w: int, ndim: int, seed: SeedLike = None) -> "GeneralNDMapping":
+        """Per-row i.i.d. shifts: a ``w^{d-1}`` shift table."""
+        self = cls(w, ndim, "RAS", random_numbers_used=w ** (ndim - 1))
+        rng = as_generator(seed)
+        table = rng.integers(0, w, size=(w,) * (ndim - 1), dtype=np.int64)
+        self._table = table
+        self._shift = lambda leading: table[tuple(leading)]
+        return self
+
+    # -- shift functions ----------------------------------------------------
+    def _shift_sum_of_perms(self, leading: tuple[np.ndarray, ...]) -> np.ndarray:
+        total = self._perms[0][leading[0]]
+        for perm, idx in zip(self._perms[1:], leading[1:]):
+            total = total + perm[idx]
+        return total
+
+    # -- addressing ----------------------------------------------------------
+    def _check(self, indices) -> tuple[np.ndarray, ...]:
+        if len(indices) != self.ndim:
+            raise ValueError(
+                f"expected {self.ndim} indices, got {len(indices)}"
+            )
+        out = []
+        for axis, idx in enumerate(indices):
+            idx = np.asarray(idx, dtype=np.int64)
+            if ((idx < 0) | (idx >= self.w)).any():
+                raise IndexError(f"axis-{axis} index out of range for w={self.w}")
+            out.append(idx)
+        return tuple(np.broadcast_arrays(*out))
+
+    def address(self, *indices) -> np.ndarray:
+        """Physical address of ``a[indices]``; broadcasts."""
+        indices = self._check(indices)
+        leading, last = indices[:-1], indices[-1]
+        w = self.w
+        base = np.zeros_like(last)
+        for idx in leading:
+            base = base * w + idx
+        rotated = (last + self._shift(leading)) % w
+        return base * w + rotated
+
+    def bank(self, *indices) -> np.ndarray:
+        """Bank of ``a[indices]``."""
+        return self.address(*indices) % self.w
+
+    def logical(self, address) -> tuple[np.ndarray, ...]:
+        """Invert :meth:`address`."""
+        address = np.asarray(address, dtype=np.int64)
+        w = self.w
+        if ((address < 0) | (address >= w**self.ndim)).any():
+            raise IndexError(f"address out of range for w={w}, ndim={self.ndim}")
+        digits = []
+        rest = address
+        for _ in range(self.ndim):
+            digits.append(rest % w)
+            rest = rest // w
+        digits.reverse()  # digits[0] = i_0, ..., digits[-1] = rotated last
+        leading = tuple(digits[:-1])
+        last = (digits[-1] - self._shift(leading)) % w
+        return leading + (last,)
+
+    # -- layout helpers --------------------------------------------------------
+    def apply_layout(self, array: np.ndarray) -> np.ndarray:
+        """Lay a logical ``(w,)*d`` array out into its flat store."""
+        array = np.asarray(array)
+        if array.shape != (self.w,) * self.ndim:
+            raise ValueError(
+                f"expected shape {(self.w,) * self.ndim}, got {array.shape}"
+            )
+        grids = np.meshgrid(*(np.arange(self.w),) * self.ndim, indexing="ij")
+        flat = np.empty(self.w**self.ndim, dtype=array.dtype)
+        flat[self.address(*grids)] = array
+        return flat
+
+    def read_layout(self, flat: np.ndarray) -> np.ndarray:
+        """Invert :meth:`apply_layout`."""
+        flat = np.asarray(flat)
+        if flat.shape != (self.w**self.ndim,):
+            raise ValueError(
+                f"expected a flat array of length {self.w**self.ndim}"
+            )
+        grids = np.meshgrid(*(np.arange(self.w),) * self.ndim, indexing="ij")
+        return flat[self.address(*grids)]
+
+    # -- access patterns ----------------------------------------------------------
+    def stride_indices(self, axis: int, fixed: int = 0) -> tuple[np.ndarray, ...]:
+        """One warp varying ``axis`` with every other index at ``fixed``."""
+        if not 0 <= axis < self.ndim:
+            raise ValueError(f"axis must be in [0, {self.ndim}), got {axis}")
+        lane = np.arange(self.w, dtype=np.int64)
+        const = np.full(self.w, fixed, dtype=np.int64)
+        return tuple(lane if ax == axis else const for ax in range(self.ndim))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GeneralNDMapping(w={self.w}, ndim={self.ndim}, name={self.name!r})"
+        )

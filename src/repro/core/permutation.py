@@ -1,0 +1,155 @@
+"""Random permutations and permutation algebra.
+
+The RAP technique (Section IV of the paper) is parameterized by a
+single permutation ``sigma`` of ``{0, 1, ..., w-1}`` drawn uniformly at
+random from all ``w!`` permutations.  This module provides:
+
+* uniform sampling of permutations (Fisher-Yates via
+  :meth:`numpy.random.Generator.permutation`),
+* validation (is an array a permutation at all?),
+* algebra: inverse, composition, identity, rotation,
+* the i.i.d. *shift* vectors used by the competing RAS technique, so
+  the two randomizations are generated side by side with identical
+  seeding conventions.
+
+Everything returns ``numpy.ndarray`` of dtype ``int64`` so downstream
+bank arithmetic never overflows or silently casts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "random_permutation",
+    "random_shifts",
+    "is_permutation",
+    "require_permutation",
+    "identity_permutation",
+    "rotation_permutation",
+    "invert_permutation",
+    "compose_permutations",
+]
+
+
+def random_permutation(w: int, seed: SeedLike = None) -> np.ndarray:
+    """Draw a permutation of ``{0..w-1}`` uniformly at random.
+
+    This is the ``sigma`` of the RAP technique: ``sigma[i]`` is the
+    cyclic rotation applied to row ``i`` of the matrix.
+
+    Parameters
+    ----------
+    w:
+        Size of the permuted domain (the DMM width).
+    seed:
+        Seed or generator; see :func:`repro.util.rng.as_generator`.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(w,)``, dtype int64, containing each of ``0..w-1``
+        exactly once.
+    """
+    check_positive_int(w, "w")
+    rng = as_generator(seed)
+    return rng.permutation(w).astype(np.int64)
+
+
+def random_shifts(n: int, w: int, seed: SeedLike = None) -> np.ndarray:
+    """Draw ``n`` i.i.d. uniform shifts in ``{0..w-1}`` (the RAS inputs).
+
+    The RAS technique of the authors' earlier paper uses independent
+    random shifts ``s_0, s_1, ...`` instead of a permutation; stride
+    access then collides with high probability because two rows may
+    receive the same shift.
+
+    Parameters
+    ----------
+    n:
+        Number of shifts (one per matrix row, so usually ``n == w``;
+        larger arrays need more).
+    w:
+        Modulus (bank count).
+    seed:
+        Seed or generator.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n,)``, dtype int64, values in ``[0, w)``.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(w, "w")
+    rng = as_generator(seed)
+    return rng.integers(0, w, size=n, dtype=np.int64)
+
+
+def is_permutation(arr: np.ndarray) -> bool:
+    """Return True iff ``arr`` is a permutation of ``{0..len(arr)-1}``."""
+    arr = np.asarray(arr)
+    if arr.ndim != 1 or arr.size == 0:
+        return False
+    if not np.issubdtype(arr.dtype, np.integer):
+        return False
+    w = arr.size
+    seen = np.zeros(w, dtype=bool)
+    valid = (arr >= 0) & (arr < w)
+    if not valid.all():
+        return False
+    seen[arr] = True
+    return bool(seen.all())
+
+
+def require_permutation(arr: np.ndarray, name: str = "permutation") -> np.ndarray:
+    """Validate and canonicalize a permutation array.
+
+    Returns the array as contiguous int64, raising ``ValueError`` if it
+    is not a permutation of ``{0..len-1}``.
+    """
+    out = np.ascontiguousarray(arr, dtype=np.int64)
+    if not is_permutation(out):
+        raise ValueError(f"{name} is not a permutation of 0..{max(out.size - 1, 0)}")
+    return out
+
+
+def identity_permutation(w: int) -> np.ndarray:
+    """The identity permutation on ``{0..w-1}`` (the RAW mapping's shift)."""
+    check_positive_int(w, "w")
+    return np.arange(w, dtype=np.int64)
+
+
+def rotation_permutation(w: int, offset: int) -> np.ndarray:
+    """The cyclic rotation ``i -> (i + offset) mod w`` as a permutation."""
+    check_positive_int(w, "w")
+    return (np.arange(w, dtype=np.int64) + offset) % w
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """Return the inverse permutation ``perm^{-1}``.
+
+    ``invert_permutation(perm)[perm[i]] == i`` for every ``i``; used to
+    recover the logical column of a physically stored element when
+    un-applying a RAP layout.
+    """
+    perm = require_permutation(perm)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.size, dtype=np.int64)
+    return inv
+
+
+def compose_permutations(outer: np.ndarray, inner: np.ndarray) -> np.ndarray:
+    """Return the composition ``outer ∘ inner`` (apply ``inner`` first).
+
+    ``compose_permutations(a, b)[i] == a[b[i]]``.
+    """
+    outer = require_permutation(outer, "outer")
+    inner = require_permutation(inner, "inner")
+    if outer.size != inner.size:
+        raise ValueError(
+            f"cannot compose permutations of different sizes: {outer.size} vs {inner.size}"
+        )
+    return outer[inner]

@@ -1,0 +1,127 @@
+"""Register packing of random shifts (Fig. 7 / Section VI).
+
+The GPU implementation of RAS/RAP must make all ``w = 32`` per-row
+shifts available to every thread without touching memory.  Each shift
+is a 5-bit value (``0..31``), so the paper packs six shifts into each
+32-bit local register (using 30 of its 32 bits) and keeps the whole
+shift vector in an array ``r[6]`` of registers.  A kernel recovers
+shift ``sigma_i`` as::
+
+    (r[i / 6] >> (5 * (i % 6))) & 0x1f
+
+This module is a bit-exact emulation of that scheme — including the
+general form for other word widths — so the library's GPU cost model
+and the RAP kernels can be validated against the exact arithmetic a
+CUDA kernel would perform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "values_per_word",
+    "required_words",
+    "pack_shifts",
+    "unpack_shift",
+    "unpack_all",
+]
+
+
+def values_per_word(bits_per_value: int = 5, word_bits: int = 32) -> int:
+    """How many ``bits_per_value``-bit values fit in one register word."""
+    check_positive_int(bits_per_value, "bits_per_value")
+    check_positive_int(word_bits, "word_bits")
+    if bits_per_value > word_bits:
+        raise ValueError(
+            f"a {bits_per_value}-bit value cannot fit in a {word_bits}-bit word"
+        )
+    return word_bits // bits_per_value
+
+
+def required_words(n: int, bits_per_value: int = 5, word_bits: int = 32) -> int:
+    """Number of register words needed to hold ``n`` packed values.
+
+    For the paper's parameters (``n = 32`` 5-bit shifts, 32-bit words)
+    this is 6 registers: five hold six shifts each and the last holds
+    the remaining two.
+    """
+    check_positive_int(n, "n")
+    per = values_per_word(bits_per_value, word_bits)
+    return -(-n // per)  # ceil division
+
+
+def pack_shifts(
+    shifts: np.ndarray,
+    bits_per_value: int = 5,
+    word_bits: int = 32,
+) -> np.ndarray:
+    """Pack a shift vector into register words, low slots first.
+
+    Parameters
+    ----------
+    shifts:
+        1-D integer array; each value must fit in ``bits_per_value``
+        bits.
+    bits_per_value:
+        Bits per packed value (5 for ``w = 32``).
+    word_bits:
+        Register width (32 on CUDA hardware).
+
+    Returns
+    -------
+    numpy.ndarray
+        dtype ``uint64`` array of ``required_words(len(shifts))``
+        packed words (held as uint64 so non-CUDA word widths up to 64
+        bits also work; values never exceed ``2**word_bits - 1``).
+    """
+    shifts = np.asarray(shifts)
+    if shifts.ndim != 1 or shifts.size == 0:
+        raise ValueError(f"expected a non-empty 1-D shift vector, got shape {shifts.shape}")
+    limit = 1 << bits_per_value
+    if ((shifts < 0) | (shifts >= limit)).any():
+        raise ValueError(f"shift values must lie in [0, {limit}) to pack into {bits_per_value} bits")
+    per = values_per_word(bits_per_value, word_bits)
+    nwords = required_words(shifts.size, bits_per_value, word_bits)
+    words = np.zeros(nwords, dtype=np.uint64)
+    idx = np.arange(shifts.size)
+    np.bitwise_or.at(
+        words,
+        idx // per,
+        shifts.astype(np.uint64) << np.uint64(bits_per_value) * (idx % per).astype(np.uint64),
+    )
+    return words
+
+
+def unpack_shift(
+    words: np.ndarray,
+    i,
+    bits_per_value: int = 5,
+    word_bits: int = 32,
+) -> np.ndarray:
+    """Recover shift ``i`` from packed words — the kernel's hot path.
+
+    Bit-for-bit equivalent of the paper's
+    ``(r[i/6] >> (5*(i%6))) & 0x1f``; ``i`` may be a scalar or array.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    i = np.asarray(i, dtype=np.int64)
+    per = values_per_word(bits_per_value, word_bits)
+    if (i < 0).any() or (i >= words.size * per).any():
+        raise IndexError("packed shift index out of range")
+    mask = np.uint64((1 << bits_per_value) - 1)
+    shift_amounts = (np.uint64(bits_per_value) * (i % per).astype(np.uint64))
+    return ((words[i // per] >> shift_amounts) & mask).astype(np.int64)
+
+
+def unpack_all(
+    words: np.ndarray,
+    n: int,
+    bits_per_value: int = 5,
+    word_bits: int = 32,
+) -> np.ndarray:
+    """Unpack the first ``n`` values — inverse of :func:`pack_shifts`."""
+    check_positive_int(n, "n")
+    return unpack_shift(words, np.arange(n), bits_per_value, word_bits)

@@ -1,0 +1,98 @@
+"""Mapping (de)serialization — ship the sigma you validated.
+
+RAP's guarantees are per-drawn-permutation, so a production deployment
+wants to *pin* the permutation it tested (and the paper's hardware
+proposal would burn one into a register file).  This module converts
+every 2-D mapping in the library to and from a plain JSON-compatible
+dict, so a layout can be stored next to the kernel it protects and
+reloaded bit-exactly.
+
+Round-trip guarantee: ``mapping_from_dict(mapping_to_dict(m))``
+produces a mapping with identical addresses for every logical index
+(tested exhaustively in ``tests/test_serialize.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.core.mappings import (
+    AddressMapping,
+    RAPMapping,
+    RASMapping,
+    RAWMapping,
+    ShiftedRowMapping,
+)
+from repro.core.padded import PaddedMapping
+from repro.core.swizzle import XORSwizzleMapping
+
+__all__ = ["mapping_to_dict", "mapping_from_dict", "dumps_mapping", "loads_mapping"]
+
+_FORMAT_VERSION = 1
+
+
+def mapping_to_dict(mapping: AddressMapping) -> dict[str, Any]:
+    """Serialize a 2-D mapping to a JSON-compatible dict."""
+    base: dict[str, Any] = {"version": _FORMAT_VERSION, "w": mapping.w}
+    if isinstance(mapping, RAWMapping):
+        base["kind"] = "RAW"
+    elif isinstance(mapping, RAPMapping):
+        base["kind"] = "RAP"
+        base["sigma"] = mapping.sigma.tolist()
+    elif isinstance(mapping, RASMapping):
+        base["kind"] = "RAS"
+        base["shifts"] = mapping.shifts.tolist()
+    elif isinstance(mapping, PaddedMapping):
+        base["kind"] = "PAD"
+        base["pad"] = mapping.pad
+    elif isinstance(mapping, XORSwizzleMapping):
+        base["kind"] = "XOR"
+        base["mask"] = mapping.mask
+    elif isinstance(mapping, ShiftedRowMapping):
+        base["kind"] = "SHIFT"
+        base["name"] = mapping.name
+        base["shifts"] = mapping.shifts.tolist()
+    else:
+        raise TypeError(
+            f"don't know how to serialize mapping type {type(mapping).__name__}"
+        )
+    return base
+
+
+def mapping_from_dict(data: dict[str, Any]) -> AddressMapping:
+    """Reconstruct a mapping serialized by :func:`mapping_to_dict`."""
+    if not isinstance(data, dict) or "kind" not in data or "w" not in data:
+        raise ValueError("not a serialized mapping (missing 'kind'/'w')")
+    version = data.get("version", _FORMAT_VERSION)
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported mapping format version {version}")
+    kind = data["kind"]
+    w = int(data["w"])
+    if kind == "RAW":
+        return RAWMapping(w)
+    if kind == "RAP":
+        return RAPMapping(w, np.asarray(data["sigma"], dtype=np.int64))
+    if kind == "RAS":
+        return RASMapping(w, np.asarray(data["shifts"], dtype=np.int64))
+    if kind == "PAD":
+        return PaddedMapping(w, pad=int(data.get("pad", 1)))
+    if kind == "XOR":
+        return XORSwizzleMapping(w, mask=int(data.get("mask", w - 1)))
+    if kind == "SHIFT":
+        return ShiftedRowMapping(
+            w, np.asarray(data["shifts"], dtype=np.int64), data.get("name", "SHIFT")
+        )
+    raise ValueError(f"unknown mapping kind {kind!r}")
+
+
+def dumps_mapping(mapping: AddressMapping) -> str:
+    """Serialize a mapping to a JSON string."""
+    return json.dumps(mapping_to_dict(mapping), sort_keys=True)
+
+
+def loads_mapping(text: str) -> AddressMapping:
+    """Reconstruct a mapping from :func:`dumps_mapping` output."""
+    return mapping_from_dict(json.loads(text))

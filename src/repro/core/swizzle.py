@@ -1,0 +1,100 @@
+"""XOR swizzling — the modern deterministic competitor to RAP.
+
+Production GPU libraries (CUTLASS and friends) avoid shared-memory
+bank conflicts today with an *XOR swizzle*: store logical ``(i, j)``
+at address ``i*w + (j XOR i)`` (or a masked variant).  Since XOR with
+a constant permutes ``{0..w-1}`` when ``w`` is a power of two, each
+row is scrambled by a distinct involution and, like RAP:
+
+* contiguous access is conflict-free (a row is still a permutation of
+  its banks);
+* stride access is conflict-free (``(c XOR i)`` over ``i`` is a
+  bijection);
+* transposes of power-of-two tiles run conflict-free in both phases.
+
+The differences from RAP are exactly the ones worth measuring
+(``bench_swizzle.py``):
+
+* zero randomness and zero register cost — the swizzle is hardwired;
+* ``w`` must be a power of two (RAP works for any ``w``);
+* it is a *fixed, published* layout, so adversarial patterns with
+  congestion ``w`` exist (``a[i][ (c XOR i) ]`` for constant ``c``
+  hits one bank), and even innocent patterns resonate with the XOR
+  structure: the paper's *wrapped diagonal* ``a[j][(i+j) mod w]`` —
+  a natural access, no adversary involved — puts warp 0 entirely in
+  bank 0 (``((0+j) XOR j) = 0``), congestion ``w``, where RAP averages
+  ~3.6.  The paper's Theorem 2 insurance does not transfer.
+
+This mapping slots into every harness in the library (patterns,
+transposes, matmul, occupancy) through the standard
+:class:`~repro.core.mappings.AddressMapping` interface.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.mappings import AddressMapping
+from repro.util.validation import check_power_of_two
+
+__all__ = ["XORSwizzleMapping", "xor_adversarial_logical"]
+
+
+class XORSwizzleMapping(AddressMapping):
+    """CUTLASS-style swizzle: ``(i, j) -> i*w + (j XOR (i & mask))``.
+
+    Parameters
+    ----------
+    w:
+        Matrix side; must be a power of two (XOR must permute the
+        column domain).
+    mask:
+        Row-index mask applied before the XOR (default ``w - 1``, the
+        full swizzle).  Narrower masks (e.g. ``0b11``) model the
+        partial swizzles used when tiles are wider than the bank
+        count.
+    """
+
+    #: one XOR per access — cheaper than RAP's unpack-add-mask.
+    address_overhead_ops = 1
+
+    def __init__(self, w: int, mask: int | None = None):
+        check_power_of_two(w, "w")
+        super().__init__(w, "XOR")
+        self.mask = w - 1 if mask is None else int(mask)
+        if not 0 <= self.mask < w:
+            raise ValueError(f"mask must lie in [0, {w}), got {self.mask}")
+
+    def address(self, i, j) -> np.ndarray:
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        if ((i < 0) | (i >= self.w)).any() or ((j < 0) | (j >= self.w)).any():
+            raise IndexError(f"matrix indices out of range for w={self.w}")
+        return i * self.w + (j ^ (i & self.mask))
+
+    def logical(self, address) -> Tuple[np.ndarray, np.ndarray]:
+        address = np.asarray(address, dtype=np.int64)
+        if ((address < 0) | (address >= self.w * self.w)).any():
+            raise IndexError(f"address out of range for w={self.w}")
+        i = address // self.w
+        j = (address % self.w) ^ (i & self.mask)  # XOR is its own inverse
+        return i, j
+
+
+def xor_adversarial_logical(w: int, mask: int | None = None) -> Tuple[np.ndarray, np.ndarray]:
+    """A warp pattern with congestion ``w`` against the XOR swizzle.
+
+    Row ``i``'s logical column ``(c XOR (i & mask))`` lands in bank
+    ``c``; one request per row pins every request to bank 0.  Returns
+    the full ``w``-warp grid (warp ``c`` attacks bank ``c``).
+
+    Under RAP the same pattern is just another oblivious access
+    (congestion ~``log w / log log w``) — the swizzle's determinism is
+    what makes it attackable.
+    """
+    check_power_of_two(w, "w")
+    mask = w - 1 if mask is None else int(mask)
+    cc, ii = np.meshgrid(np.arange(w), np.arange(w), indexing="ij")
+    return ii, cc ^ (ii & mask)

@@ -1,0 +1,188 @@
+"""Analytic results: Chernoff bound, Lemma 4, Theorem 2 (Section IV).
+
+The paper's congestion guarantee rests on three analytic steps:
+
+1. **Chernoff bound** (their Theorem 3, from Motwani & Raghavan): for a
+   sum ``X`` of independent Poisson trials with mean ``mu``,
+   ``Pr[X >= (1+d) mu] <= (e^d / (1+d)^(1+d))^mu``.
+2. **Lemma 4**: for one fixed bank, the number of half-warp requests it
+   receives exceeds ``3 ln w / ln ln w`` with probability at most
+   ``1/w^2``.  The subtlety is that RAP's shifts are sampled *without
+   replacement* (a permutation), so the per-row indicator variables are
+   not independent; the proof dominates them by independent Bernoulli
+   variables with success probability ``2 r(v_t) / w`` before applying
+   Chernoff.
+3. **Theorem 2**: union-bounding over ``w`` banks and summing the two
+   half warps gives expected congestion
+   ``E[C] <= 2 (3 ln w / ln ln w + 1/2) = 6 ln w / ln ln w + 1``
+   for *any* (even adversarial) access pattern, while contiguous and
+   stride access are deterministically conflict-free.
+
+This module exposes those quantities as plain functions so tests and
+benchmarks can check the simulated congestion against the proven
+envelope, plus balls-in-bins reference values used to sanity-check the
+Table II simulation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "chernoff_upper_tail",
+    "lemma4_threshold",
+    "lemma4_tail_bound",
+    "theorem2_expectation_bound",
+    "log_over_loglog",
+    "expected_max_load",
+    "pairwise_conflict_probability",
+]
+
+
+def chernoff_upper_tail(mu: float, delta: float) -> float:
+    """Chernoff upper-tail bound ``Pr[X >= (1+delta) mu]``.
+
+    Parameters
+    ----------
+    mu:
+        Mean of the sum of independent Poisson trials (must be > 0).
+    delta:
+        Relative deviation (must be > 0).
+
+    Returns
+    -------
+    float
+        The bound ``(e^delta / (1+delta)^(1+delta))^mu``, clipped to 1.
+
+    Notes
+    -----
+    Evaluated in log-space to stay finite for large ``delta``:
+    ``ln bound = mu * (delta - (1+delta) ln(1+delta))``.
+    """
+    if mu <= 0:
+        raise ValueError(f"mu must be > 0, got {mu}")
+    if delta <= 0:
+        raise ValueError(f"delta must be > 0, got {delta}")
+    log_bound = mu * (delta - (1.0 + delta) * math.log1p(delta))
+    return min(1.0, math.exp(log_bound))
+
+
+def lemma4_threshold(w: int) -> float:
+    """The Lemma 4 congestion threshold ``3 ln w / ln ln w``.
+
+    Only meaningful for ``w >= 3`` (``ln ln w`` must be positive); the
+    paper's regime is ``w >= 16``.
+    """
+    check_positive_int(w, "w")
+    if w < 3:
+        raise ValueError(f"lemma4_threshold needs w >= 3, got {w}")
+    return 3.0 * math.log(w) / math.log(math.log(w))
+
+
+def lemma4_tail_bound(w: int) -> float:
+    """Lemma 4's tail probability: one bank exceeds the threshold w.p. <= 1/w^2."""
+    check_positive_int(w, "w")
+    return 1.0 / (w * w)
+
+
+def theorem2_expectation_bound(w: int) -> float:
+    """Explicit-constant form of Theorem 2's expected congestion bound.
+
+    For a half warp, ``E[K] <= T + Pr[K >= T] * (w/2)`` with
+    ``T = 3 ln w / ln ln w`` and ``Pr[K >= T] <= w * (1/w^2) = 1/w``
+    (union bound over banks), hence ``E[K] <= T + 1/2``.  A full warp
+    is at most the sum of its two half warps:
+
+    ``E[C] <= 2 T + 1 = 6 ln w / ln ln w + 1``.
+
+    The simulated congestion (Table II) must sit below this envelope;
+    at ``w = 32`` the bound evaluates to ~18.0 against a measured 3.61.
+    """
+    return 2.0 * lemma4_threshold(w) + 1.0
+
+
+def log_over_loglog(w: int) -> float:
+    """The asymptotic growth rate ``ln w / ln ln w`` (no constant).
+
+    This is both the balls-in-bins maximum-load rate and the paper's
+    ``O(log w / log log w)`` congestion class; exposed so benchmarks
+    can plot measured congestion against the predicted growth shape.
+    """
+    check_positive_int(w, "w")
+    if w < 3:
+        raise ValueError(f"log_over_loglog needs w >= 3, got {w}")
+    return math.log(w) / math.log(math.log(w))
+
+
+def expected_max_load(
+    m: int,
+    n: int,
+    trials: int = 10_000,
+    seed: SeedLike = None,
+) -> float:
+    """Monte-Carlo estimate of E[max bin load] for ``m`` balls in ``n`` bins.
+
+    This is the reference value for the "Random" row of Table II *when
+    duplicate merging is disabled*: throwing ``w`` independent uniform
+    bank choices and taking the fullest bank.  (The actual Random row
+    is slightly lower because coinciding *addresses* merge; see
+    :mod:`repro.core.congestion`.)
+
+    Parameters
+    ----------
+    m:
+        Number of balls (requests).
+    n:
+        Number of bins (banks).
+    trials:
+        Monte-Carlo sample count.
+    seed:
+        RNG seed.
+
+    Returns
+    -------
+    float
+        Estimated expectation of the maximum load.
+    """
+    check_positive_int(m, "m")
+    check_positive_int(n, "n")
+    check_positive_int(trials, "trials")
+    rng = as_generator(seed)
+    balls = rng.integers(0, n, size=(trials, m))
+    # Count per (trial, bin) with one flat bincount, then take row maxima.
+    keys = np.arange(trials)[:, None] * n + balls
+    counts = np.bincount(keys.ravel(), minlength=trials * n).reshape(trials, n)
+    return float(counts.max(axis=1).mean())
+
+
+def pairwise_conflict_probability(w: int, scheme: str) -> float:
+    """Probability that two requests in different rows share a bank.
+
+    Section V of the paper explains why RAP's diagonal congestion
+    (3.61 at ``w = 32``) slightly exceeds RAS's (3.53): under RAS two
+    rows collide with probability ``1/w`` (independent shifts), while
+    under RAP the shifts are distinct values of a permutation, so
+    conditioned on not being equal the rotated banks collide with
+    probability ``1/(w-1)``.
+
+    Parameters
+    ----------
+    w:
+        Bank count (must be >= 2).
+    scheme:
+        ``"RAS"`` or ``"RAP"`` (case-insensitive).
+    """
+    check_positive_int(w, "w")
+    if w < 2:
+        raise ValueError(f"need w >= 2, got {w}")
+    key = scheme.upper()
+    if key == "RAS":
+        return 1.0 / w
+    if key == "RAP":
+        return 1.0 / (w - 1)
+    raise ValueError(f"unknown scheme {scheme!r}; expected 'RAS' or 'RAP'")

@@ -1,0 +1,227 @@
+"""Event-driven cycle-level DMM simulator — the overlap-aware engine.
+
+The analytic executor (:class:`~repro.dmm.machine.DiscreteMemoryMachine`)
+uses the paper's *phase-sequential* rule: instruction ``n+1`` begins
+only after instruction ``n`` fully completes.  That is exactly what
+Lemma 1 assumes, but a real SM is slightly better: warp ``W(1)`` may
+issue its read while ``W(0)`` — whose read completed earlier — is
+already issuing its write.  This module implements that finer model as
+a cycle-by-cycle event simulation:
+
+* each warp owns an instruction pointer into the program and advances
+  independently;
+* a warp is *ready* when its previous request completed (per-warp
+  latency accounting, matching "a thread cannot send a new memory
+  access request until the previous is completed");
+* each cycle, the round-robin arbiter picks the next ready warp and
+  lets it issue one pipeline stage; a warp access of congestion ``c``
+  needs ``c`` consecutive issue grants;
+* the request completes ``l - 1`` cycles after its last stage issues.
+
+Two invariants tie the engines together (tested in
+``tests/test_event_sim.py``):
+
+1. For single-instruction programs the event simulator reproduces the
+   analytic ``sum(c_i) + l - 1`` exactly.
+2. For any program, overlap can only help:
+   ``event_time <= phase_sequential_time``.
+
+Data semantics are identical to the analytic machine (same memory,
+same registers); only completion timing differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.congestion import warp_congestion
+from repro.dmm.memory import BankedMemory
+from repro.dmm.trace import INACTIVE, Instruction, MemoryProgram
+from repro.dmm.warp import warp_count
+from repro.util.validation import check_latency, check_positive_int
+
+__all__ = ["EventExecutionResult", "EventDrivenDMM"]
+
+
+@dataclass
+class EventExecutionResult:
+    """Outcome of an event-driven run.
+
+    Attributes
+    ----------
+    time_units:
+        Cycle at which the last request completed.
+    issue_cycles:
+        Total cycles in which some warp issued a stage (pipeline
+        occupancy; equals the analytic engine's total stages).
+    idle_cycles:
+        Cycles in which no warp was ready to issue.
+    per_warp_finish:
+        Cycle at which each warp retired its last instruction.
+    registers:
+        Final per-thread register file.
+    """
+
+    time_units: int
+    issue_cycles: int
+    idle_cycles: int
+    per_warp_finish: list[int]
+    registers: dict[str, np.ndarray]
+
+
+class _WarpState:
+    """Progress of one warp through the program."""
+
+    __slots__ = ("pc", "stages_left", "ready_at", "finished_at")
+
+    def __init__(self) -> None:
+        self.pc = 0               # next instruction index
+        self.stages_left = 0      # stages still to issue for current access
+        self.ready_at = 0         # cycle at which the warp may issue again
+        self.finished_at = 0
+
+
+class EventDrivenDMM:
+    """Cycle-level DMM with per-warp instruction overlap.
+
+    Parameters mirror :class:`~repro.dmm.machine.DiscreteMemoryMachine`,
+    plus ``stage_rule`` — the function mapping one warp's active
+    addresses to its pipeline-stage count.  The default is the DMM's
+    congestion; pass
+    :func:`repro.dmm.umm.coalesced_group_count` to get an event-driven
+    UMM instead (same overlap semantics, coalescing stage rule).
+    """
+
+    def __init__(
+        self,
+        w: int,
+        latency: int,
+        memory_size: int,
+        dtype=np.float64,
+        stage_rule=None,
+    ):
+        self.w = check_positive_int(w, "w")
+        self.latency = check_latency(latency)
+        self.memory = BankedMemory(w, memory_size, dtype=dtype)
+        self.stage_rule = stage_rule if stage_rule is not None else warp_congestion
+
+    def load(self, base: int, values: np.ndarray) -> None:
+        """Pre-load ``values`` at ``base`` (same contract as the machine)."""
+        values = np.asarray(values).ravel()
+        if base < 0 or base + values.size > self.memory.size:
+            raise IndexError("load exceeds memory size")
+        self.memory.store[base : base + values.size] = values
+
+    def dump(self, base: int, count: int) -> np.ndarray:
+        """Copy ``count`` words at ``base`` out of memory."""
+        if base < 0 or base + count > self.memory.size:
+            raise IndexError("dump exceeds memory size")
+        return self.memory.store[base : base + count].copy()
+
+    # -- execution ---------------------------------------------------------
+    def run(self, program: MemoryProgram) -> EventExecutionResult:
+        """Execute ``program`` cycle by cycle with warp overlap."""
+        n_warps = warp_count(program.p, self.w)
+        instructions = list(program)
+        registers: dict[str, np.ndarray] = {}
+
+        # Apply all data effects up front, instruction by instruction, in
+        # program order — the timing model never reorders same-warp
+        # accesses and different warps touch disjoint lanes, so the
+        # final memory/register state matches the analytic machine.
+        # (Cross-warp write races resolve identically: numpy last-wins.)
+        congestion: list[list[int]] = []
+        active_any: list[list[bool]] = []
+        for instr in instructions:
+            self._apply(instr, registers)
+            grouped = instr.addresses.reshape(n_warps, self.w)
+            per_warp = []
+            act = []
+            for row in grouped:
+                lanes = row[row != INACTIVE]
+                act.append(lanes.size > 0)
+                per_warp.append(
+                    self.stage_rule(lanes, self.w) if lanes.size else 0
+                )
+            congestion.append(per_warp)
+            active_any.append(act)
+
+        warps = [_WarpState() for _ in range(n_warps)]
+
+        def load_next_access(state: _WarpState, widx: int) -> None:
+            """Advance pc past non-participating instructions; arm stages."""
+            while state.pc < len(instructions) and not active_any[state.pc][widx]:
+                state.pc += 1
+            if state.pc < len(instructions):
+                state.stages_left = congestion[state.pc][widx]
+
+        for widx, state in enumerate(warps):
+            load_next_access(state, widx)
+
+        cycle = 0
+        issue_cycles = 0
+        idle_cycles = 0
+        last_completion = 0
+        rr = 0  # round-robin pointer
+        remaining = sum(1 for s in warps if s.pc < len(instructions))
+
+        while remaining:
+            issued = False
+            for offset in range(n_warps):
+                widx = (rr + offset) % n_warps
+                state = warps[widx]
+                if state.pc >= len(instructions) or state.stages_left == 0:
+                    continue
+                if state.ready_at > cycle:
+                    continue
+                # Grant this warp one pipeline stage.
+                state.stages_left -= 1
+                issued = True
+                if state.stages_left == 0:
+                    completion = cycle + self.latency  # issues now, done l later
+                    state.ready_at = completion
+                    last_completion = max(last_completion, completion)
+                    state.finished_at = completion
+                    state.pc += 1
+                    load_next_access(state, widx)
+                    if state.pc >= len(instructions):
+                        remaining -= 1
+                rr = (widx + 1) % n_warps
+                break
+            if issued:
+                issue_cycles += 1
+            else:
+                idle_cycles += 1
+            cycle += 1
+            if cycle > 10_000_000:  # pragma: no cover - runaway guard
+                raise RuntimeError("event simulation did not converge")
+
+        return EventExecutionResult(
+            time_units=last_completion,
+            issue_cycles=issue_cycles,
+            idle_cycles=idle_cycles,
+            per_warp_finish=[s.finished_at for s in warps],
+            registers=registers,
+        )
+
+    def _apply(self, instr: Instruction, registers: dict[str, np.ndarray]) -> None:
+        mask = instr.active_mask
+        if instr.op == "read":
+            reg = registers.setdefault(
+                instr.register, np.zeros(instr.p, dtype=self.memory.dtype)
+            )
+            if mask.any():
+                reg[mask] = self.memory.read(instr.addresses[mask])
+        else:
+            if instr.values is not None:
+                source = np.asarray(instr.values)
+            else:
+                if instr.register not in registers:
+                    raise KeyError(
+                        f"write from register {instr.register!r} before any read into it"
+                    )
+                source = registers[instr.register]
+            if mask.any():
+                self.memory.write(instr.addresses[mask], source[mask])

@@ -1,0 +1,98 @@
+"""Banked shared memory with CRCW-arbitrary semantics (Section II).
+
+``m[a]`` lives in bank ``a mod w`` — the interleaved mapping of Fig. 1.
+Reads are concurrent; duplicate *read* addresses are merged into one
+request.  Duplicate *write* addresses are resolved arbitrarily (one
+writer wins, the rest are ignored) — the DMM is a CRCW machine with
+arbitrary resolution.  For reproducibility our "arbitrary" choice is
+deterministic: the highest thread index wins, which is how numpy's
+fancy assignment resolves duplicate indices (last occurrence wins).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["BankedMemory"]
+
+
+class BankedMemory:
+    """A single address space interleaved over ``w`` memory banks.
+
+    Parameters
+    ----------
+    w:
+        Number of banks.
+    size:
+        Number of addressable words.  Rounded semantics: any address in
+        ``[0, size)`` is valid.
+    dtype:
+        Element dtype of the backing store (default ``float64`` — the
+        paper's kernels move ``double`` values).
+    fill:
+        Initial value of every word.
+    """
+
+    def __init__(self, w: int, size: int, dtype=np.float64, fill=0):
+        self.w = check_positive_int(w, "w")
+        self.size = check_positive_int(size, "size")
+        self._store = np.full(size, fill, dtype=dtype)
+
+    @property
+    def store(self) -> np.ndarray:
+        """The raw backing array (a view; mutate with care)."""
+        return self._store
+
+    @property
+    def dtype(self):
+        """Element dtype of the backing store."""
+        return self._store.dtype
+
+    def bank_of(self, addresses) -> np.ndarray:
+        """Bank index of each address: ``a mod w``."""
+        addresses = self._validate(addresses)
+        return addresses % self.w
+
+    def row_of(self, addresses) -> np.ndarray:
+        """Row (position within the bank) of each address: ``a // w``."""
+        addresses = self._validate(addresses)
+        return addresses // self.w
+
+    def read(self, addresses) -> np.ndarray:
+        """Concurrent gather: return ``m[a]`` for each requested address.
+
+        Duplicate addresses are allowed (they merge into one physical
+        request; the timing consequence is handled by the MMU, not
+        here) and every requesting thread receives the value.
+        """
+        addresses = self._validate(addresses)
+        return self._store[addresses]
+
+    def write(self, addresses, values) -> None:
+        """Concurrent scatter with CRCW-arbitrary duplicate resolution.
+
+        When several threads write the same address, exactly one value
+        is stored.  numpy fancy assignment keeps the *last* occurrence,
+        i.e. the highest thread index — a legal "arbitrary" choice that
+        is deterministic for testing.
+        """
+        addresses = self._validate(addresses)
+        values = np.asarray(values)
+        if values.shape != addresses.shape:
+            raise ValueError(
+                f"values shape {values.shape} must match addresses shape {addresses.shape}"
+            )
+        self._store[addresses] = values
+
+    def _validate(self, addresses) -> np.ndarray:
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if ((addresses < 0) | (addresses >= self.size)).any():
+            raise IndexError(
+                f"address out of range [0, {self.size})"
+            )
+        return addresses
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BankedMemory(w={self.w}, size={self.size}, dtype={self._store.dtype})"

@@ -1,0 +1,145 @@
+"""Instruction and program representation for the DMM executor.
+
+A *memory program* is what the paper's pseudo-code ("thread t performs
+``b[j][i] <- a[i][j]``") compiles down to on the DMM: a sequence of
+SIMD instructions, each giving every thread one memory address to read
+or write.  Threads that sit out an instruction use the
+:data:`INACTIVE` sentinel address; a warp in which every thread is
+inactive is not dispatched at all (Section II).
+
+The representation is deliberately dumb — plain frozen dataclasses over
+numpy arrays — so that traces can be built by pattern generators,
+transpose compilers, and property-based tests alike, and then replayed
+on the machine for both *data* (what ends up in memory) and *timing*
+(how many time units the pipeline needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["INACTIVE", "Instruction", "read", "write", "MemoryProgram"]
+
+#: Sentinel address meaning "this thread does not access memory in this
+#: instruction".
+INACTIVE: int = -1
+
+
+def _as_address_array(addresses) -> np.ndarray:
+    arr = np.ascontiguousarray(addresses, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"addresses must be 1-D (one per thread), got shape {arr.shape}")
+    if (arr < INACTIVE).any():
+        raise ValueError("addresses must be >= 0, or -1 for inactive threads")
+    return arr
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One SIMD memory instruction executed by all ``p`` threads.
+
+    Attributes
+    ----------
+    op:
+        ``"read"`` or ``"write"``.
+    addresses:
+        Shape ``(p,)`` int64 array; entry ``t`` is thread ``t``'s
+        address (or :data:`INACTIVE`).
+    register:
+        Name of the per-thread register that receives the value (read)
+        or supplies it (write).  Registers model the local variables of
+        a CUDA kernel (e.g. ``double c`` in the paper's listing).
+    values:
+        Optional immediate values for a write, used instead of a
+        register (shape ``(p,)``).
+    """
+
+    op: str
+    addresses: np.ndarray
+    register: str = "r0"
+    values: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        if self.op not in ("read", "write"):
+            raise ValueError(f"op must be 'read' or 'write', got {self.op!r}")
+        object.__setattr__(self, "addresses", _as_address_array(self.addresses))
+        if self.values is not None:
+            vals = np.ascontiguousarray(self.values)
+            if vals.shape != self.addresses.shape:
+                raise ValueError(
+                    f"values shape {vals.shape} must match addresses shape {self.addresses.shape}"
+                )
+            if self.op == "read":
+                raise ValueError("read instructions cannot carry immediate values")
+            object.__setattr__(self, "values", vals)
+
+    @property
+    def p(self) -> int:
+        """Number of threads executing this instruction."""
+        return int(self.addresses.size)
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        """Boolean mask of threads that actually access memory."""
+        return self.addresses != INACTIVE
+
+
+def read(addresses, register: str = "r0") -> Instruction:
+    """Build a read instruction: ``register[t] <- mem[addresses[t]]``."""
+    return Instruction("read", addresses, register)
+
+
+def write(addresses, register: str = "r0", values=None) -> Instruction:
+    """Build a write instruction: ``mem[addresses[t]] <- register[t]``.
+
+    Pass ``values`` to write immediates instead of register contents.
+    """
+    return Instruction("write", addresses, register, values)
+
+
+@dataclass
+class MemoryProgram:
+    """A straight-line sequence of SIMD memory instructions.
+
+    Attributes
+    ----------
+    p:
+        Thread count; every instruction must address exactly ``p``
+        threads.  Must be a multiple of the machine width so threads
+        partition into full warps.
+    instructions:
+        The instruction list, executed in order with a full barrier
+        between instructions (phase-sequential semantics; see
+        :class:`repro.dmm.machine.DiscreteMemoryMachine`).
+    """
+
+    p: int
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def __post_init__(self):
+        check_positive_int(self.p, "p")
+        for instr in self.instructions:
+            self._check(instr)
+
+    def _check(self, instr: Instruction) -> None:
+        if instr.p != self.p:
+            raise ValueError(
+                f"instruction addresses {instr.p} threads but program has p={self.p}"
+            )
+
+    def append(self, instr: Instruction) -> "MemoryProgram":
+        """Append an instruction (validated); returns self for chaining."""
+        self._check(instr)
+        self.instructions.append(instr)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)

@@ -1,0 +1,85 @@
+"""Execution-trace invariant checking — the machine audits itself.
+
+:func:`check_execution_invariants` verifies the structural properties
+every :class:`~repro.dmm.machine.ExecutionResult` must satisfy,
+independent of what the program computed:
+
+1. dispatched warps are strictly ascending (round-robin order);
+2. every warp congestion lies in ``[1, w]``;
+3. each instruction's issue stages are the prefix sums of its
+   congestions, and its time is ``total_stages + l - 1`` (or 0);
+4. the program time is the sum of instruction times
+   (phase-sequential execution).
+
+Property tests run it over random programs; it is also a debugging
+aid for anyone extending the executor — run it on a suspicious result
+and it names the violated clause.
+"""
+
+from __future__ import annotations
+
+from repro.dmm.machine import ExecutionResult
+from repro.util.validation import check_latency, check_positive_int
+
+__all__ = ["InvariantViolation", "check_execution_invariants"]
+
+
+class InvariantViolation(AssertionError):
+    """Raised when an execution trace breaks a machine invariant."""
+
+
+def check_execution_invariants(
+    result: ExecutionResult, w: int, latency: int
+) -> None:
+    """Validate a result against the DMM timing contract.
+
+    Raises
+    ------
+    InvariantViolation
+        Naming the first violated clause.
+    """
+    check_positive_int(w, "w")
+    check_latency(latency)
+    total = 0
+    for idx, trace in enumerate(result.traces):
+        warps = trace.dispatched_warps
+        if list(warps) != sorted(set(warps)):
+            raise InvariantViolation(
+                f"instr {idx}: dispatch order not strictly ascending: {warps}"
+            )
+        if len(warps) != len(trace.congestions):
+            raise InvariantViolation(
+                f"instr {idx}: {len(warps)} warps but "
+                f"{len(trace.congestions)} congestion entries"
+            )
+        for c in trace.congestions:
+            if not 1 <= c <= w:
+                raise InvariantViolation(
+                    f"instr {idx}: congestion {c} outside [1, {w}]"
+                )
+        sched = trace.schedule
+        expected_issue = []
+        acc = 0
+        for c in sched.congestions:
+            expected_issue.append(acc)
+            acc += c
+        if list(sched.issue_stage) != expected_issue:
+            raise InvariantViolation(
+                f"instr {idx}: issue stages {sched.issue_stage} are not the "
+                f"prefix sums of {sched.congestions}"
+            )
+        if sched.total_stages != acc:
+            raise InvariantViolation(
+                f"instr {idx}: total_stages {sched.total_stages} != sum {acc}"
+            )
+        expected_time = acc + latency - 1 if acc else 0
+        if trace.time_units != expected_time:
+            raise InvariantViolation(
+                f"instr {idx}: time {trace.time_units} != "
+                f"{acc} + {latency} - 1"
+            )
+        total += trace.time_units
+    if result.time_units != total:
+        raise InvariantViolation(
+            f"program time {result.time_units} != sum of instruction times {total}"
+        )

@@ -1,0 +1,63 @@
+"""Warp partitioning and round-robin dispatch (Section II).
+
+``p`` threads ``T(0) .. T(p-1)`` are partitioned into ``p/w`` warps of
+``w`` consecutive threads: ``W(i) = { T(i*w) .. T((i+1)*w - 1) }``.
+Warps are dispatched for memory access in round-robin order, and a
+warp none of whose threads requests memory is skipped entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dmm.trace import INACTIVE
+from repro.util.validation import check_positive_int
+
+__all__ = ["warp_count", "warp_slices", "warp_members", "dispatch_order"]
+
+
+def warp_count(p: int, w: int) -> int:
+    """Number of warps for ``p`` threads of width ``w`` (must divide)."""
+    check_positive_int(p, "p")
+    check_positive_int(w, "w")
+    if p % w != 0:
+        raise ValueError(f"thread count p={p} must be a multiple of warp width w={w}")
+    return p // w
+
+
+def warp_slices(p: int, w: int) -> list[slice]:
+    """Slice of thread indices belonging to each warp, in warp order."""
+    n = warp_count(p, w)
+    return [slice(i * w, (i + 1) * w) for i in range(n)]
+
+
+def warp_members(p: int, w: int) -> np.ndarray:
+    """Thread-index matrix of shape ``(p/w, w)``: row ``i`` is warp ``W(i)``."""
+    n = warp_count(p, w)
+    return np.arange(p, dtype=np.int64).reshape(n, w)
+
+
+def dispatch_order(addresses: np.ndarray, w: int) -> list[int]:
+    """Warps dispatched for one SIMD instruction, in round-robin order.
+
+    A warp is dispatched iff at least one of its threads requests
+    memory (address != :data:`~repro.dmm.trace.INACTIVE`).
+
+    Parameters
+    ----------
+    addresses:
+        Shape ``(p,)`` per-thread address vector of the instruction.
+    w:
+        Warp width.
+
+    Returns
+    -------
+    list of int
+        Indices of dispatched warps, ascending (round-robin from W(0)).
+    """
+    addresses = np.asarray(addresses)
+    if addresses.ndim != 1:
+        raise ValueError(f"addresses must be 1-D, got shape {addresses.shape}")
+    n = warp_count(addresses.size, w)
+    active = (addresses.reshape(n, w) != INACTIVE).any(axis=1)
+    return [int(i) for i in np.flatnonzero(active)]

@@ -1,0 +1,232 @@
+"""Shared-memory kernel abstraction — CUDA-block-shaped programs.
+
+A :class:`SharedMemoryKernel` is the library's stand-in for a CUDA
+kernel operating on matrices in one streaming multiprocessor's shared
+memory: a grid of ``p = w^2`` threads, named matrices laid out under
+one address mapping, and a straight-line list of logical read/write
+steps.  It compiles to a :class:`~repro.dmm.trace.MemoryProgram`, runs
+on the cycle-accurate DMM, and feeds the
+:class:`~repro.gpu.timing.GPUTimingModel` to produce a nanosecond
+estimate — the full Table III path, but open to *user-defined* access
+patterns too (see ``examples/custom_kernel.py``).
+
+This is where a downstream user gets the paper's punchline as an API:
+write your kernel against logical indices, pick
+``mapping="RAP"``, and bank conflicts are handled for you.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.mappings import AddressMapping, mapping_by_name
+from repro.dmm.machine import DiscreteMemoryMachine, ExecutionResult
+from repro.dmm.trace import MemoryProgram, read, write
+from repro.gpu.timing import GPUTimingModel
+from repro.util.rng import SeedLike
+
+__all__ = ["KernelStep", "KernelReport", "SharedMemoryKernel", "transpose_kernel"]
+
+
+@dataclass(frozen=True)
+class KernelStep:
+    """One SIMD step: every thread reads or writes one logical element.
+
+    Attributes
+    ----------
+    op:
+        ``"read"`` or ``"write"``.
+    array:
+        Name of the shared-memory matrix this step touches.
+    ii, jj:
+        ``(w, w)`` logical index grids — axis 0 is the warp, axis 1 the
+        lane (same convention as :mod:`repro.access.patterns`).
+    register:
+        Per-thread register carrying the value between steps.
+    """
+
+    op: str
+    array: str
+    ii: np.ndarray
+    jj: np.ndarray
+    register: str = "r0"
+
+    def __post_init__(self):
+        if self.op not in ("read", "write"):
+            raise ValueError(f"op must be 'read' or 'write', got {self.op!r}")
+        ii = np.ascontiguousarray(self.ii, dtype=np.int64)
+        jj = np.ascontiguousarray(self.jj, dtype=np.int64)
+        if ii.shape != jj.shape or ii.ndim != 2:
+            raise ValueError(
+                f"ii/jj must be matching 2-D grids, got {ii.shape} and {jj.shape}"
+            )
+        object.__setattr__(self, "ii", ii)
+        object.__setattr__(self, "jj", jj)
+
+
+@dataclass(frozen=True)
+class KernelReport:
+    """Everything measured from one kernel execution.
+
+    Attributes
+    ----------
+    time_units:
+        Exact DMM completion time (with the machine's latency).
+    total_stages:
+        Total pipeline stages occupied (the timing model's regressor).
+    overhead_ops:
+        Address-computation ALU ops implied by the mapping.
+    predicted_ns:
+        Timing-model estimate, if a model was supplied.
+    execution:
+        Full per-instruction machine trace.
+    """
+
+    time_units: int
+    total_stages: int
+    overhead_ops: int
+    predicted_ns: Optional[float]
+    execution: ExecutionResult
+
+
+class SharedMemoryKernel:
+    """A CUDA-like kernel over mapped shared-memory matrices.
+
+    Parameters
+    ----------
+    w:
+        Matrix side == warp width (``p = w^2`` threads).
+    steps:
+        The logical access steps, executed in order.
+    arrays:
+        Names of the shared matrices; each gets ``w^2`` words, packed
+        consecutively in the address space in the order given.
+    mapping:
+        An :class:`~repro.core.mappings.AddressMapping` instance, or a
+        name (``"RAW"``/``"RAS"``/``"RAP"``) to draw one.
+    seed:
+        Seed used when ``mapping`` is a name.
+    """
+
+    def __init__(
+        self,
+        w: int,
+        steps: Sequence[KernelStep],
+        arrays: Sequence[str] = ("a", "b"),
+        mapping: AddressMapping | str = "RAW",
+        seed: SeedLike = None,
+    ):
+        if isinstance(mapping, str):
+            mapping = mapping_by_name(mapping, w, seed)
+        if mapping.w != w:
+            raise ValueError(f"mapping width {mapping.w} != kernel width {w}")
+        self.w = w
+        self.mapping = mapping
+        self.arrays = tuple(arrays)
+        if len(set(self.arrays)) != len(self.arrays):
+            raise ValueError(f"duplicate array names in {self.arrays}")
+        words = self.mapping.storage_words
+        self.bases = {name: idx * words for idx, name in enumerate(self.arrays)}
+        self.steps = list(steps)
+        for step in self.steps:
+            self._check(step)
+
+    def _check(self, step: KernelStep) -> None:
+        if step.array not in self.bases:
+            raise ValueError(
+                f"step touches unknown array {step.array!r}; declared: {self.arrays}"
+            )
+        if step.ii.shape != (self.w, self.w):
+            raise ValueError(
+                f"step index grids must be ({self.w}, {self.w}), got {step.ii.shape}"
+            )
+
+    # -- compilation / execution ----------------------------------------
+    def program(self) -> MemoryProgram:
+        """Compile the steps into a DMM memory program."""
+        prog = MemoryProgram(p=self.w * self.w)
+        for step in self.steps:
+            addr = self.bases[step.array] + self.mapping.address(step.ii, step.jj)
+            if step.op == "read":
+                prog.append(read(addr.ravel(), register=step.register))
+            else:
+                prog.append(write(addr.ravel(), register=step.register))
+        return prog
+
+    def make_machine(self, latency: int = 1) -> DiscreteMemoryMachine:
+        """A DMM sized for this kernel's arrays."""
+        return DiscreteMemoryMachine(
+            self.w,
+            latency,
+            memory_size=len(self.arrays) * self.mapping.storage_words,
+        )
+
+    def load_array(
+        self, machine: DiscreteMemoryMachine, name: str, matrix: np.ndarray
+    ) -> None:
+        """Place a logical matrix into the machine under the mapping."""
+        machine.load(self.bases[name], self.mapping.apply_layout(matrix))
+
+    def read_array(self, machine: DiscreteMemoryMachine, name: str) -> np.ndarray:
+        """Recover a logical matrix from the machine under the mapping."""
+        flat = machine.dump(self.bases[name], self.mapping.storage_words)
+        return self.mapping.read_layout(flat)
+
+    def overhead_ops(self) -> int:
+        """Address-computation ALU ops across all warp issues."""
+        issues = len(self.steps) * self.w  # instructions x warps
+        return self.mapping.address_overhead_ops * issues
+
+    def run(
+        self,
+        machine: Optional[DiscreteMemoryMachine] = None,
+        latency: int = 1,
+        timing_model: Optional[GPUTimingModel] = None,
+    ) -> KernelReport:
+        """Execute on the DMM and report stages / time / predicted ns."""
+        if machine is None:
+            machine = self.make_machine(latency)
+        execution = machine.run(self.program())
+        total_stages = sum(t.schedule.total_stages for t in execution.traces)
+        ops = self.overhead_ops()
+        predicted = (
+            timing_model.predict_ns(total_stages, ops) if timing_model else None
+        )
+        return KernelReport(
+            time_units=execution.time_units,
+            total_stages=total_stages,
+            overhead_ops=ops,
+            predicted_ns=predicted,
+            execution=execution,
+        )
+
+
+def transpose_kernel(
+    kind: str, mapping: AddressMapping | str, w: Optional[int] = None, seed: SeedLike = None
+) -> SharedMemoryKernel:
+    """Build the Table III transpose kernels as SharedMemoryKernels.
+
+    Parameters
+    ----------
+    kind:
+        ``"CRSW"``, ``"SRCW"``, or ``"DRDW"``.
+    mapping:
+        Mapping instance or name.
+    w:
+        Width, required when ``mapping`` is a name (default 32).
+    seed:
+        Seed when drawing a mapping by name.
+    """
+    from repro.access.transpose import transpose_indices
+
+    if isinstance(mapping, str):
+        mapping = mapping_by_name(mapping, 32 if w is None else w, seed)
+    (ri, rj), (wi, wj) = transpose_indices(kind, mapping.w)
+    steps = [
+        KernelStep("read", "a", ri, rj, register="c"),
+        KernelStep("write", "b", wi, wj, register="c"),
+    ]
+    return SharedMemoryKernel(mapping.w, steps, arrays=("a", "b"), mapping=mapping)

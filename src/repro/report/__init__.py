@@ -1,0 +1,47 @@
+"""Rendering of regenerated tables and figures."""
+
+from repro.report.figures import (
+    ALL_FIGURES,
+    Figure,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from repro.report.ascii_plot import bar_chart, line_chart
+from repro.report.heatmap import bank_heatmap, load_glyph, render_heatmap
+from repro.report.timeline import instruction_timeline, render_timeline
+from repro.report.tables import (
+    format_grid,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "Figure",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "bar_chart",
+    "line_chart",
+    "instruction_timeline",
+    "render_timeline",
+    "bank_heatmap",
+    "load_glyph",
+    "render_heatmap",
+    "format_grid",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+]

@@ -1,0 +1,110 @@
+"""Minimal ASCII charts for terminal-rendered experiment figures.
+
+The paper's evaluation is all tables, but the growth claims (Theorem 2
+vs measured congestion as ``w`` scales) read better as curves.  This
+module renders small line/bar charts in plain text so experiments and
+examples can show them without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["bar_chart", "line_chart"]
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    title: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """Horizontal bar chart of labelled values.
+
+    Parameters
+    ----------
+    values:
+        Label -> value (values must be >= 0).
+    width:
+        Character width of the longest bar.
+    title:
+        Optional heading line.
+    fmt:
+        Format applied to the numeric annotation.
+    """
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar_chart values must be >= 0")
+    peak = max(values.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(1 if value > 0 else 0, round(value / peak * width))
+        lines.append(f"{label.rjust(label_width)} | {bar} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Multi-series scatter/line chart on a character canvas.
+
+    Each series is drawn with its own glyph (assigned from
+    ``*+ox^#%@`` in order); the y-axis is annotated with the data
+    range, the x-axis with the first and last x values.
+
+    Parameters
+    ----------
+    x:
+        Shared x coordinates (length must match every series).
+    series:
+        Label -> y values.
+    height, width:
+        Canvas size in characters.
+    title:
+        Optional heading line.
+    """
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    x = np.asarray(x, dtype=float)
+    glyphs = "*+ox^#%@"
+    ys = {k: np.asarray(v, dtype=float) for k, v in series.items()}
+    for label, y in ys.items():
+        if y.shape != x.shape:
+            raise ValueError(
+                f"series {label!r} length {y.size} != x length {x.size}"
+            )
+    y_all = np.concatenate(list(ys.values()))
+    y_min, y_max = float(y_all.min()), float(y_all.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x.min()), float(x.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (label, y) in enumerate(ys.items()):
+        glyph = glyphs[idx % len(glyphs)]
+        cols = np.round((x - x_min) / (x_max - x_min) * (width - 1)).astype(int)
+        rows = np.round((y - y_min) / (y_max - y_min) * (height - 1)).astype(int)
+        for c, r in zip(cols, rows):
+            canvas[height - 1 - r][c] = glyph
+
+    lines = [title] if title else []
+    lines.append(f"{y_max:>8.2f} +" + "-" * width)
+    for row in canvas:
+        lines.append(" " * 9 + "|" + "".join(row))
+    lines.append(f"{y_min:>8.2f} +" + "-" * width)
+    lines.append(" " * 10 + f"{x_min:<10.6g}{' ' * (width - 20)}{x_max:>10.6g}")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {label}" for i, label in enumerate(ys)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""ASCII bank-load heatmaps — seeing where the conflicts are.
+
+Given the address matrix of a multi-warp access (one row per warp),
+render the per-bank load of every warp as a character grid: ``.`` for
+an idle bank, digits for loads 1-9, ``#`` beyond.  A RAW stride access
+shows up as one scorching column; the same access under RAP is a flat
+field of 1s.  Used by the examples and handy in a REPL when designing
+kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.congestion import bank_loads_batch
+from repro.util.validation import check_positive_int
+
+__all__ = ["load_glyph", "bank_heatmap", "render_heatmap"]
+
+
+def load_glyph(load: int) -> str:
+    """Single-character rendering of one bank's load."""
+    if load < 0:
+        raise ValueError(f"load must be >= 0, got {load}")
+    if load == 0:
+        return "."
+    if load <= 9:
+        return str(load)
+    return "#"
+
+
+def bank_heatmap(addresses: np.ndarray, w: int) -> np.ndarray:
+    """Per-warp, per-bank load matrix of a batch of warp accesses.
+
+    Parameters
+    ----------
+    addresses:
+        Shape ``(n_warps, k)`` requested addresses (duplicates merge).
+    w:
+        Bank count.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n_warps, w)`` int64 load matrix.
+    """
+    check_positive_int(w, "w")
+    return bank_loads_batch(np.asarray(addresses), w)
+
+
+def render_heatmap(
+    addresses: np.ndarray, w: int, title: str = ""
+) -> str:
+    """Render a batch of warp accesses as an ASCII bank heatmap.
+
+    Each output row is one warp; each column one bank.  The right
+    margin annotates the warp's congestion.
+    """
+    loads = bank_heatmap(addresses, w)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("     " + "".join(str(b % 10) for b in range(w)) + "   congestion")
+    for warp, row in enumerate(loads):
+        body = "".join(load_glyph(int(v)) for v in row)
+        lines.append(f"W{warp:>3d} {body}   {int(row.max())}")
+    worst = int(loads.max()) if loads.size else 0
+    lines.append(f"worst warp congestion: {worst}")
+    return "\n".join(lines)

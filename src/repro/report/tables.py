@@ -1,0 +1,180 @@
+"""ASCII rendering of the regenerated tables.
+
+Turns the structured results of :mod:`repro.sim.experiments` into the
+row/column layout of the paper, with paper reference values printed
+next to our measurements.  Pure formatting — no computation — so that
+benchmarks and the CLI share one renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.higher_dim import ND_MAPPING_NAMES
+from repro.core.mappings import MAPPING_NAMES
+from repro.sim.experiments import (
+    Table1Result,
+    Table2Result,
+    Table3Result,
+    Table4Result,
+)
+
+__all__ = [
+    "format_grid",
+    "format_markdown",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+]
+
+
+def format_grid(
+    header: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Render a list of string rows as an aligned ASCII grid."""
+    body = [list(map(str, header))] + [list(map(str, r)) for r in rows]
+    widths = [max(len(row[c]) for row in body) for c in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * wd for wd in widths)
+    for idx, row in enumerate(body):
+        lines.append(" | ".join(cell.ljust(wd) for cell, wd in zip(row, widths)))
+        if idx == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_markdown(
+    header: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Render rows as a GitHub-flavoured Markdown table.
+
+    Used to regenerate the comparison tables of ``EXPERIMENTS.md``
+    directly from experiment results (``--format md`` on the CLI), so
+    the document never drifts from the code.
+    """
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    head = [str(c) for c in header]
+    lines.append("| " + " | ".join(head) + " |")
+    lines.append("|" + "|".join("---" for _ in head) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def _render(header, rows, title, style):
+    """Dispatch to the ASCII grid or Markdown renderer by style."""
+    if style == "ascii":
+        return format_grid(header, rows, title)
+    if style == "md":
+        return format_markdown(header, rows, title)
+    raise ValueError(f"unknown style {style!r}; expected 'ascii' or 'md'")
+
+
+def _num(x: float) -> str:
+    """Format a congestion value: integers exactly, floats to 2 dp."""
+    return str(int(x)) if float(x).is_integer() else f"{x:.2f}"
+
+
+def render_table1(result: Table1Result, style: str = "ascii") -> str:
+    """Table I: analytic congestion of RAW/RAS/RAP."""
+    rows = [
+        [row.capitalize()] + [result.cells[(row, m)] for m in result.mappings]
+        for row in result.rows
+    ]
+    return _render(
+        ["Access"] + list(result.mappings),
+        rows,
+        "Table I - memory access congestion (analytic)",
+        style,
+    )
+
+
+def render_table2(result: Table2Result, style: str = "ascii") -> str:
+    """Table II: simulated congestion, grouped by mapping like the paper."""
+    header = ["Pattern"]
+    for mapping in MAPPING_NAMES:
+        header += [f"{mapping} w={w}" for w in result.widths]
+    patterns = sorted({k[0] for k in result.stats})
+    # Keep the paper's row order where possible.
+    order = [p for p in ("contiguous", "stride", "diagonal", "random", "malicious") if p in patterns]
+    rows = []
+    for pattern in order:
+        row = [pattern.capitalize()]
+        for mapping in MAPPING_NAMES:
+            for w in result.widths:
+                row.append(_num(result.stats[(pattern, mapping, w)].mean))
+        rows.append(row)
+    return _render(
+        header, rows, "Table II - simulated congestion of matrix access", style
+    )
+
+
+def render_table3(result: Table3Result, style: str = "ascii") -> str:
+    """Table III: congestion + modelled ns next to the paper's ns."""
+    header = [
+        "Algorithm",
+        "Mapping",
+        "read cong.",
+        "write cong.",
+        "stages",
+        "model ns",
+        "paper ns",
+        "correct",
+    ]
+    rows = []
+    for (algorithm, mapping), row in sorted(result.rows.items()):
+        rows.append(
+            [
+                algorithm,
+                mapping,
+                _num(round(row.read_congestion, 2)),
+                _num(round(row.write_congestion, 2)),
+                _num(round(row.mean_stages, 1)),
+                f"{row.predicted_ns:.1f}",
+                f"{row.paper_ns:.1f}",
+                "yes" if row.all_correct else "NO",
+            ]
+        )
+    return _render(
+        header,
+        rows,
+        f"Table III - transpose on the DMM (w={result.w}) + GPU timing model",
+        style,
+    )
+
+
+def render_table4(result: Table4Result, style: str = "ascii") -> str:
+    """Table IV: 4-D congestion per scheme + random-number budget."""
+    header = ["Pattern"] + list(ND_MAPPING_NAMES)
+    patterns = [
+        p
+        for p in ("contiguous", "stride1", "stride2", "stride3", "random", "malicious")
+        if any(k[0] == p for k in result.stats)
+    ]
+    rows = []
+    for pattern in patterns:
+        row = [pattern.capitalize()]
+        for scheme in ND_MAPPING_NAMES:
+            stats = result.stats[(pattern, scheme)]
+            row.append(_num(round(stats.mean, 2)))
+        rows.append(row)
+    rows.append(
+        ["Random numbers"]
+        + [str(result.random_numbers[s]) for s in ND_MAPPING_NAMES]
+    )
+    return _render(
+        header,
+        rows,
+        f"Table IV - 4-D array schemes at w={result.w} (simulated congestion)",
+        style,
+    )

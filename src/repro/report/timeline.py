@@ -1,0 +1,60 @@
+"""Execution timelines — Gantt-style views of DMM runs.
+
+Renders an :class:`~repro.dmm.machine.ExecutionResult` as a per-warp
+pipeline-occupancy chart: one row per warp, one column per issue
+stage, ``#`` where the warp's requests occupy the pipeline.  The Fig. 3
+picture of the paper, generated from any real run — invaluable when
+explaining *why* a kernel is slow (a long horizontal bar is a
+serialized warp; a tall sparse chart is good parallelism).
+"""
+
+from __future__ import annotations
+
+from repro.dmm.machine import ExecutionResult
+
+__all__ = ["instruction_timeline", "render_timeline"]
+
+
+def instruction_timeline(result: ExecutionResult, instruction: int) -> list[str]:
+    """Occupancy rows (one per dispatched warp) of one instruction.
+
+    Row ``k`` shows warp ``dispatched_warps[k]``'s stages: spaces until
+    its issue stage, then ``#`` for each occupied stage.
+    """
+    trace = result.traces[instruction]
+    total = trace.schedule.total_stages
+    rows = []
+    for warp, issue, cong in zip(
+        trace.dispatched_warps,
+        trace.schedule.issue_stage,
+        trace.schedule.congestions,
+    ):
+        rows.append(f"W{warp:<3d} " + " " * issue + "#" * cong + " " * (total - issue - cong))
+    return rows
+
+
+def render_timeline(result: ExecutionResult, max_width: int = 72) -> str:
+    """Full-program timeline, instruction by instruction.
+
+    Instructions whose stage count exceeds ``max_width`` are summarized
+    numerically instead of drawn (a 1024-stage RAW stride phase does
+    not fit a terminal, and the number tells the story anyway).
+    """
+    blocks = []
+    for idx, trace in enumerate(result.traces):
+        head = (
+            f"instr {idx} ({trace.op}): {trace.schedule.total_stages} stages"
+            f" + drain -> {trace.time_units} time units"
+        )
+        if 0 < trace.schedule.total_stages <= max_width:
+            blocks.append("\n".join([head] + instruction_timeline(result, idx)))
+        else:
+            worst = trace.max_congestion
+            blocks.append(
+                head
+                + f"  [too wide to draw; worst warp occupies {worst} stages]"
+                if trace.schedule.total_stages
+                else head + "  [no requests]"
+            )
+    blocks.append(f"total: {result.time_units} time units")
+    return "\n\n".join(blocks)

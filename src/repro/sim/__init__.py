@@ -1,0 +1,58 @@
+"""Monte-Carlo simulation harness and the experiment registry."""
+
+from repro.sim.congestion_sim import (
+    CongestionStats,
+    simulate_matrix_congestion,
+    simulate_nd_congestion,
+)
+from repro.sim.distributions import (
+    CongestionDistribution,
+    congestion_distribution,
+)
+from repro.sim.registry import EXPERIMENT_INDEX, Experiment
+from repro.sim.sweep import (
+    GrowthSweep,
+    LatencySweep,
+    growth_sweep,
+    latency_sweep,
+)
+from repro.sim.experiments import (
+    PAPER_TABLE2,
+    PAPER_TABLE4_CLASSES,
+    TABLE2_WIDTHS,
+    Table1Result,
+    Table2Result,
+    Table3Result,
+    Table3Row,
+    Table4Result,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = [
+    "CongestionStats",
+    "CongestionDistribution",
+    "congestion_distribution",
+    "EXPERIMENT_INDEX",
+    "Experiment",
+    "GrowthSweep",
+    "LatencySweep",
+    "growth_sweep",
+    "latency_sweep",
+    "simulate_matrix_congestion",
+    "simulate_nd_congestion",
+    "PAPER_TABLE2",
+    "PAPER_TABLE4_CLASSES",
+    "TABLE2_WIDTHS",
+    "Table1Result",
+    "Table2Result",
+    "Table3Result",
+    "Table3Row",
+    "Table4Result",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+]

@@ -1,0 +1,327 @@
+"""Monte-Carlo congestion simulation (Section V, Tables II & IV).
+
+Estimates the expected per-warp congestion of a (mapping, pattern)
+pair by redrawing the mapping's randomness every trial and measuring
+the congestion of every warp access in the pattern.  The 2-D matrix
+path is fully vectorized over trials *and* warps — one
+``congestion_batch`` call per chunk — because Table II needs tens of
+thousands of warp accesses per cell at widths up to 256.  The 4-D path
+(Table IV) instantiates a mapping per trial; its per-trial cost is
+dominated by drawing permutations and stays comfortably fast at the
+paper's ``w = 32``.
+
+Chunking bounds peak memory: a chunk of ``t`` trials of a ``w``-warp
+pattern materializes ``t * w * w`` int64 addresses, so trials are
+processed in blocks sized to ~64 MiB regardless of ``w``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.access.patterns import pattern_logical
+from repro.access.patterns_nd import nd_pattern_logical
+from repro.core.congestion import congestion_batch, warp_congestion
+from repro.core.higher_dim import nd_mapping_by_name
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "CongestionStats",
+    "simulate_matrix_congestion",
+    "simulate_matrix_congestion_generic",
+    "simulate_nd_congestion",
+    "simulate_nd_congestion_fast",
+]
+
+_CHUNK_BYTES = 1 << 26  # ~64 MiB of staged addresses per chunk
+
+
+@dataclass(frozen=True)
+class CongestionStats:
+    """Summary statistics of simulated per-warp congestion.
+
+    Attributes
+    ----------
+    mean, std:
+        Sample mean and standard deviation of the congestion over all
+        simulated warp accesses.
+    minimum, maximum:
+        Extremes observed (``minimum == maximum == mean`` for
+        deterministic cells such as RAP/stride).
+    n_samples:
+        Number of warp accesses measured.
+    """
+
+    mean: float
+    std: float
+    minimum: int
+    maximum: int
+    n_samples: int
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean.
+
+        Note: per-warp samples within one mapping draw can be
+        correlated (stride/diagonal warps share the shift vector), so
+        treat this as optimistic; the conservative effective sample
+        size is the trial count.
+        """
+        return self.std / np.sqrt(self.n_samples) if self.n_samples else float("nan")
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI for the mean congestion.
+
+        Parameters
+        ----------
+        z:
+            Critical value (1.96 for 95%, 2.58 for 99%).
+        """
+        if z <= 0:
+            raise ValueError(f"z must be > 0, got {z}")
+        half = z * self.sem
+        return (self.mean - half, self.mean + half)
+
+
+class _RunningStats:
+    """Single-pass accumulator for mean/std/min/max over chunks."""
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.minimum = None
+        self.maximum = None
+
+    def add(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        self.n += values.size
+        self.total += float(values.sum())
+        self.total_sq += float((values * values).sum())
+        lo, hi = int(values.min()), int(values.max())
+        self.minimum = lo if self.minimum is None else min(self.minimum, lo)
+        self.maximum = hi if self.maximum is None else max(self.maximum, hi)
+
+    def finish(self) -> CongestionStats:
+        if self.n == 0:
+            raise ValueError("no samples accumulated")
+        mean = self.total / self.n
+        var = max(self.total_sq / self.n - mean * mean, 0.0)
+        return CongestionStats(
+            mean=mean,
+            std=float(np.sqrt(var)),
+            minimum=self.minimum,
+            maximum=self.maximum,
+            n_samples=self.n,
+        )
+
+
+def _sample_shift_matrix(
+    mapping_name: str, w: int, trials: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-trial shift vectors of the 2-D mappings, shape ``(trials, w)``."""
+    key = mapping_name.upper()
+    if key == "RAW":
+        return np.zeros((trials, w), dtype=np.int64)
+    if key == "RAS":
+        return rng.integers(0, w, size=(trials, w), dtype=np.int64)
+    if key == "RAP":
+        base = np.broadcast_to(np.arange(w, dtype=np.int64), (trials, w))
+        return rng.permuted(base, axis=1)
+    raise ValueError(f"unknown mapping {mapping_name!r}")
+
+
+def simulate_matrix_congestion(
+    mapping_name: str,
+    pattern: str,
+    w: int,
+    trials: int = 2000,
+    seed: SeedLike = None,
+) -> CongestionStats:
+    """Expected congestion of a Table II cell.
+
+    Parameters
+    ----------
+    mapping_name:
+        ``"RAW"``, ``"RAS"``, or ``"RAP"`` — redrawn every trial.
+    pattern:
+        ``"contiguous"``, ``"stride"``, ``"diagonal"``, ``"random"``,
+        or ``"malicious"`` — the random pattern is redrawn every trial.
+    w:
+        Matrix side / warp width / bank count.
+    trials:
+        Number of independent mapping draws.
+    seed:
+        RNG seed.
+
+    Returns
+    -------
+    CongestionStats
+        Congestion over ``trials * w`` warp accesses (each trial runs
+        the full ``w``-warp pattern).
+    """
+    check_positive_int(w, "w")
+    check_positive_int(trials, "trials")
+    rng = as_generator(seed)
+    stats = _RunningStats()
+
+    # Trials per chunk so that the staged (t, w, w) address block stays
+    # under the memory budget.
+    per_trial_bytes = w * w * 8
+    chunk = max(1, min(trials, _CHUNK_BYTES // per_trial_bytes))
+
+    is_random_pattern = pattern.lower() == "random"
+    if not is_random_pattern:
+        ii, jj = pattern_logical(pattern, w)  # (w, w), warp-major
+
+    done = 0
+    while done < trials:
+        t = min(chunk, trials - done)
+        shifts = _sample_shift_matrix(mapping_name, w, t, rng)
+        if is_random_pattern:
+            ii_t = rng.integers(0, w, size=(t, w, w), dtype=np.int64)
+            jj_t = rng.integers(0, w, size=(t, w, w), dtype=np.int64)
+            # Per-trial gather: trial t's shift vector indexed by its
+            # own random row indices.
+            row_shift = shifts[np.arange(t)[:, None, None], ii_t]
+            addresses = ii_t * w + (jj_t + row_shift) % w
+        else:
+            # shifts[:, ii] broadcasts (t, w) over the (w, w) grid.
+            addresses = ii * w + (jj + shifts[:, ii]) % w
+        stats.add(congestion_batch(addresses.reshape(-1, w), w))
+        done += t
+
+    return stats.finish()
+
+
+def simulate_matrix_congestion_generic(
+    mapping_factory,
+    pattern: str,
+    w: int,
+    trials: int = 200,
+    seed: SeedLike = None,
+) -> CongestionStats:
+    """Expected congestion for an *arbitrary* mapping family.
+
+    The fast path (:func:`simulate_matrix_congestion`) exploits the
+    per-row-rotation structure of RAW/RAS/RAP; layouts like padding or
+    the XOR swizzle do not fit it, so this generic path instantiates a
+    mapping per trial via ``mapping_factory(rng)`` and evaluates the
+    pattern through its ``address`` method.  Deterministic layouts
+    need only one trial unless the pattern itself is random.
+
+    Parameters
+    ----------
+    mapping_factory:
+        Callable ``rng -> AddressMapping`` (return the same instance
+        every time for deterministic layouts).
+    pattern, w, trials, seed:
+        As in :func:`simulate_matrix_congestion`.
+    """
+    check_positive_int(w, "w")
+    check_positive_int(trials, "trials")
+    rng = as_generator(seed)
+    stats = _RunningStats()
+    for _ in range(trials):
+        mapping = mapping_factory(rng)
+        if mapping.w != w:
+            raise ValueError(
+                f"factory produced width {mapping.w}, expected {w}"
+            )
+        ii, jj = pattern_logical(pattern, w, seed=rng)
+        addresses = mapping.address(ii, jj)
+        stats.add(congestion_batch(addresses, w))
+    return stats.finish()
+
+
+def simulate_nd_congestion_fast(
+    scheme: str,
+    pattern: str,
+    w: int,
+    trials: int = 500,
+    seed: SeedLike = None,
+) -> CongestionStats:
+    """Vectorized Table IV sampler for the permutation-sum schemes.
+
+    For ``1P``, ``R1P``, and ``3P`` the shift function is a sum of
+    permutation lookups, so the whole Monte-Carlo batch reduces to
+    batched ``rng.permuted`` draws and one ``congestion_batch`` call —
+    ~50x faster than instantiating a mapping per trial.  Exactly
+    matches :func:`simulate_nd_congestion` in distribution (same
+    estimator, different stream); schemes with per-row tables (RAW,
+    RAS, w2P, 1PwR) fall back to the generic path.
+    """
+    check_positive_int(w, "w")
+    check_positive_int(trials, "trials")
+    key = scheme.upper()
+    if key not in ("1P", "R1P", "3P"):
+        return simulate_nd_congestion(scheme, pattern, w, trials, seed)
+    rng = as_generator(seed)
+
+    if pattern.lower() == "random":
+        idx = rng.integers(0, w, size=(4, trials, w), dtype=np.int64)
+        i, j, k, l = idx[0], idx[1], idx[2], idx[3]
+    else:
+        base = nd_pattern_logical(pattern, w, scheme=scheme, seed=rng)
+        i, j, k, l = (np.broadcast_to(v, (trials, w)) for v in base)
+
+    def draw_perms(n: int) -> np.ndarray:
+        tiled = np.broadcast_to(np.arange(w, dtype=np.int64), (n, w))
+        return rng.permuted(tiled, axis=1)
+
+    rows = np.arange(trials)[:, None]
+    if key == "1P":
+        sigma = draw_perms(trials)
+        shift = sigma[rows, k]
+    elif key == "R1P":
+        sigma = draw_perms(trials)
+        shift = sigma[rows, i] + sigma[rows, j] + sigma[rows, k]
+    else:  # 3P
+        sigma, tau, rho = draw_perms(trials), draw_perms(trials), draw_perms(trials)
+        shift = sigma[rows, i] + tau[rows, j] + rho[rows, k]
+
+    rotated = (l + shift) % w
+    addresses = ((i * w + j) * w + k) * w + rotated
+    stats = _RunningStats()
+    stats.add(congestion_batch(addresses, w))
+    return stats.finish()
+
+
+def simulate_nd_congestion(
+    scheme: str,
+    pattern: str,
+    w: int,
+    trials: int = 500,
+    seed: SeedLike = None,
+) -> CongestionStats:
+    """Expected congestion of a Table IV cell (4-D array, one warp).
+
+    Parameters
+    ----------
+    scheme:
+        One of :data:`repro.core.higher_dim.ND_MAPPING_NAMES`.
+    pattern:
+        One of :data:`repro.access.patterns_nd.ND_PATTERN_NAMES`; the
+        ``malicious`` pattern is tailored to the scheme.
+    w:
+        Array side / warp width.
+    trials:
+        Independent (mapping, pattern) draws.
+    seed:
+        RNG seed.
+    """
+    check_positive_int(w, "w")
+    check_positive_int(trials, "trials")
+    rng = as_generator(seed)
+    stats = _RunningStats()
+    values = np.empty(trials, dtype=np.int64)
+    for t in range(trials):
+        mapping = nd_mapping_by_name(scheme, w, rng)
+        idx = nd_pattern_logical(pattern, w, scheme=scheme, seed=rng)
+        addresses = mapping.address(*idx)
+        values[t] = warp_congestion(addresses, w)
+    stats.add(values)
+    return stats.finish()

@@ -1,0 +1,473 @@
+"""Experiment registry: one entry per table of the paper's evaluation.
+
+Each ``tableN`` function regenerates the corresponding table as a
+structured result object carrying both *our* measurements and the
+*paper's* reported numbers, so callers (CLI, benchmarks,
+EXPERIMENTS.md) can print them side by side.  Figures are regenerated
+by :mod:`repro.report.figures`.
+
+The reference constants transcribed from the paper live here
+(``PAPER_TABLE2``, ``PAPER_TABLE4_CLASSES``); Table III's are in
+:mod:`repro.gpu.timing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.access.patterns_nd import ND_PATTERN_NAMES
+from repro.access.transpose import TRANSPOSE_NAMES, run_transpose
+from repro.core.higher_dim import ND_MAPPING_NAMES, nd_mapping_by_name
+from repro.core.mappings import MAPPING_NAMES, mapping_by_name
+from repro.gpu.timing import PAPER_TABLE3_NS, GPUTimingModel
+from repro.sim.congestion_sim import (
+    CongestionStats,
+    simulate_matrix_congestion,
+    simulate_nd_congestion,
+    simulate_nd_congestion_fast,
+)
+from repro.util.rng import SeedLike, spawn_generators
+
+__all__ = [
+    "table2_extended",
+    "lemma1_table",
+    "PAPER_TABLE2",
+    "PAPER_TABLE4_CLASSES",
+    "TABLE2_WIDTHS",
+    "Table1Result",
+    "Table2Result",
+    "Table3Row",
+    "Table3Result",
+    "Table4Result",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+]
+
+TABLE2_WIDTHS = (16, 32, 64, 128, 256)
+
+#: Table II as printed in the paper: ``(pattern, mapping) -> values
+#: per width`` in :data:`TABLE2_WIDTHS` order.  Deterministic cells are
+#: exact; randomized cells are the paper's simulated expectations.
+PAPER_TABLE2: dict[tuple[str, str], tuple[float, ...]] = {
+    ("contiguous", "RAW"): (1, 1, 1, 1, 1),
+    ("contiguous", "RAS"): (1, 1, 1, 1, 1),
+    ("contiguous", "RAP"): (1, 1, 1, 1, 1),
+    ("stride", "RAW"): (16, 32, 64, 128, 256),
+    ("stride", "RAS"): (3.08, 3.53, 3.96, 4.38, 4.77),
+    ("stride", "RAP"): (1, 1, 1, 1, 1),
+    ("diagonal", "RAW"): (1, 1, 1, 1, 1),
+    ("diagonal", "RAS"): (3.08, 3.53, 3.96, 4.38, 4.77),
+    ("diagonal", "RAP"): (3.20, 3.61, 4.00, 4.41, 4.78),
+    ("random", "RAW"): (2.92, 3.44, 3.90, 4.34, 4.75),
+    ("random", "RAS"): (2.92, 3.44, 3.90, 4.34, 4.75),
+    ("random", "RAP"): (2.92, 3.44, 3.90, 4.34, 4.75),
+}
+
+#: Table IV's qualitative congestion classes: ``(pattern, scheme) ->``
+#: ``"1"`` (always conflict-free), ``"w"`` (fully serialized),
+#: ``"log"`` (the O(log w / log log w) class), or ``"attack"`` (R1P's
+#: amplified malicious congestion).
+PAPER_TABLE4_CLASSES: dict[tuple[str, str], str] = {
+    ("contiguous", "RAW"): "1",
+    ("contiguous", "RAS"): "1",
+    ("contiguous", "1P"): "1",
+    ("contiguous", "R1P"): "1",
+    ("contiguous", "3P"): "1",
+    ("contiguous", "w2P"): "1",
+    ("contiguous", "1PwR"): "1",
+    ("stride1", "RAW"): "w",
+    ("stride1", "RAS"): "log",
+    ("stride1", "1P"): "1",
+    ("stride1", "R1P"): "1",
+    ("stride1", "3P"): "1",
+    ("stride1", "w2P"): "1",
+    ("stride1", "1PwR"): "1",
+    ("stride2", "RAW"): "w",
+    ("stride2", "RAS"): "log",
+    ("stride2", "1P"): "w",
+    ("stride2", "R1P"): "1",
+    ("stride2", "3P"): "1",
+    ("stride2", "w2P"): "log",
+    ("stride2", "1PwR"): "log",
+    ("stride3", "RAW"): "w",
+    ("stride3", "RAS"): "log",
+    ("stride3", "1P"): "w",
+    ("stride3", "R1P"): "1",
+    ("stride3", "3P"): "1",
+    ("stride3", "w2P"): "log",
+    ("stride3", "1PwR"): "log",
+    ("random", "RAW"): "log",
+    ("random", "RAS"): "log",
+    ("random", "1P"): "log",
+    ("random", "R1P"): "log",
+    ("random", "3P"): "log",
+    ("random", "w2P"): "log",
+    ("random", "1PwR"): "log",
+    ("malicious", "RAW"): "w",
+    ("malicious", "RAS"): "log",
+    ("malicious", "1P"): "w",
+    ("malicious", "R1P"): "attack",
+    ("malicious", "3P"): "log",
+    ("malicious", "w2P"): "log",
+    ("malicious", "1PwR"): "log",
+}
+
+#: Table IV's random-number budget row, as closed-form descriptions
+#: evaluated by :func:`table4`.
+PAPER_TABLE4_RANDOM_NUMBERS: dict[str, str] = {
+    "RAW": "0",
+    "RAS": "w^3",
+    "1P": "w",
+    "R1P": "w",
+    "3P": "3w",
+    "w2P": "w^3",
+    "1PwR": "w + w^2",
+}
+
+
+# ---------------------------------------------------------------------------
+# Table I — analytic congestion summary
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Analytic congestion of RAW/RAS/RAP (the paper's Table I).
+
+    ``cells[(row, mapping)]`` holds the closed form as a string
+    (``"1"``, ``"w"``, or ``"O(log w / log log w)"``).
+    """
+
+    cells: dict[tuple[str, str], str]
+    rows: tuple[str, ...] = ("any", "contiguous", "stride")
+    mappings: tuple[str, ...] = MAPPING_NAMES
+
+
+def table1() -> Table1Result:
+    """Regenerate Table I from the library's analytic knowledge.
+
+    Deterministic cells are cross-checked against the actual mappings
+    in the test suite; the ``O()`` cells are Theorem 2's class.
+    """
+    log_class = "O(log w / log log w)"
+    cells = {
+        ("any", "RAW"): "w",
+        ("any", "RAS"): log_class,
+        ("any", "RAP"): log_class,
+        ("contiguous", "RAW"): "1",
+        ("contiguous", "RAS"): "1",
+        ("contiguous", "RAP"): "1",
+        ("stride", "RAW"): "w",
+        ("stride", "RAS"): log_class,
+        ("stride", "RAP"): "1",
+    }
+    return Table1Result(cells=cells)
+
+
+# ---------------------------------------------------------------------------
+# Table II — simulated congestion of the matrix access patterns
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table2Result:
+    """Simulated Table II.
+
+    Attributes
+    ----------
+    widths:
+        The simulated DMM widths.
+    stats:
+        ``(pattern, mapping, w) ->`` :class:`CongestionStats`.
+    paper:
+        The paper's reported value for each cell (same keying,
+        ``None`` when the paper has no matching width).
+    """
+
+    widths: tuple[int, ...]
+    stats: dict[tuple[str, str, int], CongestionStats] = field(default_factory=dict)
+    paper: dict[tuple[str, str, int], float] = field(default_factory=dict)
+
+    def mean(self, pattern: str, mapping: str, w: int) -> float:
+        """Simulated expected congestion of one cell."""
+        return self.stats[(pattern, mapping, w)].mean
+
+
+def table2(
+    widths: tuple[int, ...] = TABLE2_WIDTHS,
+    trials: int = 2000,
+    seed: SeedLike = 2014,
+    patterns: tuple[str, ...] = ("contiguous", "stride", "diagonal", "random"),
+) -> Table2Result:
+    """Regenerate Table II by Monte-Carlo simulation.
+
+    Every (pattern, mapping, width) cell redraws the mapping ``trials``
+    times and averages per-warp congestion; deterministic cells
+    converge instantly, randomized ones to ~3 decimal places at the
+    default trial count.
+    """
+    result = Table2Result(widths=tuple(widths))
+    cells = [
+        (pattern, mapping, w)
+        for pattern in patterns
+        for mapping in MAPPING_NAMES
+        for w in widths
+    ]
+    rngs = spawn_generators(seed, len(cells))
+    for rng, (pattern, mapping, w) in zip(rngs, cells):
+        # Deterministic cells need a single trial.
+        deterministic = mapping == "RAW" and pattern != "random"
+        n = 1 if deterministic else trials
+        result.stats[(pattern, mapping, w)] = simulate_matrix_congestion(
+            mapping, pattern, w, trials=n, seed=rng
+        )
+        ref = PAPER_TABLE2.get((pattern, mapping))
+        if ref is not None and w in TABLE2_WIDTHS:
+            result.paper[(pattern, mapping, w)] = ref[TABLE2_WIDTHS.index(w)]
+    return result
+
+
+def table2_extended(
+    w: int = 32,
+    trials: int = 1000,
+    seed: SeedLike = 2014,
+) -> dict[tuple[str, str], float]:
+    """Table II at one width, extended with the PAD and XOR baselines.
+
+    Returns ``(pattern, layout) -> expected congestion`` over the five
+    layouts {RAW, RAS, RAP, PAD, XOR} and the four paper patterns.
+    The deterministic competitors are evaluated through the generic
+    simulator (they are not per-row rotations).
+    """
+    from repro.core.padded import PaddedMapping
+    from repro.core.swizzle import XORSwizzleMapping
+    from repro.sim.congestion_sim import simulate_matrix_congestion_generic
+
+    patterns = ("contiguous", "stride", "diagonal", "random")
+    cells: dict[tuple[str, str], float] = {}
+    rngs = spawn_generators(seed, len(patterns) * 5)
+    k = 0
+    for pattern in patterns:
+        for name in MAPPING_NAMES:
+            deterministic = name == "RAW" and pattern != "random"
+            stats = simulate_matrix_congestion(
+                name, pattern, w, trials=1 if deterministic else trials,
+                seed=rngs[k],
+            )
+            cells[(pattern, name)] = stats.mean
+            k += 1
+        for name, factory in (
+            ("PAD", lambda rng: PaddedMapping(w)),
+            ("XOR", lambda rng: XORSwizzleMapping(w)),
+        ):
+            deterministic = pattern != "random"
+            stats = simulate_matrix_congestion_generic(
+                factory, pattern, w,
+                trials=1 if deterministic else max(trials // 10, 50),
+                seed=rngs[k],
+            )
+            cells[(pattern, name)] = stats.mean
+            k += 1
+    return cells
+
+
+# ---------------------------------------------------------------------------
+# Table III — transpose congestion + GPU-model nanoseconds
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One (algorithm, mapping) cell of Table III.
+
+    Attributes
+    ----------
+    algorithm, mapping:
+        What ran (e.g. ``"CRSW"``, ``"RAP"``).
+    read_congestion, write_congestion:
+        Expected worst warp congestion of the read / write instruction
+        (averaged over mapping redraws; exact for RAW).
+    mean_stages:
+        Expected total pipeline stages, the timing model's input.
+    predicted_ns:
+        Our GPU-model estimate.
+    paper_ns:
+        The paper's measured GTX TITAN time.
+    all_correct:
+        Whether every simulated run produced a correct transpose.
+    """
+
+    algorithm: str
+    mapping: str
+    read_congestion: float
+    write_congestion: float
+    mean_stages: float
+    predicted_ns: float
+    paper_ns: float
+    all_correct: bool
+
+
+@dataclass
+class Table3Result:
+    """Simulated Table III: rows keyed by (algorithm, mapping)."""
+
+    w: int
+    rows: dict[tuple[str, str], Table3Row] = field(default_factory=dict)
+
+    def speedup_vs(self, algorithm: str, slow: str, fast: str) -> float:
+        """Predicted speedup of mapping ``fast`` over ``slow``."""
+        return (
+            self.rows[(algorithm, slow)].predicted_ns
+            / self.rows[(algorithm, fast)].predicted_ns
+        )
+
+
+def table3(
+    w: int = 32,
+    trials: int = 100,
+    seed: SeedLike = 2014,
+    latency: int = 1,
+    timing_model: GPUTimingModel | None = None,
+) -> Table3Result:
+    """Regenerate Table III on the DMM + calibrated GPU timing model.
+
+    For each transpose algorithm and mapping: run the actual program
+    on the cycle-accurate DMM ``trials`` times (once for RAW — it is
+    deterministic), verify the transposed data, record read/write
+    congestion and total stages, and convert stages to nanoseconds
+    with the calibrated model.
+    """
+    if timing_model is None:
+        timing_model = GPUTimingModel.fit_to_paper()
+    result = Table3Result(w=w)
+    combos = [(a, m) for a in TRANSPOSE_NAMES for m in MAPPING_NAMES]
+    rngs = spawn_generators(seed, len(combos))
+    for rng, (algorithm, mapping_name) in zip(rngs, combos):
+        n = 1 if mapping_name == "RAW" else trials
+        reads, writes, stages = [], [], []
+        all_correct = True
+        overhead = 0
+        for _ in range(n):
+            mapping = mapping_by_name(mapping_name, w, rng)
+            outcome = run_transpose(algorithm, mapping, latency=latency, seed=rng)
+            all_correct &= outcome.correct
+            # Table III reports the *expected per-warp* congestion
+            # (3.53 for a RAS stride phase), so average over warps.
+            reads.append(outcome.execution.traces[0].mean_congestion)
+            writes.append(outcome.execution.traces[1].mean_congestion)
+            stages.append(
+                sum(t.schedule.total_stages for t in outcome.execution.traces)
+            )
+        # Address-computation ops depend only on the mapping family:
+        # overhead_ops per warp issue, 2 instructions x w warps.
+        overhead = mapping.address_overhead_ops * 2 * w
+        mean_stages = float(np.mean(stages))
+        row = Table3Row(
+            algorithm=algorithm,
+            mapping=mapping_name,
+            read_congestion=float(np.mean(reads)),
+            write_congestion=float(np.mean(writes)),
+            mean_stages=mean_stages,
+            predicted_ns=timing_model.predict_ns(mean_stages, overhead),
+            paper_ns=PAPER_TABLE3_NS[(algorithm, mapping_name)],
+            all_correct=bool(all_correct),
+        )
+        result.rows[(algorithm, mapping_name)] = row
+    return result
+
+
+def lemma1_table(
+    widths: tuple[int, ...] = (4, 8, 16, 32),
+    latency: int = 5,
+) -> dict[tuple[str, int], tuple[int, int, bool]]:
+    """Lemma 1 verified cell by cell: measured vs closed-form times.
+
+    Returns ``(algorithm, w) -> (measured, formula, match)`` where the
+    closed forms are ``CRSW = SRCW = (w + l - 1) + (w^2 + l - 1)`` and
+    ``DRDW = 2 (w + l - 1)`` on the RAW layout — the executor must
+    reproduce them exactly for every width.
+    """
+    out: dict[tuple[str, int], tuple[int, int, bool]] = {}
+    for w in widths:
+        mapping = mapping_by_name("RAW", w)
+        contig = w + latency - 1
+        stride = w * w + latency - 1
+        formulas = {
+            "CRSW": contig + stride,
+            "SRCW": stride + contig,
+            "DRDW": 2 * contig,
+        }
+        for algorithm in TRANSPOSE_NAMES:
+            outcome = run_transpose(algorithm, mapping, latency=latency)
+            measured = outcome.time_units
+            formula = formulas[algorithm]
+            out[(algorithm, w)] = (measured, formula, measured == formula)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Table IV — 4-D schemes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table4Result:
+    """Simulated Table IV.
+
+    Attributes
+    ----------
+    w:
+        Array side length.
+    stats:
+        ``(pattern, scheme) ->`` :class:`CongestionStats`.
+    classes:
+        The paper's qualitative class for each cell.
+    random_numbers:
+        Evaluated random-value budget per scheme.
+    """
+
+    w: int
+    stats: dict[tuple[str, str], CongestionStats] = field(default_factory=dict)
+    classes: dict[tuple[str, str], str] = field(default_factory=dict)
+    random_numbers: dict[str, int] = field(default_factory=dict)
+
+    def mean(self, pattern: str, scheme: str) -> float:
+        """Simulated expected congestion of one cell."""
+        return self.stats[(pattern, scheme)].mean
+
+
+def table4(
+    w: int = 32,
+    trials: int = 300,
+    seed: SeedLike = 2014,
+) -> Table4Result:
+    """Regenerate Table IV by Monte-Carlo simulation at width ``w``.
+
+    Also evaluates each scheme's random-number budget from a live
+    mapping instance, confirming the table's bottom row.
+    """
+    result = Table4Result(w=w)
+    cells = [
+        (pattern, scheme)
+        for pattern in ND_PATTERN_NAMES
+        for scheme in ND_MAPPING_NAMES
+    ]
+    rngs = spawn_generators(seed, len(cells) + len(ND_MAPPING_NAMES))
+    for rng, (pattern, scheme) in zip(rngs, cells):
+        deterministic = scheme == "RAW" and pattern != "random"
+        n = 1 if deterministic else trials
+        # The fast path covers the permutation-sum schemes and falls
+        # back to the per-trial sampler for the table-based ones.
+        result.stats[(pattern, scheme)] = simulate_nd_congestion_fast(
+            scheme, pattern, w, trials=n, seed=rng
+        )
+        result.classes[(pattern, scheme)] = PAPER_TABLE4_CLASSES[(pattern, scheme)]
+    for rng, scheme in zip(rngs[len(cells) :], ND_MAPPING_NAMES):
+        result.random_numbers[scheme] = nd_mapping_by_name(
+            scheme, w, rng
+        ).random_numbers_used
+    return result

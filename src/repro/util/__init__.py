@@ -1,0 +1,20 @@
+"""Shared utilities: RNG handling and argument validation."""
+
+from repro.util.rng import as_generator, spawn_generators
+from repro.util.validation import (
+    check_bank_count,
+    check_latency,
+    check_nonnegative_int,
+    check_positive_int,
+    check_power_of_two,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_bank_count",
+    "check_latency",
+    "check_nonnegative_int",
+    "check_positive_int",
+    "check_power_of_two",
+]

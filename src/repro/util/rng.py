@@ -1,0 +1,70 @@
+"""Seeded random-number-generator plumbing.
+
+All randomized components of the library accept a ``seed`` argument that
+may be ``None`` (fresh OS entropy), an integer, a
+:class:`numpy.random.SeedSequence`, or an existing
+:class:`numpy.random.Generator`.  Centralizing the coercion here keeps
+every experiment reproducible from a single integer and follows the
+NumPy recommendation to pass ``Generator`` objects down a call stack
+instead of sharing global state.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, Sequence[int], np.random.SeedSequence, np.random.Generator]
+
+__all__ = ["SeedLike", "as_generator", "spawn_generators"]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (nondeterministic), an int / sequence of ints, a
+        ``SeedSequence``, or an existing ``Generator`` (returned as-is
+        so that callers can thread one generator through a pipeline).
+
+    Returns
+    -------
+    numpy.random.Generator
+        A PCG64-backed generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Uses ``SeedSequence.spawn`` so that children never overlap, which
+    matters when Monte-Carlo trials are distributed over workers.
+
+    Parameters
+    ----------
+    seed:
+        Parent seed (see :func:`as_generator` for accepted types).  If a
+        ``Generator`` is passed, children are spawned from its bit
+        generator's seed sequence.
+    n:
+        Number of child generators (must be >= 0).
+
+    Returns
+    -------
+    list of numpy.random.Generator
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of generators: {n}")
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+    elif isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

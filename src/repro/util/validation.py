@@ -1,0 +1,57 @@
+"""Argument-validation helpers with consistent error messages.
+
+The DMM model parameters recur across the whole library (``w`` banks,
+``p`` threads, latency ``l``); validating them in one place keeps the
+error messages uniform and the call sites terse.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_power_of_two",
+    "check_bank_count",
+    "check_latency",
+]
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer >= 1 and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_nonnegative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer >= 0 and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def check_power_of_two(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive power of two and return it.
+
+    GPU shared memories have power-of-two bank counts, and the paper's
+    register-packing trick (Fig. 7) relies on ``w = 32``; several of our
+    fast paths use masking that needs a power of two.
+    """
+    check_positive_int(value, name)
+    if value & (value - 1) != 0:
+        raise ValueError(f"{name} must be a power of two, got {value}")
+    return int(value)
+
+
+def check_bank_count(w: int) -> int:
+    """Validate a DMM width (number of banks / warp size)."""
+    return check_positive_int(w, "w (bank count / warp width)")
+
+
+def check_latency(latency: int) -> int:
+    """Validate a DMM memory-pipeline latency."""
+    return check_positive_int(latency, "latency")

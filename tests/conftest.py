@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests that need randomness."""
+    return np.random.default_rng(20140901)
+
+
+@pytest.fixture(params=[4, 8, 16, 32])
+def width(request) -> int:
+    """DMM widths exercised by parametric tests."""
+    return request.param

@@ -1,0 +1,92 @@
+"""Unit tests for repro.apps.fft."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fft import FFTOutcome, bit_reverse_indices, run_fft
+from repro.core.mappings import RAPMapping, RAWMapping
+from repro.core.swizzle import XORSwizzleMapping
+
+
+class TestBitReverseIndices:
+    def test_n8(self):
+        assert list(bit_reverse_indices(8)) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_involution(self):
+        rev = bit_reverse_indices(64)
+        assert np.array_equal(rev[rev], np.arange(64))
+
+    def test_is_permutation(self):
+        rev = bit_reverse_indices(256)
+        assert sorted(rev.tolist()) == list(range(256))
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            bit_reverse_indices(12)
+
+
+class TestFFTCorrectness:
+    @pytest.mark.parametrize("w", [2, 4, 8])
+    def test_raw(self, w, rng):
+        assert run_fft(RAWMapping(w), seed=rng).correct
+
+    @pytest.mark.parametrize("w", [4, 8])
+    def test_rap(self, w, rng):
+        assert run_fft(RAPMapping.random(w, rng), seed=rng).correct
+
+    def test_xor_swizzle(self, rng):
+        assert run_fft(XORSwizzleMapping(8), seed=rng).correct
+
+    def test_explicit_signal(self):
+        w = 4
+        signal = np.exp(2j * np.pi * np.arange(16) * 3 / 16)  # pure tone
+        outcome = run_fft(RAWMapping(w), signal=signal)
+        assert outcome.correct
+
+    def test_impulse(self):
+        """FFT of a delta is all-ones — an easy analytic cross-check."""
+        w = 4
+        signal = np.zeros(16, dtype=complex)
+        signal[0] = 1.0
+        outcome = run_fft(RAWMapping(w), signal=signal)
+        assert outcome.correct
+
+    def test_signal_length_checked(self):
+        with pytest.raises(ValueError):
+            run_fft(RAWMapping(4), signal=np.zeros(8, dtype=complex))
+
+    def test_requires_power_of_two_width(self):
+        from repro.core.mappings import RAWMapping as M
+
+        # w=6 -> n=36 is not a power of two.
+        with pytest.raises(ValueError):
+            run_fft(M(6))
+
+
+class TestFFTCongestionProfile:
+    def test_raw_bit_reversal_conflicted(self):
+        """Bit reversal swaps row/column bits — a transpose-flavoured
+        permutation whose one-step write hits single banks."""
+        o = run_fft(RAWMapping(8), seed=0)
+        assert o.stage_congestion[0] == 8
+
+    def test_rap_bit_reversal_conflict_free(self, rng):
+        """Under RAP the bit-reversal write is a column access per
+        warp: congestion exactly 1, every draw."""
+        for _ in range(5):
+            o = run_fft(RAPMapping.random(8, rng), seed=rng)
+            assert o.stage_congestion[0] == 1
+
+    def test_stage_count(self):
+        o = run_fft(RAWMapping(4), seed=0)
+        # 1 bit-reversal phase + log2(16) = 4 butterfly stages.
+        assert len(o.stage_congestion) == 5
+
+    def test_rap_faster_than_raw(self, rng):
+        raw = run_fft(RAWMapping(8), seed=0)
+        rap = run_fft(RAPMapping.random(8, rng), seed=0)
+        assert rap.time_units < raw.time_units
+
+    def test_congestion_bounds(self, rng):
+        o = run_fft(RAPMapping.random(8, rng), seed=rng)
+        assert all(1 <= c <= 8 for c in o.stage_congestion)

@@ -1,0 +1,77 @@
+"""Unit tests for repro.apps.scan."""
+
+import numpy as np
+import pytest
+
+from repro.apps.scan import run_scan
+from repro.core.mappings import RAPMapping, RAWMapping
+from repro.core.padded import PaddedMapping
+
+
+class TestScanCorrectness:
+    @pytest.mark.parametrize("w", [2, 4, 8])
+    def test_raw(self, w, rng):
+        assert run_scan(RAWMapping(w), seed=rng).correct
+
+    @pytest.mark.parametrize("w", [4, 8])
+    def test_rap(self, w, rng):
+        assert run_scan(RAPMapping.random(w, rng), seed=rng).correct
+
+    def test_padded(self, rng):
+        assert run_scan(PaddedMapping(8), seed=rng).correct
+
+    def test_explicit_data(self):
+        data = np.arange(16.0)
+        outcome = run_scan(RAWMapping(4), data=data)
+        assert outcome.correct
+
+    def test_all_ones(self):
+        """Exclusive scan of ones is 0,1,2,... — checkable by eye."""
+        outcome = run_scan(RAWMapping(4), data=np.ones(16))
+        assert outcome.correct
+
+    def test_data_length_checked(self):
+        with pytest.raises(ValueError):
+            run_scan(RAWMapping(4), data=np.zeros(15))
+
+    def test_requires_power_of_two_width(self):
+        with pytest.raises(ValueError):
+            run_scan(RAWMapping(6))
+
+
+class TestScanCongestionProfile:
+    def test_raw_levels_follow_doubling_law(self):
+        """Up-sweep congestion doubles per level until saturation."""
+        w = 8
+        o = run_scan(RAWMapping(w), seed=0)
+        up = o.level_congestion[: (w * w).bit_length() - 1]
+        assert up[0] <= up[1] <= up[2]
+        assert max(up) == w
+
+    def test_rap_caps_all_levels(self, rng):
+        w = 8
+        worst = 0
+        for _ in range(5):
+            o = run_scan(RAPMapping.random(w, rng), seed=rng)
+            worst = max(worst, max(o.level_congestion))
+        assert worst <= 3
+
+    def test_rap_faster_than_raw(self, rng):
+        raw = run_scan(RAWMapping(8), seed=0)
+        rap = run_scan(RAPMapping.random(8, rng), seed=0)
+        assert rap.time_units < raw.time_units
+
+    def test_level_count(self):
+        o = run_scan(RAWMapping(4), seed=0)
+        levels = 16 .bit_length() - 1
+        # up-sweep + root clear + down-sweep
+        assert len(o.level_congestion) == 2 * levels + 1
+
+    def test_symmetric_phases(self):
+        """Up-sweep and down-sweep touch the same strides, so their
+        RAW congestion profiles mirror each other."""
+        o = run_scan(RAWMapping(8), seed=0)
+        levels = 64 .bit_length() - 1
+        up = list(o.level_congestion[:levels])
+        down = list(o.level_congestion[levels + 1 :])
+        assert up == down[::-1]

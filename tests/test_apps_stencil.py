@@ -1,0 +1,71 @@
+"""Unit tests for repro.apps.stencil."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import STENCIL_ASSIGNMENTS, run_stencil
+from repro.core.mappings import RAPMapping, RASMapping, RAWMapping
+
+
+class TestStencilCorrectness:
+    @pytest.mark.parametrize("assignment", STENCIL_ASSIGNMENTS)
+    @pytest.mark.parametrize("mapping_name", ["RAW", "RAS", "RAP"])
+    def test_all_combinations(self, assignment, mapping_name, width, rng):
+        from repro.core.mappings import mapping_by_name
+
+        mapping = mapping_by_name(mapping_name, width, rng)
+        outcome = run_stencil(mapping, assignment, seed=rng)
+        assert outcome.correct
+
+    def test_constant_tile_fixed_point(self):
+        """A constant field is a fixed point of the averaging stencil."""
+        w = 8
+        outcome = run_stencil(RAWMapping(w), tile=np.full((w, w), 3.5))
+        assert outcome.correct
+
+    def test_explicit_tile(self, rng):
+        tile = rng.random((8, 8))
+        outcome = run_stencil(RAPMapping.random(8, rng), tile=tile)
+        assert outcome.correct
+
+    def test_tile_shape_checked(self):
+        with pytest.raises(ValueError):
+            run_stencil(RAWMapping(4), tile=np.zeros((3, 4)))
+
+    def test_unknown_assignment(self):
+        with pytest.raises(ValueError):
+            run_stencil(RAWMapping(4), assignment="spiral")
+
+
+class TestStencilCongestion:
+    def test_row_assignment_free_under_raw(self):
+        o = run_stencil(RAWMapping(16), "row", seed=0)
+        assert o.max_congestion == 1
+
+    def test_column_assignment_serializes_under_raw(self):
+        o = run_stencil(RAWMapping(16), "column", seed=0)
+        assert o.max_congestion == 16
+
+    def test_rap_makes_assignment_irrelevant(self, rng):
+        """The paper's thesis on a 5-read workload: under RAP both
+        assignments are conflict-free."""
+        w = 16
+        mapping = RAPMapping.random(w, rng)
+        row = run_stencil(mapping, "row", seed=0)
+        col = run_stencil(mapping, "column", seed=0)
+        assert row.max_congestion == 1
+        assert col.max_congestion == 1
+        assert row.time_units == col.time_units
+
+    def test_column_rap_much_faster_than_column_raw(self, rng):
+        raw = run_stencil(RAWMapping(16), "column", seed=0)
+        rap = run_stencil(RAPMapping.random(16, rng), "column", seed=0)
+        assert raw.time_units > 5 * rap.time_units
+
+    def test_ras_column_in_between(self, rng):
+        w = 32
+        raw = run_stencil(RAWMapping(w), "column", seed=0)
+        ras = run_stencil(RASMapping.random(w, rng), "column", seed=0)
+        rap = run_stencil(RAPMapping.random(w, rng), "column", seed=0)
+        assert rap.time_units <= ras.time_units <= raw.time_units
+        assert 1 < ras.max_congestion < w

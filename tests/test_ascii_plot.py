@@ -1,0 +1,87 @@
+"""Unit tests for repro.report.ascii_plot."""
+
+import pytest
+
+from repro.report.ascii_plot import bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart({"a": 1.0, "bb": 2.0}, width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10  # the max value fills the width
+        assert lines[0].count("#") == 5
+
+    def test_title(self):
+        out = bar_chart({"x": 1.0}, title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_zero_value_has_no_bar(self):
+        out = bar_chart({"z": 0.0, "a": 1.0})
+        zline = [l for l in out.splitlines() if l.lstrip().startswith("z")][0]
+        assert "#" not in zline
+
+    def test_annotation_format(self):
+        out = bar_chart({"x": 3.14159}, fmt="{:.1f}")
+        assert "3.1" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"x": -1.0})
+
+    def test_all_zero_values(self):
+        out = bar_chart({"a": 0.0, "b": 0.0})
+        assert "#" not in out
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        out = line_chart([1, 2, 3], {"s": [1.0, 2.0, 3.0]}, height=5, width=20)
+        lines = out.splitlines()
+        # top border + 5 canvas rows + bottom border + x labels + legend
+        assert len(lines) == 9
+
+    def test_glyphs_present(self):
+        out = line_chart([1, 2], {"a": [1, 2], "b": [2, 1]})
+        assert "*" in out and "+" in out
+
+    def test_legend(self):
+        out = line_chart([1, 2], {"alpha": [1, 2]})
+        assert "* alpha" in out
+
+    def test_y_range_annotated(self):
+        out = line_chart([0, 1], {"s": [5.0, 10.0]})
+        assert "10.00" in out and "5.00" in out
+
+    def test_title(self):
+        out = line_chart([0, 1], {"s": [1, 2]}, title="growth")
+        assert out.splitlines()[0] == "growth"
+
+    def test_constant_series_ok(self):
+        out = line_chart([0, 1, 2], {"flat": [3, 3, 3]})
+        assert "flat" in out
+
+    def test_single_point(self):
+        out = line_chart([5], {"p": [1.0]})
+        assert "*" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"s": [1.0]})
+
+    def test_empty_series(self):
+        with pytest.raises(ValueError):
+            line_chart([1], {})
+
+    def test_monotone_series_slopes_up(self):
+        """The max of an increasing series must land in the last column
+        of the top canvas row."""
+        out = line_chart([0, 1, 2, 3], {"s": [0, 1, 2, 3]}, height=4, width=8)
+        canvas = out.splitlines()[1:-3]
+        top_row = canvas[1]  # first row after the top border
+        assert top_row.rstrip().endswith("*")

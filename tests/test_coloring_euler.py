@@ -1,0 +1,98 @@
+"""Unit tests for the Euler-split edge colorer (repro.routing.coloring)."""
+
+import numpy as np
+import pytest
+
+from repro.routing.coloring import (
+    edge_color_bipartite,
+    edge_color_euler,
+    validate_coloring,
+)
+from repro.routing.offline import (
+    random_data_permutation,
+    run_offline_permutation,
+    scheduled_permutation_program,
+)
+
+
+def permutation_edges(w, perm):
+    src = np.arange(w * w) % w
+    dst = perm % w
+    return list(zip(src.tolist(), dst.tolist()))
+
+
+class TestEulerColoring:
+    @pytest.mark.parametrize("w", [2, 4, 8, 16, 32])
+    def test_power_of_two_degrees(self, w, rng):
+        edges = permutation_edges(w, rng.permutation(w * w))
+        colors = edge_color_euler(edges, w)
+        assert validate_coloring(edges, colors)
+        assert set(colors) == set(range(w))
+
+    @pytest.mark.parametrize("w", [3, 5, 6, 7, 12])
+    def test_odd_and_mixed_degrees(self, w, rng):
+        """Odd degrees exercise the matching-peel branch."""
+        edges = permutation_edges(w, rng.permutation(w * w))
+        colors = edge_color_euler(edges, w)
+        assert validate_coloring(edges, colors)
+
+    def test_color_classes_are_perfect_matchings(self, rng):
+        w = 8
+        edges = permutation_edges(w, rng.permutation(w * w))
+        colors = np.asarray(edge_color_euler(edges, w))
+        for c in range(w):
+            assert (colors == c).sum() == w
+
+    def test_degree_one(self):
+        assert edge_color_euler([(0, 1), (1, 0)], 1) == [0, 0]
+
+    def test_parallel_multiedges(self):
+        edges = [(0, 0), (0, 0), (1, 1), (1, 1)]
+        colors = edge_color_euler(edges, 2)
+        assert validate_coloring(edges, colors)
+        assert colors[0] != colors[1]
+
+    def test_rejects_irregular(self):
+        with pytest.raises(ValueError, match="regular"):
+            edge_color_euler([(0, 0), (0, 1)], 1)
+
+    def test_agrees_with_matching_colorer_on_validity(self, rng):
+        """Both algorithms produce (possibly different) proper
+        colorings of the same instance."""
+        w = 16
+        edges = permutation_edges(w, rng.permutation(w * w))
+        a = edge_color_euler(edges, w)
+        b = edge_color_bipartite(edges, w)
+        assert validate_coloring(edges, a)
+        assert validate_coloring(edges, b)
+
+
+class TestScheduledProgramMethods:
+    @pytest.mark.parametrize("method", ["matching", "euler"])
+    def test_both_methods_schedule_conflict_free(self, method, rng):
+        w = 8
+        perm = random_data_permutation(w, rng)
+        from repro.dmm.machine import DiscreteMemoryMachine
+
+        prog = scheduled_permutation_program(perm, w, method=method)
+        machine = DiscreteMemoryMachine(w, 1, 2 * w * w)
+        assert machine.run(prog).max_congestion == 1
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="method"):
+            scheduled_permutation_program(np.arange(16), 4, method="magic")
+
+    def test_euler_schedule_end_to_end(self, rng):
+        """Full offline permutation through the euler-colored schedule."""
+        w = 8
+        perm = random_data_permutation(w, rng)
+        from repro.dmm.machine import DiscreteMemoryMachine
+
+        data = np.arange(w * w, dtype=float)
+        machine = DiscreteMemoryMachine(w, 1, 2 * w * w)
+        machine.load(0, data)
+        machine.run(scheduled_permutation_program(perm, w, method="euler"))
+        out = machine.dump(w * w, w * w)
+        expected = np.empty(w * w)
+        expected[perm] = data
+        assert np.array_equal(out, expected)

@@ -1,0 +1,124 @@
+"""Unit tests for repro.core.congestion — the DMM's figure of merit."""
+
+import numpy as np
+import pytest
+
+from repro.core.congestion import (
+    bank_loads,
+    bank_loads_batch,
+    congestion_batch,
+    merge_requests,
+    warp_congestion,
+)
+
+
+class TestMergeRequests:
+    def test_dedup(self):
+        out = merge_requests(np.array([3, 1, 3, 1, 2]))
+        assert list(out) == [1, 2, 3]
+
+    def test_all_same(self):
+        assert list(merge_requests(np.array([5, 5, 5]))) == [5]
+
+    def test_all_distinct(self):
+        assert list(merge_requests(np.array([2, 0, 1]))) == [0, 1, 2]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            merge_requests(np.zeros((2, 2), dtype=int))
+
+
+class TestBankLoads:
+    def test_paper_fig2_case1(self):
+        """m[0], m[5], m[10], m[15] -> one request per bank."""
+        loads = bank_loads(np.array([0, 5, 10, 15]), 4)
+        assert list(loads) == [1, 1, 1, 1]
+
+    def test_paper_fig2_case2(self):
+        """m[1], m[5], m[9], m[13] -> all four in bank 1."""
+        loads = bank_loads(np.array([1, 5, 9, 13]), 4)
+        assert list(loads) == [0, 4, 0, 0]
+
+    def test_paper_fig2_case3_merged(self):
+        """Four requests to m[3] merge into one."""
+        loads = bank_loads(np.array([3, 3, 3, 3]), 4)
+        assert list(loads) == [0, 0, 0, 1]
+
+    def test_shape(self):
+        assert bank_loads(np.array([0]), 8).shape == (8,)
+
+
+class TestWarpCongestion:
+    def test_paper_fig2_values(self):
+        assert warp_congestion(np.array([0, 5, 10, 15]), 4) == 1
+        assert warp_congestion(np.array([1, 5, 9, 13]), 4) == 4
+        assert warp_congestion(np.array([3, 3, 3, 3]), 4) == 1
+
+    def test_empty_is_zero(self):
+        assert warp_congestion(np.array([], dtype=int), 4) == 0
+
+    def test_single_request(self):
+        assert warp_congestion(np.array([7]), 4) == 1
+
+    def test_mixed_merge_and_conflict(self):
+        # Addresses 1 and 5 in bank 1 (2 distinct), 1 repeated (merged).
+        assert warp_congestion(np.array([1, 1, 5, 2]), 4) == 2
+
+    def test_bounds(self, rng):
+        w = 16
+        for _ in range(50):
+            addrs = rng.integers(0, w * w, size=w)
+            c = warp_congestion(addrs, w)
+            assert 1 <= c <= w
+
+
+class TestBankLoadsBatch:
+    def test_matches_scalar(self, rng):
+        w = 8
+        batch = rng.integers(0, w * w, size=(20, w))
+        expected = np.stack([bank_loads(row, w) for row in batch])
+        assert np.array_equal(bank_loads_batch(batch, w), expected)
+
+    def test_empty_batch_rows(self):
+        out = bank_loads_batch(np.zeros((3, 0), dtype=int), 4)
+        assert out.shape == (3, 4)
+        assert out.sum() == 0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            bank_loads_batch(np.arange(4), 4)
+
+    def test_merging_within_rows_only(self):
+        # Same address appears in two rows: each row counts it once.
+        batch = np.array([[0, 0], [0, 1]])
+        loads = bank_loads_batch(batch, 2)
+        assert list(loads[0]) == [1, 0]
+        assert list(loads[1]) == [1, 1]
+
+
+class TestCongestionBatch:
+    def test_matches_scalar(self, rng):
+        w = 16
+        batch = rng.integers(0, w * w, size=(50, w))
+        expected = np.array([warp_congestion(row, w) for row in batch])
+        assert np.array_equal(congestion_batch(batch, w), expected)
+
+    def test_contiguous_rows_are_one(self):
+        w = 8
+        batch = np.arange(w * 4).reshape(4, w)  # each row spans all banks
+        assert np.array_equal(congestion_batch(batch, w), np.ones(4, dtype=int))
+
+    def test_stride_rows_are_w(self):
+        w = 8
+        batch = (np.arange(4)[:, None] + w * np.arange(w)[None, :])
+        assert np.array_equal(congestion_batch(batch, w), np.full(4, w))
+
+    def test_zero_width_rows(self):
+        out = congestion_batch(np.zeros((2, 0), dtype=int), 4)
+        assert list(out) == [0, 0]
+
+    def test_large_addresses(self):
+        # Addresses far beyond w^2 still bank correctly.
+        w = 4
+        batch = np.array([[1000, 1004, 1008, 1012]])
+        assert congestion_batch(batch, w)[0] == 4

@@ -1,0 +1,114 @@
+"""Cross-module consistency: independent subsystems must agree.
+
+Each test computes the same quantity through two code paths that share
+no implementation (static analyzer vs executor, heatmap vs congestion
+kernel, timeline vs traces, figures vs mappings) and asserts equality.
+Disagreement anywhere means one of the paths drifted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.access.patterns import pattern_addresses
+from repro.access.transpose import TRANSPOSE_NAMES, run_transpose, transpose_indices
+from repro.core.congestion import bank_loads_batch, congestion_batch
+from repro.core.mappings import MAPPING_NAMES, RAPMapping, mapping_by_name
+from repro.gpu.analyzer import analyze_kernel, analyze_program
+from repro.gpu.kernel import KernelStep, transpose_kernel
+from repro.report.heatmap import bank_heatmap
+from repro.report.timeline import render_timeline
+
+
+class TestAnalyzerVsExecutor:
+    @pytest.mark.parametrize("kind", TRANSPOSE_NAMES)
+    @pytest.mark.parametrize("mapping_name", MAPPING_NAMES)
+    def test_static_totals_equal_dynamic_stages(self, kind, mapping_name, rng):
+        w = 8
+        mapping = mapping_by_name(mapping_name, w, rng)
+        # Static: analyzer over logical steps.
+        (ri, rj), (wi, wj) = transpose_indices(kind, w)
+        steps = [
+            KernelStep("read", "a", ri, rj, register="c"),
+            KernelStep("write", "b", wi, wj, register="c"),
+        ]
+        static = analyze_kernel(w, steps, candidates=[mapping])
+        # Dynamic: actual execution.
+        outcome = run_transpose(kind, mapping, seed=rng)
+        dynamic = sum(
+            t.schedule.total_stages for t in outcome.execution.traces
+        )
+        assert static.totals[mapping.name] == dynamic
+
+    def test_program_analyzer_equals_kernel_analyzer(self, rng):
+        """Two analyzer entry points, one answer."""
+        w = 8
+        mapping = RAPMapping.random(w, rng)
+        kernel = transpose_kernel("CRSW", mapping)
+        via_kernel = analyze_kernel(w, kernel.steps, candidates=[mapping])
+        via_program = analyze_program(kernel.program(), w)
+        assert via_program.total_stages == via_kernel.totals["RAP"]
+
+
+class TestHeatmapVsCongestion:
+    @pytest.mark.parametrize("pattern", ["contiguous", "stride", "diagonal"])
+    def test_heatmap_max_equals_congestion(self, pattern, rng):
+        w = 16
+        mapping = RAPMapping.random(w, rng)
+        addrs = pattern_addresses(mapping, pattern)
+        loads = bank_heatmap(addrs, w)
+        cong = congestion_batch(addrs, w)
+        assert np.array_equal(loads.max(axis=1), cong)
+
+    def test_heatmap_is_bank_loads(self, rng):
+        w = 8
+        addrs = rng.integers(0, w * w, size=(5, w))
+        assert np.array_equal(bank_heatmap(addrs, w), bank_loads_batch(addrs, w))
+
+
+class TestTimelineVsTraces:
+    def test_timeline_totals_match_execution(self, rng):
+        outcome = run_transpose("DRDW", RAPMapping.random(8, rng), latency=3)
+        text = render_timeline(outcome.execution)
+        assert f"total: {outcome.time_units} time units" in text
+        for trace in outcome.execution.traces:
+            assert f"{trace.schedule.total_stages} stages" in text
+
+
+class TestKernelVsTransposePath:
+    @pytest.mark.parametrize("kind", TRANSPOSE_NAMES)
+    def test_same_program_same_time(self, kind, rng):
+        mapping = RAPMapping.random(8, rng)
+        outcome = run_transpose(kind, mapping, latency=4)
+        report = transpose_kernel(kind, mapping).run(latency=4)
+        assert outcome.time_units == report.time_units
+
+    @pytest.mark.parametrize("kind", TRANSPOSE_NAMES)
+    def test_same_data(self, kind, rng):
+        mapping = RAPMapping.random(8, rng)
+        matrix = rng.random((8, 8))
+        kernel = transpose_kernel(kind, mapping)
+        machine = kernel.make_machine()
+        kernel.load_array(machine, "a", matrix)
+        machine.run(kernel.program())
+        assert np.array_equal(kernel.read_array(machine, "b"), matrix.T)
+
+
+class TestFigureVsMapping:
+    def test_fig6_layout_equals_mapping_layout(self):
+        """The rendered Fig. 6 grid IS apply_layout of its sigma."""
+        from repro.report.figures import figure6
+
+        fig = figure6()
+        mapping = RAPMapping(4, fig.data["sigma"])
+        logical = np.arange(16).reshape(4, 4)
+        assert np.array_equal(
+            fig.data["physical"], mapping.apply_layout(logical).reshape(4, 4)
+        )
+
+    def test_fig2_congestions_equal_kernel(self):
+        from repro.core.congestion import warp_congestion
+        from repro.report.figures import figure2
+
+        fig = figure2()
+        for name, addrs in fig.data["cases"].items():
+            assert fig.data["congestion"][name] == warp_congestion(addrs, 4)

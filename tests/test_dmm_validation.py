@@ -1,0 +1,101 @@
+"""Unit + property tests for the execution-trace invariant checker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.transpose import run_transpose
+from repro.core.mappings import mapping_by_name
+from repro.dmm.machine import DiscreteMemoryMachine
+from repro.dmm.trace import MemoryProgram, read
+from repro.dmm.validation import InvariantViolation, check_execution_invariants
+
+
+class TestCleanResultsPass:
+    @pytest.mark.parametrize("mapping_name", ["RAW", "RAS", "RAP"])
+    @pytest.mark.parametrize("kind", ["CRSW", "SRCW", "DRDW"])
+    def test_transposes(self, kind, mapping_name, rng):
+        w, latency = 8, 4
+        outcome = run_transpose(
+            kind, mapping_by_name(mapping_name, w, rng), latency=latency, seed=rng
+        )
+        check_execution_invariants(outcome.execution, w, latency)
+
+    def test_empty_program(self):
+        machine = DiscreteMemoryMachine(4, 3, 16)
+        result = machine.run(MemoryProgram(p=4))
+        check_execution_invariants(result, 4, 3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.sampled_from([2, 4, 8]),
+        st.integers(1, 10),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_random_programs(self, w, latency, seed):
+        rng = np.random.default_rng(seed)
+        p = w * int(rng.integers(1, 4))
+        machine = DiscreteMemoryMachine(w, latency, 4 * w * w)
+        prog = MemoryProgram(p=p)
+        for _ in range(int(rng.integers(1, 4))):
+            prog.append(read(rng.integers(0, 4 * w * w, size=p)))
+        result = machine.run(prog)
+        check_execution_invariants(result, w, latency)
+
+
+class TestViolationsAreCaught:
+    def _result(self):
+        machine = DiscreteMemoryMachine(4, 3, 16)
+        prog = MemoryProgram(p=8, instructions=[read(np.arange(8))])
+        return machine.run(prog)
+
+    def test_wrong_total_time(self):
+        result = self._result()
+        result.time_units += 1
+        with pytest.raises(InvariantViolation, match="program time"):
+            check_execution_invariants(result, 4, 3)
+
+    def test_congestion_out_of_range(self):
+        result = self._result()
+        trace = result.traces[0]
+        object.__setattr__(trace, "congestions", (5, 1))
+        with pytest.raises(InvariantViolation, match="congestion"):
+            check_execution_invariants(result, 4, 3)
+
+    def test_unsorted_dispatch(self):
+        result = self._result()
+        trace = result.traces[0]
+        object.__setattr__(trace, "dispatched_warps", (1, 0))
+        with pytest.raises(InvariantViolation, match="ascending"):
+            check_execution_invariants(result, 4, 3)
+
+    def test_wrong_latency_claim(self):
+        """Validating with the wrong latency must fail — the checker
+        actually uses the parameter."""
+        result = self._result()
+        with pytest.raises(InvariantViolation, match="time"):
+            check_execution_invariants(result, 4, 7)
+
+
+class TestUMMResultsValidate:
+    """The UMM produces the same trace structure; the invariant
+    checker applies verbatim (group counts play the congestion role)."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.sampled_from([2, 4, 8]),
+        st.integers(1, 10),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_random_umm_programs(self, w, latency, seed):
+        from repro.dmm.umm import UnifiedMemoryMachine
+
+        rng = np.random.default_rng(seed)
+        p = w * int(rng.integers(1, 4))
+        machine = UnifiedMemoryMachine(w, latency, 4 * w * w)
+        prog = MemoryProgram(p=p)
+        for _ in range(int(rng.integers(1, 4))):
+            prog.append(read(rng.integers(0, 4 * w * w, size=p)))
+        result = machine.run(prog)
+        check_execution_invariants(result, w, latency)

@@ -1,0 +1,208 @@
+"""Unit tests for repro.dmm.event_sim — the overlap-aware engine."""
+
+import numpy as np
+import pytest
+
+from repro.access.transpose import transpose_program
+from repro.core.mappings import RAPMapping, RAWMapping, mapping_by_name
+from repro.dmm.event_sim import EventDrivenDMM
+from repro.dmm.machine import DiscreteMemoryMachine
+from repro.dmm.trace import INACTIVE, MemoryProgram, read, write
+
+
+def both_engines(w, latency, size):
+    return (
+        DiscreteMemoryMachine(w, latency, size),
+        EventDrivenDMM(w, latency, size),
+    )
+
+
+class TestSingleInstructionExactness:
+    """Invariant 1: one instruction -> both engines agree exactly."""
+
+    @pytest.mark.parametrize("latency", [1, 5, 20])
+    def test_contiguous(self, latency):
+        w = 8
+        prog = MemoryProgram(p=w * w, instructions=[read(np.arange(w * w))])
+        analytic, event = both_engines(w, latency, w * w)
+        assert analytic.run(prog).time_units == event.run(prog).time_units
+
+    @pytest.mark.parametrize("latency", [1, 5, 20])
+    def test_stride(self, latency):
+        w = 8
+        stride = np.arange(w * w).reshape(w, w).T.ravel()
+        prog = MemoryProgram(p=w * w, instructions=[read(stride)])
+        analytic, event = both_engines(w, latency, w * w)
+        assert analytic.run(prog).time_units == event.run(prog).time_units
+
+    def test_paper_fig3(self):
+        """The Fig. 3 example: 7 time units on both engines."""
+        addrs = np.array([7, 5, 15, 0, 10, 11, 12, 9])
+        prog = MemoryProgram(p=8, instructions=[read(addrs)])
+        analytic, event = both_engines(4, 5, 16)
+        assert analytic.run(prog).time_units == 7
+        assert event.run(prog).time_units == 7
+
+    def test_single_request_takes_latency(self):
+        prog = MemoryProgram(p=4, instructions=[read(np.array([0, INACTIVE, INACTIVE, INACTIVE]))])
+        _, event = both_engines(4, 9, 16)
+        assert event.run(prog).time_units == 9
+
+
+class TestOverlapInvariant:
+    """Invariant 2: overlap can only help."""
+
+    @pytest.mark.parametrize("kind", ["CRSW", "SRCW", "DRDW"])
+    @pytest.mark.parametrize("mapping_name", ["RAW", "RAS", "RAP"])
+    def test_never_slower_than_analytic(self, kind, mapping_name, rng):
+        w, latency = 8, 5
+        mapping = mapping_by_name(mapping_name, w, rng)
+        prog = transpose_program(kind, mapping)
+        analytic, event = both_engines(w, latency, 2 * w * w)
+        data = rng.random(w * w)
+        analytic.load(0, mapping.apply_layout(data.reshape(w, w)))
+        event.load(0, mapping.apply_layout(data.reshape(w, w)))
+        a = analytic.run(prog).time_units
+        e = event.run(prog).time_units
+        assert e <= a
+
+    def test_overlap_saves_at_high_latency(self, rng):
+        """With many warps and deep pipelines, phase boundaries cost
+        the analytic engine real time that overlap recovers."""
+        w, latency = 8, 16
+        mapping = RAPMapping.random(w, rng)
+        prog = transpose_program("CRSW", mapping)
+        analytic, event = both_engines(w, latency, 2 * w * w)
+        analytic.load(0, np.zeros(w * w))
+        event.load(0, np.zeros(w * w))
+        a = analytic.run(prog).time_units
+        e = event.run(prog).time_units
+        assert e < a
+
+    def test_issue_cycles_equal_analytic_stages(self, rng):
+        """Pipeline occupancy is engine-independent."""
+        w = 8
+        mapping = RAPMapping.random(w, rng)
+        prog = transpose_program("DRDW", mapping)
+        analytic, event = both_engines(w, 3, 2 * w * w)
+        analytic.load(0, np.zeros(w * w))
+        event.load(0, np.zeros(w * w))
+        a_res = analytic.run(prog)
+        e_res = event.run(prog)
+        stages = sum(t.schedule.total_stages for t in a_res.traces)
+        assert e_res.issue_cycles == stages
+
+
+class TestDataEquivalence:
+    @pytest.mark.parametrize("kind", ["CRSW", "SRCW", "DRDW"])
+    def test_memory_identical_after_transpose(self, kind, rng):
+        w = 8
+        mapping = RAPMapping.random(w, rng)
+        matrix = rng.random((w, w))
+        prog = transpose_program(kind, mapping)
+        analytic, event = both_engines(w, 2, 2 * w * w)
+        analytic.load(0, mapping.apply_layout(matrix))
+        event.load(0, mapping.apply_layout(matrix))
+        analytic.run(prog)
+        event.run(prog)
+        assert np.array_equal(analytic.dump(0, 2 * w * w), event.dump(0, 2 * w * w))
+
+    def test_transpose_result_correct(self, rng):
+        w = 8
+        mapping = RAWMapping(w)
+        matrix = rng.random((w, w))
+        event = EventDrivenDMM(w, 2, 2 * w * w)
+        event.load(0, mapping.apply_layout(matrix))
+        event.run(transpose_program("CRSW", mapping))
+        out = mapping.read_layout(event.dump(w * w, w * w))
+        assert np.array_equal(out, matrix.T)
+
+    def test_registers_returned(self):
+        event = EventDrivenDMM(4, 1, 16)
+        event.load(0, np.array([1.0, 2.0, 3.0, 4.0]))
+        prog = MemoryProgram(p=4, instructions=[read(np.arange(4), register="x")])
+        res = event.run(prog)
+        assert np.array_equal(res.registers["x"], [1.0, 2.0, 3.0, 4.0])
+
+    def test_write_from_unread_register_raises(self):
+        event = EventDrivenDMM(4, 1, 16)
+        prog = MemoryProgram(p=4, instructions=[write(np.arange(4), register="q")])
+        with pytest.raises(KeyError):
+            event.run(prog)
+
+
+class TestMechanics:
+    def test_empty_program(self):
+        event = EventDrivenDMM(4, 5, 16)
+        res = event.run(MemoryProgram(p=4))
+        assert res.time_units == 0
+        assert res.issue_cycles == 0
+
+    def test_fully_inactive_instruction_free(self):
+        event = EventDrivenDMM(4, 5, 16)
+        prog = MemoryProgram(p=4, instructions=[read(np.full(4, INACTIVE))])
+        assert event.run(prog).time_units == 0
+
+    def test_idle_cycles_counted(self):
+        """A single warp with dependent instructions idles l-1 cycles
+        between them."""
+        w, latency = 4, 6
+        event = EventDrivenDMM(w, latency, 32)
+        event.load(0, np.zeros(4))
+        prog = MemoryProgram(p=4)
+        prog.append(read(np.arange(4), register="v"))
+        prog.append(write(np.arange(4) + 16, register="v"))
+        res = event.run(prog)
+        assert res.idle_cycles == latency - 1
+        assert res.time_units == 2 * latency
+
+    def test_per_warp_finish_monotone_with_warp_load(self):
+        w = 4
+        event = EventDrivenDMM(w, 1, 64)
+        # Warp 0: conflict-free; warp 1: 4-way conflicted.
+        addrs = np.concatenate([np.arange(4), np.array([0, 4, 8, 12])])
+        prog = MemoryProgram(p=8, instructions=[read(addrs)])
+        res = event.run(prog)
+        assert res.per_warp_finish[0] < res.per_warp_finish[1]
+
+    def test_load_dump_bounds(self):
+        event = EventDrivenDMM(4, 1, 8)
+        with pytest.raises(IndexError):
+            event.load(4, np.arange(8.0))
+        with pytest.raises(IndexError):
+            event.dump(0, 9)
+
+
+class TestStageRuleParameter:
+    def test_umm_stage_rule_matches_analytic_umm(self, rng):
+        """EventDrivenDMM with the coalescing rule == an event-driven
+        UMM: single-instruction times match the analytic UMM exactly."""
+        from repro.dmm.umm import UnifiedMemoryMachine, coalesced_group_count
+
+        w, latency = 8, 5
+        addrs = rng.integers(0, w * w, size=w * 2)
+        prog = MemoryProgram(p=w * 2, instructions=[read(addrs)])
+        analytic = UnifiedMemoryMachine(w, latency, w * w).run(prog)
+        event = EventDrivenDMM(
+            w, latency, w * w, stage_rule=coalesced_group_count
+        ).run(prog)
+        assert event.time_units == analytic.time_units
+
+    def test_umm_rule_overlap_never_slower(self, rng):
+        from repro.dmm.umm import UnifiedMemoryMachine, coalesced_group_count
+
+        w, latency = 8, 6
+        prog = MemoryProgram(p=w)
+        prog.append(read(rng.integers(0, w * w, size=w), register="v"))
+        prog.append(write(rng.integers(0, w * w, size=w), register="v"))
+        analytic = UnifiedMemoryMachine(w, latency, w * w)
+        event = EventDrivenDMM(w, latency, w * w, stage_rule=coalesced_group_count)
+        a = analytic.run(prog).time_units
+        e = event.run(prog).time_units
+        assert e <= a
+
+    def test_default_rule_is_congestion(self):
+        from repro.core.congestion import warp_congestion
+
+        machine = EventDrivenDMM(4, 1, 16)
+        assert machine.stage_rule is warp_congestion

@@ -1,0 +1,85 @@
+"""Unit tests for repro.core.exact — exact max-load distribution."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import (
+    exact_expected_max_load,
+    exact_max_load_cdf,
+    exact_max_load_pmf,
+)
+from repro.core.theory import expected_max_load
+
+
+class TestCDF:
+    def test_is_distribution(self):
+        cdf = exact_max_load_cdf(16, 16)
+        assert cdf[0] == 0.0
+        assert cdf[-1] == 1.0
+        assert (np.diff(cdf) >= -1e-12).all()
+
+    def test_one_ball(self):
+        cdf = exact_max_load_cdf(1, 5)
+        assert cdf[0] == 0.0
+        assert cdf[1] == pytest.approx(1.0)
+
+    def test_one_bin(self):
+        """All m balls in the single bin: max is always m."""
+        cdf = exact_max_load_cdf(4, 1)
+        assert cdf[3] == pytest.approx(0.0, abs=1e-12)
+        assert cdf[4] == 1.0
+
+    def test_two_balls_two_bins(self):
+        """P(max <= 1) = 2/4: the two balls land apart."""
+        cdf = exact_max_load_cdf(2, 2)
+        assert cdf[1] == pytest.approx(0.5)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            exact_max_load_cdf(0, 4)
+        with pytest.raises(ValueError):
+            exact_max_load_cdf(4, 0)
+
+
+class TestPMF:
+    def test_sums_to_one(self):
+        pmf = exact_max_load_pmf(16, 16)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_nonnegative(self):
+        assert (exact_max_load_pmf(12, 8) >= 0).all()
+
+    def test_three_balls_three_bins(self):
+        """P(max=1) = 3!/27 = 2/9; P(max=3) = 3/27 = 1/9."""
+        pmf = exact_max_load_pmf(3, 3)
+        assert pmf[1] == pytest.approx(2 / 9)
+        assert pmf[3] == pytest.approx(1 / 9)
+        assert pmf[2] == pytest.approx(1 - 2 / 9 - 1 / 9)
+
+
+class TestExpectation:
+    def test_paper_table2_stride_ras_values(self):
+        """The i.i.d. reference values behind Table II's stride-RAS row."""
+        paper = {16: 3.08, 32: 3.53, 64: 3.96, 128: 4.38, 256: 4.77}
+        for w, printed in paper.items():
+            exact = exact_expected_max_load(w, w)
+            assert exact == pytest.approx(printed, abs=0.012), (w, exact)
+
+    def test_matches_monte_carlo(self):
+        exact = exact_expected_max_load(32, 32)
+        mc = expected_max_load(32, 32, trials=40000, seed=0)
+        assert mc == pytest.approx(exact, abs=0.03)
+
+    def test_one_ball(self):
+        assert exact_expected_max_load(1, 10) == pytest.approx(1.0)
+
+    def test_single_bin(self):
+        assert exact_expected_max_load(7, 1) == pytest.approx(7.0)
+
+    def test_monotone_in_balls(self):
+        values = [exact_expected_max_load(m, 16) for m in (8, 16, 32)]
+        assert values == sorted(values)
+
+    def test_monotone_in_bins(self):
+        """More bins -> lighter maximum load."""
+        assert exact_expected_max_load(16, 32) < exact_expected_max_load(16, 8)

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script must run clean, start to finish.
+
+Examples are documentation that executes; a broken example is a broken
+promise.  Each script runs in a subprocess (its own interpreter, like
+a user would run it) with reduced trial counts where the script
+accepts them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: script -> extra argv (to keep Monte-Carlo examples quick under test)
+SCRIPTS: dict[str, list[str]] = {
+    "quickstart.py": [],
+    "transpose_showdown.py": ["--trials", "10"],
+    "congestion_survey.py": ["--trials", "100", "--widths", "16", "32"],
+    "higher_dim_arrays.py": ["--w", "12", "--trials", "60"],
+    "custom_kernel.py": [],
+    "offline_permutation.py": [],
+    "padding_vs_rap.py": [],
+    "reduction_conflicts.py": [],
+    "fft_and_scan.py": [],
+    "kernel_lint.py": [],
+    "global_matrix.py": [],
+    "histogram_hazard.py": [],
+    "sigma_lifecycle.py": [],
+}
+
+
+def test_every_example_is_listed():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(SCRIPTS), (
+        "examples/ and the test manifest disagree; update SCRIPTS"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(SCRIPTS))
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *SCRIPTS[script]],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{script} printed nothing"
+
+
+def test_quickstart_headline(capfd):
+    """The quickstart's claims, asserted on its actual output."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    out = result.stdout
+    assert "16.5x faster" in out or "x faster" in out
+    assert "RAP" in out and "RAW" in out

@@ -1,0 +1,115 @@
+"""Unit tests for repro.report.figures — figure content vs the paper."""
+
+import numpy as np
+import pytest
+
+from repro.report.figures import (
+    ALL_FIGURES,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+
+
+class TestFigure1:
+    def test_rules_recorded(self):
+        fig = figure1()
+        assert "DMM" in fig.text and "UMM" in fig.text
+        assert fig.data["warp_size_equals_banks"]
+
+
+class TestFigure2:
+    def test_paper_congestion_values(self):
+        """The printed examples: congestion 1, 4, 1."""
+        fig = figure2()
+        assert fig.data["congestion"]["distinct_banks"] == 1
+        assert fig.data["congestion"]["same_bank"] == 4
+        assert fig.data["congestion"]["same_address"] == 1
+
+    def test_text_mentions_requests(self):
+        assert "m[" in figure2().text
+
+
+class TestFigure3:
+    def test_paper_pipeline_numbers(self):
+        """Congestions (2,1), 3 stages, 3+5-1=7 time units."""
+        fig = figure3()
+        assert fig.data["congestions"] == (2, 1)
+        assert fig.data["total_stages"] == 3
+        assert fig.data["completion_time"] == 7
+
+    def test_latency_five(self):
+        assert figure3().data["latency"] == 5
+
+
+class TestFigure4:
+    def test_three_grids(self):
+        fig = figure4()
+        assert set(fig.data["grids"]) == {"contiguous", "stride", "diagonal"}
+
+    def test_grids_are_permutations_of_thread_ids(self):
+        for grid in figure4().data["grids"].values():
+            assert sorted(grid.ravel()) == list(range(16))
+
+    def test_contiguous_is_row_major(self):
+        grid = figure4().data["grids"]["contiguous"]
+        assert np.array_equal(grid, np.arange(16).reshape(4, 4))
+
+    def test_stride_is_column_major(self):
+        grid = figure4().data["grids"]["stride"]
+        assert np.array_equal(grid, np.arange(16).reshape(4, 4).T)
+
+
+class TestFigure5:
+    def test_all_algorithms_correct(self):
+        for res in figure5().data["results"].values():
+            assert res["correct"]
+
+    def test_congestion_profile(self):
+        results = figure5().data["results"]
+        assert results["CRSW"]["write_congestion"] == 4
+        assert results["SRCW"]["read_congestion"] == 4
+        assert results["DRDW"]["read_congestion"] == 1
+        assert results["DRDW"]["write_congestion"] == 1
+
+
+class TestFigure6:
+    def test_paper_layout_exact(self):
+        """The Fig. 6 picture for sigma=(2,0,3,1)."""
+        expected = np.array(
+            [[2, 3, 0, 1], [4, 5, 6, 7], [9, 10, 11, 8], [15, 12, 13, 14]]
+        )
+        assert np.array_equal(figure6().data["physical"], expected)
+
+    def test_sigma_recorded(self):
+        assert list(figure6().data["sigma"]) == [2, 0, 3, 1]
+
+
+class TestFigure7:
+    def test_six_registers(self):
+        fig = figure7()
+        assert len(fig.data["layout"]) == 6
+
+    def test_six_shifts_per_register(self):
+        layout = figure7().data["layout"]
+        assert layout[0] == [0, 1, 2, 3, 4, 5]
+        assert layout[5] == [30, 31]  # the final partial register
+
+    def test_values_per_word(self):
+        assert figure7().data["values_per_word"] == 6
+
+
+class TestRegistry:
+    def test_seven_figures(self):
+        assert set(ALL_FIGURES) == {f"fig{i}" for i in range(1, 8)}
+
+    @pytest.mark.parametrize("name", sorted(ALL_FIGURES))
+    def test_every_figure_renders(self, name):
+        fig = ALL_FIGURES[name]()
+        assert fig.name == name
+        assert isinstance(fig.text, str) and fig.text
+        assert isinstance(fig.data, dict) and fig.data

@@ -1,0 +1,108 @@
+"""Unit tests for repro.apps.gather — irregular data-dependent access."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gather import GATHER_DISTRIBUTIONS, make_indices, run_gather
+from repro.core.mappings import RAPMapping, RASMapping, RAWMapping
+
+
+class TestMakeIndices:
+    @pytest.mark.parametrize("dist", GATHER_DISTRIBUTIONS)
+    def test_range_and_length(self, dist):
+        idx = make_indices(8, dist, seed=0)
+        assert idx.shape == (64,)
+        assert idx.min() >= 0 and idx.max() < 64
+
+    def test_same_bank_structure(self):
+        """Warp i's entries are all congruent to i mod w and distinct."""
+        w = 8
+        idx = make_indices(w, "same_bank").reshape(w, w)
+        for i in range(w):
+            assert (idx[i] % w == i).all()
+            assert len(np.unique(idx[i])) == w
+
+    def test_hotspot_concentrates(self):
+        idx = make_indices(16, "hotspot", seed=1)
+        _, counts = np.unique(idx, return_counts=True)
+        assert counts.max() > 10  # some entry is genuinely hot
+
+    def test_uniform_spreads(self):
+        idx = make_indices(16, "uniform", seed=1)
+        _, counts = np.unique(idx, return_counts=True)
+        assert counts.max() < 10
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            make_indices(8, "bimodal")
+
+    def test_deterministic(self):
+        a = make_indices(8, "uniform", seed=5)
+        b = make_indices(8, "uniform", seed=5)
+        assert np.array_equal(a, b)
+
+
+class TestGatherCorrectness:
+    @pytest.mark.parametrize("dist", GATHER_DISTRIBUTIONS)
+    @pytest.mark.parametrize("mapping_name", ["RAW", "RAS", "RAP"])
+    def test_all_combinations(self, dist, mapping_name, rng):
+        from repro.core.mappings import mapping_by_name
+
+        mapping = mapping_by_name(mapping_name, 8, rng)
+        assert run_gather(mapping, distribution=dist, seed=rng).correct
+
+    def test_explicit_indices(self, rng):
+        idx = np.arange(64)[::-1].copy()
+        assert run_gather(RAWMapping(8), indices=idx, seed=rng).correct
+
+    def test_identity_indices(self, rng):
+        idx = np.arange(64)
+        o = run_gather(RAPMapping.random(8, rng), indices=idx, seed=rng)
+        assert o.correct
+        assert o.gather_congestion == 1  # contiguous read
+
+    def test_index_bounds_checked(self):
+        with pytest.raises(IndexError):
+            run_gather(RAWMapping(4), indices=np.full(16, 16))
+
+    def test_index_length_checked(self):
+        with pytest.raises(ValueError):
+            run_gather(RAWMapping(4), indices=np.arange(8))
+
+
+class TestGatherCongestion:
+    def test_same_bank_pathology_under_raw(self):
+        o = run_gather(RAWMapping(16), distribution="same_bank", seed=0)
+        assert o.gather_congestion == 16
+
+    def test_rap_fixes_same_bank(self, rng):
+        """The pathology is a column gather: RAP's stride guarantee."""
+        o = run_gather(
+            RAPMapping.random(16, rng), distribution="same_bank", seed=0
+        )
+        assert o.gather_congestion == 1
+
+    def test_hotspot_cheap_under_merging(self, rng):
+        """Hot entries merge: congestion stays near the uniform floor
+        even though 80% of threads share w addresses."""
+        for mapping in (RAWMapping(16), RAPMapping.random(16, rng)):
+            o = run_gather(mapping, distribution="hotspot", seed=3)
+            assert o.gather_congestion <= 6
+
+    def test_uniform_layout_invariant(self, rng):
+        """True randomness cannot be improved or worsened by a layout."""
+        raw = run_gather(RAWMapping(16), distribution="uniform", seed=9)
+        rap = run_gather(
+            RAPMapping.random(16, rng), distribution="uniform", seed=9
+        )
+        assert abs(raw.gather_congestion - rap.gather_congestion) <= 2
+
+    def test_time_ordering_on_pathology(self, rng):
+        raw = run_gather(RAWMapping(16), distribution="same_bank", seed=0)
+        ras = run_gather(
+            RASMapping.random(16, rng), distribution="same_bank", seed=0
+        )
+        rap = run_gather(
+            RAPMapping.random(16, rng), distribution="same_bank", seed=0
+        )
+        assert rap.time_units < ras.time_units < raw.time_units

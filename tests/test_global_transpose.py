@@ -1,0 +1,104 @@
+"""Unit tests for repro.apps.global_transpose — the hierarchical story."""
+
+import numpy as np
+import pytest
+
+from repro.apps.global_transpose import run_global_transpose
+from repro.core.mappings import RAPMapping, RAWMapping
+from repro.core.swizzle import XORSwizzleMapping
+
+
+class TestCorrectness:
+    def test_direct(self, rng):
+        o = run_global_transpose(16, "direct", w=4, seed=rng)
+        assert o.correct
+
+    def test_tiled_raw(self, rng):
+        o = run_global_transpose(16, "tiled", w=4, seed=rng)
+        assert o.correct
+
+    def test_tiled_rap(self, rng):
+        o = run_global_transpose(
+            16, "tiled", mapping=RAPMapping.random(4, rng), w=4, seed=rng
+        )
+        assert o.correct
+
+    def test_tiled_xor(self, rng):
+        o = run_global_transpose(
+            16, "tiled", mapping=XORSwizzleMapping(4), w=4, seed=rng
+        )
+        assert o.correct
+
+    def test_explicit_matrix(self):
+        matrix = np.arange(64.0).reshape(8, 8)
+        o = run_global_transpose(8, "tiled", w=4, matrix=matrix)
+        assert o.correct
+
+    def test_single_tile(self, rng):
+        o = run_global_transpose(4, "tiled", w=4, seed=rng)
+        assert o.correct
+
+    def test_non_square_tiling_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            run_global_transpose(10, "tiled", w=4)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            run_global_transpose(8, "chunked", w=4)
+
+    def test_mapping_width_checked(self):
+        with pytest.raises(ValueError):
+            run_global_transpose(8, "tiled", mapping=RAWMapping(8), w=4)
+
+    def test_matrix_shape_checked(self):
+        with pytest.raises(ValueError):
+            run_global_transpose(8, "direct", w=4, matrix=np.zeros((4, 8)))
+
+
+class TestTimingStory:
+    """The three-way comparison the hierarchy exists for."""
+
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        n, w = 32, 8
+        matrix = np.random.default_rng(0).random((n, n))
+        return {
+            "direct": run_global_transpose(n, "direct", w=w, matrix=matrix),
+            "tiled/RAW": run_global_transpose(n, "tiled", w=w, matrix=matrix),
+            "tiled/RAP": run_global_transpose(
+                n, "tiled", mapping=RAPMapping.random(w, 1), w=w, matrix=matrix
+            ),
+        }
+
+    def test_all_correct(self, outcomes):
+        assert all(o.correct for o in outcomes.values())
+
+    def test_direct_pays_uncoalesced_global(self, outcomes):
+        direct = outcomes["direct"]
+        tiled = outcomes["tiled/RAP"]
+        assert direct.global_time > 3 * tiled.global_time
+
+    def test_tiling_coalesces_global_traffic(self, outcomes):
+        """Both tiled variants have identical (coalesced) global cost."""
+        assert outcomes["tiled/RAW"].global_time == outcomes["tiled/RAP"].global_time
+
+    def test_raw_tiles_pay_in_shared(self, outcomes):
+        assert (
+            outcomes["tiled/RAW"].shared_time
+            > 2 * outcomes["tiled/RAP"].shared_time
+        )
+
+    def test_rap_tiles_win_overall(self, outcomes):
+        best = min(outcomes.values(), key=lambda o: o.total_time)
+        assert best is outcomes["tiled/RAP"]
+
+    def test_tiled_raw_can_lose_to_direct(self, outcomes):
+        """The cautionary tale: tiling without fixing the shared stage
+        is not automatically a win."""
+        assert (
+            outcomes["tiled/RAW"].total_time > outcomes["direct"].total_time
+        )
+
+    def test_total_is_sum(self, outcomes):
+        for o in outcomes.values():
+            assert o.total_time == o.global_time + o.shared_time

@@ -1,0 +1,123 @@
+"""Unit tests for repro.gpu.kernel — the CUDA-like kernel abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.mappings import RAPMapping, RAWMapping
+from repro.gpu.kernel import KernelStep, SharedMemoryKernel, transpose_kernel
+from repro.gpu.timing import GPUTimingModel
+
+
+def grids(w):
+    return np.meshgrid(np.arange(w), np.arange(w), indexing="ij")
+
+
+class TestKernelStep:
+    def test_valid(self):
+        ii, jj = grids(4)
+        step = KernelStep("read", "a", ii, jj)
+        assert step.ii.dtype == np.int64
+
+    def test_bad_op(self):
+        ii, jj = grids(4)
+        with pytest.raises(ValueError):
+            KernelStep("load", "a", ii, jj)
+
+    def test_shape_mismatch(self):
+        ii, jj = grids(4)
+        with pytest.raises(ValueError):
+            KernelStep("read", "a", ii, jj[:2])
+
+
+class TestSharedMemoryKernel:
+    def test_unknown_array_rejected(self):
+        ii, jj = grids(4)
+        with pytest.raises(ValueError, match="unknown array"):
+            SharedMemoryKernel(4, [KernelStep("read", "z", ii, jj)])
+
+    def test_duplicate_array_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SharedMemoryKernel(4, [], arrays=("a", "a"))
+
+    def test_wrong_grid_size_rejected(self):
+        ii, jj = grids(8)
+        with pytest.raises(ValueError):
+            SharedMemoryKernel(4, [KernelStep("read", "a", ii, jj)])
+
+    def test_mapping_by_name(self):
+        k = SharedMemoryKernel(8, [], mapping="RAP", seed=3)
+        assert k.mapping.name == "RAP"
+
+    def test_mapping_width_mismatch(self):
+        with pytest.raises(ValueError):
+            SharedMemoryKernel(8, [], mapping=RAWMapping(4))
+
+    def test_array_bases_consecutive(self):
+        k = SharedMemoryKernel(4, [], arrays=("a", "b", "c"))
+        assert k.bases == {"a": 0, "b": 16, "c": 32}
+
+    def test_overhead_ops(self):
+        ii, jj = grids(4)
+        steps = [KernelStep("read", "a", ii, jj), KernelStep("write", "b", ii, jj)]
+        raw = SharedMemoryKernel(4, steps, mapping=RAWMapping(4))
+        rap = SharedMemoryKernel(4, steps, mapping="RAP", seed=0)
+        assert raw.overhead_ops() == 0
+        assert rap.overhead_ops() == 3 * 2 * 4
+
+    def test_load_read_array_roundtrip(self, rng):
+        k = SharedMemoryKernel(4, [], mapping="RAP", seed=1)
+        machine = k.make_machine()
+        matrix = rng.random((4, 4))
+        k.load_array(machine, "a", matrix)
+        assert np.array_equal(k.read_array(machine, "a"), matrix)
+
+    def test_run_reports_stages(self):
+        ii, jj = grids(4)
+        steps = [KernelStep("read", "a", ii, jj, register="c"),
+                 KernelStep("write", "b", jj, ii, register="c")]
+        k = SharedMemoryKernel(4, steps, mapping=RAWMapping(4))
+        report = k.run()
+        # contiguous read: 4 stages; stride write: 16 stages.
+        assert report.total_stages == 20
+
+    def test_run_with_timing_model(self):
+        ii, jj = grids(4)
+        k = SharedMemoryKernel(4, [KernelStep("read", "a", ii, jj)])
+        model = GPUTimingModel(2.0, 10.0, 1.0)
+        report = k.run(timing_model=model)
+        assert report.predicted_ns == pytest.approx(2.0 * 4 + 10.0)
+
+    def test_run_without_model_gives_none(self):
+        ii, jj = grids(4)
+        k = SharedMemoryKernel(4, [KernelStep("read", "a", ii, jj)])
+        assert k.run().predicted_ns is None
+
+
+class TestTransposeKernel:
+    def test_builds_two_steps(self):
+        k = transpose_kernel("CRSW", RAWMapping(8))
+        assert len(k.steps) == 2
+
+    def test_data_correct_end_to_end(self, rng):
+        k = transpose_kernel("CRSW", RAPMapping.random(8, rng))
+        machine = k.make_machine()
+        matrix = rng.random((8, 8))
+        k.load_array(machine, "a", matrix)
+        machine.run(k.program())
+        assert np.array_equal(k.read_array(machine, "b"), matrix.T)
+
+    def test_mapping_by_name_with_width(self):
+        k = transpose_kernel("SRCW", "RAS", w=16, seed=2)
+        assert k.w == 16
+        assert k.mapping.name == "RAS"
+
+    def test_default_width_32(self):
+        assert transpose_kernel("DRDW", "RAW").w == 32
+
+    def test_stage_counts_match_table3_raw(self):
+        assert transpose_kernel("CRSW", "RAW").run().total_stages == 32 + 1024
+        assert transpose_kernel("DRDW", "RAW").run().total_stages == 64
+
+    def test_stage_counts_match_table3_rap(self, rng):
+        k = transpose_kernel("CRSW", RAPMapping.random(32, rng))
+        assert k.run().total_stages == 64

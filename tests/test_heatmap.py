@@ -1,0 +1,68 @@
+"""Unit tests for repro.report.heatmap."""
+
+import numpy as np
+import pytest
+
+from repro.access.patterns import pattern_addresses
+from repro.core.mappings import RAPMapping, RAWMapping
+from repro.report.heatmap import bank_heatmap, load_glyph, render_heatmap
+
+
+class TestLoadGlyph:
+    def test_idle(self):
+        assert load_glyph(0) == "."
+
+    def test_digits(self):
+        assert load_glyph(1) == "1"
+        assert load_glyph(9) == "9"
+
+    def test_overflow(self):
+        assert load_glyph(10) == "#"
+        assert load_glyph(32) == "#"
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            load_glyph(-1)
+
+
+class TestBankHeatmap:
+    def test_shape(self):
+        addrs = np.arange(16).reshape(4, 4)
+        assert bank_heatmap(addrs, 4).shape == (4, 4)
+
+    def test_contiguous_all_ones(self):
+        addrs = pattern_addresses(RAWMapping(8), "contiguous")
+        assert (bank_heatmap(addrs, 8) == 1).all()
+
+    def test_stride_one_hot_column(self):
+        addrs = pattern_addresses(RAWMapping(8), "stride")
+        loads = bank_heatmap(addrs, 8)
+        for warp in range(8):
+            assert loads[warp, warp] == 8
+            assert loads[warp].sum() == 8
+
+
+class TestRenderHeatmap:
+    def test_stride_raw_shows_hash(self):
+        addrs = pattern_addresses(RAWMapping(16), "stride")
+        out = render_heatmap(addrs, 16, title="stride RAW")
+        assert "stride RAW" in out
+        assert "#" in out  # load 16 overflows the digit glyphs
+        assert "worst warp congestion: 16" in out
+
+    def test_stride_rap_flat(self):
+        addrs = pattern_addresses(RAPMapping.random(16, seed=0), "stride")
+        out = render_heatmap(addrs, 16)
+        assert "#" not in out
+        assert "worst warp congestion: 1" in out
+
+    def test_row_per_warp(self):
+        addrs = pattern_addresses(RAWMapping(8), "contiguous")
+        out = render_heatmap(addrs, 8)
+        warp_lines = [l for l in out.splitlines() if l.startswith("W")]
+        assert len(warp_lines) == 8
+
+    def test_congestion_annotation(self):
+        addrs = np.array([[0, 8, 16, 24]])  # 4 distinct in bank 0 (w=8)
+        out = render_heatmap(addrs, 8)
+        assert out.splitlines()[1].endswith("4")

@@ -1,0 +1,197 @@
+"""Unit tests for repro.core.higher_dim — the Table IV schemes."""
+
+import numpy as np
+import pytest
+
+from repro.core.higher_dim import (
+    ND_MAPPING_NAMES,
+    OneP,
+    OnePWRandom,
+    RAS4D,
+    RAW4D,
+    RepeatedOneP,
+    ThreeP,
+    WSquaredP,
+    nd_mapping_by_name,
+)
+
+W = 6  # small side keeps the w^4 = 1296 element checks fast
+
+
+def full_grid(w):
+    return np.meshgrid(*(np.arange(w),) * 4, indexing="ij")
+
+
+class TestAddressingInvariants:
+    @pytest.mark.parametrize("name", ND_MAPPING_NAMES)
+    def test_bijection(self, name, rng):
+        m = nd_mapping_by_name(name, W, rng)
+        addrs = m.address(*full_grid(W)).ravel()
+        assert len(np.unique(addrs)) == W**4
+
+    @pytest.mark.parametrize("name", ND_MAPPING_NAMES)
+    def test_rotation_stays_in_row(self, name, rng):
+        """The shift only rotates the last axis: address//w is fixed."""
+        m = nd_mapping_by_name(name, W, rng)
+        i, j, k, l = full_grid(W)
+        addrs = m.address(i, j, k, l)
+        assert np.array_equal(addrs // W, (i * W + j) * W + k)
+
+    @pytest.mark.parametrize("name", ND_MAPPING_NAMES)
+    def test_logical_roundtrip(self, name, rng):
+        m = nd_mapping_by_name(name, W, rng)
+        addrs = np.arange(W**4)
+        i, j, k, l = m.logical(addrs)
+        assert np.array_equal(m.address(i, j, k, l), addrs)
+
+    @pytest.mark.parametrize("name", ND_MAPPING_NAMES)
+    def test_layout_roundtrip(self, name, rng):
+        m = nd_mapping_by_name(name, W, rng)
+        arr = rng.random((W,) * 4)
+        assert np.array_equal(m.read_layout(m.apply_layout(arr)), arr)
+
+    def test_index_bounds_checked(self):
+        m = RAW4D(W)
+        with pytest.raises(IndexError):
+            m.address(W, 0, 0, 0)
+        with pytest.raises(IndexError):
+            m.address(0, 0, 0, -1)
+
+    def test_address_bounds_checked(self):
+        with pytest.raises(IndexError):
+            RAW4D(W).logical(W**4)
+
+
+class TestSchemeProperties:
+    def test_raw_bank_is_l(self):
+        m = RAW4D(W)
+        i, j, k, l = full_grid(W)
+        assert np.array_equal(m.bank(i, j, k, l), l)
+
+    def test_onep_stride1_conflict_free(self, rng):
+        m = OneP.random(W, rng)
+        k = np.arange(W)
+        banks = m.bank(np.zeros(W, int), np.zeros(W, int), k, np.zeros(W, int))
+        assert len(np.unique(banks)) == W
+
+    def test_onep_stride2_single_bank(self, rng):
+        """1P's weakness: varying j leaves the shift constant."""
+        m = OneP.random(W, rng)
+        j = np.arange(W)
+        banks = m.bank(np.zeros(W, int), j, np.zeros(W, int), np.zeros(W, int))
+        assert len(np.unique(banks)) == 1
+
+    @pytest.mark.parametrize("axis_builder", [
+        lambda w, v: (v, np.zeros(w, int), np.zeros(w, int)),
+        lambda w, v: (np.zeros(w, int), v, np.zeros(w, int)),
+        lambda w, v: (np.zeros(w, int), np.zeros(w, int), v),
+    ])
+    def test_r1p_all_strides_conflict_free(self, axis_builder, rng):
+        m = RepeatedOneP.random(W, rng)
+        v = np.arange(W)
+        i, j, k = axis_builder(W, v)
+        banks = m.bank(i, j, k, np.zeros(W, int))
+        assert len(np.unique(banks)) == W
+
+    @pytest.mark.parametrize("axis_builder", [
+        lambda w, v: (v, np.zeros(w, int), np.zeros(w, int)),
+        lambda w, v: (np.zeros(w, int), v, np.zeros(w, int)),
+        lambda w, v: (np.zeros(w, int), np.zeros(w, int), v),
+    ])
+    def test_threep_all_strides_conflict_free(self, axis_builder, rng):
+        m = ThreeP.random(W, rng)
+        v = np.arange(W)
+        i, j, k = axis_builder(W, v)
+        banks = m.bank(i, j, k, np.zeros(W, int))
+        assert len(np.unique(banks)) == W
+
+    def test_w2p_stride1_conflict_free(self, rng):
+        m = WSquaredP.random(W, rng)
+        k = np.arange(W)
+        banks = m.bank(np.zeros(W, int), np.zeros(W, int), k, np.zeros(W, int))
+        assert len(np.unique(banks)) == W
+
+    def test_onepwr_stride1_conflict_free(self, rng):
+        m = OnePWRandom.random(W, rng)
+        k = np.arange(W)
+        banks = m.bank(np.zeros(W, int), np.zeros(W, int), k, np.zeros(W, int))
+        assert len(np.unique(banks)) == W
+
+    @pytest.mark.parametrize("name", ND_MAPPING_NAMES)
+    def test_contiguous_always_conflict_free(self, name, rng):
+        m = nd_mapping_by_name(name, W, rng)
+        l = np.arange(W)
+        banks = m.bank(np.ones(W, int), np.ones(W, int), np.ones(W, int), l)
+        assert len(np.unique(banks)) == W
+
+    def test_r1p_permuted_triples_collide(self, rng):
+        """The malicious structure: all 6 permutations of a triple share
+        the shift sum, hence the bank (same l)."""
+        from itertools import permutations
+
+        m = RepeatedOneP.random(W, rng)
+        banks = {
+            int(m.bank(a, b, c, 0))
+            for (a, b, c) in permutations((0, 1, 2))
+        }
+        assert len(banks) == 1
+
+
+class TestRandomNumberBudget:
+    """The bottom row of Table IV."""
+
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("RAW", 0),
+            ("RAS", W**3),
+            ("1P", W),
+            ("R1P", W),
+            ("3P", 3 * W),
+            ("w2P", W**3),
+            ("1PwR", W + W**2),
+        ],
+    )
+    def test_budget(self, name, expected, rng):
+        assert nd_mapping_by_name(name, W, rng).random_numbers_used == expected
+
+
+class TestConstructorsValidate:
+    def test_ras_shape(self):
+        with pytest.raises(ValueError):
+            RAS4D(W, np.zeros((W, W), dtype=int))
+
+    def test_ras_range(self):
+        with pytest.raises(ValueError):
+            RAS4D(W, np.full((W, W, W), W, dtype=int))
+
+    def test_onep_requires_permutation(self):
+        with pytest.raises(ValueError):
+            OneP(W, np.zeros(W, dtype=int))
+
+    def test_threep_requires_three_permutations(self):
+        good = np.arange(W)
+        bad = np.zeros(W, dtype=int)
+        with pytest.raises(ValueError):
+            ThreeP(W, good, bad, good)
+
+    def test_w2p_validates_each_row(self):
+        perms = np.tile(np.arange(W), (W * W, 1))
+        perms[3] = 0  # corrupt one row
+        with pytest.raises(ValueError):
+            WSquaredP(W, perms)
+
+    def test_onepwr_offset_range(self):
+        with pytest.raises(ValueError):
+            OnePWRandom(W, np.arange(W), np.full(W * W, W, dtype=int))
+
+    def test_factory_unknown(self):
+        with pytest.raises(ValueError):
+            nd_mapping_by_name("5P", W)
+
+    def test_factory_deterministic(self):
+        a = nd_mapping_by_name("3P", W, 5)
+        b = nd_mapping_by_name("3P", W, 5)
+        assert np.array_equal(a.sigma, b.sigma)
+        assert np.array_equal(a.tau, b.tau)
+        assert np.array_equal(a.rho, b.rho)

@@ -1,0 +1,84 @@
+"""Unit tests for repro.access.inplace — the swap-based transpose."""
+
+import numpy as np
+import pytest
+
+from repro.access.inplace import (
+    inplace_transpose_program,
+    run_inplace_transpose,
+)
+from repro.access.transpose import run_transpose
+from repro.core.mappings import RAPMapping, RASMapping, RAWMapping
+from repro.core.padded import PaddedMapping
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("mapping_name", ["RAW", "RAS", "RAP"])
+    def test_all_mappings(self, mapping_name, width, rng):
+        from repro.core.mappings import mapping_by_name
+
+        mapping = mapping_by_name(mapping_name, width, rng)
+        assert run_inplace_transpose(mapping, seed=rng).correct
+
+    def test_padded(self, rng):
+        assert run_inplace_transpose(PaddedMapping(8), seed=rng).correct
+
+    def test_symmetric_matrix_fixed_point(self):
+        w = 8
+        m = np.arange(w)[:, None] + np.arange(w)[None, :]
+        outcome = run_inplace_transpose(RAWMapping(w), matrix=m.astype(float))
+        assert outcome.correct
+
+    def test_explicit_matrix(self):
+        matrix = np.arange(16.0).reshape(4, 4)
+        assert run_inplace_transpose(RAWMapping(4), matrix=matrix).correct
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            run_inplace_transpose(RAWMapping(4), matrix=np.zeros((3, 4)))
+
+    def test_w1_trivial(self):
+        """No off-diagonal pairs: the program has no active lanes and
+        the (scalar) matrix is its own transpose."""
+        outcome = run_inplace_transpose(RAWMapping(1))
+        assert outcome.correct
+        assert outcome.time_units == 0
+
+
+class TestStructure:
+    def test_four_instructions(self):
+        prog = inplace_transpose_program(RAWMapping(8))
+        assert len(prog) == 4
+        assert [i.op for i in prog] == ["read", "read", "write", "write"]
+
+    def test_active_lane_count(self):
+        w = 8
+        prog = inplace_transpose_program(RAWMapping(w))
+        active = int(prog.instructions[0].active_mask.sum())
+        assert active == w * (w - 1) // 2
+
+    def test_half_the_memory(self, rng):
+        inp = run_inplace_transpose(RAPMapping.random(16, rng), seed=0)
+        out = run_transpose("CRSW", RAPMapping.random(16, rng), seed=0)
+        # Same logical job; the out-of-place variant provisions 2x.
+        assert inp.storage_words * 2 == 2 * 16 * 16
+        assert inp.storage_words == 16 * 16
+
+
+class TestCost:
+    def test_rap_beats_raw(self, rng):
+        raw = run_inplace_transpose(RAWMapping(16), seed=0)
+        rap = run_inplace_transpose(RAPMapping.random(16, rng), seed=0)
+        assert rap.correct and raw.correct
+        assert rap.time_units < raw.time_units
+
+    def test_raw_partially_serializes(self):
+        outcome = run_inplace_transpose(RAWMapping(16), seed=0)
+        assert outcome.max_congestion > 4
+
+    def test_rap_bounded_congestion(self, rng):
+        worst = max(
+            run_inplace_transpose(RAPMapping.random(16, rng), seed=0).max_congestion
+            for _ in range(5)
+        )
+        assert worst <= 8

@@ -1,0 +1,165 @@
+"""Integration tests: the paper's claims, checked end to end.
+
+Each test here crosses at least two subsystems (mapping + machine,
+simulation + theory, kernel + timing model) and pins one of the
+paper's headline results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.access.transpose import run_transpose
+from repro.core.mappings import RAPMapping, RASMapping, RAWMapping
+from repro.core.theory import theorem2_expectation_bound
+from repro.dmm.machine import DiscreteMemoryMachine
+from repro.dmm.trace import MemoryProgram, read, write
+from repro.dmm.umm import UnifiedMemoryMachine
+from repro.gpu.kernel import transpose_kernel
+from repro.gpu.timing import GPUTimingModel
+from repro.sim.congestion_sim import (
+    simulate_matrix_congestion,
+    simulate_nd_congestion,
+)
+
+
+class TestAbstractClaims:
+    """Claims made verbatim in the paper's abstract."""
+
+    def test_expected_congestion_w32_is_about_3_5(self):
+        """'The simulation results for w=32 show that the expected
+        congestion for any memory access is only 3.53' (the worst
+        randomized pattern)."""
+        s = simulate_matrix_congestion("RAP", "diagonal", 32, trials=4000, seed=0)
+        assert s.mean < 4.0
+
+    def test_malicious_raw_32_vs_rap_1(self):
+        """'malicious memory access requests destined for the same bank
+        take congestion 32' — and RAP collapses them to 1."""
+        raw = simulate_matrix_congestion("RAW", "malicious", 32, trials=1, seed=0)
+        rap = simulate_matrix_congestion("RAP", "malicious", 32, trials=100, seed=0)
+        assert raw.mean == 32
+        assert rap.maximum == 1
+
+    def test_rap_accelerates_direct_transpose_by_factor_10(self):
+        """'can accelerate a direct matrix transpose algorithm by a
+        factor of 10' — on the timing model."""
+        model = GPUTimingModel.fit_to_paper()
+        raw = transpose_kernel("CRSW", "RAW").run(timing_model=model)
+        rap = transpose_kernel("CRSW", "RAP", seed=0).run(timing_model=model)
+        assert raw.predicted_ns / rap.predicted_ns > 7
+
+    def test_contiguous_and_stride_guaranteed_1(self):
+        """'we can guarantee that the congestion is 1 both for
+        contiguous access and for stride access' — every draw."""
+        for seed in range(25):
+            for pattern in ("contiguous", "stride"):
+                s = simulate_matrix_congestion("RAP", pattern, 32, trials=4, seed=seed)
+                assert s.maximum == 1
+
+
+class TestTheorem2Envelope:
+    """Simulated congestion must respect the proven expectation bound."""
+
+    @pytest.mark.parametrize("w", [16, 32, 64])
+    @pytest.mark.parametrize("pattern", ["stride", "diagonal", "random", "malicious"])
+    def test_rap_within_bound(self, w, pattern):
+        s = simulate_matrix_congestion("RAP", pattern, w, trials=500, seed=1)
+        assert s.mean <= theorem2_expectation_bound(w)
+
+    def test_bound_grows_slower_than_w(self):
+        ratios = [theorem2_expectation_bound(w) / w for w in (16, 64, 256)]
+        assert ratios == sorted(ratios, reverse=True)
+
+
+class TestMachineAgreement:
+    """The DMM executor and the closed-form costs must agree."""
+
+    @pytest.mark.parametrize("w", [4, 8, 16])
+    @pytest.mark.parametrize("latency", [1, 5, 20])
+    def test_lemma1_all_widths_latencies(self, w, latency):
+        crsw = run_transpose("CRSW", RAWMapping(w), latency=latency)
+        srcw = run_transpose("SRCW", RAWMapping(w), latency=latency)
+        drdw = run_transpose("DRDW", RAWMapping(w), latency=latency)
+        stride_phase = w * w + latency - 1
+        contig_phase = w + latency - 1
+        assert crsw.time_units == contig_phase + stride_phase
+        assert srcw.time_units == stride_phase + contig_phase
+        assert drdw.time_units == 2 * contig_phase
+
+    def test_kernel_and_transpose_paths_agree(self):
+        """transpose_kernel and run_transpose compile the same program."""
+        mapping = RAPMapping.random(16, seed=5)
+        outcome = run_transpose("CRSW", mapping, latency=3)
+        report = transpose_kernel("CRSW", mapping).run(latency=3)
+        assert outcome.time_units == report.time_units
+
+    def test_dmm_umm_differ_exactly_on_diagonal(self):
+        """Fig. 1's architectural difference, quantified: a diagonal
+        warp is 1 stage on the DMM but w stages on the UMM."""
+        w = 8
+        addrs = np.arange(w) * w + np.arange(w)  # a[i][i]
+        prog = MemoryProgram(p=w, instructions=[read(addrs)])
+        dmm = DiscreteMemoryMachine(w, 1, w * w).run(prog)
+        umm = UnifiedMemoryMachine(w, 1, w * w).run(prog)
+        assert dmm.time_units == 1
+        assert umm.time_units == w
+
+
+class TestTableIVHeadline:
+    """Section VII's conclusion: 3P is the scheme to use."""
+
+    def test_3p_beats_r1p_on_malicious(self):
+        r1p = simulate_nd_congestion("R1P", "malicious", 12, trials=150, seed=0)
+        threep = simulate_nd_congestion("3P", "malicious", 12, trials=150, seed=0)
+        assert threep.mean < r1p.mean
+
+    def test_3p_matches_r1p_on_strides(self):
+        for pattern in ("stride1", "stride2", "stride3"):
+            threep = simulate_nd_congestion("3P", pattern, 8, trials=30, seed=1)
+            assert threep.maximum == 1
+
+    def test_3p_cheaper_randomness_than_ras(self):
+        from repro.core.higher_dim import RAS4D, ThreeP
+
+        w = 16
+        assert ThreeP.random(w, 0).random_numbers_used < RAS4D.random(
+            w, 0
+        ).random_numbers_used
+
+
+class TestEndToEndDataIntegrity:
+    """Data correctness survives arbitrary program composition."""
+
+    def test_chained_transposes_restore_matrix(self):
+        """Transposing twice through different mappings is identity."""
+        w = 8
+        rng = np.random.default_rng(3)
+        matrix = rng.random((w, w))
+        m1 = RAPMapping.random(w, 1)
+        out1 = run_transpose("CRSW", m1, matrix=matrix)
+        assert out1.correct
+        m2 = RASMapping.random(w, 2)
+        out2 = run_transpose("SRCW", m2, matrix=matrix.T)
+        assert out2.correct
+
+    def test_mixed_program_on_one_machine(self):
+        """A hand-written two-array program with partial warps."""
+        w = 4
+        machine = DiscreteMemoryMachine(w, 2, 2 * w * w)
+        machine.load(0, np.arange(16.0))
+        prog = MemoryProgram(p=16)
+        prog.append(read(np.arange(16), register="v"))
+        prog.append(write(16 + np.arange(16)[::-1], register="v"))
+        machine.run(prog)
+        assert np.array_equal(machine.dump(16, 16), np.arange(16.0)[::-1])
+
+    def test_register_reuse_across_instructions(self):
+        w = 4
+        machine = DiscreteMemoryMachine(w, 1, 3 * w)
+        machine.load(0, np.array([1.0, 2.0, 3.0, 4.0]))
+        prog = MemoryProgram(p=4)
+        prog.append(read(np.arange(4), register="x"))
+        prog.append(write(np.arange(4) + 4, register="x"))
+        prog.append(write(np.arange(4) + 8, register="x"))
+        machine.run(prog)
+        assert np.array_equal(machine.dump(4, 4), machine.dump(8, 4))

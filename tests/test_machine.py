@@ -1,0 +1,173 @@
+"""Unit tests for repro.dmm.machine — the DMM executor."""
+
+import numpy as np
+import pytest
+
+from repro.dmm.machine import DiscreteMemoryMachine
+from repro.dmm.trace import INACTIVE, MemoryProgram, read, write
+
+
+def make_machine(w=4, latency=5, size=32):
+    return DiscreteMemoryMachine(w, latency, size)
+
+
+class TestLoadDump:
+    def test_roundtrip(self):
+        m = make_machine()
+        m.load(4, np.arange(8.0))
+        assert np.array_equal(m.dump(4, 8), np.arange(8.0))
+
+    def test_load_bounds(self):
+        m = make_machine(size=8)
+        with pytest.raises(IndexError):
+            m.load(4, np.arange(8.0))
+
+    def test_dump_bounds(self):
+        m = make_machine(size=8)
+        with pytest.raises(IndexError):
+            m.dump(4, 8)
+
+    def test_dump_is_copy(self):
+        m = make_machine()
+        out = m.dump(0, 4)
+        out[:] = 99
+        assert (m.dump(0, 4) == 0).all()
+
+
+class TestDataSemantics:
+    def test_read_into_register_then_write(self):
+        m = make_machine(w=4, latency=1, size=16)
+        m.load(0, np.arange(8.0))
+        prog = MemoryProgram(p=4)
+        prog.append(read(np.array([0, 1, 2, 3]), register="c"))
+        prog.append(write(np.array([8, 9, 10, 11]), register="c"))
+        m.run(prog)
+        assert np.array_equal(m.dump(8, 4), np.arange(4.0))
+
+    def test_registers_returned(self):
+        m = make_machine(w=4, latency=1, size=16)
+        m.load(0, np.array([5.0, 6.0, 7.0, 8.0]))
+        prog = MemoryProgram(p=4, instructions=[read(np.arange(4), register="x")])
+        result = m.run(prog)
+        assert np.array_equal(result.registers["x"], [5.0, 6.0, 7.0, 8.0])
+
+    def test_write_from_unread_register_raises(self):
+        m = make_machine()
+        prog = MemoryProgram(p=4, instructions=[write(np.arange(4), register="q")])
+        with pytest.raises(KeyError, match="q"):
+            m.run(prog)
+
+    def test_write_immediates(self):
+        m = make_machine(w=4, latency=1, size=16)
+        prog = MemoryProgram(
+            p=4, instructions=[write(np.arange(4), values=np.full(4, 3.5))]
+        )
+        m.run(prog)
+        assert (m.dump(0, 4) == 3.5).all()
+
+    def test_inactive_threads_do_not_touch_memory(self):
+        m = make_machine(w=4, latency=1, size=16)
+        addrs = np.array([0, INACTIVE, 2, INACTIVE])
+        prog = MemoryProgram(p=4, instructions=[write(addrs, values=np.ones(4))])
+        m.run(prog)
+        assert list(m.dump(0, 4)) == [1.0, 0.0, 1.0, 0.0]
+
+    def test_crcw_merge_read(self):
+        """All threads reading one address: congestion 1, all get value."""
+        m = make_machine(w=4, latency=1, size=16)
+        m.load(3, np.array([42.0]))
+        prog = MemoryProgram(p=4, instructions=[read(np.full(4, 3), register="c")])
+        result = m.run(prog)
+        assert (result.registers["c"] == 42.0).all()
+        assert result.traces[0].congestions == (1,)
+
+    def test_crcw_arbitrary_write(self):
+        m = make_machine(w=4, latency=1, size=16)
+        prog = MemoryProgram(
+            p=4,
+            instructions=[write(np.full(4, 7), values=np.array([1.0, 2.0, 3.0, 4.0]))],
+        )
+        m.run(prog)
+        assert m.dump(7, 1)[0] == 4.0  # highest thread wins
+
+    def test_thread_count_must_divide(self):
+        m = make_machine(w=4)
+        prog = MemoryProgram(p=6, instructions=[read(np.arange(6))])
+        with pytest.raises(ValueError):
+            m.run(prog)
+
+
+class TestTimingSemantics:
+    def test_paper_fig3(self):
+        """W(0)->m[7],m[5],m[15],m[0]; W(1)->m[10],m[11],m[12],m[9];
+        l=5 gives congestions (2,1) and 7 total time units."""
+        m = make_machine(w=4, latency=5, size=16)
+        addrs = np.array([7, 5, 15, 0, 10, 11, 12, 9])
+        prog = MemoryProgram(p=8, instructions=[read(addrs)])
+        result = m.run(prog)
+        assert result.traces[0].congestions == (2, 1)
+        assert result.time_units == 7
+
+    def test_contiguous_time(self):
+        """p=16, w=4, l=5: 4 warps congestion 1 -> 4 + 5 - 1 = 8."""
+        m = make_machine(w=4, latency=5, size=16)
+        prog = MemoryProgram(p=16, instructions=[read(np.arange(16))])
+        assert m.run(prog).time_units == 8
+
+    def test_stride_time(self):
+        """p=16, w=4, l=5: every warp hits one bank -> 16 + 5 - 1 = 20."""
+        m = make_machine(w=4, latency=5, size=16)
+        stride = (np.arange(16).reshape(4, 4).T).ravel()  # columns
+        prog = MemoryProgram(p=16, instructions=[read(stride)])
+        assert m.run(prog).time_units == 20
+
+    def test_phase_sequential_accumulation(self):
+        m = make_machine(w=4, latency=5, size=32)
+        prog = MemoryProgram(p=4)
+        prog.append(read(np.arange(4), register="c"))
+        prog.append(write(np.arange(4) + 16, register="c"))
+        assert m.run(prog).time_units == 5 + 5
+
+    def test_inactive_warp_not_dispatched(self):
+        m = make_machine(w=4, latency=5, size=16)
+        addrs = np.array([0, 1, 2, 3, INACTIVE, INACTIVE, INACTIVE, INACTIVE])
+        prog = MemoryProgram(p=8, instructions=[read(addrs)])
+        result = m.run(prog)
+        assert result.traces[0].dispatched_warps == (0,)
+        assert result.time_units == 5
+
+    def test_no_requests_costs_nothing(self):
+        m = make_machine(w=4, latency=5, size=16)
+        prog = MemoryProgram(p=4, instructions=[read(np.full(4, INACTIVE))])
+        assert m.run(prog).time_units == 0
+
+    def test_partial_warp_congestion(self):
+        """Only active lanes count toward congestion."""
+        m = make_machine(w=4, latency=1, size=16)
+        addrs = np.array([0, 4, INACTIVE, INACTIVE])  # two in bank 0
+        prog = MemoryProgram(p=4, instructions=[read(addrs)])
+        assert m.run(prog).traces[0].congestions == (2,)
+
+
+class TestExecutionResult:
+    def test_max_congestion(self):
+        m = make_machine(w=4, latency=1, size=32)
+        prog = MemoryProgram(p=4)
+        prog.append(read(np.arange(4), register="c"))  # congestion 1
+        prog.append(write(np.array([0, 4, 8, 12]), register="c"))  # congestion 4
+        result = m.run(prog)
+        assert result.max_congestion == 4
+        assert result.congestion_by_op("read") == 1
+        assert result.congestion_by_op("write") == 4
+
+    def test_mean_congestion(self):
+        m = make_machine(w=4, latency=1, size=64)
+        addrs = np.concatenate([np.arange(4), np.array([0, 4, 8, 12])])
+        prog = MemoryProgram(p=8, instructions=[read(addrs)])
+        assert m.run(prog).traces[0].mean_congestion == pytest.approx(2.5)
+
+    def test_empty_program(self):
+        m = make_machine()
+        result = m.run(MemoryProgram(p=4))
+        assert result.time_units == 0
+        assert result.max_congestion == 0

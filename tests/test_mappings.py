@@ -1,0 +1,184 @@
+"""Unit tests for repro.core.mappings — the RAW/RAS/RAP layouts."""
+
+import numpy as np
+import pytest
+
+from repro.core.mappings import (
+    MAPPING_NAMES,
+    RAPMapping,
+    RASMapping,
+    RAWMapping,
+    ShiftedRowMapping,
+    mapping_by_name,
+)
+
+
+def all_cells(w):
+    return np.meshgrid(np.arange(w), np.arange(w), indexing="ij")
+
+
+class TestRAWMapping:
+    def test_address_is_row_major(self):
+        m = RAWMapping(4)
+        assert m.address(2, 3) == 11
+        assert m.address(0, 0) == 0
+
+    def test_bank_is_column(self, width):
+        m = RAWMapping(width)
+        ii, jj = all_cells(width)
+        assert np.array_equal(m.bank(ii, jj), jj)
+
+    def test_logical_roundtrip(self, width):
+        m = RAWMapping(width)
+        addr = np.arange(width * width)
+        i, j = m.logical(addr)
+        assert np.array_equal(m.address(i, j), addr)
+
+    def test_out_of_range_indices(self):
+        m = RAWMapping(4)
+        with pytest.raises(IndexError):
+            m.address(4, 0)
+        with pytest.raises(IndexError):
+            m.address(0, -1)
+
+    def test_out_of_range_address(self):
+        with pytest.raises(IndexError):
+            RAWMapping(4).logical(16)
+
+    def test_overhead_zero(self):
+        assert RAWMapping(8).address_overhead_ops == 0
+
+
+class TestShiftedRowMapping:
+    def test_explicit_shifts(self):
+        m = ShiftedRowMapping(4, np.array([1, 0, 2, 3]), "X")
+        # Row 0 shifted by 1: (0, 0) -> column 1.
+        assert m.address(0, 0) == 1
+        assert m.address(0, 3) == 0  # wraps
+        assert m.address(2, 1) == 2 * 4 + 3
+
+    def test_shift_vector_shape_checked(self):
+        with pytest.raises(ValueError):
+            ShiftedRowMapping(4, np.zeros(3, dtype=int), "X")
+
+    def test_shift_range_checked(self):
+        with pytest.raises(ValueError):
+            ShiftedRowMapping(4, np.array([0, 0, 0, 4]), "X")
+        with pytest.raises(ValueError):
+            ShiftedRowMapping(4, np.array([0, 0, 0, -1]), "X")
+
+    def test_is_bijection_for_any_shifts(self, width, rng):
+        shifts = rng.integers(0, width, size=width)
+        m = ShiftedRowMapping(width, shifts, "X")
+        ii, jj = all_cells(width)
+        addrs = m.address(ii, jj).ravel()
+        assert len(np.unique(addrs)) == width * width
+
+    def test_address_stays_in_row_block(self, width, rng):
+        shifts = rng.integers(0, width, size=width)
+        m = ShiftedRowMapping(width, shifts, "X")
+        ii, jj = all_cells(width)
+        assert np.array_equal(m.address(ii, jj) // width, ii)
+
+    def test_logical_roundtrip(self, width, rng):
+        shifts = rng.integers(0, width, size=width)
+        m = ShiftedRowMapping(width, shifts, "X")
+        addr = np.arange(width * width)
+        i, j = m.logical(addr)
+        assert np.array_equal(m.address(i, j), addr)
+
+
+class TestRASMapping:
+    def test_random_constructor(self):
+        m = RASMapping.random(16, seed=3)
+        assert m.name == "RAS"
+        assert m.shifts.shape == (16,)
+
+    def test_deterministic(self):
+        a = RASMapping.random(16, seed=3)
+        b = RASMapping.random(16, seed=3)
+        assert np.array_equal(a.shifts, b.shifts)
+
+    def test_overhead(self):
+        assert RASMapping.random(8, 0).address_overhead_ops == 3
+
+
+class TestRAPMapping:
+    def test_requires_permutation(self):
+        with pytest.raises(ValueError):
+            RAPMapping(4, np.array([0, 0, 1, 2]))
+
+    def test_sigma_length_checked(self):
+        with pytest.raises(ValueError):
+            RAPMapping(4, np.arange(5))
+
+    def test_sigma_property(self):
+        sigma = np.array([2, 0, 3, 1])
+        assert np.array_equal(RAPMapping(4, sigma).sigma, sigma)
+
+    def test_paper_fig6_layout(self):
+        """The worked example of Fig. 6: sigma=(2,0,3,1) on 0..15."""
+        m = RAPMapping(4, np.array([2, 0, 3, 1]))
+        logical = np.arange(16).reshape(4, 4)
+        physical = m.apply_layout(logical).reshape(4, 4)
+        expected = np.array(
+            [[2, 3, 0, 1], [4, 5, 6, 7], [9, 10, 11, 8], [15, 12, 13, 14]]
+        )
+        assert np.array_equal(physical, expected)
+
+    def test_stride_banks_distinct(self, width, rng):
+        """The defining property: a column's banks are all distinct."""
+        m = RAPMapping.random(width, rng)
+        for col in range(width):
+            banks = m.bank(np.arange(width), np.full(width, col))
+            assert len(np.unique(banks)) == width
+
+    def test_contiguous_banks_distinct(self, width, rng):
+        m = RAPMapping.random(width, rng)
+        for row in range(width):
+            banks = m.bank(np.full(width, row), np.arange(width))
+            assert len(np.unique(banks)) == width
+
+
+class TestLayoutRoundtrip:
+    @pytest.mark.parametrize("name", MAPPING_NAMES)
+    def test_apply_read_roundtrip(self, name, width, rng):
+        m = mapping_by_name(name, width, rng)
+        matrix = rng.random((width, width))
+        assert np.array_equal(m.read_layout(m.apply_layout(matrix)), matrix)
+
+    def test_apply_layout_shape_checked(self):
+        with pytest.raises(ValueError):
+            RAWMapping(4).apply_layout(np.zeros((3, 4)))
+
+    def test_read_layout_shape_checked(self):
+        with pytest.raises(ValueError):
+            RAWMapping(4).read_layout(np.zeros(15))
+
+    def test_layout_places_values_at_addresses(self, rng):
+        m = RAPMapping.random(8, rng)
+        matrix = rng.random((8, 8))
+        flat = m.apply_layout(matrix)
+        for i in range(8):
+            for j in range(8):
+                assert flat[m.address(i, j)] == matrix[i, j]
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", MAPPING_NAMES)
+    def test_by_name(self, name):
+        m = mapping_by_name(name, 16, seed=0)
+        assert m.name == name
+        assert m.w == 16
+
+    def test_case_insensitive(self):
+        assert mapping_by_name("rap", 8, 0).name == "RAP"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown mapping"):
+            mapping_by_name("XYZ", 8)
+
+    def test_raw_ignores_seed(self):
+        a = mapping_by_name("RAW", 8, 1)
+        b = mapping_by_name("RAW", 8, 2)
+        assert np.array_equal(a.shifts, b.shifts)

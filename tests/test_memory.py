@@ -1,0 +1,91 @@
+"""Unit tests for repro.dmm.memory — the banked store."""
+
+import numpy as np
+import pytest
+
+from repro.dmm.memory import BankedMemory
+
+
+class TestConstruction:
+    def test_initial_fill(self):
+        mem = BankedMemory(4, 16, fill=7)
+        assert (mem.store == 7).all()
+
+    def test_dtype(self):
+        mem = BankedMemory(4, 16, dtype=np.int32)
+        assert mem.dtype == np.int32
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            BankedMemory(4, 0)
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ValueError):
+            BankedMemory(0, 16)
+
+
+class TestAddressGeometry:
+    def test_bank_of_interleaved(self):
+        mem = BankedMemory(4, 16)
+        assert list(mem.bank_of(np.arange(8))) == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_row_of(self):
+        mem = BankedMemory(4, 16)
+        assert list(mem.row_of(np.array([0, 3, 4, 15]))) == [0, 0, 1, 3]
+
+    def test_bank_of_bounds(self):
+        mem = BankedMemory(4, 16)
+        with pytest.raises(IndexError):
+            mem.bank_of(np.array([16]))
+
+
+class TestRead:
+    def test_gather(self):
+        mem = BankedMemory(4, 8)
+        mem.store[:] = np.arange(8) * 10
+        out = mem.read(np.array([3, 0, 7]))
+        assert list(out) == [30, 0, 70]
+
+    def test_duplicate_addresses_all_served(self):
+        mem = BankedMemory(4, 8)
+        mem.store[5] = 42
+        out = mem.read(np.array([5, 5, 5]))
+        assert list(out) == [42, 42, 42]
+
+    def test_bounds(self):
+        mem = BankedMemory(4, 8)
+        with pytest.raises(IndexError):
+            mem.read(np.array([8]))
+        with pytest.raises(IndexError):
+            mem.read(np.array([-1]))
+
+
+class TestWrite:
+    def test_scatter(self):
+        mem = BankedMemory(4, 8)
+        mem.write(np.array([1, 6]), np.array([10.0, 60.0]))
+        assert mem.store[1] == 10 and mem.store[6] == 60
+
+    def test_crcw_arbitrary_highest_thread_wins(self):
+        """Duplicate writes resolve deterministically to the last
+        (highest-thread-index) value — a legal 'arbitrary' choice."""
+        mem = BankedMemory(4, 8)
+        mem.write(np.array([3, 3, 3]), np.array([1.0, 2.0, 9.0]))
+        assert mem.store[3] == 9.0
+
+    def test_shape_mismatch(self):
+        mem = BankedMemory(4, 8)
+        with pytest.raises(ValueError):
+            mem.write(np.array([0, 1]), np.array([1.0]))
+
+    def test_bounds(self):
+        mem = BankedMemory(4, 8)
+        with pytest.raises(IndexError):
+            mem.write(np.array([9]), np.array([0.0]))
+
+    def test_write_then_read_roundtrip(self, rng):
+        mem = BankedMemory(8, 64)
+        addrs = rng.permutation(64)[:32]
+        vals = rng.random(32)
+        mem.write(addrs, vals)
+        assert np.array_equal(mem.read(addrs), vals)

@@ -1,0 +1,95 @@
+"""Unit tests for repro.dmm.mmu — the pipeline timing rules."""
+
+import pytest
+
+from repro.dmm.mmu import PipelinedMMU
+
+
+class TestAccessTime:
+    def test_paper_fig3_example(self):
+        """Congestions (2, 1) with l=5 -> 3 + 5 - 1 = 7 time units."""
+        mmu = PipelinedMMU(4, 5)
+        assert mmu.access_time([2, 1]) == 7
+
+    def test_single_request(self):
+        """An isolated request takes exactly l time units."""
+        mmu = PipelinedMMU(4, 5)
+        assert mmu.access_time([1]) == 5
+
+    def test_contiguous_formula(self):
+        """p/w warps of congestion 1 -> p/w + l - 1 (Section III)."""
+        w, latency, p = 32, 8, 1024
+        mmu = PipelinedMMU(w, latency)
+        assert mmu.access_time([1] * (p // w)) == p // w + latency - 1
+
+    def test_stride_formula(self):
+        """p/w warps of congestion w -> p + l - 1 (Section III)."""
+        w, latency, p = 32, 8, 1024
+        mmu = PipelinedMMU(w, latency)
+        assert mmu.access_time([w] * (p // w)) == p + latency - 1
+
+    def test_empty_batch(self):
+        assert PipelinedMMU(4, 5).access_time([]) == 0
+
+    def test_latency_one(self):
+        assert PipelinedMMU(4, 1).access_time([3, 2]) == 5
+
+    def test_congestion_bounds_checked(self):
+        mmu = PipelinedMMU(4, 5)
+        with pytest.raises(ValueError):
+            mmu.access_time([0])
+        with pytest.raises(ValueError):
+            mmu.access_time([5])
+
+
+class TestSchedule:
+    def test_issue_stages_cumulative(self):
+        sched = PipelinedMMU(8, 3).schedule([2, 1, 3])
+        assert sched.issue_stage == (0, 2, 3)
+        assert sched.total_stages == 6
+        assert sched.completion_time == 8
+
+    def test_single_warp(self):
+        sched = PipelinedMMU(8, 3).schedule([4])
+        assert sched.issue_stage == (0,)
+        assert sched.completion_time == 6
+
+    def test_empty_schedule(self):
+        sched = PipelinedMMU(8, 3).schedule([])
+        assert sched.issue_stage == ()
+        assert sched.completion_time == 0
+
+
+class TestSequentialTime:
+    def test_phases_add(self):
+        """Dependent instructions cannot overlap (Section II)."""
+        mmu = PipelinedMMU(4, 5)
+        assert mmu.sequential_time([[1, 1], [4, 4]]) == (2 + 4) + (8 + 4)
+
+    def test_lemma1_crsw_shape(self):
+        """CRSW = contiguous read + stride write:
+        (p/w + l - 1) + (p + l - 1)."""
+        w, latency = 32, 4
+        mmu = PipelinedMMU(w, latency)
+        t = mmu.sequential_time([[1] * w, [w] * w])
+        assert t == (w + latency - 1) + (w * w + latency - 1)
+
+    def test_lemma1_drdw_shape(self):
+        """DRDW = two conflict-free phases: 2 (p/w + l - 1)."""
+        w, latency = 32, 4
+        mmu = PipelinedMMU(w, latency)
+        t = mmu.sequential_time([[1] * w, [1] * w])
+        assert t == 2 * (w + latency - 1)
+
+    def test_empty_program(self):
+        assert PipelinedMMU(4, 5).sequential_time([]) == 0
+
+
+class TestConstruction:
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ValueError):
+            PipelinedMMU(4, 0)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            PipelinedMMU(0, 5)

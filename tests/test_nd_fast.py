@@ -1,0 +1,66 @@
+"""Unit tests for the vectorized Table IV sampler."""
+
+import pytest
+
+from repro.sim.congestion_sim import (
+    simulate_nd_congestion,
+    simulate_nd_congestion_fast,
+)
+
+
+class TestFastPathExactCells:
+    """Deterministic cells must be exact on the fast path too."""
+
+    @pytest.mark.parametrize("scheme", ["1P", "R1P", "3P"])
+    def test_contiguous_one(self, scheme):
+        s = simulate_nd_congestion_fast(scheme, "contiguous", 8, trials=50, seed=0)
+        assert s.maximum == 1
+
+    @pytest.mark.parametrize("scheme", ["1P", "R1P", "3P"])
+    def test_stride1_one(self, scheme):
+        s = simulate_nd_congestion_fast(scheme, "stride1", 8, trials=50, seed=0)
+        assert s.maximum == 1
+
+    def test_1p_stride2_w(self):
+        s = simulate_nd_congestion_fast("1P", "stride2", 8, trials=50, seed=0)
+        assert s.mean == 8
+
+    @pytest.mark.parametrize("pattern", ["stride2", "stride3"])
+    def test_r1p_3p_strides_one(self, pattern):
+        for scheme in ("R1P", "3P"):
+            s = simulate_nd_congestion_fast(scheme, pattern, 8, trials=50, seed=0)
+            assert s.maximum == 1, (scheme, pattern)
+
+    def test_r1p_malicious_amplified(self):
+        s = simulate_nd_congestion_fast("R1P", "malicious", 12, trials=200, seed=0)
+        assert s.mean >= 6
+
+
+class TestFastMatchesSlowStatistically:
+    @pytest.mark.parametrize("scheme", ["1P", "R1P", "3P"])
+    def test_random_pattern(self, scheme):
+        slow = simulate_nd_congestion(scheme, "random", 16, trials=400, seed=1)
+        fast = simulate_nd_congestion_fast(scheme, "random", 16, trials=400, seed=2)
+        assert fast.mean == pytest.approx(slow.mean, abs=0.25)
+
+    def test_3p_malicious(self):
+        slow = simulate_nd_congestion("3P", "malicious", 12, trials=300, seed=3)
+        fast = simulate_nd_congestion_fast("3P", "malicious", 12, trials=300, seed=4)
+        assert fast.mean == pytest.approx(slow.mean, abs=0.3)
+
+
+class TestFallback:
+    @pytest.mark.parametrize("scheme", ["RAW", "RAS", "w2P", "1PwR"])
+    def test_table_schemes_fall_back(self, scheme):
+        """Schemes with per-row tables route to the generic sampler."""
+        s = simulate_nd_congestion_fast(scheme, "stride1", 8, trials=5, seed=0)
+        assert s.n_samples == 5
+
+    def test_deterministic_seeding(self):
+        a = simulate_nd_congestion_fast("3P", "random", 8, trials=100, seed=9)
+        b = simulate_nd_congestion_fast("3P", "random", 8, trials=100, seed=9)
+        assert a.mean == b.mean
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            simulate_nd_congestion_fast("3P", "random", 8, trials=0)

@@ -1,0 +1,133 @@
+"""Unit tests for repro.core.ndim_general — arbitrary-rank RAP."""
+
+import numpy as np
+import pytest
+
+from repro.core.congestion import warp_congestion
+from repro.core.ndim_general import GeneralNDMapping
+
+W = 5
+
+
+class TestConstruction:
+    def test_rap_name(self):
+        assert GeneralNDMapping.rap(W, 3, seed=0).name == "2P"
+        assert GeneralNDMapping.rap(W, 5, seed=0).name == "4P"
+
+    def test_rap_budget(self):
+        assert GeneralNDMapping.rap(W, 4, seed=0).random_numbers_used == 3 * W
+
+    def test_ras_budget(self):
+        assert GeneralNDMapping.ras(W, 4, seed=0).random_numbers_used == W**3
+
+    def test_raw_budget(self):
+        assert GeneralNDMapping.raw(W, 3).random_numbers_used == 0
+
+    def test_rejects_rank_one(self):
+        with pytest.raises(ValueError):
+            GeneralNDMapping.raw(W, 1)
+
+    def test_explicit_permutations(self):
+        perms = [np.arange(W), np.arange(W)[::-1].copy()]
+        m = GeneralNDMapping.rap(W, 3, perms=perms)
+        assert m.name == "2P"
+
+    def test_rejects_wrong_perm_count(self):
+        with pytest.raises(ValueError):
+            GeneralNDMapping.rap(W, 3, perms=[np.arange(W)])
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            GeneralNDMapping.rap(W, 3, perms=[np.arange(W), np.zeros(W, int)])
+
+
+@pytest.mark.parametrize("ndim", [2, 3, 5])
+@pytest.mark.parametrize("maker", ["raw", "ras", "rap"])
+class TestAddressingInvariants:
+    def _make(self, maker, ndim):
+        if maker == "raw":
+            return GeneralNDMapping.raw(W, ndim)
+        if maker == "ras":
+            return GeneralNDMapping.ras(W, ndim, seed=1)
+        return GeneralNDMapping.rap(W, ndim, seed=1)
+
+    def test_bijection(self, ndim, maker):
+        m = self._make(maker, ndim)
+        grids = np.meshgrid(*(np.arange(W),) * ndim, indexing="ij")
+        addrs = m.address(*grids).ravel()
+        assert len(np.unique(addrs)) == W**ndim
+
+    def test_logical_roundtrip(self, ndim, maker):
+        m = self._make(maker, ndim)
+        addrs = np.arange(W**ndim)
+        idx = m.logical(addrs)
+        assert np.array_equal(m.address(*idx), addrs)
+
+    def test_layout_roundtrip(self, ndim, maker, rng):
+        m = self._make(maker, ndim)
+        arr = rng.random((W,) * ndim)
+        assert np.array_equal(m.read_layout(m.apply_layout(arr)), arr)
+
+
+class TestStrideGuarantees:
+    @pytest.mark.parametrize("ndim", [2, 3, 4, 5])
+    def test_rap_every_axis_conflict_free(self, ndim):
+        """(d-1)P: stride along ANY axis has congestion 1."""
+        m = GeneralNDMapping.rap(W, ndim, seed=3)
+        for axis in range(ndim):
+            addrs = m.address(*m.stride_indices(axis, fixed=1))
+            assert warp_congestion(addrs, W) == 1, f"axis {axis}"
+
+    def test_raw_leading_axes_serialize(self):
+        m = GeneralNDMapping.raw(W, 3)
+        for axis in (0, 1):
+            addrs = m.address(*m.stride_indices(axis))
+            assert warp_congestion(addrs, W) == W
+
+    def test_raw_last_axis_free(self):
+        m = GeneralNDMapping.raw(W, 3)
+        addrs = m.address(*m.stride_indices(2))
+        assert warp_congestion(addrs, W) == 1
+
+    def test_ras_randomizes_leading_axes(self):
+        hits = 0
+        for seed in range(10):
+            m = GeneralNDMapping.ras(16, 3, seed=seed)
+            addrs = m.address(*m.stride_indices(0))
+            hits += warp_congestion(addrs, 16) > 1
+        assert hits >= 8
+
+    def test_matches_4d_threep(self):
+        """rank-4 (d-1)P with the same permutations equals ThreeP."""
+        from repro.core.higher_dim import ThreeP
+
+        rng = np.random.default_rng(9)
+        perms = [rng.permutation(W) for _ in range(3)]
+        general = GeneralNDMapping.rap(W, 4, perms=perms)
+        specific = ThreeP(W, perms[0], perms[1], perms[2])
+        grids = np.meshgrid(*(np.arange(W),) * 4, indexing="ij")
+        assert np.array_equal(general.address(*grids), specific.address(*grids))
+
+
+class TestStrideIndices:
+    def test_shapes(self):
+        m = GeneralNDMapping.raw(W, 3)
+        idx = m.stride_indices(1, fixed=2)
+        assert len(idx) == 3
+        assert list(idx[1]) == list(range(W))
+        assert (idx[0] == 2).all() and (idx[2] == 2).all()
+
+    def test_bad_axis(self):
+        m = GeneralNDMapping.raw(W, 3)
+        with pytest.raises(ValueError):
+            m.stride_indices(3)
+
+    def test_index_bounds_checked(self):
+        m = GeneralNDMapping.raw(W, 2)
+        with pytest.raises(IndexError):
+            m.address(W, 0)
+
+    def test_wrong_index_count(self):
+        m = GeneralNDMapping.raw(W, 3)
+        with pytest.raises(ValueError):
+            m.address(0, 0)

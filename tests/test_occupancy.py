@@ -1,0 +1,89 @@
+"""Unit tests for repro.gpu.occupancy — shared-memory capacity math."""
+
+import pytest
+
+from repro.core.mappings import RAPMapping, RASMapping, RAWMapping
+from repro.core.padded import PaddedMapping
+from repro.gpu.occupancy import (
+    SHARED_MEMORY_BYTES_GTX_TITAN,
+    occupancy_report,
+    tiles_that_fit,
+)
+
+
+class TestTilesThatFit:
+    def test_paper_intro_six_matrices(self):
+        """'not possible to store more than 6 matrices of size 32x32'
+        in 48 KB — 8 KB per double tile."""
+        budget = tiles_that_fit(RAWMapping(32))
+        assert budget.tile_bytes == 8 * 1024
+        assert budget.tiles == 6
+
+    def test_rap_same_capacity_as_raw(self):
+        raw = tiles_that_fit(RAWMapping(32))
+        rap = tiles_that_fit(RAPMapping.random(32, 0))
+        assert rap.tiles == raw.tiles
+        assert rap.tile_bytes == raw.tile_bytes
+
+    def test_padding_costs_capacity(self):
+        """32x33 doubles = 8448 bytes/tile -> only 5 tiles fit."""
+        budget = tiles_that_fit(PaddedMapping(32))
+        assert budget.tile_bytes == 32 * 33 * 8
+        assert budget.tiles == 5
+
+    def test_shift_register_accounting(self):
+        assert tiles_that_fit(RAWMapping(32)).shift_registers == 0
+        assert tiles_that_fit(PaddedMapping(32)).shift_registers == 0
+        assert tiles_that_fit(RAPMapping.random(32, 0)).shift_registers == 6
+        assert tiles_that_fit(RASMapping.random(32, 0)).shift_registers == 6
+
+    def test_float_tiles(self):
+        budget = tiles_that_fit(RAWMapping(32), element_bytes=4)
+        assert budget.tiles == 12
+
+    def test_custom_shared_size(self):
+        budget = tiles_that_fit(RAWMapping(32), shared_bytes=16 * 1024)
+        assert budget.tiles == 2
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            tiles_that_fit(RAWMapping(32), shared_bytes=0)
+        with pytest.raises(ValueError):
+            tiles_that_fit(RAWMapping(32), element_bytes=0)
+
+
+class TestOccupancyReport:
+    def test_renders_all_layouts(self):
+        out = occupancy_report(
+            [RAWMapping(32), RAPMapping.random(32, 0), PaddedMapping(32)]
+        )
+        assert "RAW" in out and "RAP" in out and "PAD" in out
+        assert "48 KB" in out
+
+    def test_default_constant(self):
+        assert SHARED_MEMORY_BYTES_GTX_TITAN == 48 * 1024
+
+
+class TestSMThroughput:
+    def test_pad_throughput_penalty(self):
+        """Same per-tile time, fewer resident tiles: padding loses
+        throughput even where its congestion ties RAP."""
+        from repro.gpu.occupancy import sm_throughput
+
+        rap = sm_throughput(RAPMapping.random(32, 0), tile_time_units=64)
+        pad = sm_throughput(PaddedMapping(32), tile_time_units=64)
+        assert rap > pad
+        assert rap / pad == pytest.approx(6 / 5)
+
+    def test_scales_inverse_with_time(self):
+        from repro.gpu.occupancy import sm_throughput
+
+        fast = sm_throughput(RAWMapping(32), tile_time_units=64)
+        slow = sm_throughput(RAWMapping(32), tile_time_units=128)
+        assert fast == 2 * slow
+
+    def test_rejects_zero_time(self):
+        from repro.gpu.occupancy import sm_throughput
+
+        with pytest.raises(ValueError):
+            sm_throughput(RAWMapping(32), tile_time_units=0)

@@ -1,0 +1,137 @@
+"""Unit tests for repro.access.patterns — the Section III operations."""
+
+import numpy as np
+import pytest
+
+from repro.access.patterns import (
+    PATTERN_NAMES,
+    contiguous_logical,
+    diagonal_logical,
+    malicious_logical,
+    pattern_addresses,
+    pattern_logical,
+    random_logical,
+    stride_logical,
+)
+from repro.core.congestion import congestion_batch
+from repro.core.mappings import RAPMapping, RASMapping, RAWMapping
+
+
+class TestContiguous:
+    def test_warp_reads_its_row(self):
+        ii, jj = contiguous_logical(4)
+        assert np.array_equal(ii, [[0] * 4, [1] * 4, [2] * 4, [3] * 4])
+        assert np.array_equal(jj[0], [0, 1, 2, 3])
+
+    def test_congestion_one_under_all_mappings(self, width, rng):
+        for mapping in (RAWMapping(width), RASMapping.random(width, rng),
+                        RAPMapping.random(width, rng)):
+            addrs = pattern_addresses(mapping, "contiguous")
+            assert (congestion_batch(addrs, width) == 1).all()
+
+
+class TestStride:
+    def test_warp_reads_its_column(self):
+        ii, jj = stride_logical(4)
+        assert np.array_equal(jj, [[0] * 4, [1] * 4, [2] * 4, [3] * 4])
+        assert np.array_equal(ii[2], [0, 1, 2, 3])
+
+    def test_raw_congestion_is_w(self, width):
+        addrs = pattern_addresses(RAWMapping(width), "stride")
+        assert (congestion_batch(addrs, width) == width).all()
+
+    def test_rap_congestion_is_one(self, width, rng):
+        """Theorem 2's deterministic guarantee."""
+        for _ in range(5):
+            mapping = RAPMapping.random(width, rng)
+            addrs = pattern_addresses(mapping, "stride")
+            assert (congestion_batch(addrs, width) == 1).all()
+
+    def test_ras_congestion_usually_above_one(self, rng):
+        """i.i.d. shifts collide with high probability at w=32."""
+        hits = 0
+        for _ in range(20):
+            mapping = RASMapping.random(32, rng)
+            addrs = pattern_addresses(mapping, "stride")
+            hits += (congestion_batch(addrs, 32) > 1).any()
+        assert hits >= 19  # P(all shifts distinct) ~ 32!/32^32 ~ 1e-13
+
+
+class TestDiagonal:
+    def test_definition(self):
+        ii, jj = diagonal_logical(4)
+        # warp i, lane j -> A[j][(i+j) mod w]
+        assert ii[1][2] == 2 and jj[1][2] == 3
+        assert jj[3][3] == (3 + 3) % 4
+
+    def test_raw_congestion_is_one(self, width):
+        addrs = pattern_addresses(RAWMapping(width), "diagonal")
+        assert (congestion_batch(addrs, width) == 1).all()
+
+    def test_each_warp_touches_every_row(self):
+        ii, _ = diagonal_logical(8)
+        for warp_rows in ii:
+            assert sorted(warp_rows) == list(range(8))
+
+
+class TestRandom:
+    def test_shape_default(self):
+        ii, jj = random_logical(16, seed=0)
+        assert ii.shape == (16, 16) and jj.shape == (16, 16)
+
+    def test_custom_warp_count(self):
+        ii, _ = random_logical(8, n_warps=3, seed=0)
+        assert ii.shape == (3, 8)
+
+    def test_range(self):
+        ii, jj = random_logical(8, seed=1)
+        assert ii.min() >= 0 and ii.max() < 8
+        assert jj.min() >= 0 and jj.max() < 8
+
+    def test_deterministic(self):
+        a = random_logical(8, seed=9)
+        b = random_logical(8, seed=9)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+
+class TestMalicious:
+    def test_targets_single_raw_bank(self, width):
+        addrs = pattern_addresses(RAWMapping(width), "malicious")
+        banks = addrs % width
+        assert (banks == banks[0, 0]).all()
+
+    def test_rap_defuses_malicious(self, width, rng):
+        """The abstract's claim: the same malicious input costs w on
+        RAW but exactly 1 on RAP."""
+        mapping = RAPMapping.random(width, rng)
+        addrs = pattern_addresses(mapping, "malicious")
+        assert (congestion_batch(addrs, width) == 1).all()
+
+    def test_addresses_distinct_no_merging(self):
+        addrs = pattern_addresses(RAWMapping(8), "malicious")
+        for row in addrs:
+            assert len(np.unique(row)) == 8
+
+
+class TestPatternPlumbing:
+    @pytest.mark.parametrize("name", PATTERN_NAMES)
+    def test_pattern_logical_dispatch(self, name):
+        ii, jj = pattern_logical(name, 8, seed=0)
+        assert ii.shape == (8, 8)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError, match="unknown pattern"):
+            pattern_logical("zigzag", 8)
+
+    @pytest.mark.parametrize("name", PATTERN_NAMES)
+    def test_addresses_in_range(self, name, rng):
+        mapping = RAPMapping.random(16, rng)
+        addrs = pattern_addresses(mapping, name, seed=rng)
+        assert addrs.min() >= 0 and addrs.max() < 16 * 16
+
+    def test_every_deterministic_pattern_covers_matrix(self):
+        """contiguous/stride/diagonal each touch all w^2 cells once."""
+        for name in ("contiguous", "stride", "diagonal"):
+            ii, jj = pattern_logical(name, 8)
+            cells = set(zip(ii.ravel().tolist(), jj.ravel().tolist()))
+            assert len(cells) == 64

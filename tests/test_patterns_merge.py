@@ -1,0 +1,63 @@
+"""Unit tests for the merge-showcase patterns (broadcast / pairwise)."""
+
+import numpy as np
+import pytest
+
+from repro.access.patterns import (
+    broadcast_logical,
+    pairwise_logical,
+    pattern_addresses,
+    pattern_logical,
+)
+from repro.core.congestion import bank_loads_batch, congestion_batch
+from repro.core.mappings import RAPMapping, RASMapping, RAWMapping
+
+
+class TestBroadcast:
+    def test_one_cell_per_warp(self):
+        ii, jj = broadcast_logical(8)
+        assert (jj == 0).all()
+        for warp in range(8):
+            assert (ii[warp] == warp).all()
+
+    @pytest.mark.parametrize("mapping_name", ["RAW", "RAS", "RAP"])
+    def test_congestion_one_everywhere(self, mapping_name, width, rng):
+        from repro.core.mappings import mapping_by_name
+
+        mapping = mapping_by_name(mapping_name, width, rng)
+        addrs = pattern_addresses(mapping, "broadcast")
+        assert (congestion_batch(addrs, width) == 1).all()
+
+    def test_merging_is_what_saves_it(self):
+        """Counted without merging, the broadcast would be congestion w."""
+        w = 8
+        addrs = pattern_addresses(RAWMapping(w), "broadcast")
+        banks = addrs % w
+        raw_counts = np.apply_along_axis(np.bincount, 1, banks, minlength=w)
+        assert raw_counts.max() == w  # unmerged load
+        assert bank_loads_batch(addrs, w).max() == 1  # merged load
+
+
+class TestPairwise:
+    def test_lanes_share_in_pairs(self):
+        ii, jj = pairwise_logical(8)
+        assert list(jj[0]) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_congestion_one_under_rotations(self, width, rng):
+        for mapping in (RAWMapping(width), RASMapping.random(width, rng),
+                        RAPMapping.random(width, rng)):
+            addrs = pattern_addresses(mapping, "pairwise")
+            assert (congestion_batch(addrs, width) == 1).all()
+
+    def test_half_the_requests_survive_merging(self):
+        w = 8
+        addrs = pattern_addresses(RAWMapping(w), "pairwise")
+        loads = bank_loads_batch(addrs, w)
+        assert loads.sum(axis=1).tolist() == [w // 2] * w
+
+
+class TestDispatch:
+    def test_pattern_logical_knows_new_names(self):
+        for name in ("broadcast", "pairwise"):
+            ii, jj = pattern_logical(name, 8)
+            assert ii.shape == (8, 8)

@@ -1,0 +1,155 @@
+"""Unit tests for repro.access.patterns_nd — the Table IV workloads."""
+
+import numpy as np
+import pytest
+
+from repro.access.patterns_nd import (
+    ND_PATTERN_NAMES,
+    contiguous_nd,
+    malicious_accesses,
+    malicious_r1p,
+    nd_pattern_addresses,
+    nd_pattern_logical,
+    random_nd,
+    stride_nd,
+)
+from repro.core.congestion import warp_congestion
+from repro.core.higher_dim import (
+    OneP,
+    RAW4D,
+    RepeatedOneP,
+    ThreeP,
+    nd_mapping_by_name,
+)
+
+W = 12  # divisible by 6, keeps the triple attack exact
+
+
+class TestContiguousND:
+    def test_varies_last_axis(self):
+        i, j, k, l = contiguous_nd(W, i=2, j=3, k=4)
+        assert (i == 2).all() and (j == 3).all() and (k == 4).all()
+        assert list(l) == list(range(W))
+
+
+class TestStrideND:
+    def test_axis1_varies_k(self):
+        i, j, k, l = stride_nd(W, axis=1, fixed=(5, 6, 7))
+        assert (i == 5).all() and (j == 6).all() and (l == 7).all()
+        assert list(k) == list(range(W))
+
+    def test_axis2_varies_j(self):
+        i, j, k, l = stride_nd(W, axis=2)
+        assert list(j) == list(range(W))
+        assert (i == 0).all() and (k == 0).all() and (l == 0).all()
+
+    def test_axis3_varies_i(self):
+        i, j, k, l = stride_nd(W, axis=3)
+        assert list(i) == list(range(W))
+
+    def test_bad_axis(self):
+        with pytest.raises(ValueError):
+            stride_nd(W, axis=0)
+        with pytest.raises(ValueError):
+            stride_nd(W, axis=4)
+
+    def test_raw_congestion_is_w(self):
+        m = RAW4D(W)
+        for axis in (1, 2, 3):
+            addrs = m.address(*stride_nd(W, axis=axis))
+            assert warp_congestion(addrs, W) == W
+
+
+class TestRandomND:
+    def test_range_and_shape(self):
+        idx = random_nd(W, seed=0)
+        for arr in idx:
+            assert arr.shape == (W,)
+            assert arr.min() >= 0 and arr.max() < W
+
+    def test_deterministic(self):
+        a = random_nd(W, seed=3)
+        b = random_nd(W, seed=3)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+
+class TestMaliciousR1P:
+    def test_groups_are_triple_permutations(self):
+        i, j, k, l = malicious_r1p(W)
+        assert (l == 0).all()
+        from itertools import permutations
+
+        for g in range(W // 6):
+            triple = (3 * g, 3 * g + 1, 3 * g + 2)
+            got = {
+                (int(i[t]), int(j[t]), int(k[t]))
+                for t in range(6 * g, 6 * g + 6)
+            }
+            assert got == set(permutations(triple))
+
+    def test_congestion_at_least_six_under_r1p(self, rng):
+        """Each group of 6 collides in one bank — deterministically."""
+        for _ in range(10):
+            m = RepeatedOneP.random(W, rng)
+            addrs = m.address(*malicious_r1p(W))
+            assert warp_congestion(addrs, W) >= 6
+
+    def test_threep_defuses_attack(self, rng):
+        """Under 3P the same input behaves like random access."""
+        values = []
+        for _ in range(50):
+            m = ThreeP.random(W, rng)
+            addrs = m.address(*malicious_r1p(W))
+            values.append(warp_congestion(addrs, W))
+        assert np.mean(values) < 6
+
+    def test_remainder_filled_with_diagonal_triples(self):
+        i, j, k, _ = malicious_r1p(8)  # 8 = 6 + 2 leftover lanes
+        assert i[6] == j[6] == k[6] == 0
+        assert i[7] == j[7] == k[7] == 1
+
+    def test_l_parameter(self):
+        _, _, _, l = malicious_r1p(W, l=5)
+        assert (l == 5).all()
+
+    def test_l_bounds(self):
+        with pytest.raises(ValueError):
+            malicious_r1p(W, l=W)
+
+
+class TestMaliciousDispatch:
+    def test_onep_gets_stride2(self, rng):
+        """stride2 pins 1P to one bank — the strongest attack on it."""
+        m = OneP.random(W, rng)
+        addrs = m.address(*malicious_accesses("1P", W))
+        assert warp_congestion(addrs, W) == W
+
+    def test_raw_gets_full_serialization(self):
+        m = RAW4D(W)
+        addrs = m.address(*malicious_accesses("RAW", W))
+        assert warp_congestion(addrs, W) == W
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            malicious_accesses("XP", W)
+
+
+class TestPlumbing:
+    @pytest.mark.parametrize("name", ND_PATTERN_NAMES)
+    def test_pattern_logical_dispatch(self, name):
+        idx = nd_pattern_logical(name, W, scheme="3P", seed=0)
+        assert len(idx) == 4
+        for arr in idx:
+            assert arr.shape == (W,)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            nd_pattern_logical("spiral", W)
+
+    @pytest.mark.parametrize("scheme", ["RAW", "RAS", "1P", "R1P", "3P", "w2P", "1PwR"])
+    def test_addresses_in_range(self, scheme, rng):
+        m = nd_mapping_by_name(scheme, W, rng)
+        for name in ND_PATTERN_NAMES:
+            addrs = nd_pattern_addresses(m, name, seed=rng)
+            assert addrs.min() >= 0 and addrs.max() < W**4

@@ -1,0 +1,154 @@
+"""Unit tests for repro.core.permutation."""
+
+import numpy as np
+import pytest
+
+from repro.core.permutation import (
+    compose_permutations,
+    identity_permutation,
+    invert_permutation,
+    is_permutation,
+    random_permutation,
+    random_shifts,
+    require_permutation,
+    rotation_permutation,
+)
+
+
+class TestRandomPermutation:
+    def test_is_permutation(self, width):
+        perm = random_permutation(width, seed=1)
+        assert sorted(perm) == list(range(width))
+
+    def test_dtype_int64(self):
+        assert random_permutation(8, seed=0).dtype == np.int64
+
+    def test_deterministic_seed(self):
+        assert np.array_equal(random_permutation(16, 5), random_permutation(16, 5))
+
+    def test_varies_with_seed(self):
+        draws = {tuple(random_permutation(16, s)) for s in range(20)}
+        assert len(draws) > 1
+
+    def test_size_one(self):
+        assert list(random_permutation(1, 0)) == [0]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            random_permutation(0)
+
+    def test_uniformity_chi_square(self):
+        # Position of element 0 should be ~uniform over 8 slots.
+        w, n = 8, 4000
+        rng = np.random.default_rng(7)
+        counts = np.zeros(w)
+        for _ in range(n):
+            perm = random_permutation(w, rng)
+            counts[np.flatnonzero(perm == 0)[0]] += 1
+        chi2 = ((counts - n / w) ** 2 / (n / w)).sum()
+        assert chi2 < 30  # df=7; p ~ 1e-4 cutoff
+
+
+class TestRandomShifts:
+    def test_range(self):
+        s = random_shifts(100, 32, seed=0)
+        assert s.min() >= 0 and s.max() < 32
+
+    def test_length(self):
+        assert random_shifts(7, 4, seed=0).shape == (7,)
+
+    def test_not_necessarily_distinct(self):
+        # With 100 draws from 4 values, duplicates are certain.
+        s = random_shifts(100, 4, seed=0)
+        assert len(np.unique(s)) < 100
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            random_shifts(0, 4)
+        with pytest.raises(ValueError):
+            random_shifts(4, 0)
+
+
+class TestIsPermutation:
+    def test_valid(self):
+        assert is_permutation(np.array([2, 0, 1]))
+
+    def test_identity(self):
+        assert is_permutation(np.arange(10))
+
+    def test_duplicate(self):
+        assert not is_permutation(np.array([0, 0, 1]))
+
+    def test_out_of_range(self):
+        assert not is_permutation(np.array([1, 2, 3]))
+
+    def test_negative(self):
+        assert not is_permutation(np.array([-1, 0, 1]))
+
+    def test_empty(self):
+        assert not is_permutation(np.array([], dtype=int))
+
+    def test_2d_rejected(self):
+        assert not is_permutation(np.arange(4).reshape(2, 2))
+
+    def test_float_rejected(self):
+        assert not is_permutation(np.array([0.0, 1.0]))
+
+
+class TestRequirePermutation:
+    def test_passthrough(self):
+        out = require_permutation([1, 0, 2])
+        assert out.dtype == np.int64
+        assert list(out) == [1, 0, 2]
+
+    def test_raises_with_name(self):
+        with pytest.raises(ValueError, match="sigma"):
+            require_permutation(np.array([0, 0]), "sigma")
+
+
+class TestAlgebra:
+    def test_identity(self, width):
+        assert np.array_equal(identity_permutation(width), np.arange(width))
+
+    def test_rotation(self):
+        assert list(rotation_permutation(4, 1)) == [1, 2, 3, 0]
+
+    def test_rotation_negative_offset(self):
+        assert list(rotation_permutation(4, -1)) == [3, 0, 1, 2]
+
+    def test_rotation_wraps(self):
+        assert np.array_equal(rotation_permutation(5, 7), rotation_permutation(5, 2))
+
+    def test_invert_roundtrip(self, width, rng):
+        perm = random_permutation(width, rng)
+        inv = invert_permutation(perm)
+        assert np.array_equal(perm[inv], np.arange(width))
+        assert np.array_equal(inv[perm], np.arange(width))
+
+    def test_invert_identity(self):
+        ident = identity_permutation(6)
+        assert np.array_equal(invert_permutation(ident), ident)
+
+    def test_compose_with_identity(self, rng):
+        perm = random_permutation(8, rng)
+        ident = identity_permutation(8)
+        assert np.array_equal(compose_permutations(perm, ident), perm)
+        assert np.array_equal(compose_permutations(ident, perm), perm)
+
+    def test_compose_with_inverse_is_identity(self, rng):
+        perm = random_permutation(8, rng)
+        assert np.array_equal(
+            compose_permutations(perm, invert_permutation(perm)),
+            identity_permutation(8),
+        )
+
+    def test_compose_order(self):
+        # outer(inner(i)): rotation(+1) after reversal.
+        rev = np.array([3, 2, 1, 0])
+        rot = rotation_permutation(4, 1)
+        out = compose_permutations(rot, rev)
+        assert list(out) == [0, 3, 2, 1]
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValueError):
+            compose_permutations(np.arange(3), np.arange(4))

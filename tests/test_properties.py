@@ -1,0 +1,269 @@
+"""Property-based tests (hypothesis) for the library's core invariants.
+
+These pin down the *universally quantified* claims of the paper:
+bijectivity of every layout, the deterministic congestion-1 guarantees
+of RAP, congestion bounds, CRCW merge semantics, pipeline timing
+algebra, and pack/unpack round trips — over randomly drawn widths,
+shifts, permutations, and address vectors.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.congestion import (
+    bank_loads,
+    congestion_batch,
+    merge_requests,
+    warp_congestion,
+)
+from repro.core.mappings import RAPMapping, RASMapping, RAWMapping, ShiftedRowMapping
+from repro.core.permutation import (
+    compose_permutations,
+    invert_permutation,
+    is_permutation,
+    random_permutation,
+)
+from repro.core.register_pack import pack_shifts, unpack_all
+from repro.dmm.mmu import PipelinedMMU
+
+# -- strategies -------------------------------------------------------------
+
+widths = st.integers(min_value=2, max_value=48)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@st.composite
+def width_and_shifts(draw):
+    w = draw(widths)
+    shifts = draw(
+        hnp.arrays(np.int64, (w,), elements=st.integers(0, w - 1))
+    )
+    return w, shifts
+
+
+@st.composite
+def width_and_permutation(draw):
+    w = draw(widths)
+    seed = draw(seeds)
+    return w, random_permutation(w, seed)
+
+
+@st.composite
+def warp_addresses(draw):
+    w = draw(widths)
+    k = draw(st.integers(1, w))
+    addrs = draw(
+        hnp.arrays(np.int64, (k,), elements=st.integers(0, w * w - 1))
+    )
+    return w, addrs
+
+
+# -- permutation algebra -----------------------------------------------------
+
+
+@given(width_and_permutation())
+def test_random_permutation_is_permutation(wp):
+    _, perm = wp
+    assert is_permutation(perm)
+
+
+@given(width_and_permutation())
+def test_inverse_is_two_sided(wp):
+    w, perm = wp
+    inv = invert_permutation(perm)
+    ident = np.arange(w)
+    assert np.array_equal(perm[inv], ident)
+    assert np.array_equal(inv[perm], ident)
+
+
+@given(width_and_permutation(), seeds)
+def test_composition_closed(wp, seed2):
+    w, perm = wp
+    other = random_permutation(w, seed2)
+    assert is_permutation(compose_permutations(perm, other))
+
+
+@given(width_and_permutation(), seeds)
+def test_composition_associative_with_inverse(wp, seed2):
+    w, perm = wp
+    other = random_permutation(w, seed2)
+    composed = compose_permutations(perm, other)
+    recovered = compose_permutations(invert_permutation(perm), composed)
+    assert np.array_equal(recovered, other)
+
+
+# -- mapping invariants -------------------------------------------------------
+
+
+@given(width_and_shifts())
+def test_any_shift_vector_gives_bijection(ws):
+    """The rotation layout is a bijection regardless of shift values."""
+    w, shifts = ws
+    m = ShiftedRowMapping(w, shifts, "X")
+    ii, jj = np.meshgrid(np.arange(w), np.arange(w), indexing="ij")
+    addrs = m.address(ii, jj).ravel()
+    assert len(np.unique(addrs)) == w * w
+    assert addrs.min() == 0 and addrs.max() == w * w - 1
+
+
+@given(width_and_shifts())
+def test_logical_inverts_address(ws):
+    w, shifts = ws
+    m = ShiftedRowMapping(w, shifts, "X")
+    addrs = np.arange(w * w)
+    i, j = m.logical(addrs)
+    assert np.array_equal(m.address(i, j), addrs)
+
+
+@given(width_and_shifts())
+def test_contiguous_conflict_free_for_any_shifts(ws):
+    """Row access never conflicts under any per-row rotation."""
+    w, shifts = ws
+    m = ShiftedRowMapping(w, shifts, "X")
+    for row in (0, w - 1):
+        banks = m.bank(np.full(w, row), np.arange(w))
+        assert len(np.unique(banks)) == w
+
+
+@given(width_and_permutation())
+def test_rap_stride_conflict_free(wp):
+    """Theorem 2's deterministic half, over arbitrary permutations."""
+    w, perm = wp
+    m = RAPMapping(w, perm)
+    for col in (0, w // 2, w - 1):
+        banks = m.bank(np.arange(w), np.full(w, col))
+        assert len(np.unique(banks)) == w
+
+
+@given(width_and_permutation(), seeds)
+def test_rap_layout_roundtrip(wp, seed2):
+    w, perm = wp
+    m = RAPMapping(w, perm)
+    matrix = np.random.default_rng(seed2).random((w, w))
+    assert np.array_equal(m.read_layout(m.apply_layout(matrix)), matrix)
+
+
+@given(widths, seeds)
+def test_ras_layout_roundtrip(w, seed):
+    m = RASMapping.random(w, seed)
+    matrix = np.random.default_rng(seed).random((w, w))
+    assert np.array_equal(m.read_layout(m.apply_layout(matrix)), matrix)
+
+
+# -- congestion invariants -----------------------------------------------------
+
+
+@given(warp_addresses())
+def test_congestion_bounds(wa):
+    w, addrs = wa
+    c = warp_congestion(addrs, w)
+    assert 1 <= c <= min(len(addrs), w)
+
+
+@given(warp_addresses())
+def test_congestion_invariant_under_duplication(wa):
+    """Duplicated requests merge: congestion is unchanged."""
+    w, addrs = wa
+    doubled = np.concatenate([addrs, addrs])
+    assert warp_congestion(doubled, w) == warp_congestion(addrs, w)
+
+
+@given(warp_addresses())
+def test_congestion_invariant_under_permutation(wa):
+    """Thread order within a warp is irrelevant."""
+    w, addrs = wa
+    shuffled = np.random.default_rng(0).permutation(addrs)
+    assert warp_congestion(shuffled, w) == warp_congestion(addrs, w)
+
+
+@given(warp_addresses())
+def test_bank_loads_sum_to_unique_count(wa):
+    w, addrs = wa
+    assert bank_loads(addrs, w).sum() == len(merge_requests(addrs))
+
+
+@given(warp_addresses())
+def test_batch_matches_scalar(wa):
+    w, addrs = wa
+    batch = np.stack([addrs, addrs[::-1]])
+    out = congestion_batch(batch, w)
+    assert out[0] == out[1] == warp_congestion(addrs, w)
+
+
+@given(
+    st.integers(2, 64),
+    st.lists(st.integers(1, 64), min_size=0, max_size=20),
+    st.integers(1, 50),
+)
+def test_pipeline_time_formula(w, congestions, latency):
+    congestions = [min(c, w) for c in congestions]
+    mmu = PipelinedMMU(w, latency)
+    t = mmu.access_time(congestions)
+    if congestions:
+        assert t == sum(congestions) + latency - 1
+    else:
+        assert t == 0
+
+
+@given(
+    st.lists(st.integers(1, 8), min_size=1, max_size=6),
+    st.lists(st.integers(1, 8), min_size=1, max_size=6),
+    st.integers(1, 20),
+)
+def test_sequential_time_additive(c1, c2, latency):
+    mmu = PipelinedMMU(8, latency)
+    assert mmu.sequential_time([c1, c2]) == mmu.access_time(c1) + mmu.access_time(c2)
+
+
+# -- register packing -----------------------------------------------------------
+
+
+@given(
+    st.integers(1, 8),
+    st.data(),
+)
+def test_pack_unpack_roundtrip_any_width(bits, data):
+    n = data.draw(st.integers(1, 80))
+    values = data.draw(
+        hnp.arrays(np.int64, (n,), elements=st.integers(0, (1 << bits) - 1))
+    )
+    words = pack_shifts(values, bits_per_value=bits, word_bits=32)
+    assert np.array_equal(
+        unpack_all(words, n, bits_per_value=bits, word_bits=32), values
+    )
+
+
+# -- end-to-end: random programs transpose correctly ----------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sampled_from(["CRSW", "SRCW", "DRDW"]), st.integers(2, 16), seeds)
+def test_transpose_correct_for_random_rap(kind, w, seed):
+    from repro.access.transpose import run_transpose
+
+    mapping = RAPMapping.random(w, seed)
+    assert run_transpose(kind, mapping, seed=seed).correct
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sampled_from(["CRSW", "SRCW", "DRDW"]), st.integers(2, 16), seeds)
+def test_transpose_correct_for_random_ras(kind, w, seed):
+    from repro.access.transpose import run_transpose
+
+    mapping = RASMapping.random(w, seed)
+    assert run_transpose(kind, mapping, seed=seed).correct
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 12), seeds)
+def test_raw_vs_rap_same_data_different_time(w, seed):
+    """Same logical result under both mappings; RAP never slower on CRSW."""
+    from repro.access.transpose import run_transpose
+
+    matrix = np.random.default_rng(seed).random((w, w))
+    raw = run_transpose("CRSW", RAWMapping(w), matrix=matrix)
+    rap = run_transpose("CRSW", RAPMapping.random(w, seed), matrix=matrix)
+    assert raw.correct and rap.correct
+    assert rap.time_units <= raw.time_units

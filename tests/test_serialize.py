@@ -1,0 +1,114 @@
+"""Unit tests for repro.core.serialize — mapping persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.mappings import (
+    RAPMapping,
+    RASMapping,
+    RAWMapping,
+    ShiftedRowMapping,
+)
+from repro.core.padded import PaddedMapping
+from repro.core.serialize import (
+    dumps_mapping,
+    loads_mapping,
+    mapping_from_dict,
+    mapping_to_dict,
+)
+from repro.core.swizzle import XORSwizzleMapping
+
+
+def all_addresses_equal(a, b):
+    w = a.w
+    ii, jj = np.meshgrid(np.arange(w), np.arange(w), indexing="ij")
+    return np.array_equal(a.address(ii, jj), b.address(ii, jj))
+
+
+MAPPINGS = [
+    lambda rng: RAWMapping(8),
+    lambda rng: RAPMapping.random(8, rng),
+    lambda rng: RASMapping.random(8, rng),
+    lambda rng: PaddedMapping(8, pad=2),
+    lambda rng: XORSwizzleMapping(8, mask=0b101),
+    lambda rng: ShiftedRowMapping(8, rng.integers(0, 8, size=8), "CUSTOM"),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", MAPPINGS)
+    def test_dict_roundtrip_preserves_addresses(self, factory, rng):
+        original = factory(rng)
+        restored = mapping_from_dict(mapping_to_dict(original))
+        assert all_addresses_equal(original, restored)
+        assert restored.name == original.name
+        assert restored.storage_words == original.storage_words
+
+    @pytest.mark.parametrize("factory", MAPPINGS)
+    def test_json_roundtrip(self, factory, rng):
+        original = factory(rng)
+        restored = loads_mapping(dumps_mapping(original))
+        assert all_addresses_equal(original, restored)
+
+    def test_json_is_plain(self, rng):
+        text = dumps_mapping(RAPMapping.random(8, rng))
+        data = json.loads(text)
+        assert data["kind"] == "RAP"
+        assert isinstance(data["sigma"], list)
+
+    def test_deterministic_output(self, rng):
+        m = RAPMapping.random(8, 5)
+        assert dumps_mapping(m) == dumps_mapping(m)
+
+
+class TestValidation:
+    def test_missing_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            mapping_from_dict({"w": 8})
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown"):
+            mapping_from_dict({"kind": "ZZZ", "w": 8})
+
+    def test_bad_version(self):
+        with pytest.raises(ValueError, match="version"):
+            mapping_from_dict({"kind": "RAW", "w": 8, "version": 99})
+
+    def test_corrupted_sigma_rejected(self):
+        data = mapping_to_dict(RAPMapping.random(8, 0))
+        data["sigma"][0] = data["sigma"][1]  # duplicate -> not a permutation
+        with pytest.raises(ValueError):
+            mapping_from_dict(data)
+
+    def test_unknown_type_rejected_on_serialize(self):
+        class Weird:
+            w = 4
+
+        with pytest.raises(TypeError):
+            mapping_to_dict(Weird())
+
+    def test_defaults_fill_in(self):
+        m = mapping_from_dict({"kind": "PAD", "w": 8})
+        assert m.pad == 1
+        m = mapping_from_dict({"kind": "XOR", "w": 8})
+        assert m.mask == 7
+
+
+class TestDeploymentScenario:
+    def test_pin_and_reuse_a_validated_sigma(self, rng, tmp_path):
+        """The workflow the module exists for: validate a sigma, save
+        it, reload it elsewhere, get identical behaviour."""
+        from repro.access.patterns import pattern_addresses
+        from repro.core.congestion import congestion_batch
+
+        mapping = RAPMapping.random(16, rng)
+        path = tmp_path / "layout.json"
+        path.write_text(dumps_mapping(mapping))
+
+        reloaded = loads_mapping(path.read_text())
+        for pattern in ("contiguous", "stride", "diagonal"):
+            a = congestion_batch(pattern_addresses(mapping, pattern), 16)
+            b = congestion_batch(pattern_addresses(reloaded, pattern), 16)
+            assert np.array_equal(a, b)

@@ -1,0 +1,90 @@
+"""Unit tests for repro.apps.sort — the bitonic network."""
+
+import numpy as np
+import pytest
+
+from repro.apps.sort import bitonic_pairs, run_bitonic_sort
+from repro.core.mappings import RAPMapping, RAWMapping
+from repro.core.swizzle import XORSwizzleMapping
+
+
+class TestBitonicPairs:
+    def test_stage_count(self):
+        """log2(n)(log2(n)+1)/2 stages."""
+        n = 64
+        b = int(np.log2(n))
+        assert len(bitonic_pairs(n)) == b * (b + 1) // 2
+
+    def test_first_stage(self):
+        k, j, asc = bitonic_pairs(8)[0]
+        assert (k, j) == (2, 1)
+
+    def test_last_stage(self):
+        k, j, _ = bitonic_pairs(8)[-1]
+        assert (k, j) == (8, 1)
+
+    def test_leaders_and_partners_partition(self):
+        n = 16
+        for _, j, _ in bitonic_pairs(n):
+            t = np.arange(n)
+            leaders = t[(t & j) == 0]
+            partners = leaders | j
+            assert len(set(leaders) | set(partners)) == n
+            assert not set(leaders) & set(partners)
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            bitonic_pairs(12)
+
+
+class TestSortCorrectness:
+    @pytest.mark.parametrize("w", [2, 4, 8])
+    def test_raw(self, w, rng):
+        assert run_bitonic_sort(RAWMapping(w), seed=rng).correct
+
+    @pytest.mark.parametrize("w", [4, 8])
+    def test_rap(self, w, rng):
+        assert run_bitonic_sort(RAPMapping.random(w, rng), seed=rng).correct
+
+    def test_xor(self, rng):
+        assert run_bitonic_sort(XORSwizzleMapping(8), seed=rng).correct
+
+    def test_already_sorted(self):
+        keys = np.arange(16.0)
+        assert run_bitonic_sort(RAWMapping(4), keys=keys).correct
+
+    def test_reverse_sorted(self):
+        keys = np.arange(16.0)[::-1].copy()
+        assert run_bitonic_sort(RAWMapping(4), keys=keys).correct
+
+    def test_duplicates(self):
+        keys = np.array([3.0, 1.0] * 8)
+        assert run_bitonic_sort(RAWMapping(4), keys=keys).correct
+
+    def test_all_equal(self):
+        assert run_bitonic_sort(RAWMapping(4), keys=np.ones(16)).correct
+
+    def test_keys_length_checked(self):
+        with pytest.raises(ValueError):
+            run_bitonic_sort(RAWMapping(4), keys=np.zeros(8))
+
+    def test_requires_power_of_two_width(self):
+        with pytest.raises(ValueError):
+            run_bitonic_sort(RAWMapping(6))
+
+
+class TestSortCost:
+    def test_congestion_bounded(self, rng):
+        o = run_bitonic_sort(RAPMapping.random(8, rng), seed=rng)
+        assert 1 <= o.max_congestion <= 8
+
+    def test_deterministic_given_seed(self):
+        a = run_bitonic_sort(RAWMapping(4), seed=5)
+        b = run_bitonic_sort(RAWMapping(4), seed=5)
+        assert a.time_units == b.time_units
+
+    def test_latency_scales(self):
+        fast = run_bitonic_sort(RAWMapping(4), latency=1, seed=0)
+        slow = run_bitonic_sort(RAWMapping(4), latency=8, seed=0)
+        assert slow.time_units > fast.time_units
+        assert slow.total_stages == fast.total_stages

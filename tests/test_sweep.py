@@ -1,0 +1,75 @@
+"""Unit tests for repro.sim.sweep — growth and latency sweeps."""
+
+import pytest
+
+from repro.core.theory import theorem2_expectation_bound
+from repro.sim.sweep import growth_sweep, latency_sweep
+
+
+class TestGrowthSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return growth_sweep(widths=(16, 32), trials=200, seed=1)
+
+    def test_series_present(self, sweep):
+        assert set(sweep.series) == {"RAS", "RAP", "lnw/lnlnw", "bound"}
+
+    def test_lengths_match_widths(self, sweep):
+        for values in sweep.series.values():
+            assert len(values) == 2
+
+    def test_measured_under_bound(self, sweep):
+        for mapping in ("RAS", "RAP"):
+            for value, w in zip(sweep.series[mapping], sweep.widths):
+                assert value <= theorem2_expectation_bound(w)
+
+    def test_growth_monotone(self, sweep):
+        for mapping in ("RAS", "RAP"):
+            assert sweep.series[mapping][1] > sweep.series[mapping][0]
+
+    def test_render(self, sweep):
+        out = sweep.render()
+        assert "diagonal" in out
+        assert "RAP" in out and "RAS" in out
+        assert "bound" not in out  # excluded from the chart
+
+    def test_stride_pattern(self):
+        sweep = growth_sweep(
+            pattern="stride", widths=(16,), mappings=("RAP",), trials=50, seed=2
+        )
+        assert sweep.series["RAP"] == [1.0]
+
+    def test_deterministic(self):
+        a = growth_sweep(widths=(16,), trials=50, seed=3)
+        b = growth_sweep(widths=(16,), trials=50, seed=3)
+        assert a.series["RAP"] == b.series["RAP"]
+
+
+class TestLatencySweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return latency_sweep(latencies=(1, 4, 16), w=16, seed=1)
+
+    def test_series_present(self, sweep):
+        assert set(sweep.series) == {"RAW", "RAS", "RAP"}
+
+    def test_monotone_in_latency(self, sweep):
+        for values in sweep.series.values():
+            assert values == sorted(values)
+
+    def test_latency_term_is_2_l_minus_1(self, sweep):
+        """Stage counts are latency-independent: time(l) - time(1) ==
+        2(l - 1) for the two-instruction transposes."""
+        for values in sweep.series.values():
+            assert values[1] - values[0] == 2 * (4 - 1)
+            assert values[2] - values[0] == 2 * (16 - 1)
+
+    def test_rap_beats_raw_at_every_latency(self, sweep):
+        for a, b in zip(sweep.series["RAW"], sweep.series["RAP"]):
+            assert b < a
+
+    def test_crossover(self, sweep):
+        assert sweep.crossover("RAW", "RAP") == 1
+
+    def test_no_crossover_returns_none(self, sweep):
+        assert sweep.crossover("RAP", "RAW") is None

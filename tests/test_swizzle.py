@@ -1,0 +1,131 @@
+"""Unit tests for repro.core.swizzle — the CUTLASS-style XOR layout."""
+
+import numpy as np
+import pytest
+
+from repro.access.patterns import pattern_addresses
+from repro.access.transpose import run_transpose
+from repro.core.congestion import congestion_batch
+from repro.core.mappings import RAPMapping
+from repro.core.swizzle import XORSwizzleMapping, xor_adversarial_logical
+
+
+class TestAddressing:
+    def test_row_zero_unswizzled(self):
+        m = XORSwizzleMapping(8)
+        assert list(m.address(np.zeros(8, int), np.arange(8))) == list(range(8))
+
+    def test_xor_applied(self):
+        m = XORSwizzleMapping(8)
+        assert m.address(3, 0) == 3 * 8 + 3  # 0 ^ 3
+        assert m.address(5, 5) == 5 * 8 + 0  # 5 ^ 5
+
+    def test_bijection(self):
+        m = XORSwizzleMapping(16)
+        ii, jj = np.meshgrid(np.arange(16), np.arange(16), indexing="ij")
+        assert len(np.unique(m.address(ii, jj))) == 256
+
+    def test_logical_roundtrip(self):
+        m = XORSwizzleMapping(16)
+        addrs = np.arange(256)
+        i, j = m.logical(addrs)
+        assert np.array_equal(m.address(i, j), addrs)
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            XORSwizzleMapping(12)
+
+    def test_mask_variants(self):
+        m = XORSwizzleMapping(16, mask=0b11)
+        assert m.address(4, 1) == 4 * 16 + 1  # 4 & 3 == 0
+        assert m.address(5, 1) == 5 * 16 + 0  # 1 ^ (5 & 3 = 1)
+
+    def test_mask_bounds(self):
+        with pytest.raises(ValueError):
+            XORSwizzleMapping(8, mask=8)
+
+    def test_layout_roundtrip(self, rng):
+        m = XORSwizzleMapping(8)
+        matrix = rng.random((8, 8))
+        assert np.array_equal(m.read_layout(m.apply_layout(matrix)), matrix)
+
+    def test_overhead_cheaper_than_rap(self):
+        assert XORSwizzleMapping(32).address_overhead_ops < RAPMapping.random(
+            32, 0
+        ).address_overhead_ops
+
+
+class TestCongestionProfile:
+    @pytest.mark.parametrize("w", [8, 16, 32])
+    def test_contiguous_and_stride_conflict_free(self, w):
+        m = XORSwizzleMapping(w)
+        for pattern in ("contiguous", "stride"):
+            addrs = pattern_addresses(m, pattern)
+            assert congestion_batch(addrs, w).max() == 1
+
+    def test_malicious_column_access_defused(self):
+        m = XORSwizzleMapping(32)
+        addrs = pattern_addresses(m, "malicious")
+        assert congestion_batch(addrs, 32).max() == 1
+
+    def test_adversarial_pattern_hits_w(self):
+        """The published swizzle admits a w-congestion pattern."""
+        w = 16
+        m = XORSwizzleMapping(w)
+        ii, jj = xor_adversarial_logical(w)
+        assert congestion_batch(m.address(ii, jj), w).max() == w
+
+    def test_rap_survives_the_xor_attack(self):
+        """The same pattern against a secret RAP sigma is harmless."""
+        w = 32
+        ii, jj = xor_adversarial_logical(w)
+        worst = max(
+            int(congestion_batch(RAPMapping.random(w, s).address(ii, jj), w).max())
+            for s in range(20)
+        )
+        assert worst < w // 2
+
+    def test_natural_diagonal_serializes_warp_zero(self):
+        """No adversary needed: the paper's wrapped diagonal puts warp
+        0 entirely in bank 0 under the full XOR swizzle, because
+        ((0 + j) XOR j) == 0 for every lane."""
+        w = 16
+        m = XORSwizzleMapping(w)
+        addrs = pattern_addresses(m, "diagonal")
+        per_warp = congestion_batch(addrs, w)
+        assert per_warp[0] == w
+        # RAP never does this on the diagonal (its worst case is the
+        # balls-in-bins tail, far below w).
+        rap_worst = max(
+            int(
+                congestion_batch(
+                    pattern_addresses(RAPMapping.random(w, s), "diagonal"), w
+                ).max()
+            )
+            for s in range(20)
+        )
+        assert rap_worst < w // 2
+
+    def test_partial_mask_leaves_residual_conflicts(self):
+        """A narrow swizzle mask only spreads columns over mask+1 banks."""
+        w = 16
+        m = XORSwizzleMapping(w, mask=0b11)
+        addrs = pattern_addresses(m, "stride")
+        assert congestion_batch(addrs, w).max() == w // 4
+
+
+class TestSwizzledTranspose:
+    @pytest.mark.parametrize("kind", ["CRSW", "SRCW", "DRDW"])
+    def test_correct(self, kind, rng):
+        o = run_transpose(kind, XORSwizzleMapping(8), seed=rng)
+        assert o.correct
+
+    def test_crsw_conflict_free(self):
+        o = run_transpose("CRSW", XORSwizzleMapping(32))
+        assert o.read_congestion == 1
+        assert o.write_congestion == 1
+
+    def test_same_speed_as_rap_on_crsw(self, rng):
+        xor = run_transpose("CRSW", XORSwizzleMapping(32))
+        rap = run_transpose("CRSW", RAPMapping.random(32, rng))
+        assert xor.time_units == rap.time_units

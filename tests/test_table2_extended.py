@@ -1,0 +1,51 @@
+"""Unit tests for table2_extended and the table2x CLI experiment."""
+
+import pytest
+
+from repro.cli import build_parser, run_experiment
+from repro.sim.experiments import table2_extended
+
+
+class TestTable2Extended:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return table2_extended(w=16, trials=300, seed=1)
+
+    def test_grid_complete(self, cells):
+        layouts = {"RAW", "RAS", "RAP", "PAD", "XOR"}
+        patterns = {"contiguous", "stride", "diagonal", "random"}
+        assert {k[0] for k in cells} == patterns
+        assert {k[1] for k in cells} == layouts
+
+    def test_contiguous_all_one(self, cells):
+        for layout in ("RAW", "RAS", "RAP", "PAD", "XOR"):
+            assert cells[("contiguous", layout)] == 1
+
+    def test_stride_deterministic_winners(self, cells):
+        assert cells[("stride", "RAW")] == 16
+        for layout in ("RAP", "PAD", "XOR"):
+            assert cells[("stride", layout)] == 1
+
+    def test_diagonal_separates_the_deterministic_layouts(self, cells):
+        """PAD wins the diagonal; XOR loses it badly; RAP sits at the
+        randomized floor."""
+        assert cells[("diagonal", "PAD")] == 2
+        assert cells[("diagonal", "XOR")] > cells[("diagonal", "RAP")]
+        assert cells[("diagonal", "XOR")] >= 8  # warp 0 fully serialized
+
+    def test_random_indistinguishable(self, cells):
+        values = [cells[("random", layout)] for layout in ("RAW", "RAS", "RAP", "PAD", "XOR")]
+        assert max(values) - min(values) < 0.3
+
+    def test_reproducible(self):
+        a = table2_extended(w=16, trials=100, seed=5)
+        b = table2_extended(w=16, trials=100, seed=5)
+        assert a == b
+
+
+class TestCLITable2x:
+    def test_renders(self):
+        args = build_parser().parse_args(["table2x", "--trials", "200"])
+        out = run_experiment("table2x", args)
+        assert "PAD" in out and "XOR" in out
+        assert "Diagonal" in out

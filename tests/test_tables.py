@@ -1,0 +1,92 @@
+"""Unit tests for repro.report.tables — the ASCII renderers."""
+
+import pytest
+
+from repro.report.tables import (
+    format_grid,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.sim.experiments import table1, table2, table3, table4
+
+
+class TestFormatGrid:
+    def test_alignment(self):
+        out = format_grid(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title(self):
+        out = format_grid(["x"], [["1"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_non_string_cells(self):
+        out = format_grid(["x"], [[42]])
+        assert "42" in out
+
+
+class TestRenderers:
+    def test_table1(self):
+        out = render_table1(table1())
+        assert "Table I" in out
+        assert "O(log w / log log w)" in out
+        assert "RAW" in out and "RAP" in out
+
+    def test_table2(self):
+        result = table2(widths=(16,), trials=20, seed=0)
+        out = render_table2(result)
+        assert "Table II" in out
+        assert "Contiguous" in out and "Stride" in out
+        assert "RAW w=16" in out
+
+    def test_table3(self):
+        out = render_table3(table3(trials=3, seed=0))
+        assert "Table III" in out
+        assert "CRSW" in out and "DRDW" in out
+        assert "1595.0" in out  # paper ns column present
+
+    def test_table3_reports_correctness(self):
+        out = render_table3(table3(trials=2, seed=0))
+        assert "yes" in out and "NO" not in out
+
+    def test_table4(self):
+        result = table4(w=6, trials=20, seed=0)
+        out = render_table4(result)
+        assert "Table IV" in out
+        assert "Random numbers" in out
+        assert "R1P" in out and "3P" in out
+
+    def test_table2_integer_formatting(self):
+        """Deterministic 1-cells print as '1', not '1.00'."""
+        result = table2(widths=(16,), trials=20, seed=0)
+        out = render_table2(result)
+        lines = [l for l in out.splitlines() if l.startswith("Contiguous")]
+        assert lines and " 1 " in lines[0] + " "
+
+
+class TestFormatMarkdown:
+    def test_structure(self):
+        from repro.report.tables import format_markdown
+
+        out = format_markdown(["a", "b"], [["1", "2"], ["3", "4"]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+        assert len(lines) == 4
+
+    def test_title_becomes_heading(self):
+        from repro.report.tables import format_markdown
+
+        out = format_markdown(["x"], [["1"]], title="Table II")
+        assert out.startswith("### Table II")
+
+    def test_non_string_cells(self):
+        from repro.report.tables import format_markdown
+
+        out = format_markdown(["x"], [[3.5]])
+        assert "| 3.5 |" in out

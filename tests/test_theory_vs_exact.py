@@ -1,0 +1,80 @@
+"""Cross-checks between the analytic bound machinery and the exact law.
+
+The Chernoff machinery of Section IV and the exact EGF computation
+describe the same random object (bank loads of independent uniform
+choices); where their domains overlap, the bound must dominate the
+exact probability — a mathematical consistency check across two
+independently implemented modules.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_max_load_cdf, exact_expected_max_load
+from repro.core.theory import (
+    chernoff_upper_tail,
+    expected_max_load,
+    lemma4_threshold,
+    log_over_loglog,
+    theorem2_expectation_bound,
+)
+
+
+class TestChernoffDominatesExactTail:
+    @pytest.mark.parametrize("w", [8, 16, 32])
+    def test_single_bin_tail(self, w):
+        """For ONE bin receiving w balls (mean 1), Chernoff at level t
+        must upper-bound the exact P(some specific bin > t)... which is
+        itself below P(max > t)/1 only via union; instead compare the
+        per-bin binomial tail directly."""
+        from scipy.stats import binom
+
+        for t in range(2, 9):
+            exact_tail = float(binom.sf(t - 1, w, 1.0 / w))  # P(X >= t)
+            bound = chernoff_upper_tail(1.0, t - 1.0)
+            assert bound >= exact_tail - 1e-12, (w, t)
+
+    @pytest.mark.parametrize("w", [8, 16, 32])
+    def test_union_bound_dominates_exact_max_tail(self, w):
+        """w * Chernoff >= P(max >= t) exactly (union bound)."""
+        cdf = exact_max_load_cdf(w, w)
+        for t in range(2, min(10, w)):
+            exact_max_tail = 1.0 - cdf[t - 1] if t - 1 < len(cdf) else 0.0
+            union = min(1.0, w * chernoff_upper_tail(1.0, t - 1.0))
+            assert union >= exact_max_tail - 1e-9, (w, t)
+
+
+class TestExpectationBoundsChain:
+    @pytest.mark.parametrize("w", [16, 32, 64, 128])
+    def test_chain(self, w):
+        """growth rate <= exact expectation <= Theorem 2 envelope.
+
+        (Only from w=16: at w=8 the ln ln w denominator is so small
+        that the asymptotic rate overshoots the exact value — a
+        reminder that the O() class is asymptotic.)"""
+        exact = exact_expected_max_load(w, w)
+        assert log_over_loglog(w) < exact < theorem2_expectation_bound(w)
+
+    @pytest.mark.parametrize("w", [8, 16, 32])
+    def test_monte_carlo_brackets_exact(self, w):
+        mc = expected_max_load(w, w, trials=30000, seed=0)
+        exact = exact_expected_max_load(w, w)
+        assert mc == pytest.approx(exact, abs=0.05)
+
+
+class TestLemma4ThresholdPosition:
+    @pytest.mark.parametrize("w", [16, 32, 64, 128, 256])
+    def test_threshold_in_the_deep_tail(self, w):
+        """The Lemma 4 threshold sits where the exact max-load tail is
+        already tiny — the bound is loose but correctly placed."""
+        cdf = exact_max_load_cdf(w, w)
+        t = math.ceil(lemma4_threshold(w))
+        tail = 1.0 - cdf[min(t - 1, len(cdf) - 1)]
+        assert tail < 0.05, (w, t, tail)
+
+    @pytest.mark.parametrize("w", [16, 64, 256])
+    def test_threshold_not_vacuous(self, w):
+        """...but not so deep that it exceeds the support."""
+        assert lemma4_threshold(w) < w

@@ -1,0 +1,60 @@
+"""Unit tests for repro.report.timeline — pipeline Gantt rendering."""
+
+import numpy as np
+import pytest
+
+from repro.access.transpose import run_transpose
+from repro.core.mappings import RAPMapping, RAWMapping
+from repro.dmm.machine import DiscreteMemoryMachine
+from repro.dmm.trace import MemoryProgram, read
+from repro.report.timeline import instruction_timeline, render_timeline
+
+
+def fig3_result():
+    """The paper's Fig. 3 program: warps with congestion (2, 1), l=5."""
+    machine = DiscreteMemoryMachine(4, 5, 16)
+    addrs = np.array([7, 5, 15, 0, 10, 11, 12, 9])
+    return machine.run(MemoryProgram(p=8, instructions=[read(addrs)]))
+
+
+class TestInstructionTimeline:
+    def test_fig3_shape(self):
+        rows = instruction_timeline(fig3_result(), 0)
+        assert rows[0].startswith("W0")
+        assert rows[0].count("#") == 2  # congestion 2
+        assert rows[1].count("#") == 1
+
+    def test_second_warp_issues_after_first(self):
+        rows = instruction_timeline(fig3_result(), 0)
+        first_hash_w1 = rows[1].index("#")
+        last_hash_w0 = rows[0].rindex("#")
+        assert first_hash_w1 > last_hash_w0
+
+    def test_rows_equal_width(self):
+        rows = instruction_timeline(fig3_result(), 0)
+        assert len({len(r) for r in rows}) == 1
+
+
+class TestRenderTimeline:
+    def test_fig3_numbers_present(self):
+        out = render_timeline(fig3_result())
+        assert "3 stages" in out
+        assert "7 time units" in out
+        assert "total: 7 time units" in out
+
+    def test_wide_instruction_summarized(self):
+        outcome = run_transpose("CRSW", RAWMapping(32))
+        out = render_timeline(outcome.execution)
+        assert "too wide to draw" in out
+        assert "worst warp occupies 32 stages" in out
+
+    def test_narrow_kernel_fully_drawn(self, rng):
+        outcome = run_transpose("CRSW", RAPMapping.random(8, rng))
+        out = render_timeline(outcome.execution)
+        assert "too wide" not in out
+        assert out.count("W") >= 16  # 8 warps x 2 instructions
+
+    def test_total_line(self, rng):
+        outcome = run_transpose("DRDW", RAWMapping(8), latency=3)
+        out = render_timeline(outcome.execution)
+        assert out.endswith(f"total: {outcome.time_units} time units")

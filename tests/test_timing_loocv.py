@@ -1,0 +1,38 @@
+"""Cross-validation tests for the GPU timing model calibration."""
+
+import pytest
+
+from repro.gpu.timing import GPUTimingModel
+
+
+class TestLeaveOneOut:
+    @pytest.fixture(scope="class")
+    def errors(self):
+        return GPUTimingModel.leave_one_out_errors()
+
+    def test_all_cells_covered(self, errors):
+        assert len(errors) == 9
+
+    def test_eight_of_nine_generalize(self, errors):
+        """Every held-out cell except DRDW/RAW is predicted within
+        ~18% by a model fitted without it — the model explains the
+        measurements, it does not just memorize them."""
+        others = {k: e for k, e in errors.items() if k != ("DRDW", "RAW")}
+        assert len(others) == 8
+        for key, err in others.items():
+            assert abs(err) < 0.18, (key, err)
+
+    def test_known_limitation_drdw_raw(self, errors):
+        """Documented limitation: DRDW/RAW is the only zero-overhead
+        small-stage measurement, so it alone identifies the model's
+        intercept for RAW kernels; held out, the intercept extrapolates
+        poorly.  Pin the behaviour so a future model change that fixes
+        or worsens it is noticed."""
+        assert abs(errors[("DRDW", "RAW")]) > 0.5
+
+    def test_loocv_worse_than_in_sample(self, errors):
+        """Sanity: held-out errors dominate in-sample errors."""
+        in_sample = GPUTimingModel.fit_to_paper().relative_error()
+        mean_in = sum(abs(e) for e in in_sample.values()) / 9
+        mean_out = sum(abs(e) for e in errors.values()) / 9
+        assert mean_out >= mean_in

@@ -1,0 +1,81 @@
+"""Unit tests for repro.dmm.trace — instructions and programs."""
+
+import numpy as np
+import pytest
+
+from repro.dmm.trace import INACTIVE, Instruction, MemoryProgram, read, write
+
+
+class TestInstruction:
+    def test_read_builder(self):
+        instr = read(np.arange(4), register="c")
+        assert instr.op == "read"
+        assert instr.register == "c"
+        assert instr.p == 4
+
+    def test_write_builder(self):
+        instr = write(np.arange(4))
+        assert instr.op == "write"
+
+    def test_write_with_immediates(self):
+        instr = write(np.arange(4), values=np.ones(4))
+        assert instr.values is not None
+
+    def test_read_with_values_rejected(self):
+        with pytest.raises(ValueError, match="immediate"):
+            Instruction("read", np.arange(4), values=np.ones(4))
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("swap", np.arange(4))
+
+    def test_addresses_coerced_int64(self):
+        instr = read([0, 1, 2, 3])
+        assert instr.addresses.dtype == np.int64
+
+    def test_2d_addresses_rejected(self):
+        with pytest.raises(ValueError):
+            read(np.zeros((2, 2), dtype=int))
+
+    def test_below_inactive_rejected(self):
+        with pytest.raises(ValueError):
+            read(np.array([0, -2]))
+
+    def test_inactive_allowed(self):
+        instr = read(np.array([0, INACTIVE]))
+        assert list(instr.active_mask) == [True, False]
+
+    def test_values_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            write(np.arange(4), values=np.ones(3))
+
+    def test_frozen(self):
+        instr = read(np.arange(4))
+        with pytest.raises(AttributeError):
+            instr.op = "write"
+
+
+class TestMemoryProgram:
+    def test_append_chains(self):
+        prog = MemoryProgram(p=4)
+        out = prog.append(read(np.arange(4)))
+        assert out is prog
+        assert len(prog) == 1
+
+    def test_thread_count_enforced_on_append(self):
+        prog = MemoryProgram(p=4)
+        with pytest.raises(ValueError, match="p=4"):
+            prog.append(read(np.arange(8)))
+
+    def test_thread_count_enforced_at_init(self):
+        with pytest.raises(ValueError):
+            MemoryProgram(p=4, instructions=[read(np.arange(8))])
+
+    def test_iteration_order(self):
+        a, b = read(np.arange(4)), write(np.arange(4))
+        prog = MemoryProgram(p=4, instructions=[a, b])
+        assert list(prog) == [a, b]
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            MemoryProgram(p=0)

@@ -1,0 +1,66 @@
+"""Unit tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1 << 30, size=8)
+        b = as_generator(42).integers(0, 1 << 30, size=8)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1 << 30, size=8)
+        b = as_generator(2).integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        g = as_generator(seq)
+        assert isinstance(g, np.random.Generator)
+
+    def test_sequence_of_ints_accepted(self):
+        g = as_generator([1, 2, 3])
+        assert isinstance(g, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero_children(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_are_independent_streams(self):
+        kids = spawn_generators(123, 2)
+        a = kids[0].integers(0, 1 << 30, size=16)
+        b = kids[1].integers(0, 1 << 30, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_from_seed(self):
+        a = spawn_generators(9, 3)[2].integers(0, 1 << 30, size=4)
+        b = spawn_generators(9, 3)[2].integers(0, 1 << 30, size=4)
+        assert np.array_equal(a, b)
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(5)
+        kids = spawn_generators(g, 2)
+        assert len(kids) == 2
+
+    def test_spawn_from_seed_sequence(self):
+        kids = spawn_generators(np.random.SeedSequence(11), 4)
+        assert len(kids) == 4

@@ -1,0 +1,80 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    check_bank_count,
+    check_latency,
+    check_nonnegative_int,
+    check_positive_int,
+    check_power_of_two,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(3.0, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive_int("3", "x")
+
+
+class TestCheckNonnegativeInt:
+    def test_accepts_zero(self):
+        assert check_nonnegative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative_int(-1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_nonnegative_int(False, "x")
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("v", [1, 2, 4, 32, 256, 1024])
+    def test_accepts_powers(self, v):
+        assert check_power_of_two(v, "x") == v
+
+    @pytest.mark.parametrize("v", [3, 6, 12, 33, 255])
+    def test_rejects_non_powers(self, v):
+        with pytest.raises(ValueError):
+            check_power_of_two(v, "x")
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_power_of_two(0, "x")
+
+
+class TestDomainCheckers:
+    def test_bank_count(self):
+        assert check_bank_count(32) == 32
+
+    def test_bank_count_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_bank_count(0)
+
+    def test_latency(self):
+        assert check_latency(5) == 5
+
+    def test_latency_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_latency(0)

@@ -1,0 +1,73 @@
+"""Unit tests for repro.dmm.warp — partitioning and dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.dmm.trace import INACTIVE
+from repro.dmm.warp import dispatch_order, warp_count, warp_members, warp_slices
+
+
+class TestWarpCount:
+    def test_exact_division(self):
+        assert warp_count(1024, 32) == 32
+
+    def test_single_warp(self):
+        assert warp_count(4, 4) == 1
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError, match="multiple"):
+            warp_count(10, 4)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            warp_count(0, 4)
+
+
+class TestWarpSlices:
+    def test_cover_all_threads(self):
+        slices = warp_slices(16, 4)
+        covered = []
+        for s in slices:
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(16))
+
+    def test_consecutive_threads(self):
+        """The paper's W(i) = {T(i*w) .. T((i+1)*w - 1)}."""
+        slices = warp_slices(12, 4)
+        assert slices[1] == slice(4, 8)
+
+
+class TestWarpMembers:
+    def test_shape(self):
+        assert warp_members(12, 4).shape == (3, 4)
+
+    def test_rows_are_warps(self):
+        m = warp_members(8, 4)
+        assert list(m[0]) == [0, 1, 2, 3]
+        assert list(m[1]) == [4, 5, 6, 7]
+
+
+class TestDispatchOrder:
+    def test_all_active(self):
+        addrs = np.arange(8)
+        assert dispatch_order(addrs, 4) == [0, 1]
+
+    def test_fully_inactive_warp_skipped(self):
+        addrs = np.array([0, 1, 2, 3, INACTIVE, INACTIVE, INACTIVE, INACTIVE])
+        assert dispatch_order(addrs, 4) == [0]
+
+    def test_partially_active_warp_dispatched(self):
+        addrs = np.array([INACTIVE, INACTIVE, INACTIVE, 5, 0, 1, 2, 3])
+        assert dispatch_order(addrs, 4) == [0, 1]
+
+    def test_no_active_warps(self):
+        addrs = np.full(8, INACTIVE)
+        assert dispatch_order(addrs, 4) == []
+
+    def test_round_robin_is_ascending(self):
+        addrs = np.arange(32)
+        assert dispatch_order(addrs, 4) == sorted(dispatch_order(addrs, 4))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            dispatch_order(np.zeros((2, 4), dtype=int), 4)
