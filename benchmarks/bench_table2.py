@@ -2,21 +2,31 @@
 
 One benchmark per width keeps the timing attribution clean; the final
 full-table bench prints the complete grid and checks every cell
-against the paper's values.
+against the paper's values.  The parallel-speedup benches time the
+same cells through the engine at 1 vs 4 workers — on a >= 4-core box
+the wide widths should show >= 2x wall-clock speedup with bit-identical
+results.
 """
+
+import os
 
 import pytest
 
 from repro.report.tables import render_table2
+from repro.sim.engine import MonteCarloEngine
 from repro.sim.experiments import TABLE2_WIDTHS, table2
 
 from .conftest import BENCH_SEED, BENCH_TRIALS
 
 
 @pytest.mark.parametrize("w", TABLE2_WIDTHS)
-def test_table2_single_width(benchmark, w):
+def test_table2_single_width(benchmark, w, bench_engine):
     result = benchmark(
-        table2, widths=(w,), trials=max(50, BENCH_TRIALS // (w // 8)), seed=BENCH_SEED
+        table2,
+        widths=(w,),
+        trials=max(50, BENCH_TRIALS // (w // 8)),
+        seed=BENCH_SEED,
+        engine=bench_engine,
     )
     # Deterministic guarantees at every width.
     assert result.mean("contiguous", "RAP", w) == 1
@@ -25,10 +35,12 @@ def test_table2_single_width(benchmark, w):
     assert result.mean("diagonal", "RAW", w) == 1
 
 
-def test_table2_full(benchmark):
+def test_table2_full(benchmark, bench_engine):
     result = benchmark.pedantic(
         table2,
-        kwargs=dict(widths=TABLE2_WIDTHS, trials=200, seed=BENCH_SEED),
+        kwargs=dict(
+            widths=TABLE2_WIDTHS, trials=200, seed=BENCH_SEED, engine=bench_engine
+        ),
         rounds=1,
         iterations=1,
     )
@@ -38,3 +50,52 @@ def test_table2_full(benchmark):
     for key, paper_value in result.paper.items():
         ours = result.stats[key].mean
         assert ours == pytest.approx(paper_value, abs=0.3), (key, ours, paper_value)
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+@pytest.mark.parametrize("w", [128, 256])
+def test_table2_wide_cell_by_workers(benchmark, w, workers):
+    """Wall-clock of one wide randomized cell at 1 vs 4 workers.
+
+    Compare the two parameterizations in the benchmark report: on a
+    machine with >= 4 cores the 4-worker runs should be >= 2x faster at
+    these widths, and (asserted here) the stats are identical.
+    """
+    serial = MonteCarloEngine(workers=1).matrix_congestion(
+        "RAS", "stride", w, trials=512, seed=BENCH_SEED
+    )
+    with MonteCarloEngine(workers=workers) as engine:
+        stats = benchmark.pedantic(
+            engine.matrix_congestion,
+            args=("RAS", "stride", w),
+            kwargs=dict(trials=512, seed=BENCH_SEED),
+            rounds=3,
+            iterations=1,
+        )
+    assert stats == serial
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4, reason="needs >= 4 cores")
+def test_table2_parallel_speedup_at_4_workers():
+    """>= 2x wall-clock speedup at 4 workers on widths >= 128."""
+    from time import perf_counter
+
+    def timed(workers: int) -> tuple[float, object]:
+        with MonteCarloEngine(workers=workers) as engine:
+            # Warm the pool so fork cost is not billed to the parallel arm.
+            engine.matrix_congestion("RAS", "stride", 16, trials=8, seed=0)
+            start = perf_counter()
+            results = [
+                engine.matrix_congestion(
+                    "RAS", "stride", w, trials=1024, seed=BENCH_SEED
+                )
+                for w in (128, 256)
+            ]
+            return perf_counter() - start, results
+
+    serial_time, serial_results = timed(1)
+    parallel_time, parallel_results = timed(4)
+    assert serial_results == parallel_results
+    assert serial_time / parallel_time >= 2.0, (
+        f"speedup {serial_time / parallel_time:.2f}x < 2x"
+    )

@@ -5,15 +5,29 @@ it (run with ``--benchmark-only -s`` to see the output next to the
 timings).  Trial counts are kept moderate so the full harness finishes
 in well under a minute; raise ``BENCH_TRIALS`` for tighter Monte-Carlo
 confidence intervals.
+
+The Monte-Carlo benchmarks run through the parallel engine.  Set
+``REPRO_BENCH_WORKERS`` to benchmark multi-process sharding (results
+are bit-identical for every worker count, so timings stay comparable)
+— e.g. ``REPRO_BENCH_WORKERS=4 pytest benchmarks/ --benchmark-only``.
+Caching is disabled inside timed sections so every round measures real
+simulation work.
 """
 
+import os
+
 import pytest
+
+from repro.sim.engine import MonteCarloEngine
 
 #: Monte-Carlo trials used by the randomized benchmark cells.
 BENCH_TRIALS = 400
 
 #: Seed shared by every benchmark for reproducible output.
 BENCH_SEED = 2014
+
+#: Worker processes for the engine-backed benchmarks (default serial).
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 @pytest.fixture(scope="session")
@@ -24,3 +38,16 @@ def bench_trials() -> int:
 @pytest.fixture(scope="session")
 def bench_seed() -> int:
     return BENCH_SEED
+
+
+@pytest.fixture(scope="session")
+def bench_workers() -> int:
+    return BENCH_WORKERS
+
+
+@pytest.fixture(scope="session")
+def bench_engine():
+    """Session-wide Monte-Carlo engine (no cache: benchmarks time work)."""
+    engine = MonteCarloEngine(workers=BENCH_WORKERS, cache=None)
+    yield engine
+    engine.close()

@@ -7,8 +7,12 @@ Experiments:
 * ``fig1`` .. ``fig7`` — regenerate the figures' content.
 * ``all`` — everything, in order.
 
-Options let the user trade runtime for precision (``--trials``) and
-pin reproducibility (``--seed``).
+Options let the user trade runtime for precision (``--trials``), pin
+reproducibility (``--seed``), distribute Monte-Carlo trials over
+worker processes (``--workers``), and control the on-disk result
+cache (``--no-cache``; ``--stats`` prints the engine's throughput and
+cache counters).  For a fixed seed the printed numbers are
+bit-identical for every worker count and cache state.
 """
 
 from __future__ import annotations
@@ -27,6 +31,39 @@ from repro.report.tables import (
 from repro.sim.experiments import table1, table2, table3, table4
 
 __all__ = ["main", "build_parser", "run_experiment"]
+
+
+def _workers_arg(value: str) -> int:
+    """argparse type for ``--workers``: non-negative int (0 = all cores)."""
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if workers < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = all cores), got {workers}"
+        )
+    return workers
+
+
+def _engine_from_args(args) -> "MonteCarloEngine":
+    """The run's shared engine, built once from the CLI flags.
+
+    Cached on the namespace so every experiment of an ``all`` run (and
+    the final ``--stats`` summary) shares one pool, one cache handle,
+    and one collector.
+    """
+    engine = getattr(args, "_engine", None)
+    if engine is None:
+        from repro.sim.cache import ResultCache
+        from repro.sim.engine import MonteCarloEngine
+
+        cache = None if getattr(args, "no_cache", False) else ResultCache()
+        engine = MonteCarloEngine(
+            workers=getattr(args, "workers", 1), cache=cache
+        )
+        args._engine = engine
+    return engine
 
 def _run_exact(args) -> str:
     """Extension: exact balls-in-bins values behind Table II."""
@@ -113,6 +150,7 @@ def _run_report(args) -> str:
     """
     from repro.sim.registry import EXPERIMENT_INDEX
 
+    engine = _engine_from_args(args)
     sections = [
         "# RAP reproduction report",
         "",
@@ -122,16 +160,23 @@ def _run_report(args) -> str:
         render_table1(table1(), style="md"),
         "",
         render_table2(
-            table2(trials=args.trials, seed=args.seed, widths=tuple(args.widths)),
+            table2(
+                trials=args.trials, seed=args.seed, widths=tuple(args.widths),
+                engine=engine,
+            ),
             style="md",
         ),
         "",
         render_table3(
-            table3(trials=max(1, args.trials // 10), seed=args.seed), style="md"
+            table3(trials=max(1, args.trials // 10), seed=args.seed, engine=engine),
+            style="md",
         ),
         "",
         render_table4(
-            table4(w=args.w4, trials=max(1, args.trials // 5), seed=args.seed),
+            table4(
+                w=args.w4, trials=max(1, args.trials // 5), seed=args.seed,
+                engine=engine,
+            ),
             style="md",
         ),
         "",
@@ -179,7 +224,10 @@ def _run_table2x(args) -> str:
     from repro.sim.experiments import table2_extended
 
     w = 32
-    cells = table2_extended(w=w, trials=max(200, args.trials), seed=args.seed)
+    cells = table2_extended(
+        w=w, trials=max(200, args.trials), seed=args.seed,
+        engine=_engine_from_args(args),
+    )
     layouts = ("RAW", "RAS", "RAP", "PAD", "XOR")
     rows = []
     for pattern in ("contiguous", "stride", "diagonal", "random"):
@@ -201,7 +249,8 @@ def _run_growth(args) -> str:
 
     widths = tuple(wd for wd in args.widths if wd >= 3)
     sweep = growth_sweep(
-        widths=widths, trials=max(50, args.trials // 4), seed=args.seed
+        widths=widths, trials=max(50, args.trials // 4), seed=args.seed,
+        engine=_engine_from_args(args),
     )
     lines = [sweep.render(), ""]
     lines.append("width: measured RAP vs Theorem 2 bound")
@@ -270,15 +319,29 @@ def _run_apps(args) -> str:
 _TABLE_RUNNERS = {
     "table1": lambda args: render_table1(table1(), style=args.format),
     "table2": lambda args: render_table2(
-        table2(trials=args.trials, seed=args.seed, widths=tuple(args.widths)),
+        table2(
+            trials=args.trials,
+            seed=args.seed,
+            widths=tuple(args.widths),
+            engine=_engine_from_args(args),
+        ),
         style=args.format,
     ),
     "table3": lambda args: render_table3(
-        table3(trials=max(1, args.trials // 10), seed=args.seed),
+        table3(
+            trials=max(1, args.trials // 10),
+            seed=args.seed,
+            engine=_engine_from_args(args),
+        ),
         style=args.format,
     ),
     "table4": lambda args: render_table4(
-        table4(w=args.w4, trials=max(1, args.trials // 5), seed=args.seed),
+        table4(
+            w=args.w4,
+            trials=max(1, args.trials // 5),
+            seed=args.seed,
+            engine=_engine_from_args(args),
+        ),
         style=args.format,
     ),
     "exact": _run_exact,
@@ -337,6 +400,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=32,
         help="array side for table4 (default 32, the paper's width)",
     )
+    parser.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=1,
+        help=(
+            "worker processes for Monte-Carlo trials (default 1 = serial; "
+            "0 = all cores).  Results are bit-identical for every value."
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "disable the on-disk result cache (default: cache under "
+            "$REPRO_CACHE_DIR or the system temp directory)"
+        ),
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine run statistics (shard timings, trials/sec, "
+        "cache hits) after the experiment output",
+    )
     return parser
 
 
@@ -361,8 +447,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         for name in names:
             print(run_experiment(name, args))
             print()
+        if args.stats:
+            print(_engine_from_args(args).collector.summary())
+            print()
     except BrokenPipeError:  # e.g. `python -m repro table2 | head`
         return 0
+    finally:
+        engine = getattr(args, "_engine", None)
+        if engine is not None:
+            engine.close()
     return 0
 
 

@@ -13,6 +13,7 @@ from repro.report.figures import (
 )
 from repro.report.ascii_plot import bar_chart, line_chart
 from repro.report.heatmap import bank_heatmap, load_glyph, render_heatmap
+from repro.report.run_stats import RunStatsCollector, ShardRecord
 from repro.report.timeline import instruction_timeline, render_timeline
 from repro.report.tables import (
     format_grid,
@@ -34,6 +35,8 @@ __all__ = [
     "figure7",
     "bar_chart",
     "line_chart",
+    "RunStatsCollector",
+    "ShardRecord",
     "instruction_timeline",
     "render_timeline",
     "bank_heatmap",

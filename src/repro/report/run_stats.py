@@ -1,0 +1,138 @@
+"""Execution instrumentation for the Monte-Carlo engine.
+
+The engine records one :class:`ShardRecord` per executed shard (chunk
+of trials) and one counter tick per cache lookup; :class:`RunStatsCollector`
+aggregates them into the throughput summary printed by
+``python -m repro <experiment> --stats``.  Pure bookkeeping — nothing
+here affects simulation results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RunStatsCollector", "ShardRecord"]
+
+
+@dataclass(frozen=True)
+class ShardRecord:
+    """Wall-clock accounting for one executed shard.
+
+    Attributes
+    ----------
+    task:
+        Human-readable task label, e.g. ``"matrix:RAS/stride/w=32"``.
+    trials:
+        Mapping draws the shard simulated.
+    seconds:
+        Wall time of the shard body (measured inside the worker, so
+        pool scheduling overhead is excluded).
+    """
+
+    task: str
+    trials: int
+    seconds: float
+
+    @property
+    def trials_per_sec(self) -> float:
+        return self.trials / self.seconds if self.seconds > 0 else float("inf")
+
+
+@dataclass
+class RunStatsCollector:
+    """Accumulates shard timings and cache hit/miss counters."""
+
+    shards: list[ShardRecord] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def record_shard(self, task: str, trials: int, seconds: float) -> None:
+        self.shards.append(ShardRecord(task, trials, seconds))
+
+    def record_cache(self, hit: bool) -> None:
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    # -- aggregation -----------------------------------------------------
+
+    @property
+    def total_trials(self) -> int:
+        return sum(record.trials for record in self.shards)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(record.seconds for record in self.shards)
+
+    def by_task(self) -> dict[str, tuple[int, int, float]]:
+        """``task -> (shards, trials, seconds)`` in first-seen order."""
+        grouped: dict[str, tuple[int, int, float]] = {}
+        for record in self.shards:
+            n, trials, seconds = grouped.get(record.task, (0, 0, 0.0))
+            grouped[record.task] = (
+                n + 1, trials + record.trials, seconds + record.seconds
+            )
+        return grouped
+
+    def summary(self, top: int = 15) -> str:
+        """Render the run as an ASCII table plus cache totals.
+
+        Parameters
+        ----------
+        top:
+            Show at most this many tasks (slowest first); the rest are
+            folded into an "(other)" row so wide sweeps stay readable.
+        """
+        from repro.report.tables import format_grid
+
+        grouped = sorted(
+            self.by_task().items(), key=lambda kv: kv[1][2], reverse=True
+        )
+        shown, rest = grouped[:top], grouped[top:]
+        rows = [
+            [
+                task,
+                str(n),
+                str(trials),
+                f"{seconds:.3f}",
+                f"{trials / seconds:.0f}" if seconds > 0 else "inf",
+            ]
+            for task, (n, trials, seconds) in shown
+        ]
+        if rest:
+            n = sum(v[0] for _, v in rest)
+            trials = sum(v[1] for _, v in rest)
+            seconds = sum(v[2] for _, v in rest)
+            rows.append(
+                [
+                    f"(other x{len(rest)})",
+                    str(n),
+                    str(trials),
+                    f"{seconds:.3f}",
+                    f"{trials / seconds:.0f}" if seconds > 0 else "inf",
+                ]
+            )
+        lines = [
+            format_grid(
+                ["task", "shards", "trials", "wall s", "trials/s"],
+                rows,
+                title="Engine run stats",
+            )
+            if rows
+            else "Engine run stats: no shards executed",
+        ]
+        lookups = self.cache_hits + self.cache_misses
+        if lookups:
+            lines.append(
+                f"cache: {self.cache_hits} hit / {self.cache_misses} miss "
+                f"({self.cache_hits / lookups:.0%} hit rate)"
+            )
+        else:
+            lines.append("cache: disabled or unused")
+        total = self.total_seconds
+        lines.append(
+            f"total: {self.total_trials} trials in {total:.3f}s worker time"
+            + (f" ({self.total_trials / total:.0f} trials/s)" if total > 0 else "")
+        )
+        return "\n".join(lines)

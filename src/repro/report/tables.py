@@ -99,8 +99,26 @@ def render_table1(result: Table1Result, style: str = "ascii") -> str:
     )
 
 
+def _cell_with_ci(stats) -> str:
+    """Mean, annotated with the conservative trials-aware CI half-width.
+
+    Deterministic cells (zero spread) print as the bare value; the
+    sampled cells print ``mean±half`` where ``half`` uses effective
+    n = trial count, so the printed uncertainty is no longer
+    anti-conservative about the correlated per-warp samples.
+    """
+    if stats.std == 0:
+        return _num(stats.mean)
+    lo, hi = stats.conservative_interval()
+    return f"{_num(stats.mean)}±{(hi - lo) / 2:.2f}"
+
+
 def render_table2(result: Table2Result, style: str = "ascii") -> str:
-    """Table II: simulated congestion, grouped by mapping like the paper."""
+    """Table II: simulated congestion, grouped by mapping like the paper.
+
+    Randomized cells carry their conservative 95% CI half-width
+    (effective sample size = mapping draws).
+    """
     header = ["Pattern"]
     for mapping in MAPPING_NAMES:
         header += [f"{mapping} w={w}" for w in result.widths]
@@ -112,7 +130,7 @@ def render_table2(result: Table2Result, style: str = "ascii") -> str:
         row = [pattern.capitalize()]
         for mapping in MAPPING_NAMES:
             for w in result.widths:
-                row.append(_num(result.stats[(pattern, mapping, w)].mean))
+                row.append(_cell_with_ci(result.stats[(pattern, mapping, w)]))
         rows.append(row)
     return _render(
         header, rows, "Table II - simulated congestion of matrix access", style
@@ -131,14 +149,20 @@ def render_table3(result: Table3Result, style: str = "ascii") -> str:
         "paper ns",
         "correct",
     ]
+    def _cong(value: float, ci_half: float) -> str:
+        cell = _num(round(value, 2))
+        if ci_half > 0:
+            cell += f"±{ci_half:.2f}"
+        return cell
+
     rows = []
     for (algorithm, mapping), row in sorted(result.rows.items()):
         rows.append(
             [
                 algorithm,
                 mapping,
-                _num(round(row.read_congestion, 2)),
-                _num(round(row.write_congestion, 2)),
+                _cong(row.read_congestion, row.read_ci_half),
+                _cong(row.write_congestion, row.write_ci_half),
                 _num(round(row.mean_stages, 1)),
                 f"{row.predicted_ns:.1f}",
                 f"{row.paper_ns:.1f}",

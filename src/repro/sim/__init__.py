@@ -1,7 +1,9 @@
 """Monte-Carlo simulation harness and the experiment registry."""
 
+from repro.sim.cache import ResultCache
 from repro.sim.congestion_sim import (
     CongestionStats,
+    RunningStats,
     simulate_matrix_congestion,
     simulate_nd_congestion,
 )
@@ -9,6 +11,7 @@ from repro.sim.distributions import (
     CongestionDistribution,
     congestion_distribution,
 )
+from repro.sim.engine import DEFAULT_SHARDS, MonteCarloEngine
 from repro.sim.registry import EXPERIMENT_INDEX, Experiment
 from repro.sim.sweep import (
     GrowthSweep,
@@ -35,6 +38,10 @@ __all__ = [
     "CongestionStats",
     "CongestionDistribution",
     "congestion_distribution",
+    "DEFAULT_SHARDS",
+    "MonteCarloEngine",
+    "ResultCache",
+    "RunningStats",
     "EXPERIMENT_INDEX",
     "Experiment",
     "GrowthSweep",

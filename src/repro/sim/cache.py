@@ -1,0 +1,185 @@
+"""On-disk result cache for Monte-Carlo congestion runs.
+
+Repeated table/benchmark regenerations redo the exact same
+``(experiment, mapping, pattern, w, trials, seed)`` cells; at the
+paper's widths a single Table II column costs seconds of address
+staging.  This cache memoizes the *finished* :class:`CongestionStats`
+of each engine task so a warm rerun is near-instant.
+
+Design notes
+------------
+* **Keying.**  The key hashes the full task identity — simulator kind,
+  parameters, width, trial count, shard layout, the seed's
+  reproducible fingerprint (:func:`repro.util.rng.seed_fingerprint`) —
+  plus a *code fingerprint* of the simulation sources, so editing the
+  estimator silently invalidates every stale entry instead of serving
+  results from old code.
+* **Exactness.**  Entries are JSON; Python's ``repr``-based float
+  serialization round-trips IEEE doubles exactly, so a cache hit is
+  bit-identical to the stats that were stored (the engine's
+  determinism tests assert cold == warm).
+* **Safety.**  Tasks whose seed has no reproducible fingerprint
+  (``None`` / live ``Generator`` seeds) are never cached.  Writes go
+  through a temp file + ``os.replace`` so concurrent workers can share
+  one cache directory without torn entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.sim.congestion_sim import CongestionStats
+
+__all__ = ["ResultCache", "code_fingerprint", "default_cache_dir"]
+
+#: Bump to invalidate every existing cache entry on a format change.
+_SCHEMA_VERSION = 1
+
+#: Modules whose source defines what a cached number means.  A change
+#: to any of them changes the code fingerprint and thus every key.
+_FINGERPRINT_MODULES = (
+    "repro.sim.congestion_sim",
+    "repro.sim.engine",
+    "repro.core.congestion",
+    "repro.core.higher_dim",
+    "repro.access.patterns",
+    "repro.access.patterns_nd",
+)
+
+_code_fingerprint_cache: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Hash of the simulation-defining sources (memoized per process)."""
+    global _code_fingerprint_cache
+    if _code_fingerprint_cache is None:
+        digest = hashlib.sha256()
+        digest.update(f"schema:{_SCHEMA_VERSION}".encode())
+        for name in _FINGERPRINT_MODULES:
+            module = __import__(name, fromlist=["__file__"])
+            path = getattr(module, "__file__", None)
+            digest.update(name.encode())
+            if path and os.path.exists(path):
+                digest.update(Path(path).read_bytes())
+        _code_fingerprint_cache = digest.hexdigest()[:20]
+    return _code_fingerprint_cache
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or a per-user temp directory."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(tempfile.gettempdir()) / f"repro-rap-cache-{os.getuid()}"
+
+
+class ResultCache:
+    """Directory of memoized :class:`CongestionStats`, one JSON per key.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily).  Defaults to
+        :func:`default_cache_dir`.
+
+    Attributes
+    ----------
+    hits, misses:
+        Lookup counters for this instance (surfaced by the engine's
+        run-stats report).
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keying ----------------------------------------------------------
+
+    @staticmethod
+    def make_key(
+        kind: str,
+        params: tuple,
+        trials: int,
+        seed_fp: str,
+        shards: int,
+    ) -> str:
+        """Hash a task identity into a filesystem-safe key."""
+        identity = json.dumps(
+            {
+                "kind": kind,
+                "params": list(params),
+                "trials": trials,
+                "seed": seed_fp,
+                "shards": shards,
+                "code": code_fingerprint(),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(identity.encode()).hexdigest()[:32]
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # -- lookup / store --------------------------------------------------
+
+    def get(self, key: str) -> CongestionStats | None:
+        """Return the cached stats for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return CongestionStats(
+            mean=payload["mean"],
+            std=payload["std"],
+            minimum=payload["minimum"],
+            maximum=payload["maximum"],
+            n_samples=payload["n_samples"],
+            n_trials=payload.get("n_trials"),
+        )
+
+    def put(self, key: str, stats: CongestionStats) -> None:
+        """Store ``stats`` under ``key`` (atomic replace)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "mean": stats.mean,
+            "std": stats.std,
+            "minimum": stats.minimum,
+            "maximum": stats.maximum,
+            "n_samples": stats.n_samples,
+            "n_trials": stats.n_trials,
+        }
+        path = self._path(key)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json")) if self.root.is_dir() else 0

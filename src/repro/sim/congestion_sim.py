@@ -30,6 +30,7 @@ from repro.util.validation import check_positive_int
 
 __all__ = [
     "CongestionStats",
+    "RunningStats",
     "simulate_matrix_congestion",
     "simulate_matrix_congestion_generic",
     "simulate_nd_congestion",
@@ -60,6 +61,7 @@ class CongestionStats:
     minimum: int
     maximum: int
     n_samples: int
+    n_trials: int | None = None
 
     @property
     def sem(self) -> float:
@@ -68,7 +70,7 @@ class CongestionStats:
         Note: per-warp samples within one mapping draw can be
         correlated (stride/diagonal warps share the shift vector), so
         treat this as optimistic; the conservative effective sample
-        size is the trial count.
+        size is the trial count (see :meth:`conservative_interval`).
         """
         return self.std / np.sqrt(self.n_samples) if self.n_samples else float("nan")
 
@@ -85,38 +87,105 @@ class CongestionStats:
         half = z * self.sem
         return (self.mean - half, self.mean + half)
 
+    def conservative_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Trials-aware CI: effective sample size = mapping draws.
 
-class _RunningStats:
-    """Single-pass accumulator for mean/std/min/max over chunks."""
+        Warp accesses within one mapping draw share the draw's shift
+        randomness, so the ``trials * w`` samples behind :attr:`sem`
+        are not independent.  Treating the *trial count* as the
+        effective sample size upper-bounds the variance of the mean
+        (perfect within-trial correlation), so this interval is
+        conservative where :meth:`confidence_interval` is
+        anti-conservative.  Falls back to ``n_samples`` when the trial
+        count was not recorded.
+        """
+        if z <= 0:
+            raise ValueError(f"z must be > 0, got {z}")
+        n_eff = self.n_trials if self.n_trials else self.n_samples
+        half = z * self.std / np.sqrt(n_eff) if n_eff else float("nan")
+        return (self.mean - half, self.mean + half)
+
+
+class RunningStats:
+    """Single-pass, mergeable accumulator for mean/std/min/max.
+
+    Uses Welford's algorithm with Chan's pairwise combine: the running
+    state is ``(n, mean, M2)`` where ``M2`` is the centered sum of
+    squares.  Unlike the naive ``E[x^2] - mean^2`` formula this does
+    not cancel catastrophically when the variance is tiny relative to
+    the mean (e.g. millions of near-constant congestion-1 samples),
+    and the same combine step makes two accumulators :meth:`merge`
+    *exactly* — the parallel engine relies on this to shard trials
+    over workers and still produce well-conditioned statistics.
+
+    ``trials`` tracks how many independent mapping draws produced the
+    samples; callers bump it so :class:`CongestionStats` can report a
+    conservative, trials-aware confidence interval.
+    """
 
     def __init__(self) -> None:
         self.n = 0
-        self.total = 0.0
-        self.total_sq = 0.0
+        self.mean = 0.0
+        self.m2 = 0.0
         self.minimum = None
         self.maximum = None
+        self.trials = 0
 
     def add(self, values: np.ndarray) -> None:
+        """Fold a chunk of samples in; empty chunks are a no-op."""
         values = np.asarray(values, dtype=np.float64)
-        self.n += values.size
-        self.total += float(values.sum())
-        self.total_sq += float((values * values).sum())
-        lo, hi = int(values.min()), int(values.max())
+        if values.size == 0:
+            return
+        chunk_mean = float(values.mean())
+        chunk_m2 = float(np.square(values - chunk_mean).sum())
+        self._combine(
+            values.size, chunk_mean, chunk_m2,
+            int(values.min()), int(values.max()),
+        )
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Fold another accumulator in (Chan's parallel combine).
+
+        Exact in the sense that the combined ``(n, mean, M2)`` is a
+        deterministic function of the two partials, independent of
+        which worker produced which — merging shard results in a fixed
+        order yields bit-identical statistics for any worker count.
+        """
+        if other.n:
+            self._combine(
+                other.n, other.mean, other.m2, other.minimum, other.maximum
+            )
+        self.trials += other.trials
+        return self
+
+    def _combine(
+        self, n_b: int, mean_b: float, m2_b: float, lo: int, hi: int
+    ) -> None:
+        n_a = self.n
+        n = n_a + n_b
+        delta = mean_b - self.mean
+        self.mean += delta * (n_b / n)
+        self.m2 += m2_b + delta * delta * (n_a * n_b / n)
+        self.n = n
         self.minimum = lo if self.minimum is None else min(self.minimum, lo)
         self.maximum = hi if self.maximum is None else max(self.maximum, hi)
 
     def finish(self) -> CongestionStats:
         if self.n == 0:
             raise ValueError("no samples accumulated")
-        mean = self.total / self.n
-        var = max(self.total_sq / self.n - mean * mean, 0.0)
+        var = max(self.m2 / self.n, 0.0)
         return CongestionStats(
-            mean=mean,
+            mean=self.mean,
             std=float(np.sqrt(var)),
             minimum=self.minimum,
             maximum=self.maximum,
             n_samples=self.n,
+            n_trials=self.trials or None,
         )
+
+
+#: Backwards-compatible alias (pre-engine private name).
+_RunningStats = RunningStats
 
 
 def _sample_shift_matrix(
@@ -165,8 +234,25 @@ def simulate_matrix_congestion(
     """
     check_positive_int(w, "w")
     check_positive_int(trials, "trials")
-    rng = as_generator(seed)
-    stats = _RunningStats()
+    return _accumulate_matrix(
+        mapping_name, pattern, w, trials, as_generator(seed)
+    ).finish()
+
+
+def _accumulate_matrix(
+    mapping_name: str,
+    pattern: str,
+    w: int,
+    trials: int,
+    rng: np.random.Generator,
+) -> RunningStats:
+    """Shard body of :func:`simulate_matrix_congestion`.
+
+    Returns the open accumulator so the parallel engine can merge
+    per-shard partials exactly instead of re-deriving moments from the
+    finished summary.
+    """
+    stats = RunningStats()
 
     # Trials per chunk so that the staged (t, w, w) address block stays
     # under the memory budget.
@@ -192,9 +278,10 @@ def simulate_matrix_congestion(
             # shifts[:, ii] broadcasts (t, w) over the (w, w) grid.
             addresses = ii * w + (jj + shifts[:, ii]) % w
         stats.add(congestion_batch(addresses.reshape(-1, w), w))
+        stats.trials += t
         done += t
 
-    return stats.finish()
+    return stats
 
 
 def simulate_matrix_congestion_generic(
@@ -224,7 +311,7 @@ def simulate_matrix_congestion_generic(
     check_positive_int(w, "w")
     check_positive_int(trials, "trials")
     rng = as_generator(seed)
-    stats = _RunningStats()
+    stats = RunningStats()
     for _ in range(trials):
         mapping = mapping_factory(rng)
         if mapping.w != w:
@@ -234,6 +321,7 @@ def simulate_matrix_congestion_generic(
         ii, jj = pattern_logical(pattern, w, seed=rng)
         addresses = mapping.address(ii, jj)
         stats.add(congestion_batch(addresses, w))
+        stats.trials += 1
     return stats.finish()
 
 
@@ -256,10 +344,22 @@ def simulate_nd_congestion_fast(
     """
     check_positive_int(w, "w")
     check_positive_int(trials, "trials")
+    return _accumulate_nd_fast(
+        scheme, pattern, w, trials, as_generator(seed)
+    ).finish()
+
+
+def _accumulate_nd_fast(
+    scheme: str,
+    pattern: str,
+    w: int,
+    trials: int,
+    rng: np.random.Generator,
+) -> RunningStats:
+    """Shard body of :func:`simulate_nd_congestion_fast`."""
     key = scheme.upper()
     if key not in ("1P", "R1P", "3P"):
-        return simulate_nd_congestion(scheme, pattern, w, trials, seed)
-    rng = as_generator(seed)
+        return _accumulate_nd(scheme, pattern, w, trials, rng)
 
     if pattern.lower() == "random":
         idx = rng.integers(0, w, size=(4, trials, w), dtype=np.int64)
@@ -285,9 +385,10 @@ def simulate_nd_congestion_fast(
 
     rotated = (l + shift) % w
     addresses = ((i * w + j) * w + k) * w + rotated
-    stats = _RunningStats()
+    stats = RunningStats()
     stats.add(congestion_batch(addresses, w))
-    return stats.finish()
+    stats.trials += trials
+    return stats
 
 
 def simulate_nd_congestion(
@@ -315,8 +416,18 @@ def simulate_nd_congestion(
     """
     check_positive_int(w, "w")
     check_positive_int(trials, "trials")
-    rng = as_generator(seed)
-    stats = _RunningStats()
+    return _accumulate_nd(scheme, pattern, w, trials, as_generator(seed)).finish()
+
+
+def _accumulate_nd(
+    scheme: str,
+    pattern: str,
+    w: int,
+    trials: int,
+    rng: np.random.Generator,
+) -> RunningStats:
+    """Shard body of :func:`simulate_nd_congestion`."""
+    stats = RunningStats()
     values = np.empty(trials, dtype=np.int64)
     for t in range(trials):
         mapping = nd_mapping_by_name(scheme, w, rng)
@@ -324,4 +435,5 @@ def simulate_nd_congestion(
         addresses = mapping.address(*idx)
         values[t] = warp_congestion(addresses, w)
     stats.add(values)
-    return stats.finish()
+    stats.trials += trials
+    return stats

@@ -1,0 +1,272 @@
+"""Parallel Monte-Carlo execution engine with result caching.
+
+The table generators and sweeps all reduce to the same shape of work:
+*estimate the expected congestion of one (mapping, pattern, width)
+cell from ``trials`` independent mapping redraws*.  The engine turns
+each such task into a deterministic shard plan:
+
+1. The task's trials are split into a **fixed number of shards**
+   (default :data:`DEFAULT_SHARDS`, independent of the worker count).
+2. Each shard gets its own child :class:`~numpy.random.SeedSequence`
+   via ``SeedSequence.spawn`` — non-overlapping streams by
+   construction, picklable across process boundaries.
+3. Shards run serially in-process (``workers <= 1``) or on a
+   ``ProcessPoolExecutor`` (``workers > 1``).
+4. Per-shard :class:`~repro.sim.congestion_sim.RunningStats` partials
+   are merged **in shard order** with Chan's exact pairwise combine.
+
+Because the shard plan, the per-shard streams, and the merge order
+depend only on ``(task, trials, seed, shards)`` — never on the worker
+count or on which process ran which shard — a fixed seed produces
+**bit-identical** :class:`~repro.sim.congestion_sim.CongestionStats`
+for any ``workers``.  The on-disk :class:`~repro.sim.cache.ResultCache`
+stores the finished stats losslessly, so cache-warm results are
+bit-identical to cache-cold ones as well; both invariants are enforced
+by ``tests/test_engine.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
+from typing import Callable, Sequence
+
+import multiprocessing
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.report.run_stats import RunStatsCollector
+
+from repro.sim.cache import ResultCache
+from repro.sim.congestion_sim import (
+    CongestionStats,
+    RunningStats,
+    _accumulate_matrix,
+    _accumulate_nd,
+    _accumulate_nd_fast,
+)
+from repro.util.rng import SeedLike, as_generator, seed_fingerprint, spawn_seed_sequences
+from repro.util.validation import check_positive_int
+
+__all__ = ["DEFAULT_SHARDS", "MonteCarloEngine", "resolve_workers"]
+
+#: Shards per task.  Fixed (not ``= workers``) so the RNG stream
+#: partition — and therefore every result bit — is identical whether
+#: the shards run on 1 worker or 16.  Small enough that per-shard
+#: chunking still amortizes, large enough to keep 8 cores busy.
+DEFAULT_SHARDS = 8
+
+#: The in-process simulator bodies, by task kind.  Each maps
+#: ``(params..., trials, rng) -> RunningStats``.
+_SHARD_BODIES: dict[str, Callable[..., RunningStats]] = {
+    "matrix": _accumulate_matrix,
+    "nd": _accumulate_nd,
+    "nd_fast": _accumulate_nd_fast,
+}
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count request (``None``/``0`` -> all cores)."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 or None, got {workers}")
+    return workers
+
+
+def _run_shard(task: tuple) -> tuple[RunningStats, float]:
+    """Worker entry point: run one shard, return (partial, wall time).
+
+    Module-level so it pickles under every multiprocessing start
+    method; the wall time is measured here, inside the worker, so the
+    instrumentation reports simulation cost rather than pool latency.
+    """
+    kind, params, trials, seed_seq = task
+    start = perf_counter()
+    stats = _SHARD_BODIES[kind](*params, trials, as_generator(seed_seq))
+    return stats, perf_counter() - start
+
+
+def _shard_sizes(trials: int, shards: int) -> list[int]:
+    """Balanced shard sizes: ``shards`` parts of ``trials`` (no zeros)."""
+    k = min(trials, shards)
+    base, extra = divmod(trials, k)
+    return [base + (1 if i < extra else 0) for i in range(k)]
+
+
+class MonteCarloEngine:
+    """Executes congestion-simulation tasks over a process pool + cache.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` (default) runs shards serially in-process
+        — no pool, no pickling — but through the *same* shard plan, so
+        results match any other worker count bit for bit.  ``None`` or
+        ``0`` uses every core.
+    cache:
+        A :class:`ResultCache`, ``True`` for one rooted at the default
+        directory, or ``None``/``False`` to disable caching.
+    shards:
+        Shards per task (default :data:`DEFAULT_SHARDS`).  Part of the
+        result's RNG identity: changing it changes the streams, so it
+        is folded into the cache key.
+    collector:
+        Optional :class:`RunStatsCollector`; one is created if omitted.
+
+    Examples
+    --------
+    >>> engine = MonteCarloEngine(workers=2, cache=False)
+    >>> stats = engine.matrix_congestion("RAS", "stride", 32, trials=100, seed=7)
+    >>> engine.close()
+    """
+
+    def __init__(
+        self,
+        workers: int | None = 1,
+        cache: ResultCache | bool | None = None,
+        shards: int | None = None,
+        collector: "RunStatsCollector | None" = None,
+    ) -> None:
+        # Imported here, not at module level: repro.report's package
+        # init pulls in the table renderers, which import
+        # repro.sim.experiments, which imports this module.
+        from repro.report.run_stats import RunStatsCollector
+
+        self.workers = resolve_workers(workers)
+        if cache is True:
+            cache = ResultCache()
+        elif cache is False:
+            cache = None
+        self.cache = cache
+        self.shards = check_positive_int(shards or DEFAULT_SHARDS, "shards")
+        self.collector = collector if collector is not None else RunStatsCollector()
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- pool lifecycle --------------------------------------------------
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "MonteCarloEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- public task API -------------------------------------------------
+
+    def matrix_congestion(
+        self,
+        mapping_name: str,
+        pattern: str,
+        w: int,
+        trials: int = 2000,
+        seed: SeedLike = None,
+    ) -> CongestionStats:
+        """Parallel/cached :func:`~repro.sim.congestion_sim.simulate_matrix_congestion`."""
+        check_positive_int(w, "w")
+        check_positive_int(trials, "trials")
+        return self._run("matrix", (mapping_name, pattern, w), trials, seed)
+
+    def nd_congestion(
+        self,
+        scheme: str,
+        pattern: str,
+        w: int,
+        trials: int = 500,
+        seed: SeedLike = None,
+        fast: bool = True,
+    ) -> CongestionStats:
+        """Parallel/cached Table IV sampler (fast path by default)."""
+        check_positive_int(w, "w")
+        check_positive_int(trials, "trials")
+        kind = "nd_fast" if fast else "nd"
+        return self._run(kind, (scheme, pattern, w), trials, seed)
+
+    def map_seeded(
+        self,
+        func: Callable,
+        items: Sequence,
+        seed: SeedLike,
+    ) -> list:
+        """Run ``func(item, rng)`` per item with independent child streams.
+
+        Escape hatch for task shapes the congestion API does not cover
+        (e.g. Table III's DMM transposes).  ``func`` must be a
+        module-level callable and its results picklable; items are
+        dispatched to the pool when ``workers > 1`` and results return
+        in item order, so output is worker-count-independent as long as
+        ``func`` itself is deterministic given its rng.  Not cached:
+        arbitrary callables have no stable cache identity.
+        """
+        seqs = spawn_seed_sequences(seed, len(items))
+        if self.workers <= 1 or len(items) <= 1:
+            return [func(item, as_generator(seq)) for item, seq in zip(items, seqs)]
+        pool = self._get_pool()
+        futures = [
+            pool.submit(_call_seeded, func, item, seq)
+            for item, seq in zip(items, seqs)
+        ]
+        return [future.result() for future in futures]
+
+    # -- core ------------------------------------------------------------
+
+    def _run(
+        self, kind: str, params: tuple, trials: int, seed: SeedLike
+    ) -> CongestionStats:
+        label = f"{kind}:{'/'.join(map(str, params[:-1]))}/w={params[-1]}"
+        seed_fp = seed_fingerprint(seed)
+
+        key = None
+        if self.cache is not None and seed_fp is not None:
+            key = ResultCache.make_key(kind, params, trials, seed_fp, self.shards)
+            cached = self.cache.get(key)
+            self.collector.record_cache(hit=cached is not None)
+            if cached is not None:
+                return cached
+
+        sizes = _shard_sizes(trials, self.shards)
+        seqs = spawn_seed_sequences(seed, len(sizes))
+        tasks = [
+            (kind, params, size, seq) for size, seq in zip(sizes, seqs)
+        ]
+
+        if self.workers <= 1 or len(tasks) <= 1:
+            partials = [_run_shard(task) for task in tasks]
+        else:
+            pool = self._get_pool()
+            futures = [pool.submit(_run_shard, task) for task in tasks]
+            # Collect in submission (= shard) order: merge order is part
+            # of the bit-identity contract.
+            partials = [future.result() for future in futures]
+
+        merged = RunningStats()
+        for partial, seconds in partials:
+            merged.merge(partial)
+            self.collector.record_shard(label, partial.trials, seconds)
+        stats = merged.finish()
+
+        if key is not None:
+            self.cache.put(key, stats)
+        return stats
+
+
+def _call_seeded(func: Callable, item, seq) -> object:
+    """Pool trampoline for :meth:`MonteCarloEngine.map_seeded`."""
+    return func(item, as_generator(seq))

@@ -28,7 +28,13 @@ from repro.sim.congestion_sim import (
     simulate_nd_congestion,
     simulate_nd_congestion_fast,
 )
-from repro.util.rng import SeedLike, spawn_generators
+from repro.sim.engine import MonteCarloEngine
+from repro.util.rng import (
+    SeedLike,
+    as_generator,
+    spawn_generators,
+    spawn_seed_sequences,
+)
 
 __all__ = [
     "table2_extended",
@@ -196,12 +202,19 @@ class Table2Result:
         """Simulated expected congestion of one cell."""
         return self.stats[(pattern, mapping, w)].mean
 
+    def conservative_ci(
+        self, pattern: str, mapping: str, w: int, z: float = 1.96
+    ) -> tuple[float, float]:
+        """Trials-aware CI of one cell (effective n = mapping draws)."""
+        return self.stats[(pattern, mapping, w)].conservative_interval(z)
+
 
 def table2(
     widths: tuple[int, ...] = TABLE2_WIDTHS,
     trials: int = 2000,
     seed: SeedLike = 2014,
     patterns: tuple[str, ...] = ("contiguous", "stride", "diagonal", "random"),
+    engine: MonteCarloEngine | None = None,
 ) -> Table2Result:
     """Regenerate Table II by Monte-Carlo simulation.
 
@@ -209,7 +222,13 @@ def table2(
     times and averages per-warp congestion; deterministic cells
     converge instantly, randomized ones to ~3 decimal places at the
     default trial count.
+
+    ``engine`` distributes the trials of every cell over worker
+    processes and (optionally) an on-disk cache; omitted, an ephemeral
+    serial engine is used.  For a fixed seed the result is
+    bit-identical for every worker count.
     """
+    engine = engine or MonteCarloEngine()
     result = Table2Result(widths=tuple(widths))
     cells = [
         (pattern, mapping, w)
@@ -217,13 +236,13 @@ def table2(
         for mapping in MAPPING_NAMES
         for w in widths
     ]
-    rngs = spawn_generators(seed, len(cells))
-    for rng, (pattern, mapping, w) in zip(rngs, cells):
+    seqs = spawn_seed_sequences(seed, len(cells))
+    for seq, (pattern, mapping, w) in zip(seqs, cells):
         # Deterministic cells need a single trial.
         deterministic = mapping == "RAW" and pattern != "random"
         n = 1 if deterministic else trials
-        result.stats[(pattern, mapping, w)] = simulate_matrix_congestion(
-            mapping, pattern, w, trials=n, seed=rng
+        result.stats[(pattern, mapping, w)] = engine.matrix_congestion(
+            mapping, pattern, w, trials=n, seed=seq
         )
         ref = PAPER_TABLE2.get((pattern, mapping))
         if ref is not None and w in TABLE2_WIDTHS:
@@ -235,28 +254,33 @@ def table2_extended(
     w: int = 32,
     trials: int = 1000,
     seed: SeedLike = 2014,
+    engine: MonteCarloEngine | None = None,
 ) -> dict[tuple[str, str], float]:
     """Table II at one width, extended with the PAD and XOR baselines.
 
     Returns ``(pattern, layout) -> expected congestion`` over the five
     layouts {RAW, RAS, RAP, PAD, XOR} and the four paper patterns.
     The deterministic competitors are evaluated through the generic
-    simulator (they are not per-row rotations).
+    simulator (they are not per-row rotations, and a mapping factory
+    has no stable parallel/cache identity, so those cells stay on the
+    serial path regardless of ``engine``).
     """
     from repro.core.padded import PaddedMapping
     from repro.core.swizzle import XORSwizzleMapping
     from repro.sim.congestion_sim import simulate_matrix_congestion_generic
 
+    engine = engine or MonteCarloEngine()
     patterns = ("contiguous", "stride", "diagonal", "random")
     cells: dict[tuple[str, str], float] = {}
-    rngs = spawn_generators(seed, len(patterns) * 5)
+    seqs = spawn_seed_sequences(seed, len(patterns) * 5)
+    rngs = [as_generator(seq) for seq in seqs]
     k = 0
     for pattern in patterns:
         for name in MAPPING_NAMES:
             deterministic = name == "RAW" and pattern != "random"
-            stats = simulate_matrix_congestion(
+            stats = engine.matrix_congestion(
                 name, pattern, w, trials=1 if deterministic else trials,
-                seed=rngs[k],
+                seed=seqs[k],
             )
             cells[(pattern, name)] = stats.mean
             k += 1
@@ -299,6 +323,10 @@ class Table3Row:
         The paper's measured GTX TITAN time.
     all_correct:
         Whether every simulated run produced a correct transpose.
+    read_ci_half, write_ci_half:
+        Half-width of the conservative 95% CI on the congestion means
+        (effective sample size = mapping redraws, since warps within
+        one redraw are correlated).  Zero for deterministic cells.
     """
 
     algorithm: str
@@ -309,6 +337,8 @@ class Table3Row:
     predicted_ns: float
     paper_ns: float
     all_correct: bool
+    read_ci_half: float = 0.0
+    write_ci_half: float = 0.0
 
 
 @dataclass
@@ -326,12 +356,49 @@ class Table3Result:
         )
 
 
+def _table3_combo(item: tuple, rng) -> tuple:
+    """One (algorithm, mapping) cell of Table III — engine worker body.
+
+    Module-level so the parallel engine can dispatch combos to a
+    process pool; the rng it receives is the combo's own spawned child,
+    making the result independent of which worker ran it.
+    """
+    algorithm, mapping_name, w, trials, latency = item
+    n = 1 if mapping_name == "RAW" else trials
+    reads, writes, stages = [], [], []
+    all_correct = True
+    for _ in range(n):
+        mapping = mapping_by_name(mapping_name, w, rng)
+        outcome = run_transpose(algorithm, mapping, latency=latency, seed=rng)
+        all_correct &= outcome.correct
+        # Table III reports the *expected per-warp* congestion
+        # (3.53 for a RAS stride phase), so average over warps.
+        reads.append(outcome.execution.traces[0].mean_congestion)
+        writes.append(outcome.execution.traces[1].mean_congestion)
+        stages.append(
+            sum(t.schedule.total_stages for t in outcome.execution.traces)
+        )
+    # Address-computation ops depend only on the mapping family:
+    # overhead_ops per warp issue, 2 instructions x w warps.
+    overhead = mapping.address_overhead_ops * 2 * w
+    return reads, writes, stages, bool(all_correct), overhead
+
+
+def _conservative_half(values, z: float = 1.96) -> float:
+    """Half-width of the trials-aware CI over per-trial means."""
+    n = len(values)
+    if n <= 1:
+        return 0.0
+    return float(z * np.std(values) / np.sqrt(n))
+
+
 def table3(
     w: int = 32,
     trials: int = 100,
     seed: SeedLike = 2014,
     latency: int = 1,
     timing_model: GPUTimingModel | None = None,
+    engine: MonteCarloEngine | None = None,
 ) -> Table3Result:
     """Regenerate Table III on the DMM + calibrated GPU timing model.
 
@@ -339,32 +406,19 @@ def table3(
     on the cycle-accurate DMM ``trials`` times (once for RAW — it is
     deterministic), verify the transposed data, record read/write
     congestion and total stages, and convert stages to nanoseconds
-    with the calibrated model.
+    with the calibrated model.  ``engine`` distributes the nine
+    (algorithm, mapping) combos over workers; results are identical
+    for every worker count.
     """
     if timing_model is None:
         timing_model = GPUTimingModel.fit_to_paper()
+    engine = engine or MonteCarloEngine()
     result = Table3Result(w=w)
     combos = [(a, m) for a in TRANSPOSE_NAMES for m in MAPPING_NAMES]
-    rngs = spawn_generators(seed, len(combos))
-    for rng, (algorithm, mapping_name) in zip(rngs, combos):
-        n = 1 if mapping_name == "RAW" else trials
-        reads, writes, stages = [], [], []
-        all_correct = True
-        overhead = 0
-        for _ in range(n):
-            mapping = mapping_by_name(mapping_name, w, rng)
-            outcome = run_transpose(algorithm, mapping, latency=latency, seed=rng)
-            all_correct &= outcome.correct
-            # Table III reports the *expected per-warp* congestion
-            # (3.53 for a RAS stride phase), so average over warps.
-            reads.append(outcome.execution.traces[0].mean_congestion)
-            writes.append(outcome.execution.traces[1].mean_congestion)
-            stages.append(
-                sum(t.schedule.total_stages for t in outcome.execution.traces)
-            )
-        # Address-computation ops depend only on the mapping family:
-        # overhead_ops per warp issue, 2 instructions x w warps.
-        overhead = mapping.address_overhead_ops * 2 * w
+    items = [(a, m, w, trials, latency) for a, m in combos]
+    outcomes = engine.map_seeded(_table3_combo, items, seed)
+    for (algorithm, mapping_name), outcome in zip(combos, outcomes):
+        reads, writes, stages, all_correct, overhead = outcome
         mean_stages = float(np.mean(stages))
         row = Table3Row(
             algorithm=algorithm,
@@ -375,6 +429,8 @@ def table3(
             predicted_ns=timing_model.predict_ns(mean_stages, overhead),
             paper_ns=PAPER_TABLE3_NS[(algorithm, mapping_name)],
             all_correct=bool(all_correct),
+            read_ci_half=_conservative_half(reads),
+            write_ci_half=_conservative_half(writes),
         )
         result.rows[(algorithm, mapping_name)] = row
     return result
@@ -444,30 +500,34 @@ def table4(
     w: int = 32,
     trials: int = 300,
     seed: SeedLike = 2014,
+    engine: MonteCarloEngine | None = None,
 ) -> Table4Result:
     """Regenerate Table IV by Monte-Carlo simulation at width ``w``.
 
     Also evaluates each scheme's random-number budget from a live
-    mapping instance, confirming the table's bottom row.
+    mapping instance, confirming the table's bottom row.  ``engine``
+    shards every cell's trials over workers with bit-identical results
+    for any worker count.
     """
+    engine = engine or MonteCarloEngine()
     result = Table4Result(w=w)
     cells = [
         (pattern, scheme)
         for pattern in ND_PATTERN_NAMES
         for scheme in ND_MAPPING_NAMES
     ]
-    rngs = spawn_generators(seed, len(cells) + len(ND_MAPPING_NAMES))
-    for rng, (pattern, scheme) in zip(rngs, cells):
+    seqs = spawn_seed_sequences(seed, len(cells) + len(ND_MAPPING_NAMES))
+    for seq, (pattern, scheme) in zip(seqs, cells):
         deterministic = scheme == "RAW" and pattern != "random"
         n = 1 if deterministic else trials
         # The fast path covers the permutation-sum schemes and falls
         # back to the per-trial sampler for the table-based ones.
-        result.stats[(pattern, scheme)] = simulate_nd_congestion_fast(
-            scheme, pattern, w, trials=n, seed=rng
+        result.stats[(pattern, scheme)] = engine.nd_congestion(
+            scheme, pattern, w, trials=n, seed=seq, fast=True
         )
         result.classes[(pattern, scheme)] = PAPER_TABLE4_CLASSES[(pattern, scheme)]
-    for rng, scheme in zip(rngs[len(cells) :], ND_MAPPING_NAMES):
+    for seq, scheme in zip(seqs[len(cells) :], ND_MAPPING_NAMES):
         result.random_numbers[scheme] = nd_mapping_by_name(
-            scheme, w, rng
+            scheme, w, as_generator(seq)
         ).random_numbers_used
     return result

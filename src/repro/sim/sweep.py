@@ -13,8 +13,8 @@ from dataclasses import dataclass, field
 from repro.access.transpose import run_transpose
 from repro.core.mappings import mapping_by_name
 from repro.core.theory import log_over_loglog, theorem2_expectation_bound
-from repro.sim.congestion_sim import simulate_matrix_congestion
-from repro.util.rng import SeedLike, spawn_generators
+from repro.sim.engine import MonteCarloEngine
+from repro.util.rng import SeedLike, spawn_generators, spawn_seed_sequences
 
 __all__ = ["GrowthSweep", "growth_sweep", "LatencySweep", "latency_sweep"]
 
@@ -62,22 +62,24 @@ def growth_sweep(
     mappings: tuple[str, ...] = ("RAS", "RAP"),
     trials: int = 500,
     seed: SeedLike = 2014,
+    engine: MonteCarloEngine | None = None,
 ) -> GrowthSweep:
     """Measure expected congestion across widths for the given mappings.
 
     The diagonal pattern (default) is RAP's worst case, so this sweep
     is the empirical Theorem 2 curve; every measured point must sit
     below the ``bound`` series (asserted in ``bench_theory``-adjacent
-    tests).
+    tests).  ``engine`` parallelizes/caches each point's trials.
     """
+    engine = engine or MonteCarloEngine()
     sweep = GrowthSweep(pattern=pattern, widths=tuple(widths))
-    rngs = spawn_generators(seed, len(mappings) * len(widths))
+    seqs = spawn_seed_sequences(seed, len(mappings) * len(widths))
     k = 0
     for mapping in mappings:
         values = []
         for w in widths:
-            stats = simulate_matrix_congestion(
-                mapping, pattern, w, trials=trials, seed=rngs[k]
+            stats = engine.matrix_congestion(
+                mapping, pattern, w, trials=trials, seed=seqs[k]
             )
             values.append(stats.mean)
             k += 1

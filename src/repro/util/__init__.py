@@ -1,6 +1,12 @@
 """Shared utilities: RNG handling and argument validation."""
 
-from repro.util.rng import as_generator, spawn_generators
+from repro.util.rng import (
+    as_generator,
+    as_seed_sequence,
+    seed_fingerprint,
+    spawn_generators,
+    spawn_seed_sequences,
+)
 from repro.util.validation import (
     check_bank_count,
     check_latency,
@@ -11,7 +17,10 @@ from repro.util.validation import (
 
 __all__ = [
     "as_generator",
+    "as_seed_sequence",
+    "seed_fingerprint",
     "spawn_generators",
+    "spawn_seed_sequences",
     "check_bank_count",
     "check_latency",
     "check_nonnegative_int",

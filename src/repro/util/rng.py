@@ -17,7 +17,14 @@ import numpy as np
 
 SeedLike = Union[None, int, Sequence[int], np.random.SeedSequence, np.random.Generator]
 
-__all__ = ["SeedLike", "as_generator", "spawn_generators"]
+__all__ = [
+    "SeedLike",
+    "as_generator",
+    "as_seed_sequence",
+    "seed_fingerprint",
+    "spawn_generators",
+    "spawn_seed_sequences",
+]
 
 
 def as_generator(seed: SeedLike = None) -> np.random.Generator:
@@ -38,6 +45,65 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def as_seed_sequence(seed: SeedLike = None) -> np.random.SeedSequence:
+    """Coerce ``seed`` into a *fresh* :class:`numpy.random.SeedSequence`.
+
+    "Fresh" means the returned sequence's spawn counter starts at zero
+    even when the input is a ``SeedSequence`` that has already spawned
+    children (it is rebuilt from its entropy and spawn key), so that
+    spawning from it is a pure function of the seed.  This is what the
+    parallel engine needs: the shard seeds derived from a given
+    ``seed`` must not depend on how often the caller spawned from it
+    before.
+
+    A ``Generator`` input reuses its bit generator's seed sequence the
+    same way.
+    """
+    if isinstance(seed, np.random.Generator):
+        seed = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.SeedSequence(
+            entropy=seed.entropy, spawn_key=seed.spawn_key
+        )
+    return np.random.SeedSequence(seed)
+
+
+def spawn_seed_sequences(seed: SeedLike, n: int) -> list[np.random.SeedSequence]:
+    """Derive ``n`` non-overlapping child seed sequences.
+
+    The picklable sibling of :func:`spawn_generators`: child
+    ``SeedSequence`` objects cross process boundaries cheaply and
+    reconstruct the exact same generator on the other side, which is
+    how the engine hands each worker shard its own stream.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of sequences: {n}")
+    return as_seed_sequence(seed).spawn(n)
+
+
+def seed_fingerprint(seed: SeedLike) -> str | None:
+    """A stable string identifying a *reproducible* seed, else ``None``.
+
+    Used as the seed component of on-disk cache keys: two runs with the
+    same fingerprint are guaranteed to draw identical streams.  ``None``
+    (OS entropy) and ``Generator`` inputs (hidden mutable state) have no
+    reproducible identity, so they return ``None`` and the engine skips
+    the cache for them.
+    """
+    if seed is None or isinstance(seed, np.random.Generator):
+        return None
+    if isinstance(seed, np.random.SeedSequence):
+        if seed.entropy is None:
+            return None
+        return f"ss:{seed.entropy!r}:{seed.spawn_key!r}"
+    if isinstance(seed, (int, np.integer)):
+        return f"int:{int(seed)}"
+    try:
+        return "seq:" + ",".join(str(int(s)) for s in seed)
+    except (TypeError, ValueError):
+        return None
 
 
 def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:

@@ -70,6 +70,9 @@ MODULES = [
     "repro.sim.sweep",
     "repro.sim.experiments",
     "repro.sim.registry",
+    "repro.sim.engine",
+    "repro.sim.cache",
+    "repro.report.run_stats",
     "repro.report.tables",
     "repro.report.figures",
     "repro.report.heatmap",
