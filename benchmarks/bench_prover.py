@@ -1,0 +1,85 @@
+"""Prover vs enumeration: the point of closing congestion in symbols.
+
+Enumeration builds the full ``w x w`` logical grid, maps every address
+and histograms banks per warp — O(w^2) work that the table generators
+pay once per pattern x mapping x width cell.  The symbolic prover
+answers the same question from a handful of gcds — effectively O(1) in
+``w`` — and the answers are asserted identical here, so the speedup is
+never bought with approximation.
+
+Run with ``--benchmark-only -s`` to see the per-width speedup table.
+"""
+
+import pytest
+
+from repro.analysis.affine import affine_pattern
+from repro.analysis.prover import (
+    METHOD_SYMBOLIC,
+    prove_access,
+    symbolic_step,
+)
+from repro.core.congestion import congestion_batch
+from repro.core.mappings import RAPMapping, RAWMapping
+
+from .conftest import BENCH_SEED
+
+WIDTHS = (32, 64, 128, 256)
+
+
+def enumerate_worst(access, mapping) -> int:
+    """What the table generators do: map the grid, count the banks."""
+    ii, jj = access.grids()
+    return int(congestion_batch(mapping.address(ii, jj), mapping.w).max())
+
+
+@pytest.mark.parametrize("w", WIDTHS)
+def test_symbolic_stride_under_rap(benchmark, w):
+    """Theorem 1 as a closed form: constant-time in ``w``."""
+    access = affine_pattern("stride", w)
+    mapping = RAPMapping.random(w, BENCH_SEED)
+    proof = benchmark(prove_access, access, mapping)
+    assert proof.method == METHOD_SYMBOLIC
+    assert proof.congestion == 1
+
+
+@pytest.mark.parametrize("w", WIDTHS)
+def test_enumerated_stride_under_rap(benchmark, w):
+    """The O(w^2) baseline the prover replaces."""
+    access = affine_pattern("stride", w)
+    mapping = RAPMapping.random(w, BENCH_SEED)
+    worst = benchmark(enumerate_worst, access, mapping)
+    assert worst == 1
+
+
+@pytest.mark.parametrize("w", WIDTHS)
+def test_symbolic_raw_matrix(benchmark, w):
+    """All affine paper patterns under RAW, purely in symbols."""
+    mapping = RAWMapping(w)
+    accesses = [
+        affine_pattern(name, w)
+        for name in ("contiguous", "stride", "diagonal", "malicious")
+    ]
+
+    def prove_all():
+        return [symbolic_step(a, mapping).worst for a in accesses]
+
+    worsts = benchmark(prove_all)
+    assert worsts == [1, w, 1, w]
+
+
+def test_prover_agrees_at_every_width(benchmark):
+    """Cross-check symbolic == enumerated across the sweep, timed as
+    one unit so the ratio to the symbolic-only benches is visible."""
+
+    def sweep():
+        mismatches = 0
+        for w in WIDTHS:
+            for name in ("contiguous", "stride", "diagonal", "malicious"):
+                access = affine_pattern(name, w)
+                for mapping in (RAWMapping(w), RAPMapping.random(w, BENCH_SEED)):
+                    proof = prove_access(access, mapping)
+                    if proof.congestion != enumerate_worst(access, mapping):
+                        mismatches += 1
+        return mismatches
+
+    assert benchmark.pedantic(sweep, rounds=1, iterations=1) == 0

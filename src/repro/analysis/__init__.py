@@ -1,0 +1,54 @@
+"""Static analysis for the RAP reproduction (``repro.analysis``).
+
+Two legs, both pure analysis (no DMM execution, no Monte-Carlo):
+
+**Affine congestion prover** (:mod:`repro.analysis.affine`,
+:mod:`repro.analysis.prover`)
+    A warp's access is modelled as an affine form over the warp index
+    ``i`` and lane index ``j`` modulo the matrix geometry.  For the
+    mappings whose bank function is itself affine (RAW, padded,
+    degenerate swizzles) and for the shifted-row family (RAS/RAP) in
+    its tractable regimes, the exact worst-case per-warp congestion
+    follows from gcd and coset arithmetic — *proving* the paper's
+    Theorem 1 facts (contiguous and stride congestion exactly 1 under
+    RAP) instead of re-discovering them by enumeration.  Patterns the
+    prover cannot close symbolically fall back to the enumeration in
+    :mod:`repro.gpu.analyzer`, and every result is tagged with
+    ``method="symbolic"`` or ``method="enumerate"``.
+
+**Determinism & API-hygiene linter** (:mod:`repro.analysis.lint`)
+    An AST pass over the library's own sources that enforces the
+    reproducibility contract of PR 1: no global-state RNG, no seedless
+    public entry points, no wall clocks in result-producing code, no
+    mutable default arguments.  Each rule has an ID, a fix hint, and
+    an inline ``# repro: noqa[RULE]`` escape hatch.
+
+CLI surface: ``python -m repro prove``, ``python -m repro lint``, and
+``python -m repro analyze`` (see :mod:`repro.analysis.cli`).
+"""
+
+from repro.analysis.affine import AffineAccess, affine_pattern
+from repro.analysis.lint import LintFinding, LintReport, lint_paths, lint_source
+from repro.analysis.prover import (
+    METHOD_ENUMERATE,
+    METHOD_SYMBOLIC,
+    CongestionProof,
+    prove_access,
+    prove_pattern,
+    symbolic_step,
+)
+
+__all__ = [
+    "AffineAccess",
+    "affine_pattern",
+    "CongestionProof",
+    "METHOD_ENUMERATE",
+    "METHOD_SYMBOLIC",
+    "prove_access",
+    "prove_pattern",
+    "symbolic_step",
+    "LintFinding",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+]

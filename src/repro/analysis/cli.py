@@ -1,0 +1,264 @@
+"""CLI surface of the analysis subsystem.
+
+Three subcommands, dispatched from ``python -m repro``:
+
+``repro prove``
+    Symbolic congestion proof for one pattern x mapping x width (or
+    the full ``--all`` matrix).  ``--json`` emits a machine-readable
+    proof; exit code 1 if ``--expect N`` is given and the proved
+    congestion differs — so CI can assert Theorem 1 facts.
+
+``repro lint``
+    The determinism linter of :mod:`repro.analysis.lint` over the
+    given paths (default: the installed ``repro`` package).
+    ``--fail-on-warn`` turns findings into exit code 1.
+
+``repro analyze``
+    The :func:`repro.gpu.analyzer.analyze_kernel` path for the
+    built-in transpose kernels, now CI-gateable: ``--json`` for
+    structured output and ``--max-worst N`` for a non-zero exit when
+    the best candidate layout's worst step congestion regresses
+    above ``N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.prover import (
+    METHOD_SYMBOLIC,
+    PROVER_MAPPING_NAMES,
+    prove_pattern,
+)
+
+__all__ = ["build_parser", "main", "PROVE_PATTERN_NAMES"]
+
+#: patterns `repro prove` accepts: the library's named patterns plus
+#: the padding-killer antidiagonal.
+PROVE_PATTERN_NAMES = (
+    "contiguous",
+    "stride",
+    "diagonal",
+    "random",
+    "malicious",
+    "broadcast",
+    "pairwise",
+    "antidiagonal",
+)
+
+#: transpose kernels `repro analyze` knows how to build.
+ANALYZE_KERNELS = ("crsw", "srcw", "drdw")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Parser for the ``prove`` / ``lint`` / ``analyze`` subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Static analysis: symbolic congestion proofs and the "
+        "determinism linter.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    prove = sub.add_parser(
+        "prove", help="prove a pattern's worst-case congestion symbolically"
+    )
+    prove.add_argument(
+        "--pattern",
+        choices=PROVE_PATTERN_NAMES,
+        default="stride",
+        help="access pattern (default stride, the paper's Theorem 1 case)",
+    )
+    prove.add_argument(
+        "--mapping",
+        type=str.upper,
+        choices=PROVER_MAPPING_NAMES,
+        default="RAP",
+        help="layout to prove against (default RAP)",
+    )
+    prove.add_argument("--w", type=int, default=32, help="width (default 32)")
+    prove.add_argument(
+        "--seed",
+        type=int,
+        default=2014,
+        help="seed for randomized mappings/patterns (default 2014)",
+    )
+    prove.add_argument(
+        "--all",
+        action="store_true",
+        help="prove the full pattern x mapping matrix at --w",
+    )
+    prove.add_argument(
+        "--expect",
+        type=int,
+        default=None,
+        help="exit 1 unless the proved congestion equals this value",
+    )
+    prove.add_argument(
+        "--json", action="store_true", help="emit the proof as JSON"
+    )
+
+    lint = sub.add_parser("lint", help="run the determinism/hygiene linter")
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text)",
+    )
+    lint.add_argument(
+        "--fail-on-warn",
+        action="store_true",
+        help="exit 1 if any finding is reported",
+    )
+
+    analyze = sub.add_parser(
+        "analyze", help="per-step congestion profile of a built-in kernel"
+    )
+    analyze.add_argument(
+        "--kernel",
+        choices=ANALYZE_KERNELS,
+        default="crsw",
+        help="transpose kernel to analyze (default crsw)",
+    )
+    analyze.add_argument("--w", type=int, default=32, help="width (default 32)")
+    analyze.add_argument(
+        "--seed",
+        type=int,
+        default=2014,
+        help="seed for the randomized candidate layouts (default 2014)",
+    )
+    analyze.add_argument(
+        "--json", action="store_true", help="emit the diagnosis as JSON"
+    )
+    analyze.add_argument(
+        "--max-worst",
+        type=int,
+        default=None,
+        help="regression gate: exit 1 if the best layout's worst step "
+        "congestion exceeds this value",
+    )
+    return parser
+
+
+def _run_prove(args) -> int:
+    pairs = (
+        [(p, m) for p in PROVE_PATTERN_NAMES for m in PROVER_MAPPING_NAMES]
+        if args.all
+        else [(args.pattern, args.mapping)]
+    )
+    proofs = [
+        prove_pattern(pattern, mapping, w=args.w, seed=args.seed)
+        for pattern, mapping in pairs
+    ]
+    if args.json:
+        payload = proofs[0].to_dict() if len(proofs) == 1 else [
+            p.to_dict() for p in proofs
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        for proof in proofs:
+            print(proof.render())
+        if args.all:
+            symbolic = sum(p.method == METHOD_SYMBOLIC for p in proofs)
+            print(
+                f"\n{symbolic}/{len(proofs)} cells closed symbolically; the "
+                "rest measured by enumeration."
+            )
+    if args.expect is not None:
+        mismatched = [p for p in proofs if p.congestion != args.expect]
+        if mismatched:
+            bad = mismatched[0]
+            print(
+                f"EXPECTATION FAILED: {bad.pattern}/{bad.mapping} has "
+                f"congestion {bad.congestion}, expected {args.expect}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _run_lint(args) -> int:
+    report = lint_paths(args.paths)
+    print(report.to_json() if args.format == "json" else report.render())
+    if args.fail_on_warn and not report.clean:
+        return 1
+    return 0
+
+
+def _analyze_diagnosis(args):
+    """Build and analyze the requested transpose kernel."""
+    from repro.access.transpose import transpose_indices
+    from repro.gpu.analyzer import analyze_kernel
+    from repro.gpu.kernel import KernelStep
+
+    (ri, rj), (wi, wj) = transpose_indices(args.kernel.upper(), args.w)
+    steps = [
+        KernelStep("read", "a", ri, rj, register="c"),
+        KernelStep("write", "b", wi, wj, register="c"),
+    ]
+    return analyze_kernel(args.w, steps, seed=args.seed)
+
+
+def _run_analyze(args) -> int:
+    diagnosis = _analyze_diagnosis(args)
+    best = diagnosis.best_layout()
+    best_worst = max(
+        s.worst for s in diagnosis.steps if s.layout == best
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "kernel": args.kernel,
+                    "w": diagnosis.w,
+                    "best_layout": best,
+                    "best_layout_worst": best_worst,
+                    "totals": diagnosis.totals,
+                    "steps": [
+                        {
+                            "step": s.step_index,
+                            "op": s.op,
+                            "array": s.array,
+                            "layout": s.layout,
+                            "worst": s.worst,
+                            "mean": s.mean,
+                            "method": s.method,
+                        }
+                        for s in diagnosis.steps
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(diagnosis.render())
+    if args.max_worst is not None and best_worst > args.max_worst:
+        print(
+            f"REGRESSION: best layout {best} has worst step congestion "
+            f"{best_worst} > --max-worst {args.max_worst}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the analysis subcommands; returns an exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "prove":
+        return _run_prove(args)
+    if args.command == "lint":
+        return _run_lint(args)
+    return _run_analyze(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,375 @@
+"""Determinism & API-hygiene linter for the library's own sources.
+
+PR 1 bought bit-identical results for any worker count and cache
+state; this module *enforces* the coding rules that made that possible
+instead of hoping future patches remember them.  One AST pass per
+file, five rules:
+
+=========  ==========================================================
+rule       flags
+=========  ==========================================================
+RNG001     ``np.random.<fn>(...)`` calls — NumPy's global-state (or
+           ad-hoc) RNG instead of ``repro.util.rng.as_generator``
+RNG002     the stdlib ``random`` module (import or call)
+SEED001    public ``run_*``/``make_*`` entry points in ``sim``/``apps``
+           modules without a ``seed`` or ``rng`` parameter
+TIME001    wall-clock reads (``time.time``, ``datetime.now``, ...)
+           in result-producing code
+DEF001     mutable default arguments (``[]``, ``{}``, ``set()``, ...)
+=========  ==========================================================
+
+Every finding carries a fix hint.  A line can opt out with an inline
+``# repro: noqa`` (all rules) or ``# repro: noqa[RNG001,DEF001]``
+comment — the escape hatch is deliberately loud and greppable.
+
+``repro/util/rng.py`` is exempt from the RNG rules: it *is* the
+sanctioned wrapper the rules point everyone else at.
+
+CLI: ``python -m repro lint [paths...] [--format json] [--fail-on-warn]``
+(defaults to linting the installed ``repro`` package itself); the CI
+smoke workflow runs it with ``--fail-on-warn``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "RULES",
+    "LintFinding",
+    "LintReport",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "default_lint_target",
+]
+
+#: rule id -> (summary, fix hint)
+RULES = {
+    "RNG001": (
+        "numpy RNG call outside repro.util.rng",
+        "thread a seed through the call stack and draw from "
+        "repro.util.rng.as_generator(seed) instead",
+    ),
+    "RNG002": (
+        "stdlib random module used",
+        "use numpy Generators via repro.util.rng.as_generator(seed); "
+        "the stdlib global RNG is unseedable per-call and not "
+        "reproducible across workers",
+    ),
+    "SEED001": (
+        "public entry point without a seed/rng parameter",
+        "add a `seed: SeedLike = None` (or `rng`) parameter and pass it "
+        "to every randomized helper the function calls",
+    ),
+    "TIME001": (
+        "wall-clock read in result-producing code",
+        "results must be a pure function of inputs and seed; use "
+        "time.perf_counter for instrumentation-only timing and keep it "
+        "out of returned values",
+    ),
+    "DEF001": (
+        "mutable default argument",
+        "default to None and create the object inside the function body",
+    ),
+}
+
+#: files (matched by trailing path parts) exempt from the RNG rules —
+#: the sanctioned wrapper itself.
+_RNG_WRAPPER = ("util", "rng.py")
+
+_NOQA_ALL = re.compile(r"#\s*repro:\s*noqa\s*(?:$|[^\[])")
+_NOQA_RULES = re.compile(r"#\s*repro:\s*noqa\[([A-Z0-9,\s]+)\]")
+
+#: attribute chains whose *call* constitutes a wall-clock read.
+_WALL_CLOCK_TAILS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+_MUTABLE_CALL_NAMES = {"list", "dict", "set", "bytearray"}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        """``path:line:col: RULE message (hint: ...)``"""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule} "
+            f"{self.message}\n    hint: {self.hint}"
+        )
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All findings of one lint run."""
+
+    findings: tuple[LintFinding, ...]
+    files_checked: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        """Human-readable report (one block per finding + summary)."""
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.files_checked} file(s)"
+            if self.findings
+            else f"clean: {self.files_checked} file(s), 0 findings"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable report for CI tooling."""
+        return json.dumps(
+            {
+                "files_checked": self.files_checked,
+                "count": len(self.findings),
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=2,
+        )
+
+
+def _suppressed(source_lines: Sequence[str], lineno: int, rule: str) -> bool:
+    """True if the 1-indexed line carries a noqa for ``rule``."""
+    if not 1 <= lineno <= len(source_lines):
+        return False
+    text = source_lines[lineno - 1]
+    if _NOQA_ALL.search(text):
+        return True
+    match = _NOQA_RULES.search(text)
+    if match:
+        rules = {r.strip() for r in match.group(1).split(",")}
+        return rule in rules
+    return False
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]`` (empty if not a plain chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return []
+
+
+def _is_seed_module(path: Path) -> bool:
+    """Does SEED001 apply to this file (a sim/ or apps/ module)?"""
+    parts = set(path.parts)
+    return bool(parts & {"sim", "apps"})
+
+
+class _Visitor(ast.NodeVisitor):
+    """Single-pass rule evaluation over one module's AST."""
+
+    def __init__(self, path: Path, display_path: str, source_lines: Sequence[str]):
+        self.path = path
+        self.display_path = display_path
+        self.source_lines = source_lines
+        self.findings: list[LintFinding] = []
+        self.rng_exempt = tuple(path.parts[-2:]) == _RNG_WRAPPER
+        self.seed_rule_applies = _is_seed_module(path)
+
+    # -- plumbing -------------------------------------------------------
+    def _flag(self, rule: str, node: ast.AST, detail: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        if _suppressed(self.source_lines, lineno, rule):
+            return
+        summary, hint = RULES[rule]
+        self.findings.append(
+            LintFinding(
+                rule=rule,
+                path=self.display_path,
+                line=lineno,
+                col=getattr(node, "col_offset", 0),
+                message=f"{summary}: {detail}",
+                hint=hint,
+            )
+        )
+
+    # -- RNG001 / RNG002 / TIME001 (call sites) -------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if len(chain) >= 3 and chain[-3:-1] == ["np", "random"] or (
+            len(chain) >= 3 and chain[-3:-1] == ["numpy", "random"]
+        ):
+            if not self.rng_exempt:
+                self._flag("RNG001", node, f"`{'.'.join(chain)}(...)`")
+        elif len(chain) == 2 and chain[0] == "random":
+            if not self.rng_exempt:
+                self._flag("RNG002", node, f"`{'.'.join(chain)}(...)`")
+        if tuple(chain[-2:]) in _WALL_CLOCK_TAILS:
+            self._flag("TIME001", node, f"`{'.'.join(chain)}()`")
+        self.generic_visit(node)
+
+    # -- RNG002 (imports) -----------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" and not self.rng_exempt:
+                self._flag("RNG002", node, "`import random`")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and node.level == 0 and not self.rng_exempt:
+            self._flag("RNG002", node, "`from random import ...`")
+        self.generic_visit(node)
+
+    # -- SEED001 / DEF001 (function definitions) ------------------------
+    def _check_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = node.args
+        # DEF001: applies to every function, every default.
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                self._flag(
+                    "DEF001", default, f"in signature of `{node.name}`"
+                )
+            elif isinstance(default, ast.Call):
+                chain = _attr_chain(default.func)
+                if len(chain) == 1 and chain[0] in _MUTABLE_CALL_NAMES:
+                    self._flag(
+                        "DEF001",
+                        default,
+                        f"`{chain[0]}()` in signature of `{node.name}`",
+                    )
+        # SEED001: module-level public entry points of sim/apps only.
+        if (
+            self.seed_rule_applies
+            and self._at_module_level
+            and not node.name.startswith("_")
+            and node.name.split("_")[0] in ("run", "make", "simulate", "draw")
+        ):
+            names = {
+                a.arg
+                for a in args.posonlyargs + args.args + args.kwonlyargs
+            }
+            if not names & {"seed", "rng"}:
+                self._flag("SEED001", node, f"`{node.name}({', '.join(sorted(names))})`")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        was = self._at_module_level
+        self._at_module_level = False
+        self.generic_visit(node)
+        self._at_module_level = was
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.visit_FunctionDef(node)  # type: ignore[arg-type]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        was = self._at_module_level
+        self._at_module_level = False
+        self.generic_visit(node)
+        self._at_module_level = was
+
+    def run(self, tree: ast.Module) -> list[LintFinding]:
+        self._at_module_level = True
+        self.visit(tree)
+        return self.findings
+
+
+def lint_source(
+    source: str, path: Path | str, display_path: Optional[str] = None
+) -> list[LintFinding]:
+    """Lint one module's source text.
+
+    Parameters
+    ----------
+    source:
+        Python source code.
+    path:
+        Where it (nominally) lives — used for the rule scoping
+        (``util/rng.py`` exemption, sim/apps SEED001 scope).
+    display_path:
+        Override for the path shown in findings (default: ``path``).
+    """
+    path = Path(path)
+    display = display_path if display_path is not None else str(path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            LintFinding(
+                rule="PARSE",
+                path=display,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"could not parse: {exc.msg}",
+                hint="fix the syntax error first",
+            )
+        ]
+    visitor = _Visitor(path, display, source.splitlines())
+    return visitor.run(tree)
+
+
+def lint_file(path: Path, root: Optional[Path] = None) -> list[LintFinding]:
+    """Lint one file; ``root`` shortens the displayed path."""
+    path = Path(path)
+    display = str(path.relative_to(root)) if root else str(path)
+    return lint_source(path.read_text(), path, display_path=display)
+
+
+def default_lint_target() -> Path:
+    """The installed ``repro`` package directory (self-lint default)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def lint_paths(paths: Iterable[Path | str] = ()) -> LintReport:
+    """Lint files and/or directory trees (default: the repro package).
+
+    Directories are walked for ``*.py``; findings are ordered by path
+    then line so output is stable across runs and platforms.
+    """
+    targets = [Path(p) for p in paths] or [default_lint_target()]
+    findings: list[LintFinding] = []
+    files = 0
+    for target in targets:
+        if target.is_dir():
+            candidates = sorted(target.rglob("*.py"))
+            root = target
+        else:
+            candidates = [target]
+            root = target.parent
+        for candidate in candidates:
+            files += 1
+            findings.extend(lint_file(candidate, root=root))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintReport(findings=tuple(findings), files_checked=files)

@@ -201,8 +201,9 @@ def run_histogram(
     strategy: str = "privatized",
     w: int = 32,
     latency: int = 1,
-    mapping: AddressMapping | None = None,
+    mapping: AddressMapping | str | None = None,
     fold_assignment: str = "row",
+    seed: SeedLike = None,
 ) -> HistogramOutcome:
     """Build a ``w``-bin histogram of ``votes`` in shared memory.
 
@@ -218,11 +219,19 @@ def run_histogram(
     latency:
         DMM pipeline depth.
     mapping:
-        Layout of the privatized table (default RAW).
+        Layout of the privatized table: an
+        :class:`~repro.core.mappings.AddressMapping` instance, a name
+        (``"RAW"``/``"RAS"``/``"RAP"`` — drawn from ``seed``), or
+        ``None`` for RAW.
     fold_assignment:
         ``"row"`` (warp reads a bin's partials — contiguous) or
         ``"column"`` (warp walks a lane's column — stride; the variant
         RAP rescues).
+    seed:
+        Seed used when ``mapping`` is given by name, so randomized
+        layouts are reproducible end to end (the other ``run_*`` entry
+        points already follow this contract; ``repro lint`` enforces
+        it).
     """
     votes = np.asarray(votes, dtype=np.int64)
     if votes.ndim != 1 or votes.size == 0:
@@ -239,6 +248,10 @@ def run_histogram(
         return _run_naive(votes, w, latency)
     if mapping is None:
         mapping = RAWMapping(w)
+    elif isinstance(mapping, str):
+        from repro.core.mappings import mapping_by_name
+
+        mapping = mapping_by_name(mapping, w, seed)
     if mapping.w != w:
         raise ValueError(f"mapping width {mapping.w} != w={w}")
     return _run_privatized(votes, w, latency, mapping, fold_assignment)

@@ -7,6 +7,16 @@ Experiments:
 * ``fig1`` .. ``fig7`` — regenerate the figures' content.
 * ``all`` — everything, in order.
 
+Static-analysis subcommands (dispatched to
+:mod:`repro.analysis.cli`):
+
+* ``prove`` — symbolic worst-case congestion proofs
+  (``python -m repro prove --pattern stride --mapping rap --w 32``).
+* ``lint`` — the determinism/hygiene linter
+  (``python -m repro lint --fail-on-warn``).
+* ``analyze`` — kernel congestion profile with a CI regression gate
+  (``python -m repro analyze --kernel crsw --json --max-worst 1``).
+
 Options let the user trade runtime for precision (``--trials``), pin
 reproducibility (``--seed``), distribute Monte-Carlo trials over
 worker processes (``--workers``), and control the on-disk result
@@ -30,7 +40,11 @@ from repro.report.tables import (
 )
 from repro.sim.experiments import table1, table2, table3, table4
 
-__all__ = ["main", "build_parser", "run_experiment"]
+__all__ = ["main", "build_parser", "run_experiment", "ANALYSIS_COMMANDS"]
+
+#: first positional arguments routed to the analysis CLI instead of
+#: the experiment runner.
+ANALYSIS_COMMANDS = ("prove", "lint", "analyze")
 
 
 def _workers_arg(value: str) -> int:
@@ -437,6 +451,11 @@ def run_experiment(name: str, args: argparse.Namespace) -> str:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ANALYSIS_COMMANDS:
+        from repro.analysis.cli import main as analysis_main
+
+        return analysis_main(argv)
     args = build_parser().parse_args(argv)
     names = (
         list(_TABLE_RUNNERS) + list(ALL_FIGURES)

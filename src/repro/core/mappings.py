@@ -99,6 +99,19 @@ class AddressMapping(ABC):
         """Bank of logical element ``(i, j)``: ``address(i, j) mod w``."""
         return self.address(i, j) % self.w
 
+    def bank_affine(self) -> Tuple[int, int, int] | None:
+        """Affine bank metadata: ``(u, v, c)`` or ``None``.
+
+        When the layout's bank function is affine in the *logical*
+        indices — ``bank(i, j) = (u*i + v*j + c) mod w`` — return the
+        coefficients (reduced mod ``w``); otherwise return ``None``.
+        The symbolic congestion prover
+        (:mod:`repro.analysis.prover`) keys its gcd/coset theorem on
+        this metadata, so a new mapping that overrides it gets exact
+        symbolic analysis for free.
+        """
+        return None
+
     @abstractmethod
     def logical(self, address) -> Tuple[np.ndarray, np.ndarray]:
         """Invert :meth:`address`: physical address -> ``(i, j)``."""
@@ -158,6 +171,18 @@ class ShiftedRowMapping(AddressMapping):
         if ((shifts < 0) | (shifts >= w)).any():
             raise ValueError(f"shifts must lie in [0, {w})")
         self.shifts = shifts
+
+    def bank_affine(self) -> Tuple[int, int, int] | None:
+        """Affine iff all rows share one shift: ``bank = (j + s) mod w``.
+
+        Covers RAW (all-zero shifts) and degenerate RAS draws; a
+        genuinely mixed shift vector makes ``bank = (j + shifts[i])
+        mod w`` non-affine in ``i``, so the prover falls back to its
+        coset rules for those.
+        """
+        if (self.shifts == self.shifts[0]).all():
+            return (0, 1, int(self.shifts[0]))
+        return None
 
     def address(self, i, j) -> np.ndarray:
         i = np.asarray(i, dtype=np.int64)

@@ -63,6 +63,16 @@ class PaddedMapping(AddressMapping):
         """Backing-store footprint: ``w`` rows of ``w + pad`` words."""
         return self.w * self.row_stride
 
+    def bank_affine(self) -> Tuple[int, int, int]:
+        """``bank = (row_stride*i + j) mod w`` — always affine.
+
+        With the classic ``pad=1`` this is ``(i + j) mod w``, which is
+        exactly why the symbolic prover can certify both the fix
+        (stride congestion 1) and the padding-killer (antidiagonal
+        congestion ``w``) without enumeration.
+        """
+        return (self.row_stride % self.w, 1, 0)
+
     def address(self, i, j) -> np.ndarray:
         i = np.asarray(i, dtype=np.int64)
         j = np.asarray(j, dtype=np.int64)

@@ -67,6 +67,17 @@ class XORSwizzleMapping(AddressMapping):
         if not 0 <= self.mask < w:
             raise ValueError(f"mask must lie in [0, {w}), got {self.mask}")
 
+    def bank_affine(self) -> Tuple[int, int, int] | None:
+        """XOR is not affine mod ``w`` unless the swizzle is disabled.
+
+        ``mask=0`` degenerates to plain row-major (``bank = j``); any
+        real mask mixes bits non-linearly, so the prover handles XOR
+        through its dedicated involution/popcount rules instead.
+        """
+        if self.mask == 0:
+            return (0, 1, 0)
+        return None
+
     def address(self, i, j) -> np.ndarray:
         i = np.asarray(i, dtype=np.int64)
         j = np.asarray(j, dtype=np.int64)

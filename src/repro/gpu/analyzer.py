@@ -11,6 +11,15 @@ per step and per candidate layout, the worst and mean warp congestion
 This is pure analysis (no DMM execution): it evaluates the mappings'
 bank functions directly, so it is fast enough to run inside a test
 suite as a regression guard on a kernel's conflict profile.
+
+Steps whose index grids are affine mod ``w`` (every deterministic
+pattern in the paper) are not even enumerated: they are *proved* by
+the symbolic prover (:mod:`repro.analysis.prover`) via gcd/coset
+arithmetic, and the resulting :class:`StepDiagnosis` carries
+``method="symbolic"``.  Enumeration remains the fallback for
+non-affine grids and mapping regimes with no closed form
+(``method="enumerate"``); the numbers are identical either way — the
+symbolic path is exact, not approximate.
 """
 
 from __future__ import annotations
@@ -47,6 +56,9 @@ class StepDiagnosis:
         Candidate layout name.
     worst, mean:
         Worst and mean per-warp congestion of the step.
+    method:
+        ``"symbolic"`` if the value was proved by the affine prover,
+        ``"enumerate"`` if counted by brute force.  Exact either way.
     """
 
     step_index: int
@@ -55,6 +67,7 @@ class StepDiagnosis:
     layout: str
     worst: int
     mean: float
+    method: str = "enumerate"
 
 
 @dataclass
@@ -112,11 +125,14 @@ class KernelDiagnosis:
         from repro.report.tables import format_grid
 
         rows = [
-            [str(s.step_index), s.op, s.array, s.layout, str(s.worst), f"{s.mean:.2f}"]
+            [
+                str(s.step_index), s.op, s.array, s.layout,
+                str(s.worst), f"{s.mean:.2f}", s.method,
+            ]
             for s in self.steps
         ]
         grid = format_grid(
-            ["step", "op", "array", "layout", "worst", "mean"],
+            ["step", "op", "array", "layout", "worst", "mean", "method"],
             rows,
             title=f"Kernel congestion analysis (w={self.w})",
         )
@@ -136,10 +152,16 @@ class ProgramDiagnosis:
         worst/mean warp congestion and total pipeline stages.
     total_stages:
         Program-wide stage count (the latency-independent cost).
+    method:
+        Always ``"enumerate"``: compiled programs carry physical
+        addresses with no logical structure left for the symbolic
+        prover to exploit (use :func:`analyze_kernel` pre-compilation
+        for proofs).
     """
 
     w: int
     per_instruction: tuple[tuple[str, int, float, int], ...]
+    method: str = "enumerate"
 
     @property
     def total_stages(self) -> int:
@@ -230,18 +252,48 @@ def analyze_kernel(
                 raise ValueError(
                     f"step {index} grids must be ({w}, {w}), got {step.ii.shape}"
                 )
-            addrs = mapping.address(step.ii, step.jj)
-            cong = congestion_batch(addrs, w)
+            symbolic = _try_symbolic(step, mapping, w)
+            if symbolic is not None:
+                worst, mean, step_total, method = symbolic
+            else:
+                cong = congestion_batch(mapping.address(step.ii, step.jj), w)
+                worst = int(cong.max())
+                mean = float(cong.mean())
+                step_total = float(cong.sum())
+                method = "enumerate"
             diagnosis.steps.append(
                 StepDiagnosis(
                     step_index=index,
                     op=step.op,
                     array=step.array,
                     layout=mapping.name,
-                    worst=int(cong.max()),
-                    mean=float(cong.mean()),
+                    worst=worst,
+                    mean=mean,
+                    method=method,
                 )
             )
-            total += float(cong.sum())
+            total += float(step_total)
         diagnosis.totals[mapping.name] = total
     return diagnosis
+
+
+def _try_symbolic(
+    step: KernelStep, mapping: AddressMapping, w: int
+) -> tuple[int, float, float, str] | None:
+    """Prove a step's congestion instead of enumerating it, if possible.
+
+    Returns ``(worst, mean, total, "symbolic")`` with values identical
+    to what enumeration would count (the prover is exact), or ``None``
+    when the grids are not affine or the mapping regime has no closed
+    form.
+    """
+    from repro.analysis.affine import AffineAccess
+    from repro.analysis.prover import symbolic_step
+
+    access = AffineAccess.from_grids(step.ii, step.jj, w)
+    if access is None:
+        return None
+    proved = symbolic_step(access, mapping)
+    if proved is None:
+        return None
+    return proved.worst, proved.mean, float(proved.total), "symbolic"

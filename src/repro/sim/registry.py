@@ -160,4 +160,9 @@ EXPERIMENT_INDEX: tuple[Experiment, ...] = (
         ("repro.core.mappings",),
         "bench_seed_sensitivity.py", None,
     ),
+    Experiment(
+        "prover", "extension", "Theorem 1",
+        ("repro.analysis.affine", "repro.analysis.prover"),
+        "bench_prover.py", None,
+    ),
 )

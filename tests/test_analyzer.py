@@ -78,3 +78,41 @@ class TestAnalyzeKernel:
     def test_step_grid_shape_checked(self):
         with pytest.raises(ValueError):
             analyze_kernel(8, crsw_steps(16))
+
+
+class TestSymbolicMethod:
+    """analyze_kernel closes affine steps symbolically, and says so."""
+
+    def test_crsw_steps_are_symbolic(self):
+        d = analyze_kernel(16, crsw_steps(16), seed=1)
+        assert all(s.method == "symbolic" for s in d.steps)
+
+    def test_symbolic_matches_pinned_totals(self):
+        """The symbolic path must reproduce the historical enumerated
+        numbers exactly (same assertions as TestAnalyzeKernel)."""
+        d = analyze_kernel(16, crsw_steps(16), seed=1)
+        assert d.totals["RAW"] == 16 * 17
+        assert d.totals["RAP"] == 32
+
+    def test_non_affine_step_enumerates(self):
+        from repro.access.patterns import pairwise_logical
+
+        ii, jj = pairwise_logical(16)
+        d = analyze_kernel(16, [KernelStep("read", "a", ii, jj)], seed=1)
+        assert all(s.method == "enumerate" for s in d.steps)
+
+    def test_render_shows_method_column(self):
+        d = analyze_kernel(16, crsw_steps(16), seed=1)
+        assert "method" in d.render()
+        assert "symbolic" in d.render()
+
+    def test_program_diagnosis_stays_enumerated(self):
+        """Compiled programs carry physical addresses — no symbolic
+        structure to recover, so the method field says enumerate."""
+        from repro.dmm.trace import MemoryProgram, read
+        from repro.gpu.analyzer import analyze_program
+
+        prog = MemoryProgram(p=16)
+        prog.append(read(np.arange(16)))
+        d = analyze_program(prog, 16)
+        assert d.method == "enumerate"

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.sim",
     "repro.report",
     "repro.util",
+    "repro.analysis",
 ]
 
 MODULES = [
@@ -55,6 +56,10 @@ MODULES = [
     "repro.gpu.matmul",
     "repro.gpu.occupancy",
     "repro.gpu.analyzer",
+    "repro.analysis.affine",
+    "repro.analysis.prover",
+    "repro.analysis.lint",
+    "repro.analysis.cli",
     "repro.routing.coloring",
     "repro.routing.offline",
     "repro.apps.fft",

@@ -1,0 +1,161 @@
+"""Unit tests for repro.analysis.lint — the determinism linter."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    RULES,
+    LintReport,
+    default_lint_target,
+    lint_paths,
+    lint_source,
+)
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestRules:
+    def test_numpy_global_rng_flagged(self):
+        findings = lint_source(
+            "import numpy as np\nX = np.random.rand(4)\n", Path("mod.py")
+        )
+        assert rules_of(findings) == ["RNG001"]
+        assert findings[0].line == 2
+
+    def test_numpy_rng_inside_function_flagged(self):
+        src = "import numpy as np\ndef f():\n    return np.random.randint(3)\n"
+        assert rules_of(lint_source(src, Path("mod.py"))) == ["RNG001"]
+
+    def test_rng_wrapper_module_exempt(self):
+        src = "import numpy as np\ng = np.random.default_rng(0)\n"
+        assert lint_source(src, Path("repro/util/rng.py")) == []
+        assert rules_of(lint_source(src, Path("mod.py"))) == ["RNG001"]
+
+    def test_stdlib_random_import_and_calls(self):
+        findings = lint_source(
+            "import random\nx = random.random()\n", Path("mod.py")
+        )
+        assert [f.rule for f in findings] == ["RNG002", "RNG002"]
+
+    def test_from_random_import(self):
+        findings = lint_source("from random import choice\n", Path("mod.py"))
+        assert rules_of(findings) == ["RNG002"]
+
+    def test_seedless_entry_point_in_sim(self):
+        src = "def run_mc(n, trials=10):\n    return n\n"
+        findings = lint_source(src, Path("repro/sim/engine2.py"))
+        assert rules_of(findings) == ["SEED001"]
+
+    def test_seeded_entry_point_clean(self):
+        src = "def run_mc(n, seed=None):\n    return n\n"
+        assert lint_source(src, Path("repro/sim/engine2.py")) == []
+
+    def test_rng_parameter_also_satisfies(self):
+        src = "def make_data(n, rng=None):\n    return n\n"
+        assert lint_source(src, Path("repro/apps/thing.py")) == []
+
+    def test_entry_point_rule_scoped_to_sim_apps(self):
+        src = "def run_mc(n):\n    return n\n"
+        assert lint_source(src, Path("repro/core/thing.py")) == []
+
+    def test_private_and_nested_functions_exempt(self):
+        src = (
+            "def _run_helper(n):\n    return n\n"
+            "def outer(seed=None):\n"
+            "    def run_inner(n):\n        return n\n"
+            "    return run_inner\n"
+        )
+        assert lint_source(src, Path("repro/sim/x.py")) == []
+
+    def test_wall_clock_flagged(self):
+        src = (
+            "import time\nfrom datetime import datetime\n"
+            "def f():\n    return time.time(), datetime.now()\n"
+        )
+        findings = lint_source(src, Path("mod.py"))
+        assert [f.rule for f in findings] == ["TIME001", "TIME001"]
+
+    def test_perf_counter_allowed(self):
+        src = "import time\ndef f():\n    return time.perf_counter()\n"
+        assert lint_source(src, Path("mod.py")) == []
+
+    def test_mutable_defaults(self):
+        src = "def f(a=[], b={}, c=set(), d=None):\n    return a, b, c, d\n"
+        findings = lint_source(src, Path("mod.py"))
+        assert [f.rule for f in findings] == ["DEF001"] * 3
+
+    def test_kwonly_mutable_default(self):
+        src = "def f(*, a=[]):\n    return a\n"
+        assert rules_of(lint_source(src, Path("mod.py"))) == ["DEF001"]
+
+    def test_method_mutable_default_flagged(self):
+        src = "class C:\n    def m(self, a={}):\n        return a\n"
+        assert rules_of(lint_source(src, Path("mod.py"))) == ["DEF001"]
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", Path("mod.py"))
+        assert [f.rule for f in findings] == ["PARSE"]
+
+
+class TestNoqa:
+    def test_blanket_noqa(self):
+        src = "import numpy as np\nX = np.random.rand(4)  # repro: noqa\n"
+        assert lint_source(src, Path("mod.py")) == []
+
+    def test_rule_scoped_noqa(self):
+        src = "import numpy as np\nX = np.random.rand(4)  # repro: noqa[RNG001]\n"
+        assert lint_source(src, Path("mod.py")) == []
+
+    def test_wrong_rule_noqa_does_not_suppress(self):
+        src = "import numpy as np\nX = np.random.rand(4)  # repro: noqa[DEF001]\n"
+        assert rules_of(lint_source(src, Path("mod.py"))) == ["RNG001"]
+
+
+class TestReport:
+    def test_shipped_tree_is_clean(self):
+        """The acceptance criterion: the library lints itself clean."""
+        report = lint_paths([default_lint_target()])
+        assert report.clean, report.render()
+        assert report.files_checked > 50
+
+    def test_findings_have_hints_and_locations(self, tmp_path):
+        bad = tmp_path / "sim" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("import numpy as np\nX = np.random.rand(4)\n")
+        report = lint_paths([tmp_path])
+        assert not report.clean
+        f = report.findings[0]
+        assert f.rule == "RNG001" and f.line == 2
+        assert "as_generator" in f.hint
+        assert f.rule in RULES
+
+    def test_json_output_parses(self, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a=[]):\n    return a\n")
+        report = lint_paths([tmp_path])
+        payload = json.loads(report.to_json())
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "DEF001"
+
+    def test_render_summarizes(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        report = lint_paths([tmp_path])
+        assert isinstance(report, LintReport)
+        assert "0 findings" in report.render()
+
+    def test_stable_ordering(self, tmp_path):
+        (tmp_path / "b.py").write_text("import random\n")
+        (tmp_path / "a.py").write_text("import random\n")
+        report = lint_paths([tmp_path])
+        assert [f.path for f in report.findings] == ["a.py", "b.py"]
+
+    def test_single_file_target(self, tmp_path):
+        bad = tmp_path / "solo.py"
+        bad.write_text("import random\n")
+        report = lint_paths([bad])
+        assert report.files_checked == 1 and len(report.findings) == 1
