@@ -23,6 +23,7 @@ from repro.dmm.umm import UnifiedMemoryMachine
 from repro.dmm.machine import DiscreteMemoryMachine
 from repro.gpu.timing import PAPER_TABLE3_NS, GPUTimingModel
 from repro.sim.congestion_sim import simulate_matrix_congestion
+from repro.util.rng import as_generator
 
 from .conftest import BENCH_SEED
 
@@ -48,7 +49,7 @@ def test_ablation_merge_semantics(benchmark):
     w, trials = 32, 6000
 
     def measure():
-        rng = np.random.default_rng(BENCH_SEED)
+        rng = as_generator(BENCH_SEED)
         addrs = rng.integers(0, w * w, size=(trials, w))
         merged = congestion_batch(addrs, w).mean()
         # Unmerged: count every request, duplicates included.
@@ -70,7 +71,7 @@ def test_ablation_half_warp(benchmark):
     w, trials = 32, 3000
 
     def measure():
-        rng = np.random.default_rng(BENCH_SEED)
+        rng = as_generator(BENCH_SEED)
         base = np.broadcast_to(np.arange(w, dtype=np.int64), (trials, w))
         sigma = rng.permuted(base, axis=1)
         rows = np.arange(w)

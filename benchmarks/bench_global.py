@@ -15,6 +15,7 @@ import pytest
 
 from repro.apps.global_transpose import run_global_transpose
 from repro.core.mappings import RAPMapping
+from repro.util.rng import as_generator
 
 from .conftest import BENCH_SEED
 
@@ -23,7 +24,7 @@ N, W = 32, 8
 
 @pytest.mark.parametrize("label", ["direct", "tiled-RAW", "tiled-RAP"])
 def test_strategy(benchmark, label):
-    matrix = np.random.default_rng(BENCH_SEED).random((N, N))
+    matrix = as_generator(BENCH_SEED).random((N, N))
 
     def run():
         if label == "direct":
@@ -39,7 +40,7 @@ def test_strategy(benchmark, label):
 
 def test_three_way_comparison(benchmark):
     def measure():
-        matrix = np.random.default_rng(BENCH_SEED).random((N, N))
+        matrix = as_generator(BENCH_SEED).random((N, N))
         return {
             "direct": run_global_transpose(N, "direct", w=W, matrix=matrix),
             "tiled/RAW": run_global_transpose(N, "tiled", w=W, matrix=matrix),

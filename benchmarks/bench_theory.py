@@ -17,6 +17,7 @@ from repro.core.theory import (
     theorem2_expectation_bound,
 )
 from repro.sim.congestion_sim import simulate_matrix_congestion
+from repro.util.rng import as_generator
 
 from .conftest import BENCH_SEED
 
@@ -59,7 +60,7 @@ def test_lemma4_tail(benchmark, w):
     """Per-bank half-warp loads rarely exceed 3 ln w / ln ln w."""
 
     def tail_frequency():
-        rng = np.random.default_rng(BENCH_SEED)
+        rng = as_generator(BENCH_SEED)
         trials = 4000
         half = w // 2
         # Worst adversarial half-warp: one request per distinct row

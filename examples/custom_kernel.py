@@ -19,6 +19,7 @@ import numpy as np
 
 from repro import GPUTimingModel, RAPMapping, RAWMapping
 from repro.gpu.kernel import KernelStep, SharedMemoryKernel
+from repro.util.rng import as_generator
 
 W = 32
 SEED = 11
@@ -48,7 +49,7 @@ def run(mapping, matrix: np.ndarray):
 
 
 def main() -> None:
-    rng = np.random.default_rng(SEED)
+    rng = as_generator(SEED)
     matrix = rng.random((W, W))
     expected = np.roll(matrix, -1, axis=0)
 

@@ -16,13 +16,14 @@ import numpy as np
 
 from repro import RAPMapping
 from repro.apps import run_global_transpose
+from repro.util.rng import as_generator
 
 N, W = 64, 16
 SEED = 13
 
 
 def main() -> None:
-    matrix = np.random.default_rng(SEED).random((N, N))
+    matrix = as_generator(SEED).random((N, N))
     outcomes = {
         "direct (no tiling)": run_global_transpose(N, "direct", w=W, matrix=matrix),
         "tiled, RAW tiles": run_global_transpose(N, "tiled", w=W, matrix=matrix),

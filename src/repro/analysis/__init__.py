@@ -23,11 +23,28 @@ Two legs, both pure analysis (no DMM execution, no Monte-Carlo):
     mutable default arguments.  Each rule has an ID, a fix hint, and
     an inline ``# repro: noqa[RULE]`` escape hatch.
 
-CLI surface: ``python -m repro prove``, ``python -m repro lint``, and
-``python -m repro analyze`` (see :mod:`repro.analysis.cli`).
+**Program verifier & congestion certificates**
+(:mod:`repro.analysis.verify`, :mod:`repro.analysis.certificates`)
+    Lifts the prover from single accesses to whole
+    :class:`~repro.dmm.trace.MemoryProgram`\\ s /
+    :class:`~repro.gpu.kernel.SharedMemoryKernel`\\ s: a static
+    sanitizer (out-of-bounds, uninitialized reads, CRCW write-write
+    races, dangling registers, width mismatches) plus an exact
+    per-step congestion certificate — symbolic where the step grids
+    admit a closed form, labelled enumeration otherwise.
+
+CLI surface: ``python -m repro prove``, ``python -m repro lint``,
+``python -m repro analyze``, and ``python -m repro certify`` (see
+:mod:`repro.analysis.cli`).
 """
 
 from repro.analysis.affine import AffineAccess, affine_pattern
+from repro.analysis.certificates import (
+    ProgramCertificate,
+    StepCertificate,
+    certify_kernel,
+    certify_program,
+)
 from repro.analysis.lint import LintFinding, LintReport, lint_paths, lint_source
 from repro.analysis.prover import (
     METHOD_ENUMERATE,
@@ -36,6 +53,16 @@ from repro.analysis.prover import (
     prove_access,
     prove_pattern,
     symbolic_step,
+)
+from repro.analysis.verify import (
+    DIAGNOSTIC_CODES,
+    Diagnostic,
+    SanitizerReport,
+    VerificationError,
+    VerificationReport,
+    sanitize_program,
+    verify_kernel,
+    verify_program,
 )
 
 __all__ = [
@@ -51,4 +78,16 @@ __all__ = [
     "LintReport",
     "lint_paths",
     "lint_source",
+    "ProgramCertificate",
+    "StepCertificate",
+    "certify_kernel",
+    "certify_program",
+    "DIAGNOSTIC_CODES",
+    "Diagnostic",
+    "SanitizerReport",
+    "VerificationError",
+    "VerificationReport",
+    "sanitize_program",
+    "verify_kernel",
+    "verify_program",
 ]

@@ -1,6 +1,6 @@
 """CLI surface of the analysis subsystem.
 
-Three subcommands, dispatched from ``python -m repro``:
+Four subcommands, dispatched from ``python -m repro``:
 
 ``repro prove``
     Symbolic congestion proof for one pattern x mapping x width (or
@@ -19,6 +19,15 @@ Three subcommands, dispatched from ``python -m repro``:
     structured output and ``--max-worst N`` for a non-zero exit when
     the best candidate layout's worst step congestion regresses
     above ``N``.
+
+``repro certify``
+    The program-level verifier (:mod:`repro.analysis.verify`) over the
+    builtin app programs: sanitizer diagnostics plus per-step
+    congestion certificates, symbolic where the step grids admit a
+    closed form.  ``--json`` emits the full certificate set (the CI
+    baseline artifact); ``--max-worst N`` exits 1 when any program's
+    certified worst congestion exceeds ``N``; any sanitizer finding
+    exits 1.
 """
 
 from __future__ import annotations
@@ -145,6 +154,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="regression gate: exit 1 if the best layout's worst step "
         "congestion exceeds this value",
     )
+
+    certify = sub.add_parser(
+        "certify",
+        help="statically verify builtin app programs: sanitizer + "
+        "per-step congestion certificates",
+    )
+    certify.add_argument(
+        "--app",
+        default="all",
+        help="program to certify (a BUILTIN_PROGRAMS name, default: all)",
+    )
+    certify.add_argument(
+        "--mapping",
+        type=str.upper,
+        choices=("RAW", "RAS", "RAP", "ALL"),
+        default="RAP",
+        help="layout to certify under (default RAP; ALL = RAW+RAS+RAP)",
+    )
+    certify.add_argument(
+        "--w", type=int, default=16, help="width (default 16; power of two)"
+    )
+    certify.add_argument(
+        "--seed",
+        type=int,
+        default=2014,
+        help="seed for randomized mappings and data-dependent skeletons "
+        "(default 2014)",
+    )
+    certify.add_argument(
+        "--json", action="store_true", help="emit the certificates as JSON"
+    )
+    certify.add_argument(
+        "--max-worst",
+        type=int,
+        default=None,
+        help="regression gate: exit 1 if any program's certified worst "
+        "congestion exceeds this value",
+    )
     return parser
 
 
@@ -250,6 +297,87 @@ def _run_analyze(args) -> int:
     return 0
 
 
+def _run_certify(args) -> int:
+    from repro.analysis.verify import verify_kernel
+    from repro.apps import BUILTIN_PROGRAMS, build_app_program
+    from repro.core.mappings import mapping_by_name
+
+    if args.app != "all" and args.app not in BUILTIN_PROGRAMS:
+        print(
+            f"unknown --app {args.app!r}; expected 'all' or one of "
+            f"{', '.join(sorted(BUILTIN_PROGRAMS))}",
+            file=sys.stderr,
+        )
+        return 2
+    apps = sorted(BUILTIN_PROGRAMS) if args.app == "all" else [args.app]
+    mappings = ("RAW", "RAS", "RAP") if args.mapping == "ALL" else (args.mapping,)
+
+    entries = []
+    dirty = False
+    regressions = []
+    for mapping_name in mappings:
+        for app in apps:
+            mapping = mapping_by_name(mapping_name, args.w, args.seed)
+            kernel = build_app_program(app, mapping, seed=args.seed)
+            report = verify_kernel(kernel)
+            cert = report.certificate
+            entries.append((app, mapping_name, report))
+            if not report.ok:
+                dirty = True
+            if args.max_worst is not None and cert.worst > args.max_worst:
+                regressions.append((app, mapping_name, cert.worst))
+
+    if args.json:
+        payload = {
+            "w": args.w,
+            "seed": args.seed,
+            "programs": [
+                {
+                    "program": app,
+                    "mapping": mapping_name,
+                    **report.to_dict(),
+                }
+                for app, mapping_name, report in entries
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for app, mapping_name, report in entries:
+            cert = report.certificate
+            status = "clean" if report.ok else "DIAGNOSTICS"
+            print(
+                f"{app} under {mapping_name} (w={args.w}): worst "
+                f"{cert.worst}, {cert.total_stages} stages, "
+                f"{cert.symbolic_steps}/{len(cert.steps)} symbolic "
+                f"[sanitizer {status}]"
+            )
+            if not report.ok:
+                for line in report.sanitizer.render().splitlines():
+                    print(f"  {line}")
+        certified = sum(r.ok for _, _, r in entries)
+        print(f"\n{certified}/{len(entries)} program certificates clean.")
+
+    if dirty:
+        findings = sum(
+            len(r.sanitizer.diagnostics) for _, _, r in entries if not r.ok
+        )
+        print(
+            f"SANITIZER: {findings} finding(s) across "
+            f"{sum(not r.ok for _, _, r in entries)} program(s)",
+            file=sys.stderr,
+        )
+        return 1
+    if regressions:
+        app, mapping_name, worst = regressions[0]
+        print(
+            f"REGRESSION: {app} under {mapping_name} certifies worst "
+            f"congestion {worst} > --max-worst {args.max_worst}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the analysis subcommands; returns an exit code."""
     args = build_parser().parse_args(argv)
@@ -257,6 +385,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_prove(args)
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "certify":
+        return _run_certify(args)
     return _run_analyze(args)
 
 

@@ -1,0 +1,400 @@
+"""Static sanitizer for memory programs — catch undefined runs early.
+
+The DMM's execution semantics leave several program shapes undefined
+or silently wrong: reads of cells nothing initialized, two lanes
+CRCW-writing *different* values to one merged address (the machine
+keeps an arbitrary one), writes from a register no earlier step loaded
+(the machine raises mid-run), addresses past the end of the shared
+memory, and thread counts that do not partition into warps.  This
+module finds all of them **without executing the program**, in one
+linear pass over the instruction list.
+
+Diagnostics (each carries the offending step index):
+
+=============== ======================================================
+code            fires when
+=============== ======================================================
+``OOB``         an active address is negative-invalid or >= the
+                declared memory size
+``UNINIT-READ`` a read touches an address that no earlier write (and
+                no declared input region) initialized
+``WRITE-RACE``  two active lanes of one write merge on an address
+                with values not known to be equal (undefined under
+                CRCW-arbitrary)
+``DANGLING-REG`` a register write sources a register no earlier read
+                defined
+``WIDTH``       the thread count is not a multiple of the warp width,
+                or the kernel and mapping disagree on ``w``
+=============== ======================================================
+
+Entry points: :func:`sanitize_program` (raw
+:class:`~repro.dmm.trace.MemoryProgram`), :func:`verify_program`
+(sanitize + enumeration certificate), and :func:`verify_kernel`
+(uncompiled :class:`~repro.gpu.kernel.SharedMemoryKernel`: array-aware
+messages, declared inputs, and the symbolic certificate path).  The
+kernel API surfaces the same thing as ``kernel.verify()`` and
+``kernel.program(verify=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.certificates import (
+    ProgramCertificate,
+    certify_kernel,
+    certify_program,
+)
+from repro.dmm.trace import MemoryProgram
+from repro.util.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.kernel import SharedMemoryKernel
+
+__all__ = [
+    "OOB",
+    "UNINIT_READ",
+    "WRITE_RACE",
+    "DANGLING_REG",
+    "WIDTH",
+    "DIAGNOSTIC_CODES",
+    "Diagnostic",
+    "SanitizerReport",
+    "VerificationReport",
+    "VerificationError",
+    "sanitize_program",
+    "verify_program",
+    "verify_kernel",
+]
+
+OOB = "OOB"
+UNINIT_READ = "UNINIT-READ"
+WRITE_RACE = "WRITE-RACE"
+DANGLING_REG = "DANGLING-REG"
+WIDTH = "WIDTH"
+
+DIAGNOSTIC_CODES = (OOB, UNINIT_READ, WRITE_RACE, DANGLING_REG, WIDTH)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One sanitizer finding.
+
+    Attributes
+    ----------
+    code:
+        One of :data:`DIAGNOSTIC_CODES`.
+    step:
+        Program-order index of the offending step (``-1`` for
+        program-level findings such as a bad thread count).
+    message:
+        Human-readable description with concrete lanes/addresses.
+    """
+
+    code: str
+    step: int
+    message: str
+
+    def render(self) -> str:
+        where = f"step {self.step}" if self.step >= 0 else "program"
+        return f"{where}: {self.code}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {"code": self.code, "step": self.step, "message": self.message}
+
+
+@dataclass(frozen=True)
+class SanitizerReport:
+    """All diagnostics of one sanitizer pass.
+
+    Attributes
+    ----------
+    diagnostics:
+        Findings in program order.
+    steps_checked:
+        How many instructions were examined.
+    assumed_inputs:
+        Array names (kernel path) or address ranges assumed
+        preinitialized — recorded so a clean report states its
+        hypotheses.
+    """
+
+    diagnostics: tuple[Diagnostic, ...]
+    steps_checked: int
+    assumed_inputs: tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        """The findings with one diagnostic code."""
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def render(self) -> str:
+        if self.clean:
+            inputs = (
+                f" (inputs assumed loaded: {', '.join(self.assumed_inputs)})"
+                if self.assumed_inputs
+                else ""
+            )
+            return f"sanitizer clean: {self.steps_checked} step(s){inputs}"
+        return "\n".join(d.render() for d in self.diagnostics)
+
+    def to_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "steps_checked": self.steps_checked,
+            "assumed_inputs": list(self.assumed_inputs),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+class VerificationError(ValueError):
+    """Raised by ``kernel.program(verify=True)`` on sanitizer findings."""
+
+    def __init__(self, report: SanitizerReport):
+        self.report = report
+        super().__init__(report.render())
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Sanitizer report plus (optionally) the congestion certificate."""
+
+    sanitizer: SanitizerReport
+    certificate: Optional[ProgramCertificate]
+
+    @property
+    def ok(self) -> bool:
+        """True when the sanitizer found nothing."""
+        return self.sanitizer.clean
+
+    def render(self) -> str:
+        parts = [self.sanitizer.render()]
+        if self.certificate is not None:
+            parts.append(self.certificate.render())
+        return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "sanitizer": self.sanitizer.to_dict(),
+            "certificate": (
+                self.certificate.to_dict() if self.certificate else None
+            ),
+        }
+
+
+def _race_messages(
+    addresses: np.ndarray,
+    values: Optional[np.ndarray],
+    describe: Callable[[int], str],
+) -> list[str]:
+    """Describe CRCW-merged collisions with values not provably equal."""
+    order = np.argsort(addresses, kind="stable")
+    srt = addresses[order]
+    dup_start = np.flatnonzero(
+        np.concatenate(([True], srt[1:] != srt[:-1]))
+    )
+    messages = []
+    for k, start in enumerate(dup_start):
+        end = dup_start[k + 1] if k + 1 < dup_start.size else srt.size
+        if end - start < 2:
+            continue
+        lanes = order[start:end]
+        if values is not None and np.unique(values[lanes]).size == 1:
+            continue  # all colliding lanes agree: a legal common write
+        messages.append(
+            f"lanes {sorted(int(t) for t in lanes[:4])}"
+            f"{'...' if lanes.size > 4 else ''} write different values to "
+            f"{describe(int(srt[start]))}"
+        )
+    return messages
+
+
+def sanitize_program(
+    program: MemoryProgram,
+    w: int,
+    memory_size: Optional[int] = None,
+    initialized: Optional[np.ndarray] = None,
+    assumed_inputs: Sequence[str] = (),
+    describe: Optional[Callable[[int], str]] = None,
+) -> SanitizerReport:
+    """One linear static pass over a compiled program.
+
+    Parameters
+    ----------
+    program:
+        The instruction list to check (never executed).
+    w:
+        Warp width / bank count the program will run with.
+    memory_size:
+        Shared-memory size in words; omit to skip the bounds check.
+    initialized:
+        Boolean array of length ``memory_size`` marking cells assumed
+        preloaded (e.g. via ``machine.load``).  Omitted: nothing is.
+    assumed_inputs:
+        Labels recorded in the report for the ``initialized`` region.
+    describe:
+        Optional address pretty-printer (the kernel path passes one
+        that renders ``array[i, j]`` instead of a flat address).
+    """
+    check_positive_int(w, "w")
+    describe = describe or (lambda a: f"address {a}")
+    diagnostics: list[Diagnostic] = []
+    if program.p % w != 0:
+        diagnostics.append(
+            Diagnostic(
+                WIDTH,
+                -1,
+                f"p={program.p} threads do not partition into warps of {w}",
+            )
+        )
+    if memory_size is not None:
+        check_positive_int(memory_size, "memory_size")
+        init = np.zeros(memory_size, dtype=bool)
+        if initialized is not None:
+            initialized = np.asarray(initialized, dtype=bool)
+            if initialized.shape != (memory_size,):
+                raise ValueError(
+                    f"initialized must have shape ({memory_size},), "
+                    f"got {initialized.shape}"
+                )
+            init |= initialized
+    else:
+        init = None
+    defined: set[str] = set()
+
+    for idx, instr in enumerate(program):
+        addrs = instr.active_addresses
+        lanes = np.flatnonzero(instr.active_mask)
+        in_bounds = np.ones(addrs.size, dtype=bool)
+        if memory_size is not None and addrs.size:
+            # Negative addresses other than the INACTIVE sentinel (already
+            # dropped from active_addresses) are out of bounds too.
+            oob = (addrs >= memory_size) | (addrs < 0)
+            if oob.any():
+                first = int(np.flatnonzero(oob)[0])
+                diagnostics.append(
+                    Diagnostic(
+                        OOB,
+                        idx,
+                        f"{int(oob.sum())} lane(s) address past the end of "
+                        f"memory (size {memory_size}); first: lane "
+                        f"{int(lanes[first])} -> address {int(addrs[first])}",
+                    )
+                )
+                in_bounds = ~oob
+
+        if instr.op == "read":
+            if init is not None and addrs.size:
+                cold = in_bounds & ~init[np.clip(addrs, 0, memory_size - 1)]
+                if cold.any():
+                    first = int(np.flatnonzero(cold)[0])
+                    diagnostics.append(
+                        Diagnostic(
+                            UNINIT_READ,
+                            idx,
+                            f"{int(cold.sum())} lane(s) read cells no "
+                            f"earlier step wrote; first: lane "
+                            f"{int(lanes[first])} reads "
+                            f"{describe(int(addrs[first]))}",
+                        )
+                    )
+            defined.add(instr.register)
+        else:
+            if instr.values is None and instr.register not in defined:
+                diagnostics.append(
+                    Diagnostic(
+                        DANGLING_REG,
+                        idx,
+                        f"write from register {instr.register!r}, which no "
+                        "earlier read defined",
+                    )
+                )
+            if addrs.size:
+                values = (
+                    instr.values[instr.active_mask]
+                    if instr.values is not None
+                    else None
+                )
+                for msg in _race_messages(addrs, values, describe):
+                    diagnostics.append(Diagnostic(WRITE_RACE, idx, msg))
+            if init is not None and addrs.size:
+                init[addrs[in_bounds]] = True
+
+    return SanitizerReport(
+        diagnostics=tuple(diagnostics),
+        steps_checked=len(program),
+        assumed_inputs=tuple(assumed_inputs),
+    )
+
+
+def verify_program(
+    program: MemoryProgram,
+    w: int,
+    memory_size: Optional[int] = None,
+    initialized: Optional[np.ndarray] = None,
+    certify: bool = True,
+    name: str = "program",
+) -> VerificationReport:
+    """Sanitize a compiled program and (optionally) certify it.
+
+    Compiled programs always certify by enumeration — use
+    :func:`verify_kernel` on the uncompiled step list for the symbolic
+    path.
+    """
+    report = sanitize_program(
+        program, w, memory_size=memory_size, initialized=initialized
+    )
+    certificate = (
+        certify_program(program, w, name=name)
+        if certify and program.p % w == 0
+        else None
+    )
+    return VerificationReport(sanitizer=report, certificate=certificate)
+
+
+def verify_kernel(
+    kernel: "SharedMemoryKernel", certify: bool = True
+) -> VerificationReport:
+    """Statically verify an uncompiled kernel.
+
+    Checks the kernel's compiled access stream (so masks, bases, and
+    the mapping's address arithmetic are all covered) with kernel-level
+    niceties: the declared ``kernel.inputs`` arrays count as
+    initialized, messages render logical ``array[i, j]`` cells instead
+    of flat addresses, and the certificate takes the symbolic path of
+    :func:`~repro.analysis.certificates.certify_kernel` where the step
+    grids admit one.
+    """
+    mapping = kernel.mapping
+    words = mapping.storage_words
+    memory_size = max(len(kernel.arrays), 1) * words
+    init = np.zeros(memory_size, dtype=bool)
+    for name in kernel.inputs:
+        base = kernel.bases[name]
+        init[base : base + words] = True
+
+    bases = sorted(kernel.bases.items(), key=lambda kv: kv[1])
+
+    def describe(addr: int) -> str:
+        for name, base in reversed(bases):
+            if addr >= base:
+                return f"{name}[{addr - base}]"
+        return f"address {addr}"
+
+    program = kernel.program()
+    report = sanitize_program(
+        program,
+        kernel.w,
+        memory_size=memory_size,
+        initialized=init,
+        assumed_inputs=kernel.inputs,
+        describe=describe,
+    )
+    certificate = certify_kernel(kernel) if certify else None
+    return VerificationReport(sanitizer=report, certificate=certificate)

@@ -1,5 +1,11 @@
 """Application workloads built on the DMM: FFT, scan, stencil, and the
-hierarchical (global + shared) large-matrix transpose."""
+hierarchical (global + shared) large-matrix transpose.
+
+Every workload also exposes its access skeleton as an uncompiled
+:class:`~repro.gpu.kernel.SharedMemoryKernel` via a ``build_program``
+factory, collected here in :data:`BUILTIN_PROGRAMS` so the static
+verifier (``python -m repro certify``) can reach all of them by name.
+"""
 
 from repro.apps.fft import FFTOutcome, bit_reverse_indices, run_fft
 from repro.apps.gather import (
@@ -30,7 +36,72 @@ from repro.apps.spmv import (
 )
 from repro.apps.stencil import STENCIL_ASSIGNMENTS, StencilOutcome, run_stencil
 
+from repro.apps import fft as _fft
+from repro.apps import gather as _gather
+from repro.apps import global_transpose as _global_transpose
+from repro.apps import histogram as _histogram
+from repro.apps import scan as _scan
+from repro.apps import sort as _sort
+from repro.apps import spmv as _spmv
+from repro.apps import stencil as _stencil
+
+
+def _transpose_factory(kind):
+    from repro.gpu.kernel import transpose_kernel
+
+    def build(mapping, seed=None):
+        return transpose_kernel(kind, mapping, seed=seed)
+
+    return build
+
+
+def _stencil_factory(assignment):
+    def build(mapping, seed=None):
+        return _stencil.build_program(mapping, assignment=assignment, seed=seed)
+
+    return build
+
+
+#: name -> ``factory(mapping, seed=None)`` returning an uncompiled
+#: :class:`~repro.gpu.kernel.SharedMemoryKernel` — every builtin app's
+#: access skeleton, reachable by the static certifier.
+BUILTIN_PROGRAMS = {
+    "transpose_crsw": _transpose_factory("CRSW"),
+    "transpose_srcw": _transpose_factory("SRCW"),
+    "transpose_drdw": _transpose_factory("DRDW"),
+    "stencil_row": _stencil_factory("row"),
+    "stencil_column": _stencil_factory("column"),
+    "scan": _scan.build_program,
+    "histogram": _histogram.build_program,
+    "gather": _gather.build_program,
+    "fft": _fft.build_program,
+    "sort": _sort.build_program,
+    "spmv": _spmv.build_program,
+    "global_tiled": _global_transpose.build_program,
+}
+
+
+def build_app_program(name, mapping, seed=None):
+    """Build a builtin app's access skeleton by registry name.
+
+    ``mapping`` is an :class:`~repro.core.mappings.AddressMapping`
+    instance; ``seed`` feeds the data-dependent skeletons (histogram
+    votes, random gather/spmv indices) and is ignored by the
+    deterministic ones.
+    """
+    try:
+        factory = BUILTIN_PROGRAMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown program {name!r}; expected one of "
+            f"{tuple(sorted(BUILTIN_PROGRAMS))}"
+        ) from None
+    return factory(mapping, seed=seed)
+
+
 __all__ = [
+    "BUILTIN_PROGRAMS",
+    "build_app_program",
     "FFTOutcome",
     "bit_reverse_indices",
     "run_fft",

@@ -37,7 +37,7 @@ from repro.dmm.trace import INACTIVE, MemoryProgram, read, write
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_power_of_two
 
-__all__ = ["FFTOutcome", "bit_reverse_indices", "run_fft"]
+__all__ = ["FFTOutcome", "bit_reverse_indices", "build_program", "run_fft"]
 
 
 def bit_reverse_indices(n: int) -> np.ndarray:
@@ -92,6 +92,62 @@ def _pad_values(values: np.ndarray, p: int) -> np.ndarray:
     out = np.zeros(p, dtype=np.float64)
     out[: values.size] = values
     return out
+
+
+def build_program(mapping: AddressMapping, seed: SeedLike = None):
+    """The FFT's access skeleton as an uncompiled, certifiable kernel.
+
+    Mirrors :func:`run_fft` step for step — the bit-reversal
+    read/write on both planes, then every butterfly stage's four reads
+    and four writes (half the lanes active, exactly as the executor
+    pads them) — with the host-side twiddle arithmetic abstracted away
+    as ``immediate`` writes.  Addresses, masks, and hence congestion
+    are identical to the real run, so
+    :func:`repro.analysis.certificates.certify_kernel` certifies the
+    real workload.  ``seed`` is accepted for registry uniformity; the
+    skeleton is deterministic.
+    """
+    w = mapping.w
+    check_power_of_two(w, "mapping width")
+    n = w * w
+    from repro.gpu.kernel import KernelStep, SharedMemoryKernel
+
+    steps = []
+    rev = bit_reverse_indices(n)
+    src = np.arange(n, dtype=np.int64)
+    for plane in ("re", "im"):
+        steps.append(KernelStep.from_positions("read", plane, src, w, register="t"))
+        steps.append(KernelStep.from_positions("write", plane, rev, w, register="t"))
+
+    stages = n.bit_length() - 1
+    half = n // 2
+    lanes = np.arange(half, dtype=np.int64)
+    for s in range(stages):
+        block = lanes >> s
+        offset = lanes & ((1 << s) - 1)
+        a_pos = (block << (s + 1)) | offset
+        b_pos = a_pos + (1 << s)
+        for plane, reg, pos in (
+            ("re", "ar", a_pos),
+            ("im", "ai", a_pos),
+            ("re", "br", b_pos),
+            ("im", "bi", b_pos),
+        ):
+            steps.append(
+                KernelStep.from_positions("read", plane, pos, w, register=reg)
+            )
+        for plane, pos in (
+            ("re", a_pos),
+            ("im", a_pos),
+            ("re", b_pos),
+            ("im", b_pos),
+        ):
+            steps.append(
+                KernelStep.from_positions("write", plane, pos, w, immediate=True)
+            )
+    return SharedMemoryKernel(
+        w, steps, arrays=("re", "im"), mapping=mapping, inputs=("re", "im")
+    )
 
 
 def run_fft(

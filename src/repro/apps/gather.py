@@ -40,6 +40,7 @@ from repro.util.validation import check_positive_int
 __all__ = [
     "GATHER_DISTRIBUTIONS",
     "GatherOutcome",
+    "build_program",
     "make_indices",
     "run_gather",
 ]
@@ -108,6 +109,37 @@ class GatherOutcome:
     time_units: int
     total_stages: int
     gather_congestion: int
+
+
+def build_program(
+    mapping: AddressMapping,
+    distribution: str = "same_bank",
+    seed: SeedLike = None,
+):
+    """The gather's access skeleton as a certifiable kernel.
+
+    Two steps, as in :func:`run_gather`: the data-dependent read
+    ``x[idx[t]]`` and the contiguous write-back to ``y``.  The default
+    ``same_bank`` index clustering is the deterministic pathology the
+    paper targets — and it is itself affine (lane ``j`` reads row
+    ``j``), so *both* steps certify symbolically: worst congestion
+    ``w`` under RAW, exactly 1 under RAP.  Random distributions
+    (``"uniform"``, ``"hotspot"``) enumerate the read.
+    """
+    w = mapping.w
+    n = w * w
+    from repro.gpu.kernel import KernelStep, SharedMemoryKernel
+
+    indices = make_indices(w, distribution, seed)
+    steps = [
+        KernelStep.from_positions("read", "x", indices, w, register="v"),
+        KernelStep.from_positions(
+            "write", "y", np.arange(n, dtype=np.int64), w, register="v"
+        ),
+    ]
+    return SharedMemoryKernel(
+        w, steps, arrays=("x", "y"), mapping=mapping, inputs=("x",)
+    )
 
 
 def run_gather(

@@ -40,9 +40,41 @@ from repro.dmm.umm import UnifiedMemoryMachine
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_positive_int
 
-__all__ = ["GLOBAL_STRATEGIES", "GlobalTransposeOutcome", "run_global_transpose"]
+__all__ = [
+    "GLOBAL_STRATEGIES",
+    "GlobalTransposeOutcome",
+    "build_program",
+    "run_global_transpose",
+]
 
 GLOBAL_STRATEGIES = ("direct", "tiled")
+
+
+def build_program(mapping: AddressMapping, seed: SeedLike = None):
+    """The tiled transpose's *shared-memory phase* as a certifiable kernel.
+
+    Per tile, :func:`run_global_transpose` stages four shared-memory
+    steps: store the tile contiguously (values arriving from global
+    memory — an ``immediate`` write), the CRSW transpose read/write
+    pair into the second tile, and the contiguous read-out.  Every
+    tile repeats the same four accesses, so one tile's kernel is the
+    whole phase's certificate.  All four grids are affine — the CRSW
+    write is the paper's headline stride case.  ``seed`` is accepted
+    for registry uniformity; the skeleton is deterministic.
+    """
+    w = mapping.w
+    from repro.gpu.kernel import KernelStep, SharedMemoryKernel
+
+    ii, jj = np.meshgrid(np.arange(w), np.arange(w), indexing="ij")
+    steps = [
+        KernelStep("write", "a", ii, jj, immediate=True),
+        KernelStep("read", "a", ii, jj, register="c"),
+        KernelStep("write", "b", jj, ii, register="c"),
+        KernelStep("read", "b", ii, jj, register="o"),
+    ]
+    return SharedMemoryKernel(
+        w, steps, arrays=("a", "b"), mapping=mapping, inputs=()
+    )
 
 
 @dataclass(frozen=True)

@@ -40,7 +40,13 @@ from repro.dmm.trace import MemoryProgram, read, write
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_positive_int
 
-__all__ = ["HISTOGRAM_STRATEGIES", "HistogramOutcome", "make_votes", "run_histogram"]
+__all__ = [
+    "HISTOGRAM_STRATEGIES",
+    "HistogramOutcome",
+    "build_program",
+    "make_votes",
+    "run_histogram",
+]
 
 HISTOGRAM_STRATEGIES = ("naive", "privatized")
 
@@ -88,6 +94,46 @@ class HistogramOutcome:
     time_units: int
     total_stages: int
     fold_congestion: int
+
+
+def build_program(
+    mapping: AddressMapping,
+    skew: float = 0.0,
+    fold_assignment: str = "column",
+    seed: SeedLike = None,
+):
+    """The privatized histogram's access skeleton as a certifiable kernel.
+
+    Two read steps over the ``hist[bin][lane]`` table:
+
+    * the *voting* traffic — warp ``r`` carries voting round ``r``, so
+      thread ``(r, j)`` touches ``hist[votes[r*w+j]][j]`` (the read
+      half of the per-round read-modify-write; the write half hits the
+      identical addresses, so its congestion is certified by the same
+      step);
+    * the *fold* — bin-major (``"row"``, contiguous) or lane-major
+      (``"column"``, stride: the variant RAP rescues).
+
+    Voting addresses are data-dependent (drawn from ``seed``), so that
+    step enumerates; the fold is affine and certifies symbolically.
+    """
+    if fold_assignment not in ("row", "column"):
+        raise ValueError("fold_assignment must be 'row' or 'column'")
+    w = mapping.w
+    from repro.gpu.kernel import KernelStep, SharedMemoryKernel
+
+    votes = make_votes(w * w, w, skew=skew, seed=seed)
+    lanes = np.broadcast_to(np.arange(w, dtype=np.int64), (w, w)).copy()
+    bi, li = np.meshgrid(np.arange(w), np.arange(w), indexing="ij")
+    if fold_assignment == "column":
+        bi, li = li.copy(), bi.copy()
+    steps = [
+        KernelStep("read", "hist", votes.reshape(w, w), lanes, register="c"),
+        KernelStep("read", "hist", bi, li, register="v"),
+    ]
+    return SharedMemoryKernel(
+        w, steps, arrays=("hist",), mapping=mapping, inputs=("hist",)
+    )
 
 
 def _run_naive(

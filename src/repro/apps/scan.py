@@ -27,7 +27,7 @@ from repro.dmm.trace import INACTIVE, MemoryProgram, read, write
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_power_of_two
 
-__all__ = ["ScanOutcome", "run_scan"]
+__all__ = ["ScanOutcome", "build_program", "run_scan"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +66,57 @@ def _padded_values(values: np.ndarray, p: int) -> np.ndarray:
     out = np.zeros(p, dtype=np.float64)
     out[: values.size] = values
     return out
+
+
+def build_program(mapping: AddressMapping, seed: SeedLike = None):
+    """The Blelloch scan's access skeleton as a certifiable kernel.
+
+    Same schedule as :func:`run_scan` — per up-sweep level two reads
+    and one write, the root clear, per down-sweep level two reads and
+    two writes — with the partial-warp padding expressed as step masks
+    and the host-computed sums as ``immediate`` writes.  ``seed`` is
+    accepted for registry uniformity; the skeleton is deterministic.
+    """
+    w = mapping.w
+    check_power_of_two(w, "mapping width")
+    n = w * w
+    from repro.gpu.kernel import KernelStep, SharedMemoryKernel
+
+    steps = []
+    levels = n.bit_length() - 1
+    for k in range(levels):
+        active = n >> (k + 1)
+        j = np.arange(active, dtype=np.int64)
+        left = (2 * j + 1) * (1 << k) - 1
+        right = (2 * j + 2) * (1 << k) - 1
+        steps.append(KernelStep.from_positions("read", "buf", left, w, register="lv"))
+        steps.append(KernelStep.from_positions("read", "buf", right, w, register="rv"))
+        steps.append(
+            KernelStep.from_positions("write", "buf", right, w, immediate=True)
+        )
+
+    steps.append(
+        KernelStep.from_positions(
+            "write", "buf", np.array([n - 1]), w, immediate=True
+        )
+    )
+
+    for k in range(levels - 1, -1, -1):
+        active = n >> (k + 1)
+        j = np.arange(active, dtype=np.int64)
+        left = (2 * j + 1) * (1 << k) - 1
+        right = (2 * j + 2) * (1 << k) - 1
+        steps.append(KernelStep.from_positions("read", "buf", left, w, register="lv"))
+        steps.append(KernelStep.from_positions("read", "buf", right, w, register="rv"))
+        steps.append(
+            KernelStep.from_positions("write", "buf", left, w, immediate=True)
+        )
+        steps.append(
+            KernelStep.from_positions("write", "buf", right, w, immediate=True)
+        )
+    return SharedMemoryKernel(
+        w, steps, arrays=("buf",), mapping=mapping, inputs=("buf",)
+    )
 
 
 def run_scan(

@@ -28,7 +28,7 @@ from repro.dmm.trace import INACTIVE, MemoryProgram, read, write
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_power_of_two
 
-__all__ = ["SortOutcome", "bitonic_pairs", "run_bitonic_sort"]
+__all__ = ["SortOutcome", "bitonic_pairs", "build_program", "run_bitonic_sort"]
 
 
 def bitonic_pairs(n: int) -> list[tuple[int, int, np.ndarray]]:
@@ -76,6 +76,43 @@ class SortOutcome:
     time_units: int
     total_stages: int
     max_congestion: int
+
+
+def build_program(mapping: AddressMapping, seed: SeedLike = None):
+    """The bitonic network's access skeleton as a certifiable kernel.
+
+    Every compare-exchange stage of :func:`run_bitonic_sort` becomes
+    four steps — read both partners, write both back — with the
+    pair-leader half-warps as step masks and the host-side compare as
+    ``immediate`` writes.  The compare-exchange schedule is fixed by
+    ``n``, so the keys (and ``seed``, accepted for registry
+    uniformity) do not affect the access stream.
+    """
+    w = mapping.w
+    check_power_of_two(w, "mapping width")
+    n = w * w
+    from repro.gpu.kernel import KernelStep, SharedMemoryKernel
+
+    steps = []
+    t = np.arange(n, dtype=np.int64)
+    for _, j, _ascending in bitonic_pairs(n):
+        leaders = np.flatnonzero((t & j) == 0)
+        partners = leaders | j
+        steps.append(
+            KernelStep.from_positions("read", "keys", leaders, w, register="a")
+        )
+        steps.append(
+            KernelStep.from_positions("read", "keys", partners, w, register="b")
+        )
+        steps.append(
+            KernelStep.from_positions("write", "keys", leaders, w, immediate=True)
+        )
+        steps.append(
+            KernelStep.from_positions("write", "keys", partners, w, immediate=True)
+        )
+    return SharedMemoryKernel(
+        w, steps, arrays=("keys",), mapping=mapping, inputs=("keys",)
+    )
 
 
 def run_bitonic_sort(

@@ -36,7 +36,14 @@ from repro.dmm.trace import INACTIVE, MemoryProgram, read
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_positive_int
 
-__all__ = ["SPMV_STRUCTURES", "EllMatrix", "make_ell", "SpmvOutcome", "run_spmv"]
+__all__ = [
+    "SPMV_STRUCTURES",
+    "EllMatrix",
+    "build_program",
+    "make_ell",
+    "SpmvOutcome",
+    "run_spmv",
+]
 
 SPMV_STRUCTURES = ("banded", "column_block", "random")
 
@@ -145,6 +152,37 @@ class SpmvOutcome:
     time_units: int
     total_stages: int
     worst_gather_congestion: int
+
+
+def build_program(
+    mapping: AddressMapping,
+    structure: str = "banded",
+    k: int = 4,
+    seed: SeedLike = None,
+):
+    """The ELL SpMV's access skeleton as a certifiable kernel.
+
+    One read step per entry slot (``k`` gathers of ``x[cols[:, s]]``),
+    exactly the instruction stream of :func:`run_spmv`; padding
+    entries become masked-out lanes.  The column indices are matrix
+    data, so the steps generally enumerate — which is the point: the
+    certifier handles data-dependent programs by exact counting and
+    labels them honestly.
+    """
+    w = mapping.w
+    n = w * w
+    from repro.gpu.kernel import KernelStep, SharedMemoryKernel
+
+    matrix = make_ell(n, structure=structure, k=k, seed=seed)
+    steps = [
+        KernelStep.from_positions(
+            "read", "x", matrix.cols[:, slot], w, register="xv"
+        )
+        for slot in range(matrix.k)
+    ]
+    return SharedMemoryKernel(
+        w, steps, arrays=("x",), mapping=mapping, inputs=("x",)
+    )
 
 
 def run_spmv(

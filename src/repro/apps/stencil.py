@@ -30,9 +30,44 @@ from repro.dmm.machine import DiscreteMemoryMachine
 from repro.dmm.trace import MemoryProgram, read, write
 from repro.util.rng import SeedLike, as_generator
 
-__all__ = ["STENCIL_ASSIGNMENTS", "StencilOutcome", "run_stencil"]
+__all__ = ["STENCIL_ASSIGNMENTS", "StencilOutcome", "build_program", "run_stencil"]
 
 STENCIL_ASSIGNMENTS = ("row", "column")
+
+
+def build_program(
+    mapping: AddressMapping, assignment: str = "row", seed: SeedLike = None
+):
+    """The 5-point stencil's access skeleton as a certifiable kernel.
+
+    The same six steps as :func:`run_stencil` — five neighbour reads
+    from the input tile and one write to the output tile — under the
+    chosen thread ``assignment``.  All six grids are affine, so the
+    whole sweep certifies symbolically under every builtin mapping.
+    ``seed`` is accepted for registry uniformity; the skeleton is
+    deterministic.
+    """
+    if assignment not in STENCIL_ASSIGNMENTS:
+        raise ValueError(
+            f"unknown assignment {assignment!r}; expected one of {STENCIL_ASSIGNMENTS}"
+        )
+    w = mapping.w
+    from repro.gpu.kernel import KernelStep, SharedMemoryKernel
+
+    ii, jj = np.meshgrid(np.arange(w), np.arange(w), indexing="ij")
+    if assignment == "column":
+        ii, jj = jj.copy(), ii.copy()
+    steps = [
+        KernelStep("read", "in", ii, jj, register="c"),
+        KernelStep("read", "in", (ii - 1) % w, jj, register="u"),
+        KernelStep("read", "in", (ii + 1) % w, jj, register="d"),
+        KernelStep("read", "in", ii, (jj - 1) % w, register="l"),
+        KernelStep("read", "in", ii, (jj + 1) % w, register="r"),
+        KernelStep("write", "out", ii, jj, immediate=True),
+    ]
+    return SharedMemoryKernel(
+        w, steps, arrays=("in", "out"), mapping=mapping, inputs=("in",)
+    )
 
 
 @dataclass(frozen=True)

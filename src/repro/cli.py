@@ -16,6 +16,8 @@ Static-analysis subcommands (dispatched to
   (``python -m repro lint --fail-on-warn``).
 * ``analyze`` — kernel congestion profile with a CI regression gate
   (``python -m repro analyze --kernel crsw --json --max-worst 1``).
+* ``certify`` — program-level sanitizer + congestion certificates for
+  every builtin app (``python -m repro certify --mapping RAP``).
 
 Options let the user trade runtime for precision (``--trials``), pin
 reproducibility (``--seed``), distribute Monte-Carlo trials over
@@ -44,7 +46,7 @@ __all__ = ["main", "build_parser", "run_experiment", "ANALYSIS_COMMANDS"]
 
 #: first positional arguments routed to the analysis CLI instead of
 #: the experiment runner.
-ANALYSIS_COMMANDS = ("prove", "lint", "analyze")
+ANALYSIS_COMMANDS = ("prove", "lint", "analyze", "certify")
 
 
 def _workers_arg(value: str) -> int:

@@ -88,6 +88,42 @@ class Instruction:
         """Boolean mask of threads that actually access memory."""
         return self.addresses != INACTIVE
 
+    # -- introspection (used by repro.analysis.verify) ------------------
+    @property
+    def active_addresses(self) -> np.ndarray:
+        """The addresses actually issued (INACTIVE lanes dropped)."""
+        return self.addresses[self.active_mask]
+
+    def max_address(self) -> int:
+        """Largest address touched, or :data:`INACTIVE` if no lane is active."""
+        active = self.active_addresses
+        return int(active.max()) if active.size else INACTIVE
+
+    def warp_addresses(self, w: int) -> np.ndarray:
+        """The addresses grouped into warps of ``w`` lanes, shape ``(p//w, w)``.
+
+        Raises if ``p`` is not a multiple of ``w`` — the same condition
+        the machine enforces at dispatch time.
+        """
+        if self.p % w != 0:
+            raise ValueError(f"p={self.p} is not a multiple of warp width {w}")
+        return self.addresses.reshape(-1, w)
+
+    @property
+    def defined_register(self) -> Optional[str]:
+        """Register this instruction loads (reads only)."""
+        return self.register if self.op == "read" else None
+
+    @property
+    def consumed_register(self) -> Optional[str]:
+        """Register whose per-thread values this instruction stores.
+
+        ``None`` for reads and for immediate-value writes.
+        """
+        if self.op == "write" and self.values is None:
+            return self.register
+        return None
+
 
 def read(addresses, register: str = "r0") -> Instruction:
     """Build a read instruction: ``register[t] <- mem[addresses[t]]``."""
@@ -143,3 +179,25 @@ class MemoryProgram:
 
     def __iter__(self) -> Iterator[Instruction]:
         return iter(self.instructions)
+
+    # -- introspection (used by repro.analysis.verify) ------------------
+    def max_address(self) -> int:
+        """Largest address touched by any instruction (INACTIVE if none)."""
+        return max(
+            (instr.max_address() for instr in self.instructions),
+            default=INACTIVE,
+        )
+
+    def defined_registers(self) -> set[str]:
+        """All registers some read instruction loads."""
+        return {
+            instr.register for instr in self.instructions if instr.op == "read"
+        }
+
+    def consumed_registers(self) -> set[str]:
+        """All registers some register-write instruction stores."""
+        return {
+            reg
+            for instr in self.instructions
+            if (reg := instr.consumed_register) is not None
+        }

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.core.mappings import AddressMapping, mapping_by_name
 from repro.dmm.machine import DiscreteMemoryMachine, ExecutionResult
-from repro.dmm.trace import MemoryProgram, read, write
+from repro.dmm.trace import INACTIVE, MemoryProgram, read, write
 from repro.gpu.timing import GPUTimingModel
 from repro.util.rng import SeedLike
 
@@ -43,9 +43,22 @@ class KernelStep:
         Name of the shared-memory matrix this step touches.
     ii, jj:
         ``(w, w)`` logical index grids — axis 0 is the warp, axis 1 the
-        lane (same convention as :mod:`repro.access.patterns`).
+        lane (same convention as :mod:`repro.access.patterns`).  All
+        entries must lie in ``[0, w)``; out-of-range grids are rejected
+        here, at construction, instead of failing deep inside address
+        mapping or DMM execution.
     register:
         Per-thread register carrying the value between steps.
+    mask:
+        Optional ``(w, w)`` boolean grid of active lanes; masked-out
+        lanes compile to the :data:`~repro.dmm.trace.INACTIVE` sentinel
+        (index values under a ``False`` mask entry are ignored).
+    immediate:
+        Writes only: the written values are computed host-side between
+        steps rather than taken from ``register`` (the value itself is
+        irrelevant to the DMM cost model, so the access skeleton stays
+        statically analysable).  Immediate steps compile with distinct
+        per-lane sentinel values, so the static race check stays sound.
     """
 
     op: str
@@ -53,18 +66,99 @@ class KernelStep:
     ii: np.ndarray
     jj: np.ndarray
     register: str = "r0"
+    mask: Optional[np.ndarray] = None
+    immediate: bool = False
 
     def __post_init__(self):
         if self.op not in ("read", "write"):
             raise ValueError(f"op must be 'read' or 'write', got {self.op!r}")
+        label = f"KernelStep({self.op} {self.array!r})"
         ii = np.ascontiguousarray(self.ii, dtype=np.int64)
         jj = np.ascontiguousarray(self.jj, dtype=np.int64)
         if ii.shape != jj.shape or ii.ndim != 2:
             raise ValueError(
-                f"ii/jj must be matching 2-D grids, got {ii.shape} and {jj.shape}"
+                f"{label}: ii/jj must be matching 2-D grids, "
+                f"got {ii.shape} and {jj.shape}"
             )
+        if ii.shape[0] != ii.shape[1]:
+            raise ValueError(
+                f"{label}: index grids must be square (w, w), got {ii.shape}"
+            )
+        w = ii.shape[0]
+        mask = self.mask
+        if mask is not None:
+            mask = np.ascontiguousarray(mask, dtype=bool)
+            if mask.shape != ii.shape:
+                raise ValueError(
+                    f"{label}: mask shape {mask.shape} must match the "
+                    f"index grids {ii.shape}"
+                )
+            if mask.all():
+                mask = None  # a full mask is no mask
+        live = mask if mask is not None else slice(None)
+        for name, grid in (("ii", ii), ("jj", jj)):
+            vals = grid[live]
+            if vals.size and ((vals < 0) | (vals >= w)).any():
+                bad = int(vals[(vals < 0) | (vals >= w)][0])
+                raise ValueError(
+                    f"{label}: {name} entries must lie in [0, {w}), "
+                    f"found {bad}"
+                )
+        if self.immediate and self.op != "write":
+            raise ValueError(f"{label}: immediate=True is only valid for writes")
         object.__setattr__(self, "ii", ii)
         object.__setattr__(self, "jj", jj)
+        object.__setattr__(self, "mask", mask)
+
+    @property
+    def w(self) -> int:
+        """Grid side length (warp width the step was built for)."""
+        return self.ii.shape[0]
+
+    @classmethod
+    def from_positions(
+        cls,
+        op: str,
+        array: str,
+        positions: np.ndarray,
+        w: int,
+        register: str = "r0",
+        immediate: bool = False,
+    ) -> "KernelStep":
+        """Lift flat logical positions into a ``(w, w)`` step.
+
+        ``positions`` holds up to ``w^2`` row-major element positions in
+        ``[0, w^2)`` — thread ``t`` touches element
+        ``(positions[t] // w, positions[t] % w)``.  Entries of ``-1``
+        mark inactive lanes, and short vectors are padded with inactive
+        lanes, mirroring how the app kernels pad partial steps.
+        """
+        positions = np.asarray(positions, dtype=np.int64).ravel()
+        p = w * w
+        if positions.size > p:
+            raise ValueError(
+                f"KernelStep({op} {array!r}): {positions.size} positions "
+                f"exceed the w^2 = {p} thread grid"
+            )
+        full = np.full(p, -1, dtype=np.int64)
+        full[: positions.size] = positions
+        if (full < -1).any() or (full >= p).any():
+            bad = int(full[(full < -1) | (full >= p)][0])
+            raise ValueError(
+                f"KernelStep({op} {array!r}): positions must lie in "
+                f"[0, {p}) or be -1 (inactive), found {bad}"
+            )
+        mask = (full >= 0).reshape(w, w)
+        safe = np.where(full >= 0, full, 0)
+        return cls(
+            op,
+            array,
+            (safe // w).reshape(w, w),
+            (safe % w).reshape(w, w),
+            register=register,
+            mask=None if mask.all() else mask,
+            immediate=immediate,
+        )
 
 
 @dataclass(frozen=True)
@@ -109,6 +203,12 @@ class SharedMemoryKernel:
         name (``"RAW"``/``"RAS"``/``"RAP"``) to draw one.
     seed:
         Seed used when ``mapping`` is a name.
+    inputs:
+        Arrays assumed preloaded (via :meth:`load_array`) before the
+        kernel runs; reads of anything else must be preceded by a
+        write, or :meth:`verify` reports an uninitialized read.
+        ``None`` (the default) infers the inputs: every array whose
+        first access is a read is assumed preloaded.
     """
 
     def __init__(
@@ -118,6 +218,7 @@ class SharedMemoryKernel:
         arrays: Sequence[str] = ("a", "b"),
         mapping: AddressMapping | str = "RAW",
         seed: SeedLike = None,
+        inputs: Optional[Sequence[str]] = None,
     ):
         if isinstance(mapping, str):
             mapping = mapping_by_name(mapping, w, seed)
@@ -133,6 +234,22 @@ class SharedMemoryKernel:
         self.steps = list(steps)
         for step in self.steps:
             self._check(step)
+        if inputs is None:
+            self.inputs = self._inferred_inputs()
+        else:
+            self.inputs = tuple(inputs)
+            for name in self.inputs:
+                if name not in self.bases:
+                    raise ValueError(
+                        f"input array {name!r} not declared; arrays: {self.arrays}"
+                    )
+
+    def _inferred_inputs(self) -> tuple[str, ...]:
+        """Arrays whose first access is a read: assumed preloaded."""
+        first_op: dict[str, str] = {}
+        for step in self.steps:
+            first_op.setdefault(step.array, step.op)
+        return tuple(n for n in self.arrays if first_op.get(n) == "read")
 
     def _check(self, step: KernelStep) -> None:
         if step.array not in self.bases:
@@ -145,16 +262,49 @@ class SharedMemoryKernel:
             )
 
     # -- compilation / execution ----------------------------------------
-    def program(self) -> MemoryProgram:
-        """Compile the steps into a DMM memory program."""
-        prog = MemoryProgram(p=self.w * self.w)
+    def program(self, verify: bool = False) -> MemoryProgram:
+        """Compile the steps into a DMM memory program.
+
+        With ``verify=True`` the sanitizer of
+        :mod:`repro.analysis.verify` runs first and a
+        :class:`~repro.analysis.verify.VerificationError` is raised if
+        it reports any diagnostic — compile-time checking in place of
+        an undefined run.
+        """
+        if verify:
+            from repro.analysis.verify import VerificationError
+
+            report = self.verify(certify=False)
+            if not report.ok:
+                raise VerificationError(report.sanitizer)
+        p = self.w * self.w
+        prog = MemoryProgram(p=p)
         for step in self.steps:
             addr = self.bases[step.array] + self.mapping.address(step.ii, step.jj)
+            flat = addr.ravel()
+            if step.mask is not None:
+                flat = np.where(step.mask.ravel(), flat, INACTIVE)
             if step.op == "read":
-                prog.append(read(addr.ravel(), register=step.register))
+                prog.append(read(flat, register=step.register))
+            elif step.immediate:
+                # Host-computed values are unknown statically; distinct
+                # per-lane sentinels keep the CRCW race check sound.
+                prog.append(write(flat, values=np.arange(p, dtype=np.float64)))
             else:
-                prog.append(write(addr.ravel(), register=step.register))
+                prog.append(write(flat, register=step.register))
         return prog
+
+    def verify(self, certify: bool = True):
+        """Statically verify the kernel without executing it.
+
+        Returns a :class:`~repro.analysis.verify.VerificationReport`
+        combining the sanitizer diagnostics with (when ``certify``)
+        the per-step congestion certificate under this kernel's
+        mapping.  See :mod:`repro.analysis.verify`.
+        """
+        from repro.analysis.verify import verify_kernel
+
+        return verify_kernel(self, certify=certify)
 
     def make_machine(self, latency: int = 1) -> DiscreteMemoryMachine:
         """A DMM sized for this kernel's arrays."""
@@ -229,4 +379,6 @@ def transpose_kernel(
         KernelStep("read", "a", ri, rj, register="c"),
         KernelStep("write", "b", wi, wj, register="c"),
     ]
-    return SharedMemoryKernel(mapping.w, steps, arrays=("a", "b"), mapping=mapping)
+    return SharedMemoryKernel(
+        mapping.w, steps, arrays=("a", "b"), mapping=mapping, inputs=("a",)
+    )

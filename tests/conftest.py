@@ -5,11 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.util.rng import as_generator
+
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic generator for tests that need randomness."""
-    return np.random.default_rng(20140901)
+    return as_generator(20140901)
 
 
 @pytest.fixture(params=[4, 8, 16, 32])

@@ -1,0 +1,167 @@
+"""Property tests for repro.analysis.certificates.
+
+The headline property: a static certificate is *exact*, never a bound.
+For every builtin app program, under every builtin mapping, each step's
+certified worst/total congestion equals what the cycle-accurate machine
+observes when the program actually runs — and the symbolic path (where
+taken) agrees with enumeration by construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.certificates import certify_kernel, certify_program
+from repro.analysis.prover import METHOD_ENUMERATE, METHOD_SYMBOLIC
+from repro.analysis.verify import verify_kernel
+from repro.apps import BUILTIN_PROGRAMS, build_app_program
+from repro.core.mappings import RAWMapping, mapping_by_name
+from repro.dmm.trace import MemoryProgram, read, write
+from repro.util.rng import as_generator
+
+MAPPING_NAMES = ("RAW", "RAS", "RAP")
+SEED = 2014
+W = 8
+
+
+def executed(kernel, seed=99):
+    """Run the kernel on the DMM with its inputs loaded; return the result."""
+    machine = kernel.make_machine()
+    rng = as_generator(seed)
+    for name in kernel.inputs:
+        kernel.load_array(machine, name, rng.random((kernel.w, kernel.w)))
+    return machine.run(kernel.program())
+
+
+class TestSoundness:
+    """Static certificate == dynamic observation, for every builtin app."""
+
+    @pytest.mark.parametrize("mapping_name", MAPPING_NAMES)
+    @pytest.mark.parametrize("app", sorted(BUILTIN_PROGRAMS))
+    def test_certificate_matches_execution(self, app, mapping_name):
+        mapping = mapping_by_name(mapping_name, W, SEED)
+        kernel = build_app_program(app, mapping, seed=SEED)
+        report = verify_kernel(kernel)
+        assert report.sanitizer.clean, report.sanitizer.render()
+        cert = report.certificate
+
+        result = executed(kernel)
+        assert len(cert.steps) == len(result.traces)
+        for step_cert, trace in zip(cert.steps, result.traces):
+            assert step_cert.worst == trace.max_congestion, step_cert
+            assert step_cert.total == trace.schedule.total_stages, step_cert
+        assert cert.worst == result.max_congestion
+        assert cert.total_stages == sum(
+            t.schedule.total_stages for t in result.traces
+        )
+
+
+class TestSymbolicPath:
+    """Affine steps under RAP close symbolically with worst congestion 1."""
+
+    def test_transpose_crsw_rap_fully_symbolic(self):
+        mapping = mapping_by_name("RAP", 16, SEED)
+        kernel = build_app_program("transpose_crsw", mapping, seed=SEED)
+        cert = certify_kernel(kernel)
+        assert all(s.method == METHOD_SYMBOLIC for s in cert.steps)
+        assert cert.worst == 1
+
+    def test_gather_same_bank_rap_symbolic_worst_1(self):
+        # The RAW-pathological same-bank gather is affine, so RAP
+        # certifies it conflict-free without enumerating an address.
+        mapping = mapping_by_name("RAP", 16, SEED)
+        kernel = build_app_program("gather", mapping, seed=SEED)
+        cert = certify_kernel(kernel)
+        assert all(s.method == METHOD_SYMBOLIC for s in cert.steps)
+        assert cert.worst == 1
+
+    def test_stencil_rap_symbolic_worst_1(self):
+        mapping = mapping_by_name("RAP", 16, SEED)
+        for app in ("stencil_row", "stencil_column"):
+            cert = certify_kernel(build_app_program(app, mapping, seed=SEED))
+            assert all(s.method == METHOD_SYMBOLIC for s in cert.steps), app
+            assert cert.worst == 1, app
+
+    def test_same_bank_gather_raw_is_worst_case(self):
+        # Same grids, RAW layout: the symbolic path proves congestion w.
+        mapping = mapping_by_name("RAW", 16, SEED)
+        cert = certify_kernel(build_app_program("gather", mapping, seed=SEED))
+        read_step = cert.steps[0]
+        assert read_step.method == METHOD_SYMBOLIC
+        assert read_step.worst == 16
+
+    def test_data_dependent_steps_enumerate(self):
+        # Random gather indices are not affine: the certifier must fall
+        # back to exact counting and label the step honestly.
+        mapping = mapping_by_name("RAP", 8, SEED)
+        from repro.apps.gather import build_program
+
+        kernel = build_program(mapping, distribution="uniform", seed=SEED)
+        cert = certify_kernel(kernel)
+        assert cert.steps[0].method == METHOD_ENUMERATE
+
+
+class TestCertifyProgram:
+    """The compiled-program path: pure enumeration."""
+
+    def test_contiguous_program_worst_1(self):
+        prog = MemoryProgram(p=16)
+        prog.append(
+            write(np.arange(16, dtype=np.int64), values=np.zeros(16))
+        )
+        cert = certify_program(prog, 4, name="contig", mapping_name="RAW")
+        assert cert.worst == 1
+        assert cert.steps[0].method == METHOD_ENUMERATE
+
+    def test_same_bank_program_worst_w(self):
+        addrs = (np.arange(16, dtype=np.int64) * 4) % 16
+        prog = MemoryProgram(p=16, instructions=[read(addrs, register="v")])
+        cert = certify_program(prog, 4)
+        assert cert.worst == 4
+
+    def test_inactive_lanes_excluded(self):
+        addrs = np.full(16, -1, dtype=np.int64)
+        addrs[0] = 0
+        prog = MemoryProgram(p=16, instructions=[read(addrs, register="v")])
+        cert = certify_program(prog, 4)
+        assert cert.worst == 1
+        # three all-inactive warps are never dispatched
+        assert cert.total_stages == 1
+
+    def test_rejects_bad_width(self):
+        prog = MemoryProgram(p=6)
+        with pytest.raises(ValueError):
+            certify_program(prog, 4)
+
+
+class TestCertificateShape:
+    def test_to_dict_round_trips_fields(self):
+        mapping = RAWMapping(4)
+        kernel = build_app_program("transpose_crsw", mapping, seed=SEED)
+        cert = certify_kernel(kernel, name="transpose_crsw")
+        d = cert.to_dict()
+        assert d["program"] == "transpose_crsw"
+        assert d["mapping"] == "RAW"
+        assert d["w"] == 4
+        assert len(d["steps"]) == len(cert.steps)
+        for entry in d["steps"]:
+            assert set(entry) == {
+                "step",
+                "op",
+                "array",
+                "worst",
+                "mean",
+                "total",
+                "method",
+                "argument",
+            }
+
+    def test_deterministic(self):
+        mapping = mapping_by_name("RAP", 8, SEED)
+        a = certify_kernel(build_app_program("fft", mapping, seed=SEED))
+        b = certify_kernel(build_app_program("fft", mapping, seed=SEED))
+        assert a.to_dict() == b.to_dict()
+
+    def test_render_mentions_worst(self):
+        mapping = RAWMapping(4)
+        cert = certify_kernel(build_app_program("scan", mapping, seed=SEED))
+        assert str(cert.worst) in cert.render()

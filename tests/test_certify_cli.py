@@ -1,0 +1,120 @@
+"""Tests for ``repro certify`` — the program-certification CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+
+BASELINE = Path(__file__).parent / "data" / "certify_baseline.json"
+
+
+class TestExitCodes:
+    def test_single_app_clean(self, capsys):
+        assert main(["certify", "--app", "gather", "--w", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "gather under RAP" in out
+        assert "1/1 program certificates clean" in out
+
+    def test_all_apps_clean(self, capsys):
+        assert main(["certify", "--w", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "12/12 program certificates clean" in out
+
+    def test_unknown_app_exits_2(self, capsys):
+        assert main(["certify", "--app", "nonesuch"]) == 2
+        assert "unknown --app" in capsys.readouterr().err
+
+    def test_max_worst_gate_trips(self, capsys):
+        # Every program's worst congestion is at least 1.
+        code = main(["certify", "--app", "scan", "--w", "8", "--max-worst", "0"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err and "scan" in err
+
+    def test_max_worst_gate_passes(self, capsys):
+        code = main(
+            ["certify", "--app", "transpose_crsw", "--w", "8", "--max-worst", "1"]
+        )
+        assert code == 0
+
+
+class TestJson:
+    def payload(self, capsys, argv):
+        assert main(argv) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_structure(self, capsys):
+        data = self.payload(
+            capsys, ["certify", "--app", "fft", "--w", "8", "--json"]
+        )
+        assert data["w"] == 8
+        assert data["seed"] == 2014
+        (entry,) = data["programs"]
+        assert entry["program"] == "fft"
+        assert entry["mapping"] == "RAP"
+        assert entry["sanitizer"]["clean"] is True
+        cert = entry["certificate"]
+        assert cert["w"] == 8
+        assert all(
+            step["method"] in ("symbolic", "enumerate")
+            for step in cert["steps"]
+        )
+
+    def test_mapping_all_emits_three_entries(self, capsys):
+        data = self.payload(
+            capsys,
+            ["certify", "--app", "gather", "--w", "8", "--mapping", "ALL", "--json"],
+        )
+        assert [e["mapping"] for e in data["programs"]] == ["RAW", "RAS", "RAP"]
+
+    def test_deterministic(self, capsys):
+        argv = ["certify", "--app", "sort", "--w", "8", "--json"]
+        first = self.payload(capsys, argv)
+        second = self.payload(capsys, argv)
+        assert first == second
+
+    def test_rap_beats_raw_on_transpose(self, capsys):
+        data = self.payload(
+            capsys,
+            [
+                "certify",
+                "--app",
+                "transpose_crsw",
+                "--w",
+                "8",
+                "--mapping",
+                "ALL",
+                "--json",
+            ],
+        )
+        worst = {
+            e["mapping"]: e["certificate"]["worst"] for e in data["programs"]
+        }
+        assert worst["RAW"] == 8  # the paper's w-fold stride serialization
+        assert worst["RAP"] == 1  # Theorem 1
+
+
+class TestBaseline:
+    """Local mirror of the CI `certify` job's baseline diff."""
+
+    def test_matches_checked_in_baseline(self, capsys):
+        assert main(["certify", "--mapping", "ALL", "--json"]) == 0
+        current = json.loads(capsys.readouterr().out)
+        assert current == json.loads(BASELINE.read_text())
+
+    def test_rap_worst_bound_holds(self, capsys):
+        # The bound enforced by CI: no builtin program certifies worse
+        # than congestion 5 under RAP at the baseline width.
+        assert main(["certify", "--mapping", "RAP", "--max-worst", "5"]) == 0
+        capsys.readouterr()
+
+
+class TestMappingChoices:
+    def test_lowercase_mapping_accepted(self, capsys):
+        assert main(["certify", "--app", "scan", "--w", "8", "--mapping", "rap"]) == 0
+
+    def test_bad_mapping_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["certify", "--mapping", "XYZ"])

@@ -10,6 +10,7 @@ from repro.core.mappings import mapping_by_name
 from repro.dmm.machine import DiscreteMemoryMachine
 from repro.dmm.trace import MemoryProgram, read
 from repro.dmm.validation import InvariantViolation, check_execution_invariants
+from repro.util.rng import as_generator
 
 
 class TestCleanResultsPass:
@@ -34,7 +35,7 @@ class TestCleanResultsPass:
         st.integers(0, 2**31 - 1),
     )
     def test_random_programs(self, w, latency, seed):
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         p = w * int(rng.integers(1, 4))
         machine = DiscreteMemoryMachine(w, latency, 4 * w * w)
         prog = MemoryProgram(p=p)
@@ -91,7 +92,7 @@ class TestUMMResultsValidate:
     def test_random_umm_programs(self, w, latency, seed):
         from repro.dmm.umm import UnifiedMemoryMachine
 
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         p = w * int(rng.integers(1, 4))
         machine = UnifiedMemoryMachine(w, latency, 4 * w * w)
         prog = MemoryProgram(p=p)

@@ -43,7 +43,7 @@ class TestRunningStats:
             stats.finish()
 
     def test_matches_numpy_moments(self):
-        rng = np.random.default_rng(0)
+        rng = as_generator(0)
         values = rng.normal(5.0, 2.0, size=10_000)
         stats = RunningStats()
         for chunk in np.array_split(values, 7):
@@ -70,7 +70,7 @@ class TestRunningStats:
         assert abs(naive_var - two_pass_var) > two_pass_var
 
     def test_merge_equals_sequential(self):
-        rng = np.random.default_rng(1)
+        rng = as_generator(1)
         a_vals = rng.integers(1, 9, size=1000)
         b_vals = rng.integers(1, 9, size=300)
         a, b, both = RunningStats(), RunningStats(), RunningStats()
@@ -220,7 +220,7 @@ class TestEngineCache:
     def test_generator_seed_skips_cache(self, tmp_path):
         engine = MonteCarloEngine(cache=ResultCache(tmp_path))
         engine.matrix_congestion(
-            "RAS", "stride", 16, trials=10, seed=np.random.default_rng(0)
+            "RAS", "stride", 16, trials=10, seed=as_generator(0)
         )
         assert len(engine.cache) == 0
 
@@ -315,7 +315,7 @@ class TestSeedPlumbing:
 
     def test_fingerprint_unreproducible_seeds(self):
         assert seed_fingerprint(None) is None
-        assert seed_fingerprint(np.random.default_rng(0)) is None
+        assert seed_fingerprint(as_generator(0)) is None
 
 
 class TestExperimentsThroughEngine:

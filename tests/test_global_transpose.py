@@ -6,6 +6,7 @@ import pytest
 from repro.apps.global_transpose import run_global_transpose
 from repro.core.mappings import RAPMapping, RAWMapping
 from repro.core.swizzle import XORSwizzleMapping
+from repro.util.rng import as_generator
 
 
 class TestCorrectness:
@@ -61,7 +62,7 @@ class TestTimingStory:
     @pytest.fixture(scope="class")
     def outcomes(self):
         n, w = 32, 8
-        matrix = np.random.default_rng(0).random((n, n))
+        matrix = as_generator(0).random((n, n))
         return {
             "direct": run_global_transpose(n, "direct", w=w, matrix=matrix),
             "tiled/RAW": run_global_transpose(n, "tiled", w=w, matrix=matrix),

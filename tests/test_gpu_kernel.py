@@ -17,6 +17,7 @@ class TestKernelStep:
         ii, jj = grids(4)
         step = KernelStep("read", "a", ii, jj)
         assert step.ii.dtype == np.int64
+        assert step.w == 4
 
     def test_bad_op(self):
         ii, jj = grids(4)
@@ -27,6 +28,73 @@ class TestKernelStep:
         ii, jj = grids(4)
         with pytest.raises(ValueError):
             KernelStep("read", "a", ii, jj[:2])
+
+    def test_non_square_grid_rejected(self):
+        ii = np.zeros((4, 2), dtype=np.int64)
+        with pytest.raises(ValueError, match="square"):
+            KernelStep("read", "a", ii, ii)
+
+    def test_out_of_range_entry_names_step_and_array(self):
+        ii, jj = grids(4)
+        bad = jj.copy()
+        bad[0, 0] = 4
+        with pytest.raises(ValueError, match=r"KernelStep\(read 'a'\)"):
+            KernelStep("read", "a", ii, bad)
+
+    def test_negative_entry_rejected(self):
+        ii, jj = grids(4)
+        bad = ii.copy()
+        bad[2, 1] = -3
+        with pytest.raises(ValueError, match=r"\[0, 4\)"):
+            KernelStep("read", "a", bad, jj)
+
+    def test_masked_entries_exempt_from_bounds(self):
+        ii, jj = grids(4)
+        bad = ii.copy()
+        bad[0, 0] = 99
+        mask = np.ones((4, 4), dtype=bool)
+        mask[0, 0] = False
+        step = KernelStep("read", "a", bad, jj, mask=mask)
+        assert step.mask is not None
+
+    def test_all_true_mask_normalized_to_none(self):
+        ii, jj = grids(4)
+        step = KernelStep("read", "a", ii, jj, mask=np.ones((4, 4), dtype=bool))
+        assert step.mask is None
+
+    def test_mask_shape_checked(self):
+        ii, jj = grids(4)
+        with pytest.raises(ValueError, match="mask"):
+            KernelStep("read", "a", ii, jj, mask=np.ones((2, 2), dtype=bool))
+
+    def test_immediate_read_rejected(self):
+        ii, jj = grids(4)
+        with pytest.raises(ValueError, match="immediate"):
+            KernelStep("read", "a", ii, jj, immediate=True)
+
+
+class TestFromPositions:
+    def test_round_trip_flat_positions(self):
+        pos = np.arange(16, dtype=np.int64)
+        step = KernelStep.from_positions("read", "a", pos, 4)
+        assert np.array_equal(step.ii, grids(4)[0])
+        assert np.array_equal(step.jj, grids(4)[1])
+        assert step.mask is None
+
+    def test_negative_marks_inactive(self):
+        pos = np.arange(16, dtype=np.int64)
+        pos[5] = -1
+        step = KernelStep.from_positions("read", "a", pos, 4)
+        assert step.mask is not None
+        assert not step.mask.ravel()[5]
+
+    def test_short_vector_padded_inactive(self):
+        step = KernelStep.from_positions("read", "a", np.array([0, 1, 2]), 4)
+        assert step.mask.ravel().sum() == 3
+
+    def test_position_past_tile_rejected(self):
+        with pytest.raises(ValueError):
+            KernelStep.from_positions("read", "a", np.array([16]), 4)
 
 
 class TestSharedMemoryKernel:
@@ -91,6 +159,55 @@ class TestSharedMemoryKernel:
         ii, jj = grids(4)
         k = SharedMemoryKernel(4, [KernelStep("read", "a", ii, jj)])
         assert k.run().predicted_ns is None
+
+
+class TestInputsAndCompile:
+    def test_inputs_inferred_from_first_access(self):
+        ii, jj = grids(4)
+        steps = [
+            KernelStep("read", "a", ii, jj, register="c"),
+            KernelStep("write", "b", jj, ii, register="c"),
+            KernelStep("read", "b", ii, jj, register="o"),
+        ]
+        k = SharedMemoryKernel(4, steps, arrays=("a", "b"))
+        assert k.inputs == ("a",)  # b is written before it is read
+
+    def test_explicit_inputs_validated(self):
+        with pytest.raises(ValueError, match="not declared"):
+            SharedMemoryKernel(4, [], arrays=("a",), inputs=("z",))
+
+    def test_mask_compiles_to_inactive_lanes(self):
+        ii, jj = grids(4)
+        mask = np.ones((4, 4), dtype=bool)
+        mask[3, :] = False
+        k = SharedMemoryKernel(
+            4, [KernelStep("read", "a", ii, jj, mask=mask)], inputs=("a",)
+        )
+        addrs = k.program().instructions[0].addresses
+        assert (addrs[12:] == -1).all()
+        assert (addrs[:12] >= 0).all()
+
+    def test_immediate_write_compiles_distinct_values(self):
+        ii, jj = grids(4)
+        k = SharedMemoryKernel(
+            4, [KernelStep("write", "a", ii, jj, immediate=True)]
+        )
+        instr = k.program().instructions[0]
+        assert instr.values is not None
+        assert len(np.unique(instr.values)) == 16
+
+    def test_verify_returns_report(self):
+        ii, jj = grids(4)
+        k = SharedMemoryKernel(
+            4,
+            [KernelStep("read", "a", ii, jj, register="c")],
+            mapping="RAP",
+            seed=0,
+            inputs=("a",),
+        )
+        report = k.verify()
+        assert report.ok
+        assert report.certificate.worst >= 1
 
 
 class TestTransposeKernel:

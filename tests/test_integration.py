@@ -20,6 +20,7 @@ from repro.sim.congestion_sim import (
     simulate_matrix_congestion,
     simulate_nd_congestion,
 )
+from repro.util.rng import as_generator
 
 
 class TestAbstractClaims:
@@ -133,7 +134,7 @@ class TestEndToEndDataIntegrity:
     def test_chained_transposes_restore_matrix(self):
         """Transposing twice through different mappings is identity."""
         w = 8
-        rng = np.random.default_rng(3)
+        rng = as_generator(3)
         matrix = rng.random((w, w))
         m1 = RAPMapping.random(w, 1)
         out1 = run_transpose("CRSW", m1, matrix=matrix)

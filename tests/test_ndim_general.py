@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.congestion import warp_congestion
 from repro.core.ndim_general import GeneralNDMapping
+from repro.util.rng import as_generator
 
 W = 5
 
@@ -101,7 +102,7 @@ class TestStrideGuarantees:
         """rank-4 (d-1)P with the same permutations equals ThreeP."""
         from repro.core.higher_dim import ThreeP
 
-        rng = np.random.default_rng(9)
+        rng = as_generator(9)
         perms = [rng.permutation(W) for _ in range(3)]
         general = GeneralNDMapping.rap(W, 4, perms=perms)
         specific = ThreeP(W, perms[0], perms[1], perms[2])

@@ -13,6 +13,7 @@ from repro.core.permutation import (
     require_permutation,
     rotation_permutation,
 )
+from repro.util.rng import as_generator
 
 
 class TestRandomPermutation:
@@ -40,7 +41,7 @@ class TestRandomPermutation:
     def test_uniformity_chi_square(self):
         # Position of element 0 should be ~uniform over 8 slots.
         w, n = 8, 4000
-        rng = np.random.default_rng(7)
+        rng = as_generator(7)
         counts = np.zeros(w)
         for _ in range(n):
             perm = random_permutation(w, rng)

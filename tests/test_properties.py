@@ -27,6 +27,7 @@ from repro.core.permutation import (
 )
 from repro.core.register_pack import pack_shifts, unpack_all
 from repro.dmm.mmu import PipelinedMMU
+from repro.util.rng import as_generator
 
 # -- strategies -------------------------------------------------------------
 
@@ -141,14 +142,14 @@ def test_rap_stride_conflict_free(wp):
 def test_rap_layout_roundtrip(wp, seed2):
     w, perm = wp
     m = RAPMapping(w, perm)
-    matrix = np.random.default_rng(seed2).random((w, w))
+    matrix = as_generator(seed2).random((w, w))
     assert np.array_equal(m.read_layout(m.apply_layout(matrix)), matrix)
 
 
 @given(widths, seeds)
 def test_ras_layout_roundtrip(w, seed):
     m = RASMapping.random(w, seed)
-    matrix = np.random.default_rng(seed).random((w, w))
+    matrix = as_generator(seed).random((w, w))
     assert np.array_equal(m.read_layout(m.apply_layout(matrix)), matrix)
 
 
@@ -174,7 +175,7 @@ def test_congestion_invariant_under_duplication(wa):
 def test_congestion_invariant_under_permutation(wa):
     """Thread order within a warp is irrelevant."""
     w, addrs = wa
-    shuffled = np.random.default_rng(0).permutation(addrs)
+    shuffled = as_generator(0).permutation(addrs)
     assert warp_congestion(shuffled, w) == warp_congestion(addrs, w)
 
 
@@ -262,7 +263,7 @@ def test_raw_vs_rap_same_data_different_time(w, seed):
     """Same logical result under both mappings; RAP never slower on CRSW."""
     from repro.access.transpose import run_transpose
 
-    matrix = np.random.default_rng(seed).random((w, w))
+    matrix = as_generator(seed).random((w, w))
     raw = run_transpose("CRSW", RAWMapping(w), matrix=matrix)
     rap = run_transpose("CRSW", RAPMapping.random(w, seed), matrix=matrix)
     assert raw.correct and rap.correct

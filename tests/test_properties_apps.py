@@ -15,6 +15,7 @@ from repro.apps.fft import run_fft
 from repro.apps.scan import run_scan
 from repro.apps.sort import run_bitonic_sort
 from repro.core.mappings import RAPMapping, RAWMapping
+from repro.util.rng import as_generator
 
 W = 4  # n = 16-point workloads: fast enough for dozens of examples
 N = W * W
@@ -73,7 +74,7 @@ def test_double_transpose_identity(seed1, seed2):
     """Transposing twice through independent RAP draws is the identity."""
     from repro.access.transpose import run_transpose
 
-    matrix = np.random.default_rng(seed1).random((8, 8))
+    matrix = as_generator(seed1).random((8, 8))
     m1 = RAPMapping.random(8, seed1)
     m2 = RAPMapping.random(8, seed2)
     first = run_transpose("CRSW", m1, matrix=matrix)
@@ -86,7 +87,7 @@ def test_double_transpose_identity(seed1, seed2):
 @given(seeds)
 def test_fft_parseval(seed):
     """Energy conservation: ||x||^2 == ||FFT(x)||^2 / n."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     signal = rng.random(N) + 1j * rng.random(N)
     mapping = RAWMapping(W)
     outcome = run_fft(mapping, signal=signal)

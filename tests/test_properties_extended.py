@@ -19,6 +19,7 @@ from repro.core.swizzle import XORSwizzleMapping
 from repro.dmm.event_sim import EventDrivenDMM
 from repro.dmm.machine import DiscreteMemoryMachine
 from repro.dmm.trace import MemoryProgram, read, write
+from repro.util.rng import as_generator
 
 widths = st.integers(min_value=2, max_value=24)
 pow2_widths = st.sampled_from([2, 4, 8, 16, 32])
@@ -40,7 +41,7 @@ def test_padded_bijection_any_pad(w, pad):
 @given(widths, st.integers(1, 4), seeds)
 def test_padded_layout_roundtrip(w, pad, seed):
     m = PaddedMapping(w, pad=pad)
-    matrix = np.random.default_rng(seed).random((w, w))
+    matrix = as_generator(seed).random((w, w))
     assert np.array_equal(m.read_layout(m.apply_layout(matrix)), matrix)
 
 
@@ -96,7 +97,7 @@ def random_program(draw):
     size = 4 * w * w
     n_instr = draw(st.integers(1, 4))
     prog = MemoryProgram(p=p)
-    rng = np.random.default_rng(draw(seeds))
+    rng = as_generator(draw(seeds))
     prog.append(read(rng.integers(0, size, size=p), register="v"))
     for _ in range(n_instr - 1):
         if rng.random() < 0.5:
@@ -126,7 +127,7 @@ def test_event_engine_never_slower_and_data_equal(wp, latency):
 @settings(max_examples=30, deadline=None)
 @given(st.sampled_from([2, 4, 8, 16]), st.integers(1, 12), seeds)
 def test_event_engine_exact_on_single_instruction(w, latency, seed):
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     prog = MemoryProgram(
         p=w, instructions=[read(rng.integers(0, w * w, size=w))]
     )
@@ -181,7 +182,7 @@ def test_rap_congestion_never_exceeds_distinct_rows(w, seed1, seed2):
     most one distinct address per row: congestion <= #distinct rows.
     (This is the structural fact behind the Theorem 2 proof's row-wise
     accounting.)"""
-    rng = np.random.default_rng(seed2)
+    rng = as_generator(seed2)
     rows = rng.integers(0, w, size=w)
     cols = rng.integers(0, w, size=w)
     mapping = RAPMapping.random(w, seed1)
