@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.analysis.affine import AffineAccess
 from repro.analysis.prover import METHOD_ENUMERATE, METHOD_SYMBOLIC, symbolic_step
-from repro.core.congestion import warp_congestion
+from repro.core.congestion import congestion_batch
 from repro.dmm.trace import INACTIVE, MemoryProgram
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -157,21 +157,21 @@ class ProgramCertificate:
 
 
 def _enumerate_step(addresses: np.ndarray, w: int) -> tuple[int, float, int, str]:
-    """Exact per-warp count of one instruction's flat addresses."""
-    warps = addresses.reshape(-1, w)
-    congs = []
-    for row in warps:
-        active = row[row != INACTIVE]
-        if active.size:
-            congs.append(warp_congestion(active, w))
-    if not congs:
+    """Exact per-warp count of one instruction's flat addresses.
+
+    One inactive-aware :func:`congestion_batch` call over every warp —
+    the same batched kernel the DMM executors run on — with the
+    undispatched warps (congestion 0) dropped before the summary.
+    """
+    cong = congestion_batch(addresses.reshape(-1, w), w, inactive=INACTIVE)
+    cong = cong[cong > 0]
+    if cong.size == 0:
         return 0, 0.0, 0, "no active lane; the step dispatches no warp"
-    arr = np.asarray(congs, dtype=np.int64)
     note = (
-        f"counted exactly over {arr.size} dispatched warp(s) of {w} lanes "
+        f"counted exactly over {cong.size} dispatched warp(s) of {w} lanes "
         "(no symbolic rule applies)"
     )
-    return int(arr.max()), float(arr.mean()), int(arr.sum()), note
+    return int(cong.max()), float(cong.mean()), int(cong.sum()), note
 
 
 def certify_kernel(

@@ -19,6 +19,12 @@ Static-analysis subcommands (dispatched to
 * ``certify`` — program-level sanitizer + congestion certificates for
   every builtin app (``python -m repro certify --mapping RAP``).
 
+Performance subcommand:
+
+* ``bench-dmm`` — scalar-vs-batched DMM executor throughput on the
+  builtin apps, verified identical before timing
+  (``python -m repro bench-dmm --trials 100 --json BENCH_dmm.json``).
+
 Options let the user trade runtime for precision (``--trials``), pin
 reproducibility (``--seed``), distribute Monte-Carlo trials over
 worker processes (``--workers``), and control the on-disk result
@@ -458,6 +464,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.analysis.cli import main as analysis_main
 
         return analysis_main(argv)
+    if argv and argv[0] == "bench-dmm":
+        from repro.sim.bench import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     names = (
         list(_TABLE_RUNNERS) + list(ALL_FIGURES)

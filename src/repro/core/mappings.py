@@ -40,7 +40,7 @@ from repro.core.permutation import (
     random_shifts,
     require_permutation,
 )
-from repro.util.rng import SeedLike
+from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_positive_int
 
 __all__ = [
@@ -50,6 +50,8 @@ __all__ = [
     "RASMapping",
     "RAPMapping",
     "mapping_by_name",
+    "mapping_from_shifts",
+    "sample_shift_batch",
     "MAPPING_NAMES",
 ]
 
@@ -302,4 +304,71 @@ def mapping_by_name(name: str, w: int, seed: SeedLike = None) -> AddressMapping:
         return RASMapping.random(w, seed)
     if key == "RAP":
         return RAPMapping.random(w, seed)
+    raise ValueError(f"unknown mapping {name!r}; expected one of {MAPPING_NAMES}")
+
+
+def sample_shift_batch(
+    name: str, w: int, trials: int, rng: SeedLike = None
+) -> np.ndarray:
+    """Draw ``trials`` independent shift vectors of one mapping family.
+
+    All three 2-D mappings are :class:`ShiftedRowMapping` instances, so
+    ``trials`` independent draws are fully described by a
+    ``(trials, w)`` shift matrix — the staging input of both the
+    Monte-Carlo fast path (:mod:`repro.sim.congestion_sim`) and the
+    batched DMM executor
+    (:meth:`repro.gpu.kernel.SharedMemoryKernel.program_batch`).
+    Vectorized: RAS is one ``integers`` draw, RAP one batched
+    ``permuted``, so the cost does not scale with a Python-level trial
+    loop.
+
+    Parameters
+    ----------
+    name:
+        ``"RAW"``, ``"RAS"``, or ``"RAP"`` (case-insensitive).
+    w:
+        Matrix side / bank count.
+    trials:
+        Number of independent draws.
+    rng:
+        Seed or generator (RAW consumes no randomness).
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(trials, w)`` int64; row ``t`` is trial ``t``'s shift
+        vector (each row a permutation for RAP, all zeros for RAW).
+    """
+    check_positive_int(w, "w")
+    check_positive_int(trials, "trials")
+    key = name.upper()
+    if key == "RAW":
+        return np.zeros((trials, w), dtype=np.int64)
+    rng = as_generator(rng)
+    if key == "RAS":
+        return rng.integers(0, w, size=(trials, w), dtype=np.int64)
+    if key == "RAP":
+        base = np.broadcast_to(np.arange(w, dtype=np.int64), (trials, w))
+        return rng.permuted(base, axis=1)
+    raise ValueError(f"unknown mapping {name!r}; expected one of {MAPPING_NAMES}")
+
+
+def mapping_from_shifts(name: str, shifts: np.ndarray) -> ShiftedRowMapping:
+    """Rebuild one trial's mapping from its shift vector.
+
+    The scalar counterpart of :func:`sample_shift_batch`: feeding row
+    ``t`` of a shift batch through this factory yields the exact
+    mapping the batched executor models for trial ``t``, which is how
+    the batched-vs-scalar exactness tests pin equivalence.
+    """
+    shifts = np.ascontiguousarray(shifts, dtype=np.int64)
+    key = name.upper()
+    if key == "RAW":
+        if shifts.any():
+            raise ValueError("RAW requires an all-zero shift vector")
+        return RAWMapping(shifts.size)
+    if key == "RAS":
+        return RASMapping(shifts.size, shifts)
+    if key == "RAP":
+        return RAPMapping(shifts.size, shifts)
     raise ValueError(f"unknown mapping {name!r}; expected one of {MAPPING_NAMES}")

@@ -1,13 +1,21 @@
 """The Discrete Memory Machine substrate: memory, warps, pipeline, executor."""
 
+from repro.dmm.batched import (
+    BatchedDMM,
+    BatchedExecutionResult,
+    BatchedInstruction,
+    BatchedInstructionTrace,
+    BatchedProgram,
+    stack_programs,
+)
 from repro.dmm.event_sim import EventDrivenDMM, EventExecutionResult
 from repro.dmm.machine import (
     DiscreteMemoryMachine,
     ExecutionResult,
     InstructionTrace,
 )
-from repro.dmm.memory import BankedMemory
-from repro.dmm.mmu import PipelinedMMU, StageSchedule
+from repro.dmm.memory import BankedMemory, BatchedMemory
+from repro.dmm.mmu import PipelinedMMU, StageSchedule, batch_completion_times
 from repro.dmm.trace import INACTIVE, Instruction, MemoryProgram, read, write
 from repro.dmm.umm import UnifiedMemoryMachine, coalesced_group_count
 from repro.dmm.validation import InvariantViolation, check_execution_invariants
@@ -21,8 +29,16 @@ __all__ = [
     "ExecutionResult",
     "InstructionTrace",
     "BankedMemory",
+    "BatchedMemory",
+    "BatchedDMM",
+    "BatchedExecutionResult",
+    "BatchedInstruction",
+    "BatchedInstructionTrace",
+    "BatchedProgram",
+    "stack_programs",
     "PipelinedMMU",
     "StageSchedule",
+    "batch_completion_times",
     "INACTIVE",
     "Instruction",
     "MemoryProgram",

@@ -1,0 +1,461 @@
+"""Batched DMM execution: one program skeleton, many mapping draws.
+
+Estimating an app's expected running time under RAS/RAP (Section V)
+means executing the *same* access skeleton under many independent
+shift draws.  The scalar :class:`~repro.dmm.machine.DiscreteMemoryMachine`
+pays the full build-compile-execute pipeline per draw; this module
+executes ``T`` draws simultaneously by carrying a leading trial axis
+through every array:
+
+* addresses are staged per instruction as ``(T, p)`` blocks,
+* per-instruction congestion is one :func:`~repro.core.congestion.congestion_batch`
+  call over all ``T x warps`` rows (or one sort over pre-staged bank
+  keys when the staging layer could separate banks from addresses —
+  see :meth:`repro.gpu.kernel.SharedMemoryKernel.program_batch`),
+* registers are ``(T, p)`` blocks and memory is a
+  :class:`~repro.dmm.memory.BatchedMemory` of ``T`` images,
+* :class:`~repro.dmm.mmu.StageSchedule` timing arithmetic runs as
+  ``(T,)`` vector ops (:func:`~repro.dmm.mmu.batch_completion_times`).
+
+The contract is exactness, not approximation: for every trial ``t``,
+per-step congestions, total time units, final memory, and final
+registers equal what the scalar machine produces for trial ``t``'s
+mapping (``tests/test_batched_dmm.py`` pins this for every builtin app
+under RAW, RAS, and RAP).  Inactive lanes are redirected to a per-trial
+scratch cell rather than compressed away, which keeps every memory
+operation a single flat gather/scatter; CRCW last-lane-wins write
+resolution survives because the flat row-major order preserves each
+trial's lane order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.congestion import congestion_batch, max_run_lengths
+from repro.dmm.memory import BatchedMemory
+from repro.dmm.mmu import batch_completion_times
+from repro.dmm.trace import INACTIVE, MemoryProgram
+from repro.util.validation import check_latency, check_positive_int
+
+__all__ = [
+    "BatchedInstruction",
+    "BatchedProgram",
+    "BatchedInstructionTrace",
+    "BatchedExecutionResult",
+    "BatchedDMM",
+    "stack_programs",
+]
+
+
+@dataclass
+class BatchedInstruction:
+    """One SIMD memory instruction staged across ``T`` trials.
+
+    Attributes
+    ----------
+    op:
+        ``"read"`` or ``"write"``.
+    addresses:
+        Shape ``(T, p)`` integer array; row ``t`` is trial ``t``'s
+        per-thread addresses (:data:`~repro.dmm.trace.INACTIVE` for
+        lanes that sit the instruction out).
+    register:
+        Per-thread register read into / written from.
+    values:
+        Optional immediate values for a write: shape ``(p,)`` (shared
+        by every trial, the common case for compiled skeletons) or
+        ``(T, p)``.
+    static_congestions:
+        Optional pre-resolved congestion per warp, shape ``(n_warps,)``:
+        the trial-independent part of the fast path.  A warp whose
+        active lanes all sit in one matrix row of a shifted-row mapping
+        has congestion exactly 1 for *every* shift draw (distinct
+        columns of one row land in distinct banks), and a warp with no
+        active lane has congestion 0; only the remaining warps need
+        per-trial counting.
+    dynamic_warps:
+        With ``static_congestions``: indices of the warps whose
+        congestion is shift-dependent, in warp order.
+    bank_keys:
+        With ``static_congestions``: pre-staged congestion keys for the
+        dynamic warps only, shape ``(T, len(dynamic_warps) * w)``: each
+        lane's bank in ``[0, w)``, or a per-lane sentinel in ``[w, 2w)``
+        for lanes that issue no countable request (inactive, or
+        statically merged duplicates).  The executor then skips the
+        address sort entirely — one bank sort and a run-length pass
+        give every trial's dynamic-warp congestion.  Produced by
+        :meth:`repro.gpu.kernel.SharedMemoryKernel.program_batch`,
+        which knows the duplicate structure statically.
+    """
+
+    op: str
+    addresses: np.ndarray
+    register: str = "r0"
+    values: Optional[np.ndarray] = None
+    static_congestions: Optional[np.ndarray] = None
+    dynamic_warps: Optional[np.ndarray] = None
+    bank_keys: Optional[np.ndarray] = None
+    #: When set, ``addresses`` holds *flat store indices* with each
+    #: trial's offset pre-baked (``t * stride + address``; inactive
+    #: lanes at ``t * stride - 1``, a scratch cell).  The executor then
+    #: skips the per-instruction offset add.  Value is the stride the
+    #: staging assumed; the machine refuses a mismatch.
+    flat_stride: Optional[int] = None
+    #: ``None`` (all lanes active), a ``(p,)`` mask shared by every
+    #: trial, or a ``(T, p)`` per-trial mask.  Derived from
+    #: ``addresses``; consumers never pass it.
+    mask: Optional[np.ndarray] = field(default=None, init=False)
+    #: Largest real address staged (across trials), for one bounds
+    #: check per run instead of one per access.
+    max_address: int = field(default=INACTIVE, init=False)
+
+    def __post_init__(self):
+        if self.op not in ("read", "write"):
+            raise ValueError(f"op must be 'read' or 'write', got {self.op!r}")
+        addresses = np.ascontiguousarray(self.addresses)
+        if addresses.ndim != 2:
+            raise ValueError(
+                f"addresses must be (trials, p), got shape {addresses.shape}"
+            )
+        if (addresses < INACTIVE).any():
+            raise ValueError(
+                "addresses must be >= 0, or -1 for inactive lanes"
+            )
+        self.addresses = addresses
+        active = addresses != INACTIVE
+        if active.all():
+            self.mask = None
+        elif (active == active[0]).all():
+            self.mask = active[0].copy()
+        else:
+            self.mask = active
+        self.max_address = int(addresses.max(initial=INACTIVE))
+        if self.values is not None:
+            values = np.ascontiguousarray(self.values)
+            if self.op == "read":
+                raise ValueError("read instructions cannot carry immediate values")
+            if values.shape not in (addresses.shape, addresses.shape[1:]):
+                raise ValueError(
+                    f"values shape {values.shape} must be (p,) or (trials, p) "
+                    f"matching addresses {addresses.shape}"
+                )
+            self.values = values
+
+    @classmethod
+    def staged(
+        cls,
+        op: str,
+        addresses: np.ndarray,
+        register: str,
+        values: Optional[np.ndarray],
+        static_congestions: np.ndarray,
+        dynamic_warps: np.ndarray,
+        bank_keys: np.ndarray,
+        mask: Optional[np.ndarray],
+        max_address: int,
+        flat_stride: Optional[int] = None,
+    ) -> "BatchedInstruction":
+        """Trusted construction for staging layers that guarantee the
+        invariants themselves (correct shapes, INACTIVE exactly at
+        ``~mask``, ``max_address`` a valid upper bound).
+
+        ``__post_init__`` rescans the full ``(T, p)`` address block to
+        derive the mask and maximum; a compiler staging hundreds of
+        instructions already knows both, and on the batched hot path
+        those scans are a measurable fraction of an instruction's
+        execution cost.
+        """
+        instr = cls.__new__(cls)
+        instr.op = op
+        instr.addresses = addresses
+        instr.register = register
+        instr.values = values
+        instr.static_congestions = static_congestions
+        instr.dynamic_warps = dynamic_warps
+        instr.bank_keys = bank_keys
+        instr.mask = mask
+        instr.max_address = max_address
+        instr.flat_stride = flat_stride
+        return instr
+
+    @property
+    def trials(self) -> int:
+        return int(self.addresses.shape[0])
+
+    @property
+    def p(self) -> int:
+        return int(self.addresses.shape[1])
+
+
+@dataclass
+class BatchedProgram:
+    """A straight-line instruction sequence staged across ``T`` trials.
+
+    The batched analogue of :class:`~repro.dmm.trace.MemoryProgram`:
+    same ops, registers, and barrier-between-instructions semantics,
+    with every instruction carrying a ``(T, p)`` address block.
+    """
+
+    p: int
+    trials: int
+    instructions: list[BatchedInstruction] = field(default_factory=list)
+
+    def __post_init__(self):
+        check_positive_int(self.p, "p")
+        check_positive_int(self.trials, "trials")
+        for instr in self.instructions:
+            self._check(instr)
+
+    def _check(self, instr: BatchedInstruction) -> None:
+        if instr.p != self.p or instr.trials != self.trials:
+            raise ValueError(
+                f"instruction block is {instr.trials}x{instr.p}, program "
+                f"is {self.trials}x{self.p}"
+            )
+
+    def append(self, instr: BatchedInstruction) -> "BatchedProgram":
+        self._check(instr)
+        self.instructions.append(instr)
+        return self
+
+    def max_address(self) -> int:
+        """Largest address staged by any instruction (INACTIVE if none)."""
+        return max(
+            (instr.max_address for instr in self.instructions),
+            default=INACTIVE,
+        )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+
+def stack_programs(programs: Sequence[MemoryProgram]) -> BatchedProgram:
+    """Stack ``T`` structurally identical scalar programs into one batch.
+
+    The programs must agree on thread count, instruction count, and
+    per-instruction ``(op, register, has-values)`` — the usual case of
+    one skeleton compiled under ``T`` different mappings.  Addresses
+    (and immediate values) may differ freely per trial.
+    """
+    if not programs:
+        raise ValueError("need at least one program to stack")
+    first = programs[0]
+    for other in programs[1:]:
+        if other.p != first.p or len(other) != len(first):
+            raise ValueError(
+                "programs must share thread and instruction counts to stack"
+            )
+    batched = BatchedProgram(p=first.p, trials=len(programs))
+    for idx in range(len(first)):
+        column = [prog.instructions[idx] for prog in programs]
+        ops = {instr.op for instr in column}
+        regs = {instr.register for instr in column}
+        has_values = {instr.values is not None for instr in column}
+        if len(ops) > 1 or len(regs) > 1 or len(has_values) > 1:
+            raise ValueError(
+                f"instruction {idx} differs structurally across programs"
+            )
+        values = (
+            np.stack([instr.values for instr in column])
+            if column[0].values is not None
+            else None
+        )
+        batched.append(
+            BatchedInstruction(
+                op=column[0].op,
+                addresses=np.stack([instr.addresses for instr in column]),
+                register=column[0].register,
+                values=values,
+            )
+        )
+    return batched
+
+
+@dataclass(frozen=True)
+class BatchedInstructionTrace:
+    """Timing record of one instruction across all trials.
+
+    Attributes
+    ----------
+    op:
+        ``"read"`` or ``"write"``.
+    congestions:
+        Shape ``(T, n_warps)`` int array; entry ``[t, r]`` is warp
+        ``r``'s congestion in trial ``t``, or 0 when the warp was not
+        dispatched.
+    time_units:
+        Shape ``(T,)`` completion time of the instruction per trial.
+    """
+
+    op: str
+    congestions: np.ndarray
+    time_units: np.ndarray
+
+    def trial_dispatched(self, t: int) -> tuple[int, ...]:
+        """Dispatch order of trial ``t`` (warps with congestion > 0)."""
+        return tuple(int(r) for r in np.flatnonzero(self.congestions[t]))
+
+    def trial_congestions(self, t: int) -> tuple[int, ...]:
+        """Trial ``t``'s per-dispatched-warp congestions, dispatch order."""
+        row = self.congestions[t]
+        return tuple(int(c) for c in row[row > 0])
+
+
+@dataclass
+class BatchedExecutionResult:
+    """Outcome of one batched run.
+
+    Attributes
+    ----------
+    time_units:
+        Shape ``(T,)`` total time units per trial.
+    traces:
+        One :class:`BatchedInstructionTrace` per instruction.
+    registers:
+        Final register files, ``registers[name]`` of shape ``(T, p)``.
+    memory:
+        The machine's :class:`~repro.dmm.memory.BatchedMemory` after
+        the run (``memory.trial(t)`` extracts one image).
+    """
+
+    time_units: np.ndarray
+    traces: list[BatchedInstructionTrace] = field(default_factory=list)
+    registers: dict[str, np.ndarray] = field(default_factory=dict)
+    memory: Optional[BatchedMemory] = None
+
+    def trial_registers(self, t: int) -> dict[str, np.ndarray]:
+        """Trial ``t``'s register file (copies)."""
+        return {name: reg[t].copy() for name, reg in self.registers.items()}
+
+
+class BatchedDMM:
+    """A DMM executing ``trials`` independent runs of one skeleton.
+
+    Parameters
+    ----------
+    w:
+        Width: banks == threads per warp (shared by all trials).
+    latency:
+        Memory pipeline depth ``l``.
+    memory_size:
+        Addressable words of shared memory *per trial*.
+    trials:
+        Number of independent trials ``T``.
+    dtype:
+        Backing-store dtype (default float64, as in the scalar machine).
+    """
+
+    def __init__(
+        self, w: int, latency: int, memory_size: int, trials: int, dtype=np.float64
+    ):
+        self.w = check_positive_int(w, "w")
+        self.latency = check_latency(latency)
+        self.trials = check_positive_int(trials, "trials")
+        self.memory = BatchedMemory(w, memory_size, trials, dtype=dtype)
+
+    def load(self, base: int, values: np.ndarray) -> None:
+        """Pre-load values (broadcast over trials) starting at ``base``."""
+        self.memory.fill_word(base, np.asarray(values))
+
+    # -- execution -------------------------------------------------------
+    def run(self, program: BatchedProgram) -> BatchedExecutionResult:
+        """Execute the batch; returns per-trial data and exact timing."""
+        if program.trials != self.trials:
+            raise ValueError(
+                f"program stages {program.trials} trials, machine has {self.trials}"
+            )
+        if program.p % self.w != 0:
+            raise ValueError(
+                f"p={program.p} is not a multiple of warp width {self.w}"
+            )
+        top = program.max_address()
+        if top >= self.memory.size:
+            raise IndexError(
+                f"program touches address {top}, memory size {self.memory.size}"
+            )
+        registers: dict[str, np.ndarray] = {}
+        time_units = np.zeros(self.trials, dtype=np.int64)
+        result = BatchedExecutionResult(
+            time_units=time_units, registers=registers, memory=self.memory
+        )
+        for instr in program:
+            trace = self._execute(instr, registers)
+            result.traces.append(trace)
+            time_units += trace.time_units
+        result.time_units = time_units
+        return result
+
+    def _congestions(self, instr: BatchedInstruction) -> np.ndarray:
+        """Per-trial, per-warp congestion, shape ``(T, n_warps)``."""
+        n_warps = instr.p // self.w
+        if instr.static_congestions is not None:
+            cong = np.empty((self.trials, n_warps), dtype=np.int64)
+            cong[:] = instr.static_congestions
+            dyn = instr.dynamic_warps
+            if dyn.size:
+                keys = instr.bank_keys.reshape(-1, self.w)
+                cong[:, dyn] = max_run_lengths(np.sort(keys, axis=1)).reshape(
+                    self.trials, dyn.size
+                )
+            return cong
+        rows = instr.addresses.reshape(-1, self.w)
+        cong = congestion_batch(rows, self.w, inactive=INACTIVE)
+        return cong.reshape(self.trials, n_warps)
+
+    def _execute(
+        self, instr: BatchedInstruction, registers: dict[str, np.ndarray]
+    ) -> BatchedInstructionTrace:
+        cong = self._congestions(instr)
+        times = batch_completion_times(cong.sum(axis=1), self.latency)
+
+        mask = instr.mask
+        # INACTIVE lanes pass straight through: the flat index
+        # t*stride - 1 is always *some* trial's scratch cell (see
+        # BatchedMemory), so no per-trial redirect pass is needed and
+        # active lanes keep their thread order.
+        addresses = instr.addresses
+        flat = instr.flat_stride is not None
+        if flat and instr.flat_stride != self.memory.stride:
+            raise ValueError(
+                f"instruction staged for memory stride {instr.flat_stride}, "
+                f"machine has {self.memory.stride}"
+            )
+        if instr.op == "read":
+            gathered = (
+                self.memory.read_flat(addresses)
+                if flat
+                else self.memory.read(addresses)
+            )
+            if mask is None:
+                registers[instr.register] = gathered
+            else:
+                reg = registers.setdefault(
+                    instr.register,
+                    np.zeros((self.trials, instr.p), dtype=self.memory.dtype),
+                )
+                np.copyto(reg, gathered, where=mask)
+        else:
+            if instr.values is not None:
+                source = instr.values
+            else:
+                if instr.register not in registers:
+                    raise KeyError(
+                        f"write from register {instr.register!r} before any read into it"
+                    )
+                source = registers[instr.register]
+            source = np.broadcast_to(source, addresses.shape)
+            if flat:
+                self.memory.write_flat(addresses, source)
+            else:
+                self.memory.write(addresses, source)
+
+        return BatchedInstructionTrace(
+            op=instr.op, congestions=cong, time_units=times
+        )

@@ -32,11 +32,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.congestion import warp_congestion
+from repro.core.congestion import congestion_batch
 from repro.dmm.memory import BankedMemory
 from repro.dmm.mmu import PipelinedMMU, StageSchedule
 from repro.dmm.trace import INACTIVE, Instruction, MemoryProgram
-from repro.dmm.warp import dispatch_order, warp_count
+from repro.dmm.warp import warp_count
 from repro.util.validation import check_latency, check_positive_int
 
 __all__ = ["InstructionTrace", "ExecutionResult", "DiscreteMemoryMachine"]
@@ -175,14 +175,13 @@ class DiscreteMemoryMachine:
         self, instr: Instruction, registers: dict[str, np.ndarray]
     ) -> InstructionTrace:
         addresses = instr.addresses
-        warps = dispatch_order(addresses, self.w)
         grouped = addresses.reshape(-1, self.w)
 
-        congestions = []
-        for widx in warps:
-            row = grouped[widx]
-            active = row[row != INACTIVE]
-            congestions.append(warp_congestion(active, self.w))
+        # One vectorized pass over every warp: congestion 0 marks the
+        # warps that have no active lane and are never dispatched.
+        per_warp = congestion_batch(grouped, self.w, inactive=INACTIVE)
+        warps = np.flatnonzero(per_warp)
+        congestions = [int(c) for c in per_warp[warps]]
 
         schedule = self.mmu.schedule(congestions)
 
@@ -207,7 +206,7 @@ class DiscreteMemoryMachine:
 
         return InstructionTrace(
             op=instr.op,
-            dispatched_warps=tuple(warps),
+            dispatched_warps=tuple(int(widx) for widx in warps),
             congestions=tuple(congestions),
             schedule=schedule,
             time_units=schedule.completion_time,

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.util.validation import check_positive_int
 
-__all__ = ["BankedMemory"]
+__all__ = ["BankedMemory", "BatchedMemory"]
 
 
 class BankedMemory:
@@ -96,3 +96,113 @@ class BankedMemory:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BankedMemory(w={self.w}, size={self.size}, dtype={self._store.dtype})"
+
+
+class BatchedMemory:
+    """``trials`` independent banked address spaces with one backing store.
+
+    The batched DMM executor (:mod:`repro.dmm.batched`) runs one
+    program skeleton under many mapping draws at once; each draw needs
+    its own memory image.  The store is one ``(trials, size + 1)``
+    array: trial ``t``'s word ``a`` lives at flat index
+    ``t * (size + 1) + a``, and the extra word per trial is a *scratch
+    cell* that absorbs inactive lanes, so reads and writes never need
+    boolean compression.  The executor passes
+    :data:`~repro.dmm.trace.INACTIVE` (``-1``) addresses straight
+    through: trial ``t``'s flat index ``t * stride - 1`` is trial
+    ``t-1``'s scratch cell (cyclically, trial 0 wraps to the last
+    trial's), which is never an addressable word, so no per-trial
+    redirect pass is needed.  A scratch read returns garbage the caller
+    must mask off; a scratch write lands outside every addressable
+    word, so CRCW last-occurrence-wins resolution among the *active*
+    lanes is preserved exactly (the flat row-major order keeps each
+    trial's lanes in thread order).
+
+    Semantics per trial are identical to :class:`BankedMemory`;
+    :meth:`trial` extracts one trial's image for comparison against the
+    scalar machine.
+    """
+
+    def __init__(self, w: int, size: int, trials: int, dtype=np.float64, fill=0):
+        self.w = check_positive_int(w, "w")
+        self.size = check_positive_int(size, "size")
+        self.trials = check_positive_int(trials, "trials")
+        self._stride = size + 1
+        self._store = np.full((trials, self._stride), fill, dtype=dtype)
+        #: flat offset of each trial's address 0, shaped to broadcast
+        #: over ``(trials, p)`` address blocks.
+        self.offsets = (np.arange(trials, dtype=np.int64) * self._stride)[:, None]
+
+    @property
+    def dtype(self):
+        """Element dtype of the backing store."""
+        return self._store.dtype
+
+    @property
+    def scratch(self) -> int:
+        """Per-trial index of the scratch cell (== ``size``)."""
+        return self.size
+
+    @property
+    def stride(self) -> int:
+        """Flat words per trial (``size + 1``, including the scratch cell).
+
+        Staging layers that pre-bake per-trial offsets into flat store
+        indices (see :meth:`read_flat`) must agree with this stride.
+        """
+        return self._stride
+
+    @property
+    def store(self) -> np.ndarray:
+        """The ``(trials, size)`` addressable words (a view)."""
+        return self._store[:, : self.size]
+
+    def trial(self, t: int) -> np.ndarray:
+        """Copy of trial ``t``'s memory image, shape ``(size,)``."""
+        return self._store[t, : self.size].copy()
+
+    def read(self, addresses: np.ndarray) -> np.ndarray:
+        """Gather ``(trials, p)`` addresses per trial.
+
+        Addresses may be in ``[0, size)``, ``size`` (own scratch cell),
+        or ``-1`` (resolves to a neighbouring trial's scratch cell);
+        either scratch read returns garbage to be masked off.
+        """
+        return self._store.ravel()[addresses + self.offsets]
+
+    def write(self, addresses: np.ndarray, values) -> None:
+        """Scatter per trial; duplicate addresses resolve last-lane-wins.
+
+        Scratch addresses (``size`` or ``-1``) land outside every
+        trial's addressable words and are harmlessly absorbed.
+        """
+        flat = self._store.ravel()
+        flat[addresses + self.offsets] = values
+
+    def read_flat(self, flat_indices: np.ndarray) -> np.ndarray:
+        """Gather pre-offset flat indices (``t * stride + address``).
+
+        The fast path for staged programs: the per-trial offset add is
+        paid once at staging instead of once per executed instruction.
+        """
+        return self._store.ravel()[flat_indices]
+
+    def write_flat(self, flat_indices: np.ndarray, values) -> None:
+        """Scatter pre-offset flat indices; duplicates last-lane-wins."""
+        self._store.ravel()[flat_indices] = values
+
+    def fill_word(self, base: int, values: np.ndarray) -> None:
+        """Pre-load ``values`` (broadcast over trials) starting at ``base``."""
+        values = np.asarray(values)
+        count = values.shape[-1]
+        if base < 0 or base + count > self.size:
+            raise IndexError(
+                f"load of {count} words at base {base} exceeds memory size {self.size}"
+            )
+        self._store[:, base : base + count] = values
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchedMemory(w={self.w}, size={self.size}, "
+            f"trials={self.trials}, dtype={self._store.dtype})"
+        )

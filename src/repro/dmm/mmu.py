@@ -28,7 +28,21 @@ import numpy as np
 
 from repro.util.validation import check_latency, check_positive_int
 
-__all__ = ["StageSchedule", "PipelinedMMU"]
+__all__ = ["StageSchedule", "PipelinedMMU", "batch_completion_times"]
+
+
+def batch_completion_times(total_stages: np.ndarray, latency: int) -> np.ndarray:
+    """Vectorized :attr:`StageSchedule.completion_time` over trials.
+
+    ``total_stages`` holds each trial's summed warp congestions for one
+    instruction; the completion time is ``total + l - 1``, or 0 where
+    nothing was issued (no warp dispatched).  Used by the batched DMM
+    executor (:mod:`repro.dmm.batched`) so the timing arithmetic never
+    leaves numpy.
+    """
+    check_latency(latency)
+    total_stages = np.asarray(total_stages)
+    return np.where(total_stages > 0, total_stages + latency - 1, 0)
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,12 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.mappings import AddressMapping, mapping_by_name
+from repro.dmm.batched import (
+    BatchedDMM,
+    BatchedExecutionResult,
+    BatchedInstruction,
+    BatchedProgram,
+)
 from repro.dmm.machine import DiscreteMemoryMachine, ExecutionResult
 from repro.dmm.trace import INACTIVE, MemoryProgram, read, write
 from repro.gpu.timing import GPUTimingModel
@@ -293,6 +299,171 @@ class SharedMemoryKernel:
             else:
                 prog.append(write(flat, register=step.register))
         return prog
+
+    def program_batch(self, shifts: np.ndarray) -> BatchedProgram:
+        """Stage the kernel under ``T`` shift draws for the batched DMM.
+
+        ``shifts`` is a ``(T, w)`` matrix (one
+        :class:`~repro.core.mappings.ShiftedRowMapping` shift vector
+        per trial, e.g. from
+        :func:`~repro.core.mappings.sample_shift_batch`); trial ``t``
+        is the kernel compiled under ``mapping_from_shifts(name,
+        shifts[t])`` — the kernel's own mapping supplies only the array
+        bases, which every shifted-row mapping shares.
+
+        Two things are exploited to make the staged program cheap to
+        execute:
+
+        * the bank of lane ``(i, j)`` is a per-trial table lookup
+          ``(j + shifts[t, i]) mod w``, so all ``T`` address blocks of
+          a step are one fancy gather; and
+        * whether two lanes of a warp collide on an *address* depends
+          only on their logical indices (``i*w + (j+s) mod w`` is
+          injective per trial), so the CRCW duplicate-merge structure
+          is static across trials.  Each instruction therefore carries
+          pre-staged ``bank_keys`` — bank values with merged/inactive
+          lanes replaced by sentinels at build time — letting the
+          executor skip the per-trial address sort on its hot path.
+        """
+        shifts = np.ascontiguousarray(shifts, dtype=np.int64)
+        if shifts.ndim != 2 or shifts.shape[1] != self.w:
+            raise ValueError(
+                f"shifts must be (trials, {self.w}), got {shifts.shape}"
+            )
+        if ((shifts < 0) | (shifts >= self.w)).any():
+            raise ValueError(f"shifts must lie in [0, {self.w})")
+        trials = shifts.shape[0]
+        w = self.w
+        p = w * w
+        # Bank values and sentinels both fit comfortably in int16 for
+        # any realistic width; the narrow dtype roughly halves the cost
+        # of the executor's per-instruction key sort.
+        key_dtype = np.int16 if 2 * w <= np.iinfo(np.int16).max else np.int64
+        # One extended lookup table answers both gathers per step:
+        # column i*w + j holds trial t's bank (j + shifts[t, i]) mod w,
+        # column p + lane holds lane's sentinel (same in every trial).
+        cols = np.arange(w, dtype=np.int64)
+        lane = np.arange(p, dtype=np.int64)
+        sentinel = (w + (lane % w)).astype(key_dtype)
+        table = np.empty((trials, 2 * p), dtype=key_dtype)
+        table[:, :p] = ((cols[None, None, :] + shifts[:, :, None]) % w).reshape(
+            trials, p
+        )
+        table[:, p:] = sentinel
+        # Companion table with each trial's flat memory offset baked in
+        # (stride of the machine make_batched_machine builds): gathering
+        # from it yields ready-to-use flat store indices, so the
+        # executor never pays a per-instruction offset add.
+        stride = len(self.arrays) * self.mapping.storage_words + 1
+        flat_table = table.astype(np.int64)
+        flat_table += (np.arange(trials, dtype=np.int64) * stride)[:, None]
+
+        batched = BatchedProgram(p=p, trials=trials)
+        for step in self.steps:
+            iif = step.ii.ravel()
+            jjf = step.jj.ravel()
+            maskf = None if step.mask is None else step.mask.ravel()
+            idx = iif * w + jjf
+            if maskf is not None:
+                # Dead lanes may hold arbitrary index values; their
+                # table column is irrelevant (rebased below), but keep
+                # it in range.
+                idx = np.where(maskf, idx, 0)
+            # Static duplicate merge: lanes of one warp collide iff
+            # they share (i, j) — the mapping is injective per trial —
+            # so the merge structure is trial-independent.  Dead lanes
+            # get unique keys >= p and can never mark a live lane.
+            pos = idx if maskf is None else np.where(maskf, idx, p + lane)
+            by_warp = pos.reshape(-1, w)
+            n_warps = by_warp.shape[0]
+            order = np.argsort(by_warp, axis=1, kind="stable")
+            rows = np.arange(n_warps)[:, None]
+            srt = by_warp[rows, order]
+            dup_sorted = np.zeros_like(srt, dtype=bool)
+            dup_sorted[:, 1:] = srt[:, 1:] == srt[:, :-1]
+            dup = np.zeros_like(dup_sorted)
+            dup[rows, order] = dup_sorted
+            drop = dup.ravel()
+            if maskf is not None:
+                drop = drop | ~maskf
+            # Per-warp static congestion: a warp whose active lanes all
+            # sit in one matrix row has congestion exactly 1 under
+            # *every* shift draw (distinct columns of a row occupy
+            # distinct banks), and a fully inactive warp has 0.  Only
+            # the remaining warps need per-trial keys.
+            act_w = (
+                np.ones((n_warps, w), dtype=bool)
+                if maskf is None
+                else maskf.reshape(n_warps, w)
+            )
+            any_act = act_w.any(axis=1)
+            ii_w = iif.reshape(n_warps, w)
+            ref_row = ii_w[np.arange(n_warps), act_w.argmax(axis=1)]
+            row_local = (~act_w | (ii_w == ref_row[:, None])).all(axis=1)
+            static_congestions = (any_act & row_local).astype(np.int64)
+            dynamic_warps = np.flatnonzero(any_act & ~row_local)
+            # Congestion keys for the dynamic warps only: real bank at
+            # counted lanes, sentinel at merged/inactive lanes — one
+            # gather, no fixup pass.
+            key_cols = np.where(drop, p + lane, idx).reshape(n_warps, w)
+            bank_keys = table[:, key_cols[dynamic_warps].ravel()]
+            row_base = self.bases[step.array] + iif * w  # (p,) int64
+            if maskf is None:
+                addresses = flat_table[:, idx]
+                addresses += row_base[None, :]
+                mask_out = None
+            else:
+                # Rebase dead lanes so the single add already lands on
+                # the scratch index t*stride - 1: their table column
+                # yields sentinel[lane] + t*stride, and
+                # -1 - sentinel[lane] cancels the sentinel.
+                addr_idx = np.where(maskf, idx, p + lane)
+                rebase = np.where(maskf, row_base, INACTIVE - sentinel)
+                addresses = flat_table[:, addr_idx]
+                addresses += rebase[None, :]
+                mask_out = maskf
+            values = (
+                np.arange(p, dtype=np.float64)
+                if step.op == "write" and step.immediate
+                else None
+            )
+            batched.append(
+                BatchedInstruction.staged(
+                    op=step.op,
+                    addresses=addresses,
+                    register=step.register,
+                    values=values,
+                    static_congestions=static_congestions,
+                    dynamic_warps=dynamic_warps,
+                    bank_keys=bank_keys,
+                    mask=mask_out,
+                    max_address=self.bases[step.array] + p - 1,
+                    flat_stride=stride,
+                )
+            )
+        return batched
+
+    def make_batched_machine(self, trials: int, latency: int = 1) -> BatchedDMM:
+        """A batched DMM sized for this kernel's arrays."""
+        return BatchedDMM(
+            self.w,
+            latency,
+            memory_size=len(self.arrays) * self.mapping.storage_words,
+            trials=trials,
+        )
+
+    def run_batch(
+        self, shifts: np.ndarray, latency: int = 1
+    ) -> BatchedExecutionResult:
+        """Execute the kernel under ``T`` shift draws at once.
+
+        Stages :meth:`program_batch` and runs it on a fresh
+        :meth:`make_batched_machine`; ``result.time_units[t]`` is the
+        exact DMM completion time the scalar path would report for
+        trial ``t``'s mapping.
+        """
+        machine = self.make_batched_machine(shifts.shape[0], latency)
+        return machine.run(self.program_batch(shifts))
 
     def verify(self, certify: bool = True):
         """Statically verify the kernel without executing it.

@@ -1,0 +1,300 @@
+"""Scalar-vs-batched DMM throughput benchmark (``repro bench-dmm``).
+
+Measures the end-to-end cost of answering *"what is this app's
+completion-time distribution over ``trials`` mapping redraws?"* two
+ways:
+
+* **scalar** — the pre-batching workflow: per trial, materialize the
+  drawn mapping, rebuild the app program against it, and run the
+  scalar :class:`~repro.dmm.machine.DiscreteMemoryMachine`;
+* **batched** — build the mapping-independent skeleton once, stage it
+  with :meth:`~repro.gpu.kernel.SharedMemoryKernel.program_batch`, and
+  execute every trial at once on the
+  :class:`~repro.dmm.batched.BatchedDMM`.
+
+Both paths consume the same pre-drawn shift matrices, and every
+benchmark run re-asserts that they produce identical per-trial
+``time_units`` — a throughput number for a wrong answer is worthless.
+Wall times are **best-of-``repeats``** (the minimum, as ``timeit``
+does): the minimum estimates the true cost of the code, while the
+other repeats absorb scheduler noise.
+
+Timing uses ``perf_counter`` only, and all randomness flows through
+the seeded :func:`~repro.core.mappings.sample_shift_batch` draw, so
+the measured *work* is deterministic; only the wall clock varies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.apps import BUILTIN_PROGRAMS, build_app_program
+from repro.core.mappings import (
+    MAPPING_NAMES,
+    RAWMapping,
+    mapping_from_shifts,
+    sample_shift_batch,
+)
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive_int
+
+__all__ = ["DEFAULT_BENCH_APPS", "BenchResult", "bench_app", "render_bench", "main"]
+
+#: Apps benchmarked by default: the issue's throughput targets, spanning
+#: the dynamic-heavy (fft, sort) and fully-static (stencil_row) regimes.
+DEFAULT_BENCH_APPS = ("fft", "sort", "stencil_row")
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One app's scalar-vs-batched timing at a fixed (w, trials).
+
+    ``scalar_s`` / ``batched_s`` are best-of-``repeats`` wall seconds
+    for the *whole* workload (all ``trials`` draws), including program
+    construction — the scalar path rebuilds the program per trial and
+    the batched path stages it once, because that is the real cost
+    difference a caller experiences.
+    """
+
+    app: str
+    w: int
+    trials: int
+    mapping: str
+    latency: int
+    steps: int
+    repeats: int
+    scalar_s: float
+    batched_s: float
+
+    @property
+    def speedup(self) -> float:
+        """Batched throughput advantage (scalar wall / batched wall)."""
+        return self.scalar_s / self.batched_s
+
+    @property
+    def scalar_trials_per_s(self) -> float:
+        """Scalar executor throughput in trials per second."""
+        return self.trials / self.scalar_s
+
+    @property
+    def batched_trials_per_s(self) -> float:
+        """Batched executor throughput in trials per second."""
+        return self.trials / self.batched_s
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (used by ``BENCH_dmm.json``)."""
+        return {
+            "app": self.app,
+            "w": self.w,
+            "trials": self.trials,
+            "mapping": self.mapping,
+            "latency": self.latency,
+            "steps": self.steps,
+            "repeats": self.repeats,
+            "scalar_s": round(self.scalar_s, 6),
+            "batched_s": round(self.batched_s, 6),
+            "speedup": round(self.speedup, 2),
+            "scalar_trials_per_s": round(self.scalar_trials_per_s, 2),
+            "batched_trials_per_s": round(self.batched_trials_per_s, 2),
+        }
+
+
+def bench_app(
+    app: str,
+    w: int = 32,
+    trials: int = 100,
+    mapping: str = "RAP",
+    latency: int = 1,
+    seed: SeedLike = 2014,
+    repeats: int = 3,
+) -> BenchResult:
+    """Time one app scalar vs batched and verify the results agree.
+
+    The shift matrices are drawn once up front, so both paths execute
+    the *same* ``trials`` mapping draws; each path's wall time is the
+    minimum over ``repeats`` measurements.  Raises ``AssertionError``
+    if the executors disagree on any trial's completion time.
+    """
+    if app not in BUILTIN_PROGRAMS:
+        raise ValueError(f"unknown app {app!r}; expected one of {sorted(BUILTIN_PROGRAMS)}")
+    check_positive_int(w, "w")
+    check_positive_int(trials, "trials")
+    check_positive_int(repeats, "repeats")
+    shifts = sample_shift_batch(mapping, w, trials, as_generator(seed))
+    skeleton_seed = 2014  # fixes app input data; any constant works
+
+    scalar_s = math.inf
+    scalar_times = None
+    for _ in range(repeats):
+        start = perf_counter()
+        times = np.empty(trials, dtype=np.int64)
+        for t in range(trials):
+            drawn = mapping_from_shifts(mapping, shifts[t])
+            kernel = build_app_program(app, drawn, seed=skeleton_seed)
+            machine = kernel.make_machine(latency=latency)
+            times[t] = machine.run(kernel.program()).time_units
+        scalar_s = min(scalar_s, perf_counter() - start)
+        scalar_times = times
+
+    batched_s = math.inf
+    batched_times = None
+    steps = 0
+    for _ in range(repeats):
+        start = perf_counter()
+        kernel = build_app_program(app, RAWMapping(w), seed=skeleton_seed)
+        result = kernel.run_batch(shifts, latency=latency)
+        batched_s = min(batched_s, perf_counter() - start)
+        batched_times = result.time_units
+        steps = len(kernel.steps)
+
+    if not np.array_equal(scalar_times, batched_times):
+        raise AssertionError(
+            f"{app}: batched executor disagrees with scalar "
+            f"(scalar={scalar_times!r}, batched={batched_times!r})"
+        )
+    return BenchResult(
+        app=app,
+        w=w,
+        trials=trials,
+        mapping=mapping,
+        latency=latency,
+        steps=steps,
+        repeats=repeats,
+        scalar_s=scalar_s,
+        batched_s=batched_s,
+    )
+
+
+def render_bench(results: Sequence[BenchResult]) -> str:
+    """ASCII table of benchmark results (one row per app)."""
+    from repro.report.tables import format_grid
+
+    rows = [
+        [
+            r.app,
+            str(r.steps),
+            f"{r.scalar_s * 1e3:.1f}",
+            f"{r.batched_s * 1e3:.1f}",
+            f"{r.scalar_trials_per_s:.1f}",
+            f"{r.batched_trials_per_s:.1f}",
+            f"{r.speedup:.1f}x",
+        ]
+        for r in results
+    ]
+    first = results[0]
+    return format_grid(
+        ["app", "steps", "scalar ms", "batched ms",
+         "scalar trials/s", "batched trials/s", "speedup"],
+        rows,
+        title=(
+            f"Batched DMM executor vs scalar loop "
+            f"(w={first.w}, trials={first.trials}, mapping={first.mapping}, "
+            f"best of {first.repeats})"
+        ),
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``repro bench-dmm`` (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="rap-repro bench-dmm",
+        description=(
+            "Benchmark the batched DMM executor against the scalar "
+            "per-trial loop on the builtin apps (results are verified "
+            "identical before any number is reported)."
+        ),
+    )
+    parser.add_argument(
+        "--apps",
+        nargs="+",
+        default=list(DEFAULT_BENCH_APPS),
+        choices=sorted(BUILTIN_PROGRAMS),
+        help=f"apps to benchmark (default: {' '.join(DEFAULT_BENCH_APPS)})",
+    )
+    parser.add_argument("--w", type=int, default=32, help="warp width / banks (default 32)")
+    parser.add_argument(
+        "--trials", type=int, default=100, help="mapping redraws per app (default 100)"
+    )
+    parser.add_argument(
+        "--mapping",
+        default="RAP",
+        choices=MAPPING_NAMES,
+        help="mapping family drawn per trial (default RAP)",
+    )
+    parser.add_argument("--latency", type=int, default=1, help="pipeline latency (default 1)")
+    parser.add_argument("--seed", type=int, default=2014, help="shift-draw seed (default 2014)")
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="measurements per path; the minimum is reported (default 3)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the results as JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        metavar="X",
+        help="exit nonzero unless every app reaches this speedup (CI gate)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``repro bench-dmm``; returns an exit code."""
+    args = build_parser().parse_args(argv)
+    results = [
+        bench_app(
+            app,
+            w=args.w,
+            trials=args.trials,
+            mapping=args.mapping,
+            latency=args.latency,
+            seed=args.seed,
+            repeats=args.repeats,
+        )
+        for app in args.apps
+    ]
+    payload = {
+        "w": args.w,
+        "trials": args.trials,
+        "mapping": args.mapping,
+        "latency": args.latency,
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "apps": {r.app: r.as_dict() for r in results},
+    }
+    if args.json == "-":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_bench(results))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+    if args.min_speedup is not None:
+        slow = [r for r in results if r.speedup < args.min_speedup]
+        for r in slow:
+            print(
+                f"FAIL: {r.app} speedup {r.speedup:.1f}x "
+                f"< required {args.min_speedup:.1f}x",
+                file=sys.stderr,
+            )
+        return 1 if slow else 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

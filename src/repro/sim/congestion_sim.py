@@ -23,8 +23,9 @@ import numpy as np
 
 from repro.access.patterns import pattern_logical
 from repro.access.patterns_nd import nd_pattern_logical
-from repro.core.congestion import congestion_batch, warp_congestion
+from repro.core.congestion import congestion_batch
 from repro.core.higher_dim import nd_mapping_by_name
+from repro.core.mappings import sample_shift_batch
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_positive_int
 
@@ -191,16 +192,13 @@ _RunningStats = RunningStats
 def _sample_shift_matrix(
     mapping_name: str, w: int, trials: int, rng: np.random.Generator
 ) -> np.ndarray:
-    """Per-trial shift vectors of the 2-D mappings, shape ``(trials, w)``."""
-    key = mapping_name.upper()
-    if key == "RAW":
-        return np.zeros((trials, w), dtype=np.int64)
-    if key == "RAS":
-        return rng.integers(0, w, size=(trials, w), dtype=np.int64)
-    if key == "RAP":
-        base = np.broadcast_to(np.arange(w, dtype=np.int64), (trials, w))
-        return rng.permuted(base, axis=1)
-    raise ValueError(f"unknown mapping {mapping_name!r}")
+    """Per-trial shift vectors of the 2-D mappings, shape ``(trials, w)``.
+
+    Delegates to :func:`repro.core.mappings.sample_shift_batch` so the
+    Monte-Carlo sampler and the batched DMM executor draw mappings from
+    one stream-compatible implementation.
+    """
+    return sample_shift_batch(mapping_name, w, trials, rng)
 
 
 def simulate_matrix_congestion(
@@ -312,13 +310,21 @@ def simulate_matrix_congestion_generic(
     check_positive_int(trials, "trials")
     rng = as_generator(seed)
     stats = RunningStats()
+    is_random_pattern = pattern.lower() == "random"
+    if not is_random_pattern:
+        # Deterministic grids never touch the rng, so they can be built
+        # once outside the trial loop — bit-identical results, and the
+        # loop body shrinks to the mapping draw plus one batch call.
+        grids = pattern_logical(pattern, w)
     for _ in range(trials):
         mapping = mapping_factory(rng)
         if mapping.w != w:
             raise ValueError(
                 f"factory produced width {mapping.w}, expected {w}"
             )
-        ii, jj = pattern_logical(pattern, w, seed=rng)
+        ii, jj = (
+            pattern_logical(pattern, w, seed=rng) if is_random_pattern else grids
+        )
         addresses = mapping.address(ii, jj)
         stats.add(congestion_batch(addresses, w))
         stats.trials += 1
@@ -337,10 +343,14 @@ def simulate_nd_congestion_fast(
     For ``1P``, ``R1P``, and ``3P`` the shift function is a sum of
     permutation lookups, so the whole Monte-Carlo batch reduces to
     batched ``rng.permuted`` draws and one ``congestion_batch`` call —
-    ~50x faster than instantiating a mapping per trial.  Exactly
-    matches :func:`simulate_nd_congestion` in distribution (same
-    estimator, different stream); schemes with per-row tables (RAW,
-    RAS, w2P, 1PwR) fall back to the generic path.
+    ~50x faster than instantiating a mapping per trial.  ``RAS``
+    vectorizes too: although the scheme owns ``w^3`` i.i.d. shifts, a
+    single warp observes at most ``w`` of them, so one batched
+    ``rng.integers`` draw indexed by per-row ``(i, j, k)`` group ids
+    reproduces the observed distribution exactly.  Matches
+    :func:`simulate_nd_congestion` in distribution (same estimator,
+    different stream); schemes with structured per-row tables (RAW,
+    w2P, 1PwR) fall back to the generic path.
     """
     check_positive_int(w, "w")
     check_positive_int(trials, "trials")
@@ -358,7 +368,7 @@ def _accumulate_nd_fast(
 ) -> RunningStats:
     """Shard body of :func:`simulate_nd_congestion_fast`."""
     key = scheme.upper()
-    if key not in ("1P", "R1P", "3P"):
+    if key not in ("RAS", "1P", "R1P", "3P"):
         return _accumulate_nd(scheme, pattern, w, trials, rng)
 
     if pattern.lower() == "random":
@@ -373,7 +383,26 @@ def _accumulate_nd_fast(
         return rng.permuted(tiled, axis=1)
 
     rows = np.arange(trials)[:, None]
-    if key == "1P":
+    if key == "RAS":
+        # RAS owns w^3 i.i.d. shifts (one per (i, j, k) row), but a
+        # warp touches at most w distinct rows, so one (trials, w)
+        # integer draw suffices: group the lanes of each trial by
+        # their row id, give each group the next column of the draw,
+        # and lanes sharing a row share a shift while distinct rows
+        # get independent ones — the observed distribution of the
+        # full table.
+        rid = (i * w + j) * w + k
+        order = np.argsort(rid, axis=1, kind="stable")
+        srt = np.take_along_axis(rid, order, axis=1)
+        fresh = np.empty(srt.shape, dtype=bool)
+        fresh[:, 0] = True
+        fresh[:, 1:] = srt[:, 1:] != srt[:, :-1]
+        gid_sorted = np.cumsum(fresh, axis=1) - 1
+        draws = rng.integers(0, w, size=(trials, w), dtype=np.int64)
+        shift_sorted = draws[rows, gid_sorted]
+        shift = np.empty_like(shift_sorted)
+        np.put_along_axis(shift, order, shift_sorted, axis=1)
+    elif key == "1P":
         sigma = draw_perms(trials)
         shift = sigma[rows, k]
     elif key == "R1P":
@@ -428,12 +457,14 @@ def _accumulate_nd(
 ) -> RunningStats:
     """Shard body of :func:`simulate_nd_congestion`."""
     stats = RunningStats()
-    values = np.empty(trials, dtype=np.int64)
+    # The loop only *stages* each trial's warp access; the congestion
+    # of the whole block is measured with a single batch call, which
+    # computes the same per-row value as warp_congestion.
+    addresses = np.empty((trials, w), dtype=np.int64)
     for t in range(trials):
         mapping = nd_mapping_by_name(scheme, w, rng)
         idx = nd_pattern_logical(pattern, w, scheme=scheme, seed=rng)
-        addresses = mapping.address(*idx)
-        values[t] = warp_congestion(addresses, w)
-    stats.add(values)
+        addresses[t] = mapping.address(*idx)
+    stats.add(congestion_batch(addresses, w))
     stats.trials += trials
     return stats

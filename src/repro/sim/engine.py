@@ -199,6 +199,43 @@ class MonteCarloEngine:
         kind = "nd_fast" if fast else "nd"
         return self._run(kind, (scheme, pattern, w), trials, seed)
 
+    def map_trial_batches(
+        self,
+        func: Callable,
+        params: tuple,
+        trials: int,
+        seed: SeedLike,
+    ) -> list:
+        """Run ``func(params, n, rng)`` over the fixed shard plan of ``trials``.
+
+        The trial-batch sibling of :meth:`map_seeded`, for worker
+        bodies that vectorize over whole trial blocks (e.g. the batched
+        DMM app-timing sweep).  ``trials`` is split with the same fixed
+        shard plan as the congestion tasks, each shard gets its own
+        spawned child stream, and the per-shard return values come back
+        **in shard order** — concatenating them yields a result that is
+        bit-identical for every worker count.  ``func`` must be a
+        module-level callable (picklable) and is invoked as
+        ``func(params, n, rng)`` with ``n`` the shard's trial count.
+        Not cached: arbitrary callables have no stable cache identity.
+        """
+        check_positive_int(trials, "trials")
+        sizes = _shard_sizes(trials, self.shards)
+        seqs = spawn_seed_sequences(seed, len(sizes))
+        if self.workers <= 1 or len(sizes) <= 1:
+            return [
+                func(params, size, as_generator(seq))
+                for size, seq in zip(sizes, seqs)
+            ]
+        pool = self._get_pool()
+        futures = [
+            pool.submit(_call_trial_batch, func, params, size, seq)
+            for size, seq in zip(sizes, seqs)
+        ]
+        # Shard order, not completion order: part of the bit-identity
+        # contract shared with _run.
+        return [future.result() for future in futures]
+
     def map_seeded(
         self,
         func: Callable,
@@ -270,3 +307,8 @@ class MonteCarloEngine:
 def _call_seeded(func: Callable, item, seq) -> object:
     """Pool trampoline for :meth:`MonteCarloEngine.map_seeded`."""
     return func(item, as_generator(seq))
+
+
+def _call_trial_batch(func: Callable, params: tuple, n: int, seq) -> object:
+    """Pool trampoline for :meth:`MonteCarloEngine.map_trial_batches`."""
+    return func(params, n, as_generator(seq))

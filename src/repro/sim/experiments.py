@@ -19,8 +19,15 @@ import numpy as np
 
 from repro.access.patterns_nd import ND_PATTERN_NAMES
 from repro.access.transpose import TRANSPOSE_NAMES, run_transpose
+from repro.apps import build_app_program
 from repro.core.higher_dim import ND_MAPPING_NAMES, nd_mapping_by_name
-from repro.core.mappings import MAPPING_NAMES, mapping_by_name
+from repro.core.mappings import (
+    MAPPING_NAMES,
+    RAWMapping,
+    mapping_by_name,
+    mapping_from_shifts,
+    sample_shift_batch,
+)
 from repro.gpu.timing import PAPER_TABLE3_NS, GPUTimingModel
 from repro.sim.congestion_sim import (
     CongestionStats,
@@ -37,6 +44,8 @@ from repro.util.rng import (
 )
 
 __all__ = [
+    "AppTimingResult",
+    "app_time_sweep",
     "table2_extended",
     "lemma1_table",
     "PAPER_TABLE2",
@@ -531,3 +540,107 @@ def table4(
             scheme, w, as_generator(seq)
         ).random_numbers_used
     return result
+
+
+# ---------------------------------------------------------------------------
+# Application completion-time sweeps (batched DMM executor)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AppTimingResult:
+    """Per-trial DMM completion times of one (app, mapping) cell.
+
+    Attributes
+    ----------
+    app, mapping:
+        Which program ran under which mapping family.
+    w, latency:
+        DMM geometry of the run.
+    time_units:
+        Shape ``(trials,)`` int64 — the program's completion time under
+        each independent mapping draw.
+    """
+
+    app: str
+    mapping: str
+    w: int
+    latency: int
+    time_units: np.ndarray
+
+    @property
+    def trials(self) -> int:
+        """Number of mapping draws."""
+        return int(self.time_units.size)
+
+    @property
+    def mean_time(self) -> float:
+        """Expected completion time over the draws."""
+        return float(self.time_units.mean())
+
+
+def _app_time_shard(params: tuple, n: int, rng) -> np.ndarray:
+    """One shard of :func:`app_time_sweep` — engine worker body.
+
+    Draws the shard's ``n`` shift matrices with one
+    :func:`~repro.core.mappings.sample_shift_batch` call (the exact
+    stream the batched staging consumes), then executes the app under
+    each draw.  The ``batched`` flag selects the executor only — both
+    paths consume the same stream and return identical per-trial times,
+    which ``tests/test_batched_dmm.py`` pins.
+    """
+    app, mapping_name, w, latency, batched, skeleton_seed = params
+    shifts = sample_shift_batch(mapping_name, w, n, rng)
+    if batched:
+        kernel = build_app_program(app, RAWMapping(w), seed=skeleton_seed)
+        return kernel.run_batch(shifts, latency=latency).time_units
+    times = np.empty(n, dtype=np.int64)
+    for t in range(n):
+        mapping = mapping_from_shifts(mapping_name, shifts[t])
+        kernel = build_app_program(app, mapping, seed=skeleton_seed)
+        machine = kernel.make_machine(latency=latency)
+        times[t] = machine.run(kernel.program()).time_units
+    return times
+
+
+def app_time_sweep(
+    apps: tuple[str, ...] = ("fft", "sort", "stencil_row"),
+    mappings: tuple[str, ...] = MAPPING_NAMES,
+    w: int = 32,
+    trials: int = 100,
+    seed: SeedLike = 2014,
+    latency: int = 1,
+    engine: MonteCarloEngine | None = None,
+    batched: bool = True,
+    skeleton_seed: int = 2014,
+) -> dict[tuple[str, str], AppTimingResult]:
+    """Per-trial app completion times over mapping redraws.
+
+    For each (app, mapping) cell, draws ``trials`` independent shift
+    matrices and measures the program's cycle-accurate DMM completion
+    time under each draw, using the batched executor
+    (:meth:`~repro.gpu.kernel.SharedMemoryKernel.run_batch`) by
+    default.  ``engine`` shards the trials with the fixed plan of
+    :class:`~repro.sim.engine.MonteCarloEngine`, so for a fixed seed
+    the result is bit-identical for every worker count — and identical
+    between the batched and scalar executors (``batched=False`` exists
+    for benchmarking and cross-validation).  ``skeleton_seed`` fixes
+    the app's input data; the program *skeleton* (grids and masks) is
+    mapping-independent, which is what makes batching across draws
+    possible.
+    """
+    engine = engine or MonteCarloEngine()
+    cells = [(app, mapping) for app in apps for mapping in mappings]
+    seqs = spawn_seed_sequences(seed, len(cells))
+    out: dict[tuple[str, str], AppTimingResult] = {}
+    for seq, (app, mapping) in zip(seqs, cells):
+        params = (app, mapping, w, latency, batched, skeleton_seed)
+        chunks = engine.map_trial_batches(_app_time_shard, params, trials, seq)
+        out[(app, mapping)] = AppTimingResult(
+            app=app,
+            mapping=mapping,
+            w=w,
+            latency=latency,
+            time_units=np.concatenate(chunks),
+        )
+    return out

@@ -165,4 +165,9 @@ EXPERIMENT_INDEX: tuple[Experiment, ...] = (
         ("repro.analysis.affine", "repro.analysis.prover"),
         "bench_prover.py", None,
     ),
+    Experiment(
+        "batched-dmm", "extension", "-",
+        ("repro.dmm.batched", "repro.sim.bench"),
+        "bench_dmm.py", None,
+    ),
 )

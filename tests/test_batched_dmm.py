@@ -1,0 +1,307 @@
+"""Tests for the batched DMM executor and its consumers.
+
+The load-bearing contract is *exactness*: the batched engine is a pure
+performance transform, so every observable of the scalar
+:class:`~repro.dmm.machine.DiscreteMemoryMachine` — per-step
+congestion multisets, dispatch sets, per-step and total time units,
+final registers, final memory — must be reproduced bit for bit, per
+trial, for every builtin app under every mapping family.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import BUILTIN_PROGRAMS, build_app_program
+from repro.core.congestion import congestion_batch, warp_congestion
+from repro.core.mappings import (
+    MAPPING_NAMES,
+    RAWMapping,
+    mapping_from_shifts,
+    sample_shift_batch,
+)
+from repro.dmm import BatchedDMM, stack_programs
+from repro.dmm.machine import DiscreteMemoryMachine
+from repro.dmm.trace import INACTIVE, MemoryProgram, read, write
+from repro.util.rng import as_generator
+
+W = 8
+TRIALS = 4
+SEED = 123
+
+
+# ---------------------------------------------------------------------------
+# congestion_batch with INACTIVE-aware semantics
+# ---------------------------------------------------------------------------
+
+
+class TestMaskedCongestionBatch:
+    def test_inactive_lanes_issue_no_request(self):
+        rows = np.array([[0, 1, INACTIVE, INACTIVE]])
+        assert congestion_batch(rows, 4, inactive=INACTIVE).tolist() == [1]
+
+    def test_duplicates_merge(self):
+        # Four lanes, one address: CRCW merge -> one request.
+        rows = np.array([[5, 5, 5, 5]])
+        assert congestion_batch(rows, 4, inactive=INACTIVE).tolist() == [1]
+
+    def test_duplicates_and_inactive_mixed(self):
+        # 0 and 4 share bank 0 (distinct addresses -> serialize);
+        # the duplicate 4 merges; the inactive lane vanishes.
+        rows = np.array([[0, 4, 4, INACTIVE]])
+        assert congestion_batch(rows, 4, inactive=INACTIVE).tolist() == [2]
+
+    def test_all_inactive_row_is_zero(self):
+        rows = np.full((3, 4), INACTIVE)
+        rows[1] = [0, 1, 2, 3]
+        assert congestion_batch(rows, 4, inactive=INACTIVE).tolist() == [0, 1, 0]
+
+    def test_matches_scalar_on_random_masked_rows(self):
+        rng = as_generator(7)
+        rows = rng.integers(0, 64, size=(50, W))
+        mask = rng.random((50, W)) < 0.6
+        rows = np.where(mask, rows, INACTIVE)
+        got = congestion_batch(rows, W, inactive=INACTIVE)
+        for row, g in zip(rows, got):
+            active = row[row != INACTIVE]
+            assert g == warp_congestion(active, W)
+
+    def test_inactive_none_keeps_legacy_semantics(self):
+        rng = as_generator(8)
+        rows = rng.integers(0, 64, size=(20, W))
+        with_sentinel = congestion_batch(rows, W, inactive=INACTIVE)
+        without = congestion_batch(rows, W)
+        assert np.array_equal(with_sentinel, without)
+
+
+# ---------------------------------------------------------------------------
+# vectorized scalar _execute: exact congestion tuples under partial masks
+# ---------------------------------------------------------------------------
+
+
+class TestScalarExecuteVectorized:
+    def _machine(self, latency=3):
+        return DiscreteMemoryMachine(W, latency=latency, memory_size=W * W)
+
+    def test_partially_masked_trace_is_exact(self):
+        # Warp 0 fully active (stride down a column: congestion W),
+        # warp 1 half active, warps 2.. fully inactive.
+        addresses = np.full(W * W, INACTIVE, dtype=np.int64)
+        addresses[:W] = np.arange(W) * W  # one bank -> congestion W
+        addresses[W : W + W // 2] = np.arange(W // 2)  # distinct banks
+        program = MemoryProgram(p=W * W, instructions=[read(addresses)])
+        result = self._machine().run(program)
+        trace = result.traces[0]
+        assert trace.dispatched_warps == (0, 1)
+        assert trace.congestions == (W, 1)
+        # time = sum of congestions + latency - 1
+        assert trace.time_units == W + 1 + 3 - 1
+
+    def test_all_inactive_instruction_takes_zero_time(self):
+        addresses = np.full(W * W, INACTIVE, dtype=np.int64)
+        program = MemoryProgram(p=W * W, instructions=[read(addresses)])
+        result = self._machine().run(program)
+        assert result.traces[0].dispatched_warps == ()
+        assert result.traces[0].congestions == ()
+        assert result.traces[0].time_units == 0
+
+    def test_masked_congestions_match_per_warp_recount(self):
+        rng = as_generator(11)
+        addresses = rng.integers(0, W * W, size=W * W)
+        mask = rng.random(W * W) < 0.5
+        addresses = np.where(mask, addresses, INACTIVE)
+        program = MemoryProgram(p=W * W, instructions=[read(addresses)])
+        trace = self._machine().run(program).traces[0]
+        expected = []
+        for warp in addresses.reshape(-1, W):
+            active = warp[warp != INACTIVE]
+            if active.size:
+                expected.append(warp_congestion(active, W))
+        assert trace.congestions == tuple(expected)
+
+
+# ---------------------------------------------------------------------------
+# the exactness contract: batched == scalar for all apps x mappings
+# ---------------------------------------------------------------------------
+
+
+def _assert_trial_matches(res, t, scalar_result, scalar_machine):
+    assert int(res.time_units[t]) == scalar_result.time_units
+    for bt, st in zip(res.traces, scalar_result.traces):
+        assert bt.trial_congestions(t) == st.congestions
+        assert bt.trial_dispatched(t) == st.dispatched_warps
+        assert int(bt.time_units[t]) == st.time_units
+    bregs = res.trial_registers(t)
+    assert set(bregs) == set(scalar_result.registers)
+    for reg, values in scalar_result.registers.items():
+        assert np.array_equal(values, bregs[reg])
+    assert np.array_equal(res.memory.trial(t), scalar_machine.memory.store)
+
+
+@pytest.mark.parametrize("mapping_name", MAPPING_NAMES)
+@pytest.mark.parametrize("app", sorted(BUILTIN_PROGRAMS))
+def test_batched_matches_scalar_exactly(app, mapping_name):
+    """Per trial: congestion tuples, dispatch, timing, registers, memory."""
+    rng = as_generator(SEED)
+    shifts = sample_shift_batch(mapping_name, W, TRIALS, rng)
+    kernel = build_app_program(app, RAWMapping(W), seed=SEED)
+    res = kernel.run_batch(shifts, latency=4)
+    for t in range(TRIALS):
+        mapping = mapping_from_shifts(mapping_name, shifts[t])
+        scalar_kernel = build_app_program(app, mapping, seed=SEED)
+        machine = scalar_kernel.make_machine(latency=4)
+        scalar_result = machine.run(scalar_kernel.program())
+        _assert_trial_matches(res, t, scalar_result, machine)
+
+
+# ---------------------------------------------------------------------------
+# stack_programs: the generic (unstaged) batching path
+# ---------------------------------------------------------------------------
+
+
+class TestStackPrograms:
+    def _random_program(self, rng):
+        p = W * W
+        addrs = rng.integers(0, W * W, size=p)
+        mask = rng.random(p) < 0.8
+        masked = np.where(mask, addrs, INACTIVE)
+        return MemoryProgram(
+            p=p,
+            instructions=[
+                write(np.arange(p) % (W * W), values=np.arange(p, dtype=float)),
+                read(masked, register="r1"),
+                write(rng.integers(0, W * W, size=p), register="r1"),
+            ],
+        )
+
+    def test_stacked_execution_matches_each_scalar_run(self):
+        rng = as_generator(21)
+        programs = [self._random_program(rng) for _ in range(3)]
+        batched = stack_programs(programs)
+        machine = BatchedDMM(W, latency=2, memory_size=W * W, trials=3)
+        res = machine.run(batched)
+        for t, program in enumerate(programs):
+            scalar = DiscreteMemoryMachine(W, latency=2, memory_size=W * W)
+            scalar_result = scalar.run(program)
+            _assert_trial_matches(res, t, scalar_result, scalar)
+
+    def test_structural_mismatch_rejected(self):
+        p = W * W
+        a = MemoryProgram(p=p, instructions=[read(np.arange(p) % (W * W))])
+        b = MemoryProgram(
+            p=p, instructions=[write(np.arange(p) % (W * W), register="r2")]
+        )
+        with pytest.raises(ValueError, match="differs structurally"):
+            stack_programs([a, b])
+
+    def test_trial_count_must_match_machine(self):
+        p = W * W
+        programs = [
+            MemoryProgram(p=p, instructions=[read(np.arange(p) % (W * W))])
+        ] * 2
+        machine = BatchedDMM(W, latency=1, memory_size=W * W, trials=3)
+        with pytest.raises(ValueError, match="trials"):
+            machine.run(stack_programs(programs))
+
+
+class TestStagedFlatAddressing:
+    def test_stride_mismatch_rejected(self):
+        """A staged program carries the stride it was baked for; running
+        it on a machine with a different memory stride must fail loudly
+        instead of reading other trials' words."""
+        rng = as_generator(5)
+        shifts = sample_shift_batch("RAP", W, 2, rng)
+        kernel = build_app_program("transpose_crsw", RAWMapping(W), seed=SEED)
+        staged = kernel.program_batch(shifts)
+        machine = kernel.make_batched_machine(trials=2)
+        bigger = BatchedDMM(
+            W, latency=1, memory_size=machine.memory.size + 7, trials=2
+        )
+        with pytest.raises(ValueError, match="stride"):
+            bigger.run(staged)
+
+
+# ---------------------------------------------------------------------------
+# engine + experiments wiring
+# ---------------------------------------------------------------------------
+
+
+class TestTrialBatchSharding:
+    def test_results_identical_for_any_worker_count(self):
+        from repro.sim.engine import MonteCarloEngine
+        from repro.sim.experiments import _app_time_shard
+
+        params = ("scan", "RAP", W, 1, True, SEED)
+        with MonteCarloEngine(workers=1, cache=False) as serial, MonteCarloEngine(
+            workers=3, cache=False
+        ) as parallel:
+            a = serial.map_trial_batches(_app_time_shard, params, 11, seed=42)
+            b = parallel.map_trial_batches(_app_time_shard, params, 11, seed=42)
+        assert np.array_equal(np.concatenate(a), np.concatenate(b))
+
+    def test_shard_plan_concatenates_to_trials(self):
+        from repro.sim.engine import MonteCarloEngine
+
+        def sizes(params, n, rng):
+            return np.full(n, params[0])
+
+        chunks = MonteCarloEngine(cache=False).map_trial_batches(
+            sizes, (1,), 11, seed=0
+        )
+        assert sum(c.size for c in chunks) == 11
+
+    def test_app_time_sweep_batched_equals_scalar(self):
+        from repro.sim.experiments import app_time_sweep
+
+        batched = app_time_sweep(
+            apps=("transpose_crsw",), mappings=("RAS", "RAP"), w=W,
+            trials=9, seed=3,
+        )
+        scalar = app_time_sweep(
+            apps=("transpose_crsw",), mappings=("RAS", "RAP"), w=W,
+            trials=9, seed=3, batched=False,
+        )
+        for key, res in batched.items():
+            assert np.array_equal(res.time_units, scalar[key].time_units)
+            assert res.trials == 9
+            assert res.mean_time == pytest.approx(res.time_units.mean())
+
+
+# ---------------------------------------------------------------------------
+# bench-dmm CLI
+# ---------------------------------------------------------------------------
+
+
+class TestBenchDmmCLI:
+    def test_smoke_and_gate(self, capsys, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench-dmm", "--apps", "transpose_drdw", "--w", "8",
+                "--trials", "4", "--repeats", "1",
+                "--json", str(out), "--min-speedup", "0.0001",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert "transpose_drdw" in payload["apps"]
+        entry = payload["apps"]["transpose_drdw"]
+        assert entry["speedup"] == pytest.approx(
+            entry["scalar_s"] / entry["batched_s"], rel=0.01
+        )
+        assert "speedup" in capsys.readouterr().out
+
+    def test_floor_failure_exits_nonzero(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "bench-dmm", "--apps", "transpose_drdw", "--w", "8",
+                "--trials", "4", "--repeats", "1", "--min-speedup", "1e9",
+            ]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().err
