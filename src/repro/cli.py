@@ -25,12 +25,25 @@ Performance subcommand:
   builtin apps, verified identical before timing
   (``python -m repro bench-dmm --trials 100 --json BENCH_dmm.json``).
 
+Maintenance subcommand:
+
+* ``cache`` — audit the on-disk result cache
+  (``python -m repro cache verify|stats|clear``).  ``verify``
+  quarantines invalid entries and exits non-zero when any were found.
+
 Options let the user trade runtime for precision (``--trials``), pin
 reproducibility (``--seed``), distribute Monte-Carlo trials over
 worker processes (``--workers``), and control the on-disk result
 cache (``--no-cache``; ``--stats`` prints the engine's throughput and
 cache counters).  For a fixed seed the printed numbers are
 bit-identical for every worker count and cache state.
+
+Checkpoint/resume: ``--journal [PATH]`` makes the journal-aware
+experiments (``table2``, ``table4``, ``growth``, ``lemma1``) record
+every completed cell to an append-only journal; ``--resume`` replays
+the recorded cells of an interrupted run and recomputes only the
+rest.  Because the seed plan is fixed up front, a resumed run prints
+output byte-identical to an uninterrupted fresh run.
 """
 
 from __future__ import annotations
@@ -86,6 +99,39 @@ def _engine_from_args(args) -> "MonteCarloEngine":
         )
         args._engine = engine
     return engine
+
+
+def _journal_for(args, experiment: str, **params) -> "SweepJournal | None":
+    """A :class:`SweepJournal` for ``experiment``, or None if not requested.
+
+    The header binds the journal to this run's full identity —
+    experiment name, sweep parameters, seed fingerprint, and the code
+    fingerprint of the simulation sources — so ``--resume`` refuses
+    journals written by a different run or different code.
+    """
+    if getattr(args, "journal", None) is None and not getattr(args, "resume", False):
+        return None
+    from pathlib import Path
+
+    from repro.resilience.journal import SweepJournal
+    from repro.sim.cache import code_fingerprint, default_cache_dir
+    from repro.util.rng import seed_fingerprint
+
+    if args.journal is not None:
+        path = Path(args.journal)
+        if args.experiment == "all":
+            # One file per journal-aware experiment, derived from the
+            # given path, so an `all` run never mixes run identities.
+            path = path.parent / f"{path.stem}-{experiment}{path.suffix or '.jsonl'}"
+    else:
+        path = default_cache_dir() / "journals" / f"{experiment}.jsonl"
+    header = {
+        "experiment": experiment,
+        "params": params,
+        "seed": seed_fingerprint(args.seed),
+        "code": code_fingerprint(),
+    }
+    return SweepJournal(path, header, resume=args.resume)
 
 def _run_exact(args) -> str:
     """Extension: exact balls-in-bins values behind Table II."""
@@ -228,7 +274,9 @@ def _run_lemma1(args) -> str:
     from repro.report.tables import format_grid
     from repro.sim.experiments import lemma1_table
 
-    cells = lemma1_table()
+    cells = lemma1_table(
+        journal=_journal_for(args, "lemma1", widths=[4, 8, 16, 32], latency=5),
+    )
     rows = [
         [algo, str(w), str(measured), str(formula), "yes" if ok else "NO"]
         for (algo, w), (measured, formula, ok) in sorted(cells.items())
@@ -270,9 +318,13 @@ def _run_growth(args) -> str:
     from repro.sim.sweep import growth_sweep
 
     widths = tuple(wd for wd in args.widths if wd >= 3)
+    trials = max(50, args.trials // 4)
     sweep = growth_sweep(
-        widths=widths, trials=max(50, args.trials // 4), seed=args.seed,
+        widths=widths, trials=trials, seed=args.seed,
         engine=_engine_from_args(args),
+        journal=_journal_for(
+            args, "growth", trials=trials, widths=list(widths)
+        ),
     )
     lines = [sweep.render(), ""]
     lines.append("width: measured RAP vs Theorem 2 bound")
@@ -346,6 +398,9 @@ _TABLE_RUNNERS = {
             seed=args.seed,
             widths=tuple(args.widths),
             engine=_engine_from_args(args),
+            journal=_journal_for(
+                args, "table2", trials=args.trials, widths=list(args.widths)
+            ),
         ),
         style=args.format,
     ),
@@ -363,6 +418,9 @@ _TABLE_RUNNERS = {
             trials=max(1, args.trials // 5),
             seed=args.seed,
             engine=_engine_from_args(args),
+            journal=_journal_for(
+                args, "table4", trials=max(1, args.trials // 5), w=args.w4
+            ),
         ),
         style=args.format,
     ),
@@ -445,7 +503,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="print engine run statistics (shard timings, trials/sec, "
         "cache hits) after the experiment output",
     )
+    parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record each completed sweep cell to an append-only journal "
+            "at PATH (journal-aware experiments: table2, table4, growth, "
+            "lemma1).  Without --resume an existing journal is truncated."
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted journaled run: replay every recorded "
+            "cell and recompute only the rest (byte-identical output to "
+            "a fresh run).  Without --journal the default path under the "
+            "cache directory is used."
+        ),
+    )
     return parser
+
+
+def _cache_main(argv: Sequence[str]) -> int:
+    """``python -m repro cache verify|stats|clear``."""
+    parser = argparse.ArgumentParser(
+        prog="rap-repro cache",
+        description=(
+            "Audit or maintain the on-disk result cache.  'verify' "
+            "checks every entry's integrity checksum, quarantines "
+            "invalid ones, and exits non-zero when any were found; "
+            "'stats' prints a directory snapshot; 'clear' deletes all "
+            "entries plus orphaned .tmp staging files."
+        ),
+    )
+    parser.add_argument("action", choices=("verify", "stats", "clear"))
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or the "
+        "system temp directory)",
+    )
+    parser.add_argument(
+        "--no-quarantine",
+        action="store_true",
+        help="verify only: report invalid entries without moving them "
+        "to quarantine/",
+    )
+    args = parser.parse_args(list(argv))
+    from repro.sim.cache import ResultCache
+
+    cache = ResultCache(root=args.cache_dir)
+    if args.action == "stats":
+        for field, value in cache.stats().items():
+            print(f"{field}: {value}")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} file(s) from {cache.root}")
+        return 0
+    report = cache.verify(quarantine=not args.no_quarantine)
+    print(f"checked {report.checked} entries under {cache.root}: {report.ok} ok")
+    if report.tmp_orphans:
+        print(f"{report.tmp_orphans} orphaned .tmp staging file(s) "
+              "(swept by 'cache clear')")
+    if report.corrupt:
+        verb = "quarantined" if report.quarantined else "found"
+        print(f"{verb} {len(report.corrupt)} invalid entries:")
+        for name in report.corrupt:
+            print(f"  {name}")
+        return 1
+    print("cache is clean")
+    return 0
 
 
 def run_experiment(name: str, args: argparse.Namespace) -> str:
@@ -468,12 +598,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.sim.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
     args = build_parser().parse_args(argv)
     names = (
         list(_TABLE_RUNNERS) + list(ALL_FIGURES)
         if args.experiment == "all"
         else [args.experiment]
     )
+    from repro.resilience.journal import JournalError
+
     try:
         for name in names:
             print(run_experiment(name, args))
@@ -481,6 +615,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.stats:
             print(_engine_from_args(args).collector.summary())
             print()
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:  # e.g. `python -m repro table2 | head`
         return 0
     finally:

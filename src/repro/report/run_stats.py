@@ -11,7 +11,27 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["RunStatsCollector", "ShardRecord"]
+__all__ = ["RetryRecord", "RunStatsCollector", "ShardRecord"]
+
+
+@dataclass(frozen=True)
+class RetryRecord:
+    """One retried shard attempt.
+
+    Attributes
+    ----------
+    task:
+        The supervised task's label.
+    shard:
+        Which shard of the task was retried.
+    reason:
+        ``"crash"`` (the attempt raised) or ``"timeout"`` (the attempt
+        exceeded the policy's per-shard budget).
+    """
+
+    task: str
+    shard: int
+    reason: str
 
 
 @dataclass(frozen=True)
@@ -45,6 +65,9 @@ class RunStatsCollector:
     shards: list[ShardRecord] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    retries: list[RetryRecord] = field(default_factory=list)
+    pool_respawns: int = 0
+    degraded_runs: int = 0
 
     def record_shard(self, task: str, trials: int, seconds: float) -> None:
         self.shards.append(ShardRecord(task, trials, seconds))
@@ -54,6 +77,34 @@ class RunStatsCollector:
             self.cache_hits += 1
         else:
             self.cache_misses += 1
+
+    # -- resilience events (see repro.resilience.supervisor) -------------
+
+    def record_retry(self, task: str, shard: int, reason: str) -> None:
+        """One shard attempt failed and was retried."""
+        self.retries.append(RetryRecord(task, shard, reason))
+
+    def record_pool_respawn(self) -> None:
+        """A BrokenProcessPool was recovered by rebuilding the pool."""
+        self.pool_respawns += 1
+
+    def record_degraded(self) -> None:
+        """Pool recovery gave up; a run finished serially in-process."""
+        self.degraded_runs += 1
+
+    @property
+    def retry_counts(self) -> dict[str, int]:
+        """Retries per failure reason (``{"crash": 2, "timeout": 1}``).
+
+        Note: execution-fault retries are worker-count-independent for
+        a fixed fault schedule (enforced by ``tests/test_chaos.py``);
+        ``pool_respawns``/``degraded_runs`` are infrastructure events
+        that only exist when a pool does.
+        """
+        counts: dict[str, int] = {}
+        for record in self.retries:
+            counts[record.reason] = counts.get(record.reason, 0) + 1
+        return counts
 
     # -- aggregation -----------------------------------------------------
 
@@ -130,6 +181,20 @@ class RunStatsCollector:
             )
         else:
             lines.append("cache: disabled or unused")
+        if self.retries or self.pool_respawns or self.degraded_runs:
+            reasons = ", ".join(
+                f"{n} {reason}" for reason, n in sorted(self.retry_counts.items())
+            )
+            lines.append(
+                f"resilience: {len(self.retries)} shard retries"
+                + (f" ({reasons})" if reasons else "")
+                + f", {self.pool_respawns} pool respawns"
+                + (
+                    f", {self.degraded_runs} degraded to serial"
+                    if self.degraded_runs
+                    else ""
+                )
+            )
         total = self.total_seconds
         lines.append(
             f"total: {self.total_trials} trials in {total:.3f}s worker time"

@@ -1,0 +1,55 @@
+"""Fault-tolerant execution layer for the Monte-Carlo engine.
+
+The paper bounds congestion under *malicious* access patterns; this
+package bounds the damage of *execution-level* faults — crashed pool
+workers, hung shards, broken pools, torn cache writes, interrupted
+sweeps — while preserving the repository's load-bearing contract:
+
+> a fixed seed produces bit-identical results for every worker count,
+> every cache state, **and every recoverable fault schedule**.
+
+Modules
+-------
+:mod:`repro.resilience.policy`
+    :class:`RetryPolicy` — retries, per-shard timeouts, exponential
+    backoff with deterministic jitter, pool-respawn budget.
+:mod:`repro.resilience.supervisor`
+    :class:`ShardSupervisor` — the supervised execution loop used by
+    :class:`repro.sim.engine.MonteCarloEngine`.
+:mod:`repro.resilience.faults`
+    The deterministic chaos harness: :class:`FaultPlan` schedules and
+    the builtin plans the property tests run.
+:mod:`repro.resilience.journal`
+    :class:`SweepJournal` — checksummed checkpoint/resume journal for
+    long sweeps (``--resume``).
+"""
+
+from repro.resilience.faults import (
+    BUILTIN_FAULT_PLANS,
+    FaultPlan,
+    InjectedCrash,
+    InjectedFault,
+    ShardFault,
+    SimulatedTimeout,
+    builtin_fault_plan,
+)
+from repro.resilience.journal import JournalError, JournalMismatch, SweepJournal
+from repro.resilience.policy import RetryPolicy, deterministic_jitter
+from repro.resilience.supervisor import ShardFailure, ShardSupervisor
+
+__all__ = [
+    "BUILTIN_FAULT_PLANS",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedFault",
+    "JournalError",
+    "JournalMismatch",
+    "RetryPolicy",
+    "ShardFailure",
+    "ShardFault",
+    "ShardSupervisor",
+    "SimulatedTimeout",
+    "SweepJournal",
+    "builtin_fault_plan",
+    "deterministic_jitter",
+]

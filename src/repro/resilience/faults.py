@@ -1,0 +1,220 @@
+"""Deterministic chaos harness: injectable fault plans.
+
+A :class:`FaultPlan` is a *static, picklable schedule* of faults —
+"shard 1 crashes on its first two attempts", "the write of cache entry
+0 is torn mid-JSON" — that the execution layer consults at well-defined
+points.  Because the schedule is data (not probabilistic monkey
+patching), a chaos run is exactly as reproducible as a fault-free run,
+which is what lets the property tests assert the recovery contract:
+
+> for every fault schedule that eventually lets work complete, the
+> final :class:`~repro.sim.congestion_sim.CongestionStats` are
+> **bit-identical** to the fault-free run, at every worker count.
+
+Shard faults are injected by the supervised shard wrapper (in the
+worker process for pool mode, in-process for serial mode); cache
+faults are injected by :meth:`repro.sim.cache.ResultCache.put`.
+
+Fault kinds
+-----------
+``crash``
+    The shard raises :class:`InjectedCrash` before doing any work.
+``delay``
+    The shard sleeps ``delay`` seconds before doing its work.  In pool
+    mode this trips the supervisor's real ``future.result`` timeout;
+    in serial mode (which cannot preempt in-process work) a delay
+    longer than the policy timeout raises :class:`SimulatedTimeout`
+    instead of sleeping, so the retry schedule is identical across
+    worker counts.
+``break_pool``
+    The worker process exits hard (``os._exit``), breaking the whole
+    ``ProcessPoolExecutor`` — every outstanding future fails with
+    ``BrokenProcessPool`` and the supervisor must respawn the pool.
+    In serial mode there is no pool to break, so the fault is a no-op.
+
+Cache faults are put-indexed (the Nth ``put`` of the cache instance):
+``tear_puts`` simulates a torn non-atomic write (a truncated JSON file
+appears under the entry's real name, plus an orphaned ``.tmp``);
+``corrupt_puts`` flips the entry's bytes after a successful write.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "BUILTIN_FAULT_PLANS",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedFault",
+    "ShardFault",
+    "SimulatedTimeout",
+    "builtin_fault_plan",
+    "inject_shard_fault",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Base class for faults raised by the chaos harness."""
+
+
+class InjectedCrash(InjectedFault):
+    """A scheduled shard crash (fault kind ``crash``)."""
+
+
+class SimulatedTimeout(InjectedFault):
+    """A scheduled delay surfacing as a timeout in serial mode."""
+
+
+@dataclass(frozen=True)
+class ShardFault:
+    """One scheduled fault against one (shard, attempt) coordinate.
+
+    Attributes
+    ----------
+    kind:
+        ``"crash"``, ``"delay"``, or ``"break_pool"``.
+    shard:
+        Shard index the fault targets (the engine's fixed shard plan
+        makes this stable across worker counts).
+    attempts:
+        Attempt numbers (0-based) on which the fault fires.  An
+        eventually-recoverable plan leaves at least one attempt within
+        the retry budget fault-free.
+    delay:
+        Sleep duration in seconds (``delay`` faults only).
+    """
+
+    kind: str
+    shard: int
+    attempts: tuple[int, ...] = (0,)
+    delay: float = 0.0
+
+    _KINDS = ("crash", "delay", "break_pool")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {self._KINDS}")
+        if self.shard < 0:
+            raise ValueError(f"shard must be >= 0, got {self.shard}")
+        if any(a < 0 for a in self.attempts):
+            raise ValueError(f"attempts must be >= 0, got {self.attempts}")
+        if self.delay < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+
+    def matches(self, shard: int, attempt: int) -> bool:
+        return shard == self.shard and attempt in self.attempts
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, picklable fault schedule for one supervised run.
+
+    Attributes
+    ----------
+    name:
+        Display name (builtin plans use their registry key).
+    shard_faults:
+        Faults applied to shard execution, matched by
+        ``(shard, attempt)``.  The plan applies to every supervised
+        task the engine runs (each task restarts attempt counting).
+    tear_puts:
+        0-based cache ``put`` indices whose write is torn: a truncated
+        JSON file is left under the entry's final name and the ``.tmp``
+        staging file is orphaned, as a crashed non-atomic writer would.
+    corrupt_puts:
+        0-based cache ``put`` indices whose entry is overwritten with
+        garbage bytes *after* a successful atomic write.
+    """
+
+    name: str = "custom"
+    shard_faults: tuple[ShardFault, ...] = ()
+    tear_puts: tuple[int, ...] = ()
+    corrupt_puts: tuple[int, ...] = ()
+
+    def fault_for(self, shard: int, attempt: int) -> ShardFault | None:
+        """First scheduled fault matching ``(shard, attempt)``, if any."""
+        for fault in self.shard_faults:
+            if fault.matches(shard, attempt):
+                return fault
+        return None
+
+    def tears_put(self, index: int) -> bool:
+        return index in self.tear_puts
+
+    def corrupts_put(self, index: int) -> bool:
+        return index in self.corrupt_puts
+
+
+def inject_shard_fault(
+    plan: FaultPlan | None,
+    shard: int,
+    attempt: int,
+    in_pool: bool,
+    timeout: float | None,
+) -> None:
+    """Apply the scheduled fault for ``(shard, attempt)``, if any.
+
+    Called by the supervised shard wrapper immediately before the
+    shard body runs — in the worker process for pool mode
+    (``in_pool=True``), in-process for serial mode.  See the module
+    docstring for per-kind semantics.
+    """
+    if plan is None:
+        return
+    fault = plan.fault_for(shard, attempt)
+    if fault is None:
+        return
+    if fault.kind == "crash":
+        raise InjectedCrash(
+            f"injected crash: plan={plan.name!r} shard={shard} attempt={attempt}"
+        )
+    if fault.kind == "delay":
+        if not in_pool and timeout is not None and fault.delay > timeout:
+            raise SimulatedTimeout(
+                f"injected timeout: plan={plan.name!r} shard={shard} "
+                f"attempt={attempt} (delay {fault.delay}s > timeout {timeout}s)"
+            )
+        time.sleep(fault.delay)
+        return
+    # break_pool: only a pool can break.  Serial mode has no worker
+    # process to kill, so the fault degrades to a no-op there.
+    if in_pool:
+        os._exit(13)
+
+
+#: Builtin fault schedules exercised by the chaos property tests
+#: (``tests/test_chaos.py``) and the CI ``chaos`` job.  Every plan is
+#: eventually recoverable under the default retry budget.
+BUILTIN_FAULT_PLANS: dict[str, FaultPlan] = {
+    "shard-crash-x2": FaultPlan(
+        name="shard-crash-x2",
+        shard_faults=(ShardFault(kind="crash", shard=1, attempts=(0, 1)),),
+    ),
+    # Pair with a policy whose per-shard timeout is < 2.5s (the chaos
+    # tests use timeout=1.0): pool mode trips the real future timeout,
+    # serial mode raises the simulated one.
+    "shard-timeout": FaultPlan(
+        name="shard-timeout",
+        shard_faults=(ShardFault(kind="delay", shard=2, attempts=(0,), delay=2.5),),
+    ),
+    "broken-pool": FaultPlan(
+        name="broken-pool",
+        shard_faults=(ShardFault(kind="break_pool", shard=0, attempts=(0,)),),
+    ),
+    "torn-cache-write": FaultPlan(name="torn-cache-write", tear_puts=(0,)),
+    "corrupt-cache-entry": FaultPlan(name="corrupt-cache-entry", corrupt_puts=(0,)),
+}
+
+
+def builtin_fault_plan(name: str) -> FaultPlan:
+    """Look up a builtin plan by name (KeyError lists the options)."""
+    try:
+        return BUILTIN_FAULT_PLANS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault plan {name!r}; builtin plans: "
+            f"{', '.join(sorted(BUILTIN_FAULT_PLANS))}"
+        ) from None

@@ -1,0 +1,162 @@
+"""Checkpoint journal for long sweeps: atomic appends, checksummed lines.
+
+A :class:`SweepJournal` is an append-only JSONL file recording one
+line per *completed cell* of a sweep (a table cell, a growth-curve
+point, an (app, mapping) timing block).  An interrupted run — Ctrl-C,
+OOM, power loss — leaves a valid prefix; rerunning with ``--resume``
+loads the journal, skips every recorded cell (replaying its exact
+payload), and recomputes only the remainder.  Because the sweep's seed
+plan is laid out before any cell executes, a resumed run is
+**bit-identical** to an uninterrupted fresh run (asserted by
+``tests/test_resume.py``).
+
+Integrity model
+---------------
+* The first line is a **header** binding the journal to one run
+  identity (experiment name, parameters, seed fingerprint, code
+  fingerprint).  Resuming against a mismatched header raises
+  :class:`JournalMismatch` instead of silently mixing results from
+  different runs or different code.
+* Every line carries a truncated SHA-256 over its content.  A torn
+  tail line (the crash case an append-only file can actually produce)
+  or any corrupted line fails its checksum and is ignored — the cell
+  is simply recomputed.
+* Appends are flushed and fsynced per record, so a completed cell
+  survives anything short of filesystem loss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+__all__ = ["JournalError", "JournalMismatch", "SweepJournal"]
+
+_MAGIC = "repro-journal-v1"
+
+
+class JournalError(RuntimeError):
+    """A journal file could not be used."""
+
+
+class JournalMismatch(JournalError):
+    """The journal on disk belongs to a different run identity."""
+
+
+def _line_checksum(record: dict) -> str:
+    body = json.dumps(record, sort_keys=True)
+    return hashlib.sha256((_MAGIC + body).encode()).hexdigest()[:16]
+
+
+def _encode_line(record: dict) -> str:
+    return json.dumps({**record, "sha": _line_checksum(record)}, sort_keys=True)
+
+
+def _decode_line(line: str) -> dict | None:
+    """Parse + verify one journal line; ``None`` if torn/corrupt."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        payload = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(payload, dict):
+        return None
+    sha = payload.pop("sha", None)
+    if sha != _line_checksum(payload):
+        return None
+    return payload
+
+
+class SweepJournal:
+    """One sweep's completion journal.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file (parent directories are created).
+    header:
+        The run identity this journal must match: any JSON-serializable
+        dict (experiment name, parameters, seed/code fingerprints).
+    resume:
+        ``True`` loads an existing file (validating its header) and
+        continues it; ``False`` truncates and starts fresh.
+
+    Notes
+    -----
+    ``completed`` maps cell key -> recorded payload.  Duplicate keys
+    keep the last record (a cell re-recorded after a partial resume is
+    harmless — the payload is identical by construction).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        header: dict,
+        resume: bool = True,
+    ) -> None:
+        self.path = Path(path)
+        self.header = dict(header)
+        self.completed: dict[str, object] = {}
+        self.skipped_lines = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume and self.path.exists():
+            self._load()
+        else:
+            self._start_fresh()
+
+    # -- construction ----------------------------------------------------
+
+    def _start_fresh(self) -> None:
+        with open(self.path, "w") as handle:
+            handle.write(_encode_line({"header": self.header}) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _load(self) -> None:
+        lines = self.path.read_text().splitlines()
+        if not lines:
+            self._start_fresh()
+            return
+        head = _decode_line(lines[0])
+        if head is None or "header" not in head:
+            raise JournalError(
+                f"{self.path}: not a sweep journal (bad or missing header line)"
+            )
+        if head["header"] != self.header:
+            raise JournalMismatch(
+                f"{self.path}: journal belongs to a different run.\n"
+                f"  on disk: {json.dumps(head['header'], sort_keys=True)}\n"
+                f"  this run: {json.dumps(self.header, sort_keys=True)}\n"
+                "Delete the journal (or pass a different --journal path) to "
+                "start fresh."
+            )
+        for line in lines[1:]:
+            record = _decode_line(line)
+            if record is None or "key" not in record:
+                self.skipped_lines += 1
+                continue
+            self.completed[record["key"]] = record.get("payload")
+
+    # -- recording / replay ----------------------------------------------
+
+    def get(self, key: str):
+        """The recorded payload for ``key``, or ``None`` if not done."""
+        return self.completed.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.completed
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    def record(self, key: str, payload) -> None:
+        """Append one completed cell (flush + fsync before returning)."""
+        with open(self.path, "a") as handle:
+            handle.write(_encode_line({"key": key, "payload": payload}) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.completed[key] = payload

@@ -22,6 +22,14 @@ Design notes
   (``None`` / live ``Generator`` seeds) are never cached.  Writes go
   through a temp file + ``os.replace`` so concurrent workers can share
   one cache directory without torn entries.
+* **Integrity.**  Every entry embeds a truncated SHA-256 over its
+  stats payload *and its own key*, so a lookup detects torn files,
+  bit rot, foreign schemas, and entries copied under the wrong name.
+  Invalid entries are **quarantined** (moved to ``quarantine/``) and
+  reported as misses — the cache never raises into experiment code and
+  never serves garbage.  ``repro cache verify`` audits a directory the
+  same way; the chaos suite (``tests/test_chaos.py``) drives torn and
+  corrupted writes through :class:`~repro.resilience.faults.FaultPlan`.
 """
 
 from __future__ import annotations
@@ -30,14 +38,30 @@ import hashlib
 import json
 import os
 import tempfile
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.sim.congestion_sim import CongestionStats
 
-__all__ = ["ResultCache", "code_fingerprint", "default_cache_dir"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.faults import FaultPlan
+
+__all__ = [
+    "CacheVerifyReport",
+    "ResultCache",
+    "code_fingerprint",
+    "default_cache_dir",
+]
 
 #: Bump to invalidate every existing cache entry on a format change.
-_SCHEMA_VERSION = 1
+#: v2: entries embed a key-bound integrity checksum (``"sha"``).
+_SCHEMA_VERSION = 2
+
+#: Seconds a ``.tmp`` staging file must be untouched before sweeps
+#: treat it as an orphan of a crashed writer (vs a live concurrent one).
+DEFAULT_TMP_GRACE = 3600.0
 
 #: Modules whose source defines what a cached number means.  A change
 #: to any of them changes the code fingerprint and thus every key.
@@ -77,6 +101,45 @@ def default_cache_dir() -> Path:
     return Path(tempfile.gettempdir()) / f"repro-rap-cache-{os.getuid()}"
 
 
+def _entry_checksum(key: str, stats_payload: dict) -> str:
+    """Key-bound integrity checksum of one entry's stats payload."""
+    body = json.dumps({"key": key, "stats": stats_payload}, sort_keys=True)
+    return hashlib.sha256(body.encode()).hexdigest()[:16]
+
+
+class _IntegrityError(ValueError):
+    """An entry's bytes do not match its embedded checksum."""
+
+
+@dataclass
+class CacheVerifyReport:
+    """Result of auditing a cache directory (``repro cache verify``).
+
+    Attributes
+    ----------
+    checked:
+        Entries examined.
+    ok:
+        Entries whose payload and checksum validated.
+    corrupt:
+        Filenames (not paths) of invalid entries found.
+    quarantined:
+        How many invalid entries were moved to ``quarantine/``.
+    tmp_orphans:
+        ``.tmp`` staging files older than the grace period.
+    """
+
+    checked: int = 0
+    ok: int = 0
+    corrupt: list[str] = field(default_factory=list)
+    quarantined: int = 0
+    tmp_orphans: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt
+
+
 class ResultCache:
     """Directory of memoized :class:`CongestionStats`, one JSON per key.
 
@@ -85,18 +148,37 @@ class ResultCache:
     root:
         Cache directory (created lazily).  Defaults to
         :func:`default_cache_dir`.
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultPlan`; its
+        ``tear_puts`` / ``corrupt_puts`` schedules sabotage writes for
+        the chaos suite.  Production code leaves this ``None``.
+    tmp_grace:
+        Age in seconds before an orphaned ``.tmp`` file is swept by
+        :meth:`clear` / reported by :meth:`verify` (younger files may
+        belong to a live concurrent writer).
 
     Attributes
     ----------
     hits, misses:
         Lookup counters for this instance (surfaced by the engine's
         run-stats report).
+    quarantined:
+        Invalid entries this instance moved aside instead of serving.
     """
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        faults: "FaultPlan | None" = None,
+        tmp_grace: float = DEFAULT_TMP_GRACE,
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        self.faults = faults
+        self.tmp_grace = tmp_grace
+        self._puts = 0
 
     # -- keying ----------------------------------------------------------
 
@@ -125,42 +207,75 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
     # -- lookup / store --------------------------------------------------
 
+    @staticmethod
+    def _decode(key: str, payload: dict) -> CongestionStats:
+        """Validate one entry payload; raises on any integrity problem.
+
+        Raises ``KeyError`` for missing fields (including well-formed
+        JSON written by a foreign/future schema), ``TypeError``/
+        ``ValueError`` for wrong shapes, :class:`_IntegrityError` for
+        checksum mismatches.
+        """
+        if not isinstance(payload, dict):
+            raise TypeError(f"cache entry is {type(payload).__name__}, not object")
+        stats_payload = payload["stats"]
+        if payload["sha"] != _entry_checksum(key, stats_payload):
+            raise _IntegrityError(f"checksum mismatch for cache entry {key}")
+        return CongestionStats.from_payload(stats_payload)
+
     def get(self, key: str) -> CongestionStats | None:
-        """Return the cached stats for ``key``, or ``None`` on a miss."""
+        """Return the cached stats for ``key``, or ``None`` on a miss.
+
+        Validation happens *before* the hit is counted; any invalid
+        entry — torn JSON, missing fields from a foreign schema,
+        checksum mismatch — is quarantined and reported as a miss.
+        The cache never raises into experiment code.
+        """
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+        except OSError:
+            self.misses += 1
+            return None
+        except ValueError:
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        try:
+            stats = self._decode(key, payload)
+        except (KeyError, TypeError, ValueError):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
-        return CongestionStats(
-            mean=payload["mean"],
-            std=payload["std"],
-            minimum=payload["minimum"],
-            maximum=payload["maximum"],
-            n_samples=payload["n_samples"],
-            n_trials=payload.get("n_trials"),
-        )
+        return stats
 
     def put(self, key: str, stats: CongestionStats) -> None:
         """Store ``stats`` under ``key`` (atomic replace)."""
         self.root.mkdir(parents=True, exist_ok=True)
+        stats_payload = stats.to_payload()
         payload = {
-            "mean": stats.mean,
-            "std": stats.std,
-            "minimum": stats.minimum,
-            "maximum": stats.maximum,
-            "n_samples": stats.n_samples,
-            "n_trials": stats.n_trials,
+            "schema": _SCHEMA_VERSION,
+            "stats": stats_payload,
+            "sha": _entry_checksum(key, stats_payload),
         }
+        text = json.dumps(payload)
         path = self._path(key)
+        put_index = self._puts
+        self._puts += 1
+        if self.faults is not None and self.faults.tears_put(put_index):
+            self._tear_write(path, text)
+            return
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
+                handle.write(text)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -168,12 +283,114 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.faults is not None and self.faults.corrupts_put(put_index):
+            # Flip the entry's bytes post-write (simulated bit rot).
+            path.write_text("{" + text[: len(text) // 2])
+
+    def _tear_write(self, path: Path, text: str) -> None:
+        """Chaos harness: simulate a crashed non-atomic writer.
+
+        Leaves a truncated entry under the final name *and* an orphaned
+        ``.tmp`` staging file — exactly the wreckage a kill -9 between
+        ``write`` and ``replace`` of a non-atomic implementation would
+        produce.  Deterministic: the truncation point depends only on
+        the payload.
+        """
+        path.write_text(text[: max(1, len(text) // 2)])
+        fd, _tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text[: len(text) // 3])
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an invalid entry aside (never delete evidence)."""
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return
+        self.quarantined += 1
+
+    # -- auditing / maintenance ------------------------------------------
+
+    def _tmp_orphans(self) -> list[Path]:
+        """Staging files older than the grace period."""
+        if not self.root.is_dir():
+            return []
+        now = time.time()  # repro: noqa[TIME001] — file-age bookkeeping only
+        orphans = []
+        for path in self.root.glob("*.tmp"):
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue
+            if age >= self.tmp_grace:
+                orphans.append(path)
+        return orphans
+
+    def verify(self, quarantine: bool = True) -> CacheVerifyReport:
+        """Audit every entry; optionally quarantine the invalid ones.
+
+        Returns a :class:`CacheVerifyReport`; ``report.clean`` is the
+        pass/fail the ``repro cache verify`` CLI turns into an exit
+        code.  With ``quarantine=True`` (default) invalid entries are
+        moved to ``quarantine/`` so the next audit comes back clean.
+        """
+        report = CacheVerifyReport()
+        if not self.root.is_dir():
+            return report
+        for path in sorted(self.root.glob("*.json")):
+            report.checked += 1
+            key = path.stem
+            try:
+                self._decode(key, json.loads(path.read_text()))
+            except (OSError, KeyError, TypeError, ValueError):
+                report.corrupt.append(path.name)
+                if quarantine:
+                    self._quarantine(path)
+                    report.quarantined += 1
+                continue
+            report.ok += 1
+        report.tmp_orphans = len(self._tmp_orphans())
+        return report
+
+    def stats(self) -> dict:
+        """Directory snapshot for ``repro cache stats``."""
+        entries = list(self.root.glob("*.json")) if self.root.is_dir() else []
+        quarantined = (
+            sum(1 for _ in self.quarantine_dir.glob("*.json"))
+            if self.quarantine_dir.is_dir()
+            else 0
+        )
+        total_bytes = 0
+        for path in entries:
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": total_bytes,
+            "tmp_orphans": len(self._tmp_orphans()),
+            "quarantined": quarantined,
+        }
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many were removed.
+
+        Also sweeps ``.tmp`` files orphaned by crashed writers —
+        skipping any younger than ``tmp_grace`` to avoid racing a live
+        concurrent writer — and empties the quarantine directory.
+        """
         removed = 0
         if self.root.is_dir():
-            for path in self.root.glob("*.json"):
+            doomed = list(self.root.glob("*.json")) + self._tmp_orphans()
+            if self.quarantine_dir.is_dir():
+                doomed += list(self.quarantine_dir.glob("*"))
+            for path in doomed:
                 try:
                     path.unlink()
                     removed += 1

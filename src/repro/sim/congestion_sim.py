@@ -106,6 +106,40 @@ class CongestionStats:
         half = z * self.std / np.sqrt(n_eff) if n_eff else float("nan")
         return (self.mean - half, self.mean + half)
 
+    def to_payload(self) -> dict:
+        """Lossless JSON-serializable form (cache entries, journals).
+
+        Python's ``repr``-based float serialization round-trips IEEE
+        doubles exactly, so :meth:`from_payload` reconstructs the same
+        bits.
+        """
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "n_samples": self.n_samples,
+            "n_trials": self.n_trials,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CongestionStats":
+        """Inverse of :meth:`to_payload`.
+
+        Raises ``KeyError``/``TypeError``/``ValueError`` on payloads
+        that do not carry the full schema — callers that read untrusted
+        bytes (the on-disk cache, journals) catch these and treat the
+        entry as missing.
+        """
+        return cls(
+            mean=float(payload["mean"]),
+            std=float(payload["std"]),
+            minimum=payload["minimum"],
+            maximum=payload["maximum"],
+            n_samples=int(payload["n_samples"]),
+            n_trials=payload.get("n_trials"),
+        )
+
 
 class RunningStats:
     """Single-pass, mergeable accumulator for mean/std/min/max.

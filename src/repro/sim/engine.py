@@ -23,6 +23,15 @@ for any ``workers``.  The on-disk :class:`~repro.sim.cache.ResultCache`
 stores the finished stats losslessly, so cache-warm results are
 bit-identical to cache-cold ones as well; both invariants are enforced
 by ``tests/test_engine.py``.
+
+Shards execute under a :class:`~repro.resilience.supervisor.ShardSupervisor`:
+per-shard timeouts, bounded retries with deterministic backoff,
+automatic pool respawn on ``BrokenProcessPool``, and graceful
+degradation to in-process serial execution.  A retried shard re-derives
+its stream from its own spawned ``SeedSequence``, so a run that
+survives faults stays bit-identical to a fault-free run — the
+determinism contract doubles as a *recovery* contract
+(``tests/test_chaos.py``).
 """
 
 from __future__ import annotations
@@ -38,6 +47,9 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from repro.report.run_stats import RunStatsCollector
 
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.supervisor import ShardSupervisor
 from repro.sim.cache import ResultCache
 from repro.sim.congestion_sim import (
     CongestionStats,
@@ -114,6 +126,15 @@ class MonteCarloEngine:
         is folded into the cache key.
     collector:
         Optional :class:`RunStatsCollector`; one is created if omitted.
+    policy:
+        Optional :class:`~repro.resilience.policy.RetryPolicy` for the
+        shard supervisor (retries, per-shard timeout, backoff, pool
+        respawn budget).  Defaults cover transient worker loss without
+        affecting results.
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultPlan` — the
+        deterministic chaos harness.  Production runs leave this
+        ``None``.
 
     Examples
     --------
@@ -128,6 +149,8 @@ class MonteCarloEngine:
         cache: ResultCache | bool | None = None,
         shards: int | None = None,
         collector: "RunStatsCollector | None" = None,
+        policy: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         # Imported here, not at module level: repro.report's package
         # init pulls in the table renderers, which import
@@ -142,7 +165,17 @@ class MonteCarloEngine:
         self.cache = cache
         self.shards = check_positive_int(shards or DEFAULT_SHARDS, "shards")
         self.collector = collector if collector is not None else RunStatsCollector()
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.faults = faults
         self._pool: ProcessPoolExecutor | None = None
+        self._supervisor = ShardSupervisor(
+            workers=self.workers,
+            policy=self.policy,
+            collector=self.collector,
+            plan=self.faults,
+            get_pool=self._get_pool,
+            respawn_pool=self._respawn_pool,
+        )
 
     # -- pool lifecycle --------------------------------------------------
 
@@ -157,10 +190,22 @@ class MonteCarloEngine:
             )
         return self._pool
 
-    def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+    def _respawn_pool(self) -> ProcessPoolExecutor:
+        """Tear down a (possibly broken) pool and build a fresh one."""
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        return self._get_pool()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent).
+
+        Cancels queued futures so an ``__exit__`` during pending work
+        (e.g. after a shard failure propagated) returns promptly
+        instead of draining the backlog.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(cancel_futures=True)
             self._pool = None
 
     def __enter__(self) -> "MonteCarloEngine":
@@ -222,19 +267,11 @@ class MonteCarloEngine:
         check_positive_int(trials, "trials")
         sizes = _shard_sizes(trials, self.shards)
         seqs = spawn_seed_sequences(seed, len(sizes))
-        if self.workers <= 1 or len(sizes) <= 1:
-            return [
-                func(params, size, as_generator(seq))
-                for size, seq in zip(sizes, seqs)
-            ]
-        pool = self._get_pool()
-        futures = [
-            pool.submit(_call_trial_batch, func, params, size, seq)
-            for size, seq in zip(sizes, seqs)
-        ]
-        # Shard order, not completion order: part of the bit-identity
-        # contract shared with _run.
-        return [future.result() for future in futures]
+        payloads = [(func, params, size, seq) for size, seq in zip(sizes, seqs)]
+        # Supervised, in shard order: part of the bit-identity contract
+        # shared with _run.
+        label = f"batches:{getattr(func, '__name__', '?')}"
+        return self._supervisor.run(_call_trial_batch, payloads, label)
 
     def map_seeded(
         self,
@@ -253,14 +290,9 @@ class MonteCarloEngine:
         arbitrary callables have no stable cache identity.
         """
         seqs = spawn_seed_sequences(seed, len(items))
-        if self.workers <= 1 or len(items) <= 1:
-            return [func(item, as_generator(seq)) for item, seq in zip(items, seqs)]
-        pool = self._get_pool()
-        futures = [
-            pool.submit(_call_seeded, func, item, seq)
-            for item, seq in zip(items, seqs)
-        ]
-        return [future.result() for future in futures]
+        payloads = [(func, item, seq) for item, seq in zip(items, seqs)]
+        label = f"seeded:{getattr(func, '__name__', '?')}"
+        return self._supervisor.run(_call_seeded, payloads, label)
 
     # -- core ------------------------------------------------------------
 
@@ -284,14 +316,11 @@ class MonteCarloEngine:
             (kind, params, size, seq) for size, seq in zip(sizes, seqs)
         ]
 
-        if self.workers <= 1 or len(tasks) <= 1:
-            partials = [_run_shard(task) for task in tasks]
-        else:
-            pool = self._get_pool()
-            futures = [pool.submit(_run_shard, task) for task in tasks]
-            # Collect in submission (= shard) order: merge order is part
-            # of the bit-identity contract.
-            partials = [future.result() for future in futures]
+        # Supervised execution, collected in shard order: merge order is
+        # part of the bit-identity contract, and a retried shard
+        # re-derives the same stream from its own SeedSequence, so the
+        # contract survives faults too.
+        partials = self._supervisor.run(_run_shard, tasks, label)
 
         merged = RunningStats()
         for partial, seconds in partials:
@@ -304,11 +333,13 @@ class MonteCarloEngine:
         return stats
 
 
-def _call_seeded(func: Callable, item, seq) -> object:
-    """Pool trampoline for :meth:`MonteCarloEngine.map_seeded`."""
+def _call_seeded(payload: tuple) -> object:
+    """Shard body for :meth:`MonteCarloEngine.map_seeded`."""
+    func, item, seq = payload
     return func(item, as_generator(seq))
 
 
-def _call_trial_batch(func: Callable, params: tuple, n: int, seq) -> object:
-    """Pool trampoline for :meth:`MonteCarloEngine.map_trial_batches`."""
+def _call_trial_batch(payload: tuple) -> object:
+    """Shard body for :meth:`MonteCarloEngine.map_trial_batches`."""
+    func, params, n, seq = payload
     return func(params, n, as_generator(seq))

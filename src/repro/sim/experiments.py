@@ -14,8 +14,12 @@ The reference constants transcribed from the paper live here
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.journal import SweepJournal
 
 from repro.access.patterns_nd import ND_PATTERN_NAMES
 from repro.access.transpose import TRANSPOSE_NAMES, run_transpose
@@ -224,6 +228,7 @@ def table2(
     seed: SeedLike = 2014,
     patterns: tuple[str, ...] = ("contiguous", "stride", "diagonal", "random"),
     engine: MonteCarloEngine | None = None,
+    journal: "SweepJournal | None" = None,
 ) -> Table2Result:
     """Regenerate Table II by Monte-Carlo simulation.
 
@@ -236,6 +241,12 @@ def table2(
     processes and (optionally) an on-disk cache; omitted, an ephemeral
     serial engine is used.  For a fixed seed the result is
     bit-identical for every worker count.
+
+    ``journal`` (a :class:`~repro.resilience.journal.SweepJournal`)
+    checkpoints each completed cell; an interrupted run resumed through
+    the same journal replays recorded cells and recomputes only the
+    rest — the seed plan is laid out before any cell executes, so
+    resumed == fresh, bit for bit.
     """
     engine = engine or MonteCarloEngine()
     result = Table2Result(widths=tuple(widths))
@@ -250,9 +261,15 @@ def table2(
         # Deterministic cells need a single trial.
         deterministic = mapping == "RAW" and pattern != "random"
         n = 1 if deterministic else trials
-        result.stats[(pattern, mapping, w)] = engine.matrix_congestion(
-            mapping, pattern, w, trials=n, seed=seq
-        )
+        key = f"{pattern}/{mapping}/w={w}"
+        recorded = journal.get(key) if journal is not None else None
+        if recorded is not None:
+            stats = CongestionStats.from_payload(recorded)
+        else:
+            stats = engine.matrix_congestion(mapping, pattern, w, trials=n, seed=seq)
+            if journal is not None:
+                journal.record(key, stats.to_payload())
+        result.stats[(pattern, mapping, w)] = stats
         ref = PAPER_TABLE2.get((pattern, mapping))
         if ref is not None and w in TABLE2_WIDTHS:
             result.paper[(pattern, mapping, w)] = ref[TABLE2_WIDTHS.index(w)]
@@ -448,13 +465,15 @@ def table3(
 def lemma1_table(
     widths: tuple[int, ...] = (4, 8, 16, 32),
     latency: int = 5,
+    journal: "SweepJournal | None" = None,
 ) -> dict[tuple[str, int], tuple[int, int, bool]]:
     """Lemma 1 verified cell by cell: measured vs closed-form times.
 
     Returns ``(algorithm, w) -> (measured, formula, match)`` where the
     closed forms are ``CRSW = SRCW = (w + l - 1) + (w^2 + l - 1)`` and
     ``DRDW = 2 (w + l - 1)`` on the RAW layout — the executor must
-    reproduce them exactly for every width.
+    reproduce them exactly for every width.  ``journal`` checkpoints
+    completed cells for ``--resume``.
     """
     out: dict[tuple[str, int], tuple[int, int, bool]] = {}
     for w in widths:
@@ -467,10 +486,20 @@ def lemma1_table(
             "DRDW": 2 * contig,
         }
         for algorithm in TRANSPOSE_NAMES:
+            key = f"{algorithm}/w={w}"
+            recorded = journal.get(key) if journal is not None else None
+            if recorded is not None:
+                measured, formula, ok = recorded
+                out[(algorithm, w)] = (int(measured), int(formula), bool(ok))
+                continue
             outcome = run_transpose(algorithm, mapping, latency=latency)
             measured = outcome.time_units
             formula = formulas[algorithm]
             out[(algorithm, w)] = (measured, formula, measured == formula)
+            if journal is not None:
+                journal.record(
+                    key, [int(measured), int(formula), bool(measured == formula)]
+                )
     return out
 
 
@@ -510,13 +539,15 @@ def table4(
     trials: int = 300,
     seed: SeedLike = 2014,
     engine: MonteCarloEngine | None = None,
+    journal: "SweepJournal | None" = None,
 ) -> Table4Result:
     """Regenerate Table IV by Monte-Carlo simulation at width ``w``.
 
     Also evaluates each scheme's random-number budget from a live
     mapping instance, confirming the table's bottom row.  ``engine``
     shards every cell's trials over workers with bit-identical results
-    for any worker count.
+    for any worker count.  ``journal`` checkpoints completed cells for
+    ``--resume`` (resumed == fresh, bit for bit).
     """
     engine = engine or MonteCarloEngine()
     result = Table4Result(w=w)
@@ -529,11 +560,19 @@ def table4(
     for seq, (pattern, scheme) in zip(seqs, cells):
         deterministic = scheme == "RAW" and pattern != "random"
         n = 1 if deterministic else trials
-        # The fast path covers the permutation-sum schemes and falls
-        # back to the per-trial sampler for the table-based ones.
-        result.stats[(pattern, scheme)] = engine.nd_congestion(
-            scheme, pattern, w, trials=n, seed=seq, fast=True
-        )
+        key = f"{pattern}/{scheme}"
+        recorded = journal.get(key) if journal is not None else None
+        if recorded is not None:
+            stats = CongestionStats.from_payload(recorded)
+        else:
+            # The fast path covers the permutation-sum schemes and falls
+            # back to the per-trial sampler for the table-based ones.
+            stats = engine.nd_congestion(
+                scheme, pattern, w, trials=n, seed=seq, fast=True
+            )
+            if journal is not None:
+                journal.record(key, stats.to_payload())
+        result.stats[(pattern, scheme)] = stats
         result.classes[(pattern, scheme)] = PAPER_TABLE4_CLASSES[(pattern, scheme)]
     for seq, scheme in zip(seqs[len(cells) :], ND_MAPPING_NAMES):
         result.random_numbers[scheme] = nd_mapping_by_name(
@@ -613,6 +652,7 @@ def app_time_sweep(
     engine: MonteCarloEngine | None = None,
     batched: bool = True,
     skeleton_seed: int = 2014,
+    journal: "SweepJournal | None" = None,
 ) -> dict[tuple[str, str], AppTimingResult]:
     """Per-trial app completion times over mapping redraws.
 
@@ -634,13 +674,21 @@ def app_time_sweep(
     seqs = spawn_seed_sequences(seed, len(cells))
     out: dict[tuple[str, str], AppTimingResult] = {}
     for seq, (app, mapping) in zip(seqs, cells):
-        params = (app, mapping, w, latency, batched, skeleton_seed)
-        chunks = engine.map_trial_batches(_app_time_shard, params, trials, seq)
+        key = f"{app}/{mapping}"
+        recorded = journal.get(key) if journal is not None else None
+        if recorded is not None:
+            time_units = np.asarray(recorded, dtype=np.int64)
+        else:
+            params = (app, mapping, w, latency, batched, skeleton_seed)
+            chunks = engine.map_trial_batches(_app_time_shard, params, trials, seq)
+            time_units = np.concatenate(chunks)
+            if journal is not None:
+                journal.record(key, [int(t) for t in time_units])
         out[(app, mapping)] = AppTimingResult(
             app=app,
             mapping=mapping,
             w=w,
             latency=latency,
-            time_units=np.concatenate(chunks),
+            time_units=time_units,
         )
     return out

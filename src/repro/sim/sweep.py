@@ -9,6 +9,10 @@ latency (where the conflict-free schedules earn or lose their keep).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.journal import SweepJournal
 
 from repro.access.transpose import run_transpose
 from repro.core.mappings import mapping_by_name
@@ -63,6 +67,7 @@ def growth_sweep(
     trials: int = 500,
     seed: SeedLike = 2014,
     engine: MonteCarloEngine | None = None,
+    journal: "SweepJournal | None" = None,
 ) -> GrowthSweep:
     """Measure expected congestion across widths for the given mappings.
 
@@ -70,6 +75,10 @@ def growth_sweep(
     is the empirical Theorem 2 curve; every measured point must sit
     below the ``bound`` series (asserted in ``bench_theory``-adjacent
     tests).  ``engine`` parallelizes/caches each point's trials.
+
+    When ``journal`` is given, each completed ``(mapping, width)`` cell
+    is recorded; cells already present replay from the journal instead
+    of recomputing, so a resumed sweep is bit-identical to a fresh one.
     """
     engine = engine or MonteCarloEngine()
     sweep = GrowthSweep(pattern=pattern, widths=tuple(widths))
@@ -78,10 +87,17 @@ def growth_sweep(
     for mapping in mappings:
         values = []
         for w in widths:
-            stats = engine.matrix_congestion(
-                mapping, pattern, w, trials=trials, seed=seqs[k]
-            )
-            values.append(stats.mean)
+            key = f"{mapping}/w={w}"
+            recorded = journal.get(key) if journal is not None else None
+            if recorded is not None:
+                values.append(float(recorded))
+            else:
+                stats = engine.matrix_congestion(
+                    mapping, pattern, w, trials=trials, seed=seqs[k]
+                )
+                values.append(stats.mean)
+                if journal is not None:
+                    journal.record(key, stats.mean)
             k += 1
         sweep.series[mapping] = values
     sweep.series["lnw/lnlnw"] = [log_over_loglog(w) for w in widths]

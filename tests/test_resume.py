@@ -1,0 +1,155 @@
+"""Checkpoint/resume: an interrupted sweep resumed == a fresh sweep.
+
+API level: a journaled sweep whose journal is truncated mid-run (the
+on-disk state an interrupt leaves behind) must resume to bit-identical
+results while recomputing only the missing cells.  CLI level: the same
+property asserted on raw process stdout, plus the ``repro cache
+verify`` exit-code contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.resilience import SweepJournal
+from repro.sim.engine import MonteCarloEngine
+from repro.sim.experiments import table2
+from repro.sim.sweep import growth_sweep
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+HEADER = {"experiment": "resume-test", "seed": "int:7", "code": "x"}
+
+
+class CountingEngine(MonteCarloEngine):
+    """Serial engine that counts congestion tasks actually computed."""
+
+    def __init__(self):
+        super().__init__(workers=1, cache=None)
+        self.calls = 0
+
+    def matrix_congestion(self, *args, **kwargs):
+        self.calls += 1
+        return super().matrix_congestion(*args, **kwargs)
+
+
+def truncate_journal(path: Path, keep_cells: int) -> None:
+    """Keep the header plus the first ``keep_cells`` records — the
+    prefix an interrupt would leave."""
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[: 1 + keep_cells]) + "\n")
+
+
+def test_growth_sweep_resume_is_bit_identical(tmp_path):
+    kwargs = dict(widths=(8, 16, 32), mappings=("RAS", "RAP"), trials=40, seed=7)
+    fresh = growth_sweep(engine=CountingEngine(), **kwargs)
+
+    path = tmp_path / "growth.jsonl"
+    journal = SweepJournal(path, HEADER, resume=False)
+    journaled = growth_sweep(engine=CountingEngine(), journal=journal, **kwargs)
+    assert journaled.series == fresh.series
+    assert len(journal) == 6
+
+    truncate_journal(path, keep_cells=4)
+    resumed_journal = SweepJournal(path, HEADER, resume=True)
+    assert len(resumed_journal) == 4
+    engine = CountingEngine()
+    resumed = growth_sweep(engine=engine, journal=resumed_journal, **kwargs)
+    assert resumed.series == fresh.series  # bit-identical floats
+    assert engine.calls == 2  # only the missing cells recomputed
+    assert len(resumed_journal) == 6  # journal completed back to full
+
+
+def test_table2_resume_is_bit_identical(tmp_path):
+    kwargs = dict(widths=(8, 16), trials=40, seed=7)
+    fresh = table2(engine=CountingEngine(), **kwargs)
+
+    path = tmp_path / "t2.jsonl"
+    journal = SweepJournal(path, HEADER, resume=False)
+    table2(engine=CountingEngine(), journal=journal, **kwargs)
+    total = len(journal)
+
+    truncate_journal(path, keep_cells=total // 2)
+    resumed_journal = SweepJournal(path, HEADER, resume=True)
+    engine = CountingEngine()
+    resumed = table2(engine=engine, journal=resumed_journal, **kwargs)
+    assert resumed.stats == fresh.stats
+    assert engine.calls < total  # the journaled prefix was replayed
+    assert len(resumed_journal) == total
+
+
+# -- CLI level ------------------------------------------------------------
+
+
+def run_cli(args: list[str], cache_dir: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+        timeout=600,
+    )
+
+
+def test_cli_resume_reproduces_fresh_output_byte_for_byte(tmp_path):
+    base = ["table2", "--trials", "60", "--widths", "8", "16", "--no-cache"]
+    journal = tmp_path / "t2.jsonl"
+
+    fresh = run_cli(base, tmp_path / "c1")
+    assert fresh.returncode == 0, fresh.stderr
+
+    first = run_cli([*base, "--journal", str(journal)], tmp_path / "c2")
+    assert first.returncode == 0, first.stderr
+    assert first.stdout == fresh.stdout
+
+    truncate_journal(journal, keep_cells=5)  # "interrupt" mid-sweep
+    resumed = run_cli(
+        [*base, "--journal", str(journal), "--resume"], tmp_path / "c3"
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    assert resumed.stdout == fresh.stdout
+
+
+def test_cli_resume_rejects_mismatched_journal(tmp_path):
+    journal = tmp_path / "t2.jsonl"
+    base = ["table2", "--trials", "20", "--widths", "8", "--no-cache",
+            "--journal", str(journal)]
+    assert run_cli(base, tmp_path / "c").returncode == 0
+    other = run_cli([*base, "--resume", "--seed", "99"], tmp_path / "c")
+    assert other.returncode == 2
+    assert "different run" in other.stderr
+
+
+def test_cli_cache_verify_exit_codes(tmp_path):
+    cache_dir = tmp_path / "cache"
+    warm = run_cli(["table2", "--trials", "40", "--widths", "8"], cache_dir)
+    assert warm.returncode == 0, warm.stderr
+
+    clean = run_cli(["cache", "verify"], cache_dir)
+    assert clean.returncode == 0
+    assert "cache is clean" in clean.stdout
+
+    entry = sorted(cache_dir.glob("*.json"))[0]
+    entry.write_text(json.dumps({"schema": 1, "other": "tool"}))
+    dirty = run_cli(["cache", "verify"], cache_dir)
+    assert dirty.returncode == 1
+    assert entry.name in dirty.stdout
+
+    again = run_cli(["cache", "verify"], cache_dir)
+    assert again.returncode == 0  # quarantine restored cleanliness
+
+    stats = run_cli(["cache", "stats"], cache_dir)
+    assert stats.returncode == 0 and "entries:" in stats.stdout
+    cleared = run_cli(["cache", "clear"], cache_dir)
+    assert cleared.returncode == 0 and "removed" in cleared.stdout
