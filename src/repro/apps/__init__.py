@@ -35,6 +35,14 @@ from repro.apps.spmv import (
     run_spmv,
 )
 from repro.apps.stencil import STENCIL_ASSIGNMENTS, StencilOutcome, run_stencil
+from repro.apps.zoo import (
+    CfPermuteOutcome,
+    ShearsortOutcome,
+    route_permutation,
+    run_cf_permute,
+    run_shearsort,
+    shearsort_schedule,
+)
 
 from repro.apps import fft as _fft
 from repro.apps import gather as _gather
@@ -44,6 +52,7 @@ from repro.apps import scan as _scan
 from repro.apps import sort as _sort
 from repro.apps import spmv as _spmv
 from repro.apps import stencil as _stencil
+from repro.apps import zoo as _zoo
 
 
 def _transpose_factory(kind):
@@ -78,6 +87,8 @@ BUILTIN_PROGRAMS = {
     "sort": _sort.build_program,
     "spmv": _spmv.build_program,
     "global_tiled": _global_transpose.build_program,
+    "shearsort": _zoo.build_shearsort_program,
+    "cf_permute": _zoo.build_cf_permute_program,
 }
 
 
@@ -129,4 +140,10 @@ __all__ = [
     "STENCIL_ASSIGNMENTS",
     "StencilOutcome",
     "run_stencil",
+    "CfPermuteOutcome",
+    "ShearsortOutcome",
+    "route_permutation",
+    "run_cf_permute",
+    "run_shearsort",
+    "shearsort_schedule",
 ]

@@ -25,6 +25,12 @@ Performance subcommand:
   builtin apps, verified identical before timing
   (``python -m repro bench-dmm --trials 100 --json BENCH_dmm.json``).
 
+Adversarial subcommand:
+
+* ``adversary`` — search for worst-case access patterns per mapping
+  and width, with a RAW-vs-RAP separation gate
+  (``python -m repro adversary --w 32 --budget tiny``).
+
 Maintenance subcommand:
 
 * ``cache`` — audit the on-disk result cache
@@ -598,6 +604,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.sim.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "adversary":
+        from repro.adversary.cli import main as adversary_main
+
+        return adversary_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
     args = build_parser().parse_args(argv)

@@ -48,7 +48,51 @@ __all__ = [
     "BatchedExecutionResult",
     "BatchedDMM",
     "stack_programs",
+    "warp_congestion_block",
+    "instruction_congestions",
 ]
+
+
+def warp_congestion_block(bank_keys: np.ndarray, w: int) -> np.ndarray:
+    """Congestion of many staged warps at once — the executor's hot path.
+
+    ``bank_keys`` holds one warp per ``w`` consecutive entries: each
+    lane's bank in ``[0, w)``, or a per-lane sentinel in ``[w, 2w)``
+    for lanes that issue no countable request (inactive lanes and
+    CRCW-merged duplicates).  Returns one congestion per warp row —
+    the longest run of equal bank values after an in-row sort, which
+    is exactly the max-over-banks distinct-address count because
+    sentinels are unique per lane and can never form a run.
+
+    This is the kernel both :class:`BatchedDMM` and the adversarial
+    pattern search (:mod:`repro.adversary`) score congestion with.
+    """
+    keys = bank_keys.reshape(-1, w)
+    return max_run_lengths(np.sort(keys, axis=1))
+
+
+def instruction_congestions(
+    instr: "BatchedInstruction", w: int, trials: int
+) -> np.ndarray:
+    """Per-trial, per-warp congestion of one staged instruction.
+
+    Takes the pre-staged fast path (static congestions + bank keys)
+    when the staging layer provided it, otherwise falls back to the
+    inactive-aware address count.  Shape ``(trials, n_warps)``.
+    """
+    n_warps = instr.p // w
+    if instr.static_congestions is not None:
+        cong = np.empty((trials, n_warps), dtype=np.int64)
+        cong[:] = instr.static_congestions
+        dyn = instr.dynamic_warps
+        if dyn.size:
+            cong[:, dyn] = warp_congestion_block(instr.bank_keys, w).reshape(
+                trials, dyn.size
+            )
+        return cong
+    rows = instr.addresses.reshape(-1, w)
+    cong = congestion_batch(rows, w, inactive=INACTIVE)
+    return cong.reshape(trials, n_warps)
 
 
 @dataclass
@@ -117,6 +161,16 @@ class BatchedInstruction:
         if self.op not in ("read", "write"):
             raise ValueError(f"op must be 'read' or 'write', got {self.op!r}")
         addresses = np.ascontiguousarray(self.addresses)
+        if not np.issubdtype(addresses.dtype, np.integer):
+            raise ValueError(
+                f"addresses must be integers, got dtype {addresses.dtype}"
+            )
+        if addresses.dtype != np.int64:
+            # Normalize narrow staging dtypes up front: at w = 1024 a
+            # flat index reaches trials * (2 w^2 + 1), which wraps
+            # int16/int32 silently once the per-trial offset is baked
+            # in.  Widening here keeps every downstream add exact.
+            addresses = addresses.astype(np.int64)
         if addresses.ndim != 2:
             raise ValueError(
                 f"addresses must be (trials, p), got shape {addresses.shape}"
@@ -169,6 +223,12 @@ class BatchedInstruction:
         those scans are a measurable fraction of an instruction's
         execution cost.
         """
+        if addresses.dtype != np.int64:
+            # Same widening as __post_init__: flat pre-baked indices
+            # overflow narrow dtypes at large w x trials, and the
+            # trusted path must not be the one place that skips the
+            # guard.
+            addresses = addresses.astype(np.int64)
         instr = cls.__new__(cls)
         instr.op = op
         instr.addresses = addresses
@@ -394,20 +454,7 @@ class BatchedDMM:
 
     def _congestions(self, instr: BatchedInstruction) -> np.ndarray:
         """Per-trial, per-warp congestion, shape ``(T, n_warps)``."""
-        n_warps = instr.p // self.w
-        if instr.static_congestions is not None:
-            cong = np.empty((self.trials, n_warps), dtype=np.int64)
-            cong[:] = instr.static_congestions
-            dyn = instr.dynamic_warps
-            if dyn.size:
-                keys = instr.bank_keys.reshape(-1, self.w)
-                cong[:, dyn] = max_run_lengths(np.sort(keys, axis=1)).reshape(
-                    self.trials, dyn.size
-                )
-            return cong
-        rows = instr.addresses.reshape(-1, self.w)
-        cong = congestion_batch(rows, self.w, inactive=INACTIVE)
-        return cong.reshape(self.trials, n_warps)
+        return instruction_congestions(instr, self.w, self.trials)
 
     def _execute(
         self, instr: BatchedInstruction, registers: dict[str, np.ndarray]

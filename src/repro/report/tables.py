@@ -22,6 +22,7 @@ from repro.sim.experiments import (
 __all__ = [
     "format_grid",
     "format_markdown",
+    "render_adversary",
     "render_table1",
     "render_table2",
     "render_table3",
@@ -200,5 +201,35 @@ def render_table4(result: Table4Result, style: str = "ascii") -> str:
         header,
         rows,
         f"Table IV - 4-D array schemes at w={result.w} (simulated congestion)",
+        style,
+    )
+
+
+def render_adversary(sweep, style: str = "ascii") -> str:
+    """Found-worst congestion per (mapping, width) — Theorem 2's tail.
+
+    ``sweep`` is an :class:`~repro.adversary.AdversarySweep`; the grid
+    shows each mapping's expected worst-warp congestion under the best
+    pattern the search found, with the ``ln w / ln ln w`` growth-rate
+    reference as the last row.  A winning restart index of 0 or 1
+    marks an analytic start (stride / diagonal) that survived the
+    local search.
+    """
+    from repro.core.theory import log_over_loglog
+
+    header = ["Mapping"] + [f"w={w}" for w in sweep.widths]
+    rows = []
+    for mapping in sweep.mappings:
+        row = [mapping]
+        for w in sweep.widths:
+            row.append(f"{sweep.results[(mapping, w)].eval_score:.2f}")
+        rows.append(row)
+    rows.append(
+        ["ln w/ln ln w"] + [f"{log_over_loglog(w):.2f}" for w in sweep.widths]
+    )
+    return _render(
+        header,
+        rows,
+        "Found-worst congestion (adversarial search, mean worst-warp)",
         style,
     )

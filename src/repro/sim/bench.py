@@ -74,23 +74,59 @@ class BenchResult:
     scalar_s: float
     batched_s: float
 
+    def __post_init__(self):
+        if self.trials < 0:
+            raise ValueError(f"trials must be >= 0, got {self.trials}")
+        for name in ("scalar_s", "batched_s"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(
+                    f"{name} must be a finite non-negative duration, got {value!r}"
+                )
+
+    @staticmethod
+    def _rate(amount: float, seconds: float) -> float:
+        """``amount / seconds``, well-defined at the timer floor.
+
+        A timed section can legitimately round to 0.0 on a fast
+        machine (``perf_counter`` resolution), so rates saturate to
+        ``inf`` instead of raising; zero work in zero time is 0.0.
+        """
+        if seconds > 0.0:
+            return amount / seconds
+        return math.inf if amount > 0 else 0.0
+
     @property
     def speedup(self) -> float:
-        """Batched throughput advantage (scalar wall / batched wall)."""
-        return self.scalar_s / self.batched_s
+        """Batched throughput advantage (scalar wall / batched wall).
+
+        ``inf`` when the batched section hit the timer floor and the
+        scalar one did not; 1.0 when both did (no measurable
+        difference).
+        """
+        if self.batched_s == 0.0 and self.scalar_s == 0.0:
+            return 1.0
+        return self._rate(self.scalar_s, self.batched_s)
 
     @property
     def scalar_trials_per_s(self) -> float:
         """Scalar executor throughput in trials per second."""
-        return self.trials / self.scalar_s
+        return self._rate(self.trials, self.scalar_s)
 
     @property
     def batched_trials_per_s(self) -> float:
         """Batched executor throughput in trials per second."""
-        return self.trials / self.batched_s
+        return self._rate(self.trials, self.batched_s)
+
+    @staticmethod
+    def _json_num(value: float, digits: int) -> float | None:
+        """Round for JSON; non-finite values serialize as ``null``."""
+        return round(value, digits) if math.isfinite(value) else None
 
     def as_dict(self) -> dict:
-        """JSON-ready form (used by ``BENCH_dmm.json``)."""
+        """JSON-ready form (used by ``BENCH_dmm.json``); saturated
+        rates (``inf`` from a zero-duration section) become ``null``
+        so the artifact stays strict JSON."""
         return {
             "app": self.app,
             "w": self.w,
@@ -101,9 +137,9 @@ class BenchResult:
             "repeats": self.repeats,
             "scalar_s": round(self.scalar_s, 6),
             "batched_s": round(self.batched_s, 6),
-            "speedup": round(self.speedup, 2),
-            "scalar_trials_per_s": round(self.scalar_trials_per_s, 2),
-            "batched_trials_per_s": round(self.batched_trials_per_s, 2),
+            "speedup": self._json_num(self.speedup, 2),
+            "scalar_trials_per_s": self._json_num(self.scalar_trials_per_s, 2),
+            "batched_trials_per_s": self._json_num(self.batched_trials_per_s, 2),
         }
 
 

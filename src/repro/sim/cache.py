@@ -315,20 +315,46 @@ class ResultCache:
 
     # -- auditing / maintenance ------------------------------------------
 
-    def _tmp_orphans(self) -> list[Path]:
-        """Staging files older than the grace period."""
+    def _fs_now(self) -> float:
+        """The cache filesystem's idea of "now".
+
+        Ages are judged by comparing ``st_mtime`` values, which the
+        *file server's* clock stamps; reading the wall clock here would
+        re-introduce client/server skew (an NFS server lagging the
+        client makes every fresh ``.tmp`` look old).  Stat-ing a probe
+        file written this instant yields a timestamp from the same
+        clock as the files being aged, so the comparison is skew-free.
+        """
+        try:
+            fd, probe = tempfile.mkstemp(dir=self.root, suffix=".probe")
+            try:
+                os.close(fd)
+                return os.stat(probe).st_mtime
+            finally:
+                os.unlink(probe)
+        except OSError:
+            # Probe failed (read-only dir mid-teardown, ...): the wall
+            # clock is the only reference left.
+            return time.time()  # repro: noqa[TIME001] — file-age fallback
+
+    def _tmp_candidates(self) -> list[tuple[Path, os.stat_result]]:
+        """Staging files past the grace period, with the stat that aged them."""
         if not self.root.is_dir():
             return []
-        now = time.time()  # repro: noqa[TIME001] — file-age bookkeeping only
-        orphans = []
+        now = self._fs_now()
+        candidates = []
         for path in self.root.glob("*.tmp"):
             try:
-                age = now - path.stat().st_mtime
+                st = path.stat()
             except OSError:
                 continue
-            if age >= self.tmp_grace:
-                orphans.append(path)
-        return orphans
+            if now - st.st_mtime >= self.tmp_grace:
+                candidates.append((path, st))
+        return candidates
+
+    def _tmp_orphans(self) -> list[Path]:
+        """Staging files older than the grace period."""
+        return [path for path, _ in self._tmp_candidates()]
 
     def verify(self, quarantine: bool = True) -> CacheVerifyReport:
         """Audit every entry; optionally quarantine the invalid ones.
@@ -382,16 +408,33 @@ class ResultCache:
         """Delete every entry; returns how many were removed.
 
         Also sweeps ``.tmp`` files orphaned by crashed writers —
-        skipping any younger than ``tmp_grace`` to avoid racing a live
-        concurrent writer — and empties the quarantine directory.
+        skipping any younger than ``tmp_grace`` (ages are measured
+        against the cache filesystem's own clock, see :meth:`_fs_now`,
+        so client/server skew cannot make a fresh staging file look
+        old) — and empties the quarantine directory.  Each ``.tmp``
+        candidate is re-stat-ed immediately before the unlink and
+        spared if it changed since the scan: a writer that touched the
+        file between scan and sweep is alive, not crashed.
         """
         removed = 0
         if self.root.is_dir():
-            doomed = list(self.root.glob("*.json")) + self._tmp_orphans()
+            doomed = list(self.root.glob("*.json"))
             if self.quarantine_dir.is_dir():
                 doomed += list(self.quarantine_dir.glob("*"))
             for path in doomed:
                 try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for path, seen in self._tmp_candidates():
+                try:
+                    st = path.stat()
+                    if (st.st_mtime_ns, st.st_size) != (
+                        seen.st_mtime_ns,
+                        seen.st_size,
+                    ):
+                        continue  # live writer touched it since the scan
                     path.unlink()
                     removed += 1
                 except OSError:

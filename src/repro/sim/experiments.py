@@ -49,6 +49,7 @@ from repro.util.rng import (
 
 __all__ = [
     "AppTimingResult",
+    "adversary_table",
     "app_time_sweep",
     "table2_extended",
     "lemma1_table",
@@ -692,3 +693,60 @@ def app_time_sweep(
             time_units=time_units,
         )
     return out
+
+
+# ---------------------------------------------------------------------------
+# adversarial rows — found-worst patterns as new Table II material
+# ---------------------------------------------------------------------------
+
+
+def adversary_table(
+    mappings: tuple[str, ...] = MAPPING_NAMES,
+    widths: tuple[int, ...] = (32, 64, 128, 256, 512, 1024),
+    seed: SeedLike = 2014,
+    budget=None,
+    workers: int = 1,
+    journal: "SweepJournal | None" = None,
+):
+    """Found-worst congestion per (mapping, width) — Theorem 2's tail.
+
+    Where :func:`table2` measures the paper's *named* patterns, this
+    runs :func:`repro.adversary.find_worst_pattern` per cell and
+    reports what a search-equipped adversary actually achieves: ``w``
+    against RAW (the stride attack), and an
+    ``O(log w / log log w)``-class value against RAP no matter how
+    hard it looks — the empirical content of Theorem 2.
+
+    ``journal`` checkpoints each completed cell (the full
+    :class:`~repro.adversary.AdversaryResult` record, pattern and
+    provenance included); resumed == fresh, bit for bit, because the
+    per-cell seed plan is laid out before any cell runs.  Returns an
+    :class:`~repro.adversary.AdversarySweep`.
+    """
+    from repro.adversary.search import (
+        AdversaryResult,
+        AdversarySweep,
+        _coerce_budget,
+        find_worst_pattern,
+    )
+    from repro.util.rng import as_seed_sequence
+
+    budget = _coerce_budget(budget)
+    sweep = AdversarySweep(widths=tuple(widths), mappings=tuple(mappings))
+    seqs = as_seed_sequence(seed).spawn(len(mappings) * len(widths))
+    k = 0
+    for mapping in sweep.mappings:
+        for w in widths:
+            key = f"found-worst/{mapping}/w={w}"
+            recorded = journal.get(key) if journal is not None else None
+            if recorded is not None:
+                sweep.results[(mapping, w)] = AdversaryResult.from_dict(recorded)
+            else:
+                result = find_worst_pattern(
+                    mapping, w, seed=seqs[k], budget=budget, workers=workers
+                )
+                sweep.results[(mapping, w)] = result
+                if journal is not None:
+                    journal.record(key, result.to_dict())
+            k += 1
+    return sweep

@@ -170,4 +170,9 @@ EXPERIMENT_INDEX: tuple[Experiment, ...] = (
         ("repro.dmm.batched", "repro.sim.bench"),
         "bench_dmm.py", None,
     ),
+    Experiment(
+        "adversary", "extension", "Theorem 2",
+        ("repro.adversary.search", "repro.apps.zoo"),
+        "bench_adversary.py", None,
+    ),
 )

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.gpu",
     "repro.routing",
     "repro.apps",
+    "repro.adversary",
     "repro.sim",
     "repro.report",
     "repro.util",
@@ -70,6 +71,9 @@ MODULES = [
     "repro.apps.gather",
     "repro.apps.histogram",
     "repro.apps.global_transpose",
+    "repro.apps.zoo",
+    "repro.adversary.search",
+    "repro.adversary.cli",
     "repro.sim.congestion_sim",
     "repro.sim.distributions",
     "repro.sim.sweep",

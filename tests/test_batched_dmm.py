@@ -305,3 +305,64 @@ class TestBenchDmmCLI:
         )
         assert code == 1
         assert "FAIL" in capsys.readouterr().err
+
+
+class TestBenchResultEdges:
+    """Zero-duration and invalid-input behavior of BenchResult rates."""
+
+    @staticmethod
+    def _result(scalar_s, batched_s, trials=4):
+        from repro.sim.bench import BenchResult
+
+        return BenchResult(
+            app="transpose_drdw", w=8, trials=trials, mapping="RAP",
+            latency=1, steps=2, repeats=1,
+            scalar_s=scalar_s, batched_s=batched_s,
+        )
+
+    def test_zero_batched_duration_saturates_to_inf(self):
+        import math
+
+        r = self._result(scalar_s=0.5, batched_s=0.0)
+        assert r.speedup == math.inf
+        assert r.batched_trials_per_s == math.inf
+        assert r.scalar_trials_per_s == pytest.approx(8.0)
+
+    def test_both_zero_durations_mean_no_measured_difference(self):
+        import math
+
+        r = self._result(scalar_s=0.0, batched_s=0.0)
+        assert r.speedup == 1.0
+        assert r.scalar_trials_per_s == math.inf
+        assert r.batched_trials_per_s == math.inf
+
+    def test_zero_work_in_zero_time_is_zero_rate(self):
+        r = self._result(scalar_s=0.0, batched_s=0.0, trials=0)
+        assert r.scalar_trials_per_s == 0.0
+        assert r.batched_trials_per_s == 0.0
+
+    def test_as_dict_stays_strict_json(self):
+        import json
+
+        r = self._result(scalar_s=0.5, batched_s=0.0)
+        payload = r.as_dict()
+        assert payload["speedup"] is None
+        assert payload["batched_trials_per_s"] is None
+        assert payload["scalar_trials_per_s"] == pytest.approx(8.0)
+        json.dumps(payload, allow_nan=False)  # no bare inf/nan leaks
+
+    def test_ordinary_durations_unchanged(self):
+        r = self._result(scalar_s=1.0, batched_s=0.25)
+        assert r.speedup == pytest.approx(4.0)
+        assert r.as_dict()["speedup"] == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -0.1])
+    def test_nonfinite_or_negative_durations_rejected(self, bad):
+        with pytest.raises(ValueError, match="finite non-negative"):
+            self._result(scalar_s=bad, batched_s=0.5)
+        with pytest.raises(ValueError, match="finite non-negative"):
+            self._result(scalar_s=0.5, batched_s=bad)
+
+    def test_negative_trials_rejected(self):
+        with pytest.raises(ValueError, match="trials"):
+            self._result(scalar_s=0.5, batched_s=0.5, trials=-1)

@@ -20,7 +20,7 @@ class TestExitCodes:
     def test_all_apps_clean(self, capsys):
         assert main(["certify", "--w", "8"]) == 0
         out = capsys.readouterr().out
-        assert "12/12 program certificates clean" in out
+        assert "14/14 program certificates clean" in out
 
     def test_unknown_app_exits_2(self, capsys):
         assert main(["certify", "--app", "nonesuch"]) == 2

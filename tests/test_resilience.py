@@ -315,3 +315,61 @@ def test_supervisor_empty_payloads():
         workers=1, policy=_fast_policy(), collector=RunStatsCollector()
     )
     assert supervisor.run(_double, [], "unit") == []
+
+
+def test_cache_tmp_aging_survives_clock_skew(tmp_path, monkeypatch):
+    """A fresh .tmp must not look old when the client clock runs ahead.
+
+    Ages compare st_mtime values stamped by the cache filesystem, so
+    the "now" side must come from the same clock (a probe-file stat),
+    not the client's time.time().  Simulate an NFS client running an
+    hour ahead: were the wall clock consulted, the fresh staging file
+    would appear past the grace period and be swept.
+    """
+    import time as _time
+
+    cache = ResultCache(root=tmp_path, tmp_grace=600.0)
+    fresh = tmp_path / "live.tmp"
+    fresh.write_text("{")
+    skewed = _time.time() + 3600.0
+    monkeypatch.setattr("repro.sim.cache.time.time", lambda: skewed)
+    cache.clear()
+    assert fresh.exists()
+
+
+def test_cache_fs_now_tracks_file_timestamps(tmp_path):
+    """_fs_now agrees with the clock that stamps cache files."""
+    cache = ResultCache(root=tmp_path)
+    probe = tmp_path / "stamp.tmp"
+    probe.write_text("x")
+    assert abs(cache._fs_now() - probe.stat().st_mtime) < 60.0
+    assert list(tmp_path.glob("*.probe")) == []  # probe cleaned up
+
+
+def test_cache_clear_spares_tmp_touched_between_scan_and_sweep(
+    tmp_path, monkeypatch
+):
+    """A candidate rewritten after the scan belongs to a live writer."""
+    cache = ResultCache(root=tmp_path, tmp_grace=0.0)
+    busy = tmp_path / "busy.tmp"
+    busy.write_text("{")
+    stale_stat = busy.stat()
+    # Between scan and sweep, the writer appends and re-stamps.
+    busy.write_text('{"more": 1}')
+    monkeypatch.setattr(
+        cache, "_tmp_candidates", lambda: [(busy, stale_stat)]
+    )
+    removed = cache.clear()
+    assert busy.exists()
+    assert removed == 0
+
+
+def test_cache_clear_sweeps_unchanged_aged_tmp(tmp_path):
+    """The aged orphan whose stat is unchanged is still removed."""
+    cache = ResultCache(root=tmp_path, tmp_grace=0.0)
+    dead = tmp_path / "dead.tmp"
+    dead.write_text("{")
+    hour_ago = dead.stat().st_mtime - 3600
+    os.utime(dead, (hour_ago, hour_ago))
+    assert cache.clear() == 1
+    assert not dead.exists()

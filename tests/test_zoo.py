@@ -1,0 +1,174 @@
+"""Tests for :mod:`repro.apps.zoo` — the conflict-free algorithm zoo."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.certificates import certify_kernel
+from repro.apps import (
+    BUILTIN_PROGRAMS,
+    build_app_program,
+    run_cf_permute,
+    run_shearsort,
+    route_permutation,
+    shearsort_schedule,
+)
+from repro.core.mappings import MAPPING_NAMES, mapping_by_name
+from repro.util.rng import as_generator
+
+
+# -- schedule -------------------------------------------------------------
+
+
+class TestShearsortSchedule:
+    def test_trivial_mesh(self):
+        assert shearsort_schedule(1) == ("row",)
+
+    def test_w2(self):
+        assert shearsort_schedule(2) == ("row", "column", "row")
+
+    @pytest.mark.parametrize("w", [2, 4, 8, 16, 32])
+    def test_pass_counts(self, w):
+        import math
+
+        schedule = shearsort_schedule(w)
+        rows = schedule.count("row")
+        cols = schedule.count("column")
+        assert rows == math.ceil(math.log2(w)) + 1
+        assert cols == rows - 1
+        # Strict alternation starting and ending with a row pass.
+        assert schedule[::2] == ("row",) * rows
+        assert schedule[1::2] == ("column",) * cols
+
+
+# -- correctness on the DMM ----------------------------------------------
+
+
+class TestShearsortRuns:
+    @pytest.mark.parametrize("mapping_name", MAPPING_NAMES)
+    @pytest.mark.parametrize("w", [2, 4, 8])
+    def test_sorts_under_every_mapping(self, mapping_name, w):
+        mapping = mapping_by_name(mapping_name, w, seed=2014)
+        outcome = run_shearsort(mapping, seed=7)
+        assert outcome.correct
+        assert outcome.rounds == w * len(shearsort_schedule(w))
+        assert outcome.max_congestion >= 1
+
+    def test_rap_congestion_is_one(self):
+        """The whole sort is bank-conflict free under RAP."""
+        mapping = mapping_by_name("RAP", 8, seed=2014)
+        outcome = run_shearsort(mapping, seed=7)
+        assert outcome.max_congestion == 1
+
+    def test_raw_pays_stride_serialization(self):
+        """Column passes serialize w-fold without address randomization."""
+        mapping = mapping_by_name("RAW", 8)
+        outcome = run_shearsort(mapping, seed=7)
+        assert outcome.correct
+        assert outcome.max_congestion == 8
+
+    def test_explicit_keys_and_duplicates(self):
+        mapping = mapping_by_name("RAP", 4, seed=3)
+        keys = np.array([3.0, 1.0, 1.0, 2.0] * 4)
+        outcome = run_shearsort(mapping, keys=keys)
+        assert outcome.correct
+
+    def test_rejects_wrong_key_length(self):
+        mapping = mapping_by_name("RAP", 4, seed=3)
+        with pytest.raises(ValueError, match="length 16"):
+            run_shearsort(mapping, keys=np.zeros(7))
+
+
+class TestCfPermuteRuns:
+    @pytest.mark.parametrize("mapping_name", MAPPING_NAMES)
+    @pytest.mark.parametrize("w", [2, 4, 8])
+    def test_routes_under_every_mapping(self, mapping_name, w):
+        mapping = mapping_by_name(mapping_name, w, seed=2014)
+        outcome = run_cf_permute(mapping, seed=11)
+        assert outcome.correct
+
+    def test_rap_congestion_is_one(self):
+        """Three-phase routing is bank-conflict free under RAP."""
+        mapping = mapping_by_name("RAP", 8, seed=2014)
+        outcome = run_cf_permute(mapping, seed=11)
+        assert outcome.max_congestion == 1
+
+    def test_identity_and_reversal(self):
+        mapping = mapping_by_name("RAP", 4, seed=5)
+        n = 16
+        values = np.arange(n, dtype=np.float64)
+        for perm in (np.arange(n), np.arange(n)[::-1].copy()):
+            outcome = run_cf_permute(mapping, values=values, perm=perm)
+            assert outcome.correct
+
+    def test_rejects_wrong_value_length(self):
+        mapping = mapping_by_name("RAP", 4, seed=5)
+        with pytest.raises(ValueError, match="length 16"):
+            run_cf_permute(mapping, values=np.zeros(3))
+
+
+# -- routing color structure ---------------------------------------------
+
+
+class TestRoutePermutation:
+    @pytest.mark.parametrize("w", [2, 4, 8])
+    def test_coloring_is_proper(self, w):
+        n = w * w
+        perm = as_generator(13).permutation(n)
+        colors = route_permutation(perm, w)
+        assert colors.shape == (n,)
+        assert ((colors >= 0) & (colors < w)).all()
+        s = np.arange(n)
+        # Properness: within each source column and each destination
+        # column, all w colors are distinct — exactly what makes each
+        # routing phase a permutation of its column.
+        for col in range(w):
+            assert sorted(colors[s % w == col]) == list(range(w))
+            assert sorted(colors[perm % w == col]) == list(range(w))
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            route_permutation(np.zeros(16, dtype=np.int64), 4)
+        with pytest.raises(ValueError, match="permutation"):
+            route_permutation(np.arange(15), 4)
+
+
+# -- certification --------------------------------------------------------
+
+
+class TestZooCertificates:
+    def test_registered_as_builtin_programs(self):
+        assert "shearsort" in BUILTIN_PROGRAMS
+        assert "cf_permute" in BUILTIN_PROGRAMS
+
+    def test_shearsort_proves_symbolically_under_rap(self):
+        """Every step closes symbolically; worst congestion is 1."""
+        mapping = mapping_by_name("RAP", 8, seed=2014)
+        kernel = build_app_program("shearsort", mapping, seed=2014)
+        cert = certify_kernel(kernel, name="shearsort")
+        assert cert.worst == 1
+        assert all(step.method == "symbolic" for step in cert.steps)
+
+    def test_shearsort_certifies_w_under_raw(self):
+        mapping = mapping_by_name("RAW", 8)
+        kernel = build_app_program("shearsort", mapping, seed=2014)
+        cert = certify_kernel(kernel, name="shearsort")
+        assert cert.worst == 8
+
+    def test_cf_permute_certifies_one_under_rap(self):
+        """Reads prove symbolically, writes enumerate; worst is 1."""
+        mapping = mapping_by_name("RAP", 8, seed=2014)
+        kernel = build_app_program("cf_permute", mapping, seed=2014)
+        cert = certify_kernel(kernel, name="cf_permute")
+        assert cert.worst == 1
+        methods = [step.method for step in cert.steps]
+        assert len(methods) == 6
+        assert methods.count("symbolic") == 3  # the three affine reads
+        reads = [s for s in cert.steps if s.op == "read"]
+        assert all(s.method == "symbolic" for s in reads)
+
+    @pytest.mark.parametrize("app", ["shearsort", "cf_permute"])
+    def test_certificates_are_deterministic(self, app):
+        mapping = mapping_by_name("RAP", 8, seed=2014)
+        a = certify_kernel(build_app_program(app, mapping, seed=2014), name=app)
+        b = certify_kernel(build_app_program(app, mapping, seed=2014), name=app)
+        assert a.to_dict() == b.to_dict()
