@@ -33,9 +33,20 @@ Two legs, both pure analysis (no DMM execution, no Monte-Carlo):
     per-step congestion certificate — symbolic where the step grids
     admit a closed form, labelled enumeration otherwise.
 
+**Program IR & plan compiler** (:mod:`repro.analysis.ir`,
+:mod:`repro.analysis.plan`)
+    A dataflow IR over compiled programs — lane-accurate def-use
+    chains, register liveness against observable state, dead-step /
+    dead-store elimination, CRCW duplicate-merge counts — and a plan
+    compiler that partitions a kernel's steps per mapping family into
+    *statically resolved* (a certificate proves the per-warp
+    congestion for every draw, so timing is a closed-form constant)
+    vs *residual* (simulated as before).  Consumed by
+    :meth:`repro.dmm.batched.BatchedDMM.execute_plan`.
+
 CLI surface: ``python -m repro prove``, ``python -m repro lint``,
-``python -m repro analyze``, and ``python -m repro certify`` (see
-:mod:`repro.analysis.cli`).
+``python -m repro analyze``, ``python -m repro certify``, and
+``python -m repro plan`` (see :mod:`repro.analysis.cli`).
 """
 
 from repro.analysis.affine import AffineAccess, affine_pattern
@@ -45,7 +56,15 @@ from repro.analysis.certificates import (
     certify_kernel,
     certify_program,
 )
+from repro.analysis.ir import IRNode, ProgramIR, build_ir, kernel_ir
 from repro.analysis.lint import LintFinding, LintReport, lint_paths, lint_source
+from repro.analysis.plan import (
+    PLAN_FAMILIES,
+    CompiledPlan,
+    StepPlan,
+    check_family_shifts,
+    compile_plan,
+)
 from repro.analysis.prover import (
     METHOD_ENUMERATE,
     METHOD_SYMBOLIC,
@@ -74,6 +93,15 @@ __all__ = [
     "prove_access",
     "prove_pattern",
     "symbolic_step",
+    "IRNode",
+    "ProgramIR",
+    "build_ir",
+    "kernel_ir",
+    "PLAN_FAMILIES",
+    "CompiledPlan",
+    "StepPlan",
+    "check_family_shifts",
+    "compile_plan",
     "LintFinding",
     "LintReport",
     "lint_paths",

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.util.validation import check_positive_int
 
@@ -80,19 +81,19 @@ class AffineAccess:
     cj: int
     cc: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_positive_int(self.w, "w")
         for name in ("ri", "rj", "rc", "ci", "cj", "cc"):
             object.__setattr__(self, name, getattr(self, name) % self.w)
 
     # -- evaluation -----------------------------------------------------
-    def rows(self, i, j) -> np.ndarray:
+    def rows(self, i: "npt.ArrayLike", j: "npt.ArrayLike") -> np.ndarray:
         """Row form evaluated at (broadcast) warp/lane indices."""
         i = np.asarray(i, dtype=np.int64)
         j = np.asarray(j, dtype=np.int64)
         return (self.ri * i + self.rj * j + self.rc) % self.w
 
-    def cols(self, i, j) -> np.ndarray:
+    def cols(self, i: "npt.ArrayLike", j: "npt.ArrayLike") -> np.ndarray:
         """Column form evaluated at (broadcast) warp/lane indices."""
         i = np.asarray(i, dtype=np.int64)
         j = np.asarray(j, dtype=np.int64)

@@ -1,6 +1,6 @@
 """CLI surface of the analysis subsystem.
 
-Four subcommands, dispatched from ``python -m repro``:
+Five subcommands, dispatched from ``python -m repro``:
 
 ``repro prove``
     Symbolic congestion proof for one pattern x mapping x width (or
@@ -28,6 +28,16 @@ Four subcommands, dispatched from ``python -m repro``:
     baseline artifact); ``--max-worst N`` exits 1 when any program's
     certified worst congestion exceeds ``N``; any sanitizer finding
     exits 1.
+
+``repro plan``
+    The plan compiler (:mod:`repro.analysis.plan`) over the builtin
+    app skeletons: per-step static-resolution verdicts under a mapping
+    family, step/stage coverage, pooled address-table counts, and
+    (``--ir``) the dataflow IR of :mod:`repro.analysis.ir` — def-use
+    chains, liveness, dead steps, duplicate merges.  ``--json`` for
+    structured output; ``--min-coverage X`` exits 1 when any requested
+    program's stage coverage falls below ``X`` (the CI floor for the
+    certificate-heavy zoo apps).
 """
 
 from __future__ import annotations
@@ -35,7 +45,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.analyzer import KernelDiagnosis
 
 from repro.analysis.lint import lint_paths
 from repro.analysis.prover import (
@@ -192,10 +205,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="regression gate: exit 1 if any program's certified worst "
         "congestion exceeds this value",
     )
+
+    plan = sub.add_parser(
+        "plan",
+        help="compile builtin app skeletons into static execution plans: "
+        "per-step resolution verdicts, coverage, and the dataflow IR",
+    )
+    plan.add_argument(
+        "--app",
+        default="all",
+        help="program to compile (a BUILTIN_PROGRAMS name, default: all)",
+    )
+    plan.add_argument(
+        "--mapping",
+        type=str.upper,
+        choices=("RAW", "RAS", "RAP", "ALL"),
+        default="RAP",
+        help="mapping family to compile against (default RAP; "
+        "ALL = RAW+RAS+RAP)",
+    )
+    plan.add_argument(
+        "--w", type=int, default=16, help="width (default 16; power of two)"
+    )
+    plan.add_argument(
+        "--seed",
+        type=int,
+        default=2014,
+        help="seed for data-dependent skeletons (default 2014)",
+    )
+    plan.add_argument(
+        "--ir",
+        action="store_true",
+        help="also emit the dataflow IR (def-use, liveness, dead steps)",
+    )
+    plan.add_argument(
+        "--json", action="store_true", help="emit plans (and IR) as JSON"
+    )
+    plan.add_argument(
+        "--min-coverage",
+        type=float,
+        default=None,
+        metavar="X",
+        help="coverage floor in [0, 1]: exit 1 if any program's stage "
+        "coverage is below X (CI gate)",
+    )
     return parser
 
 
-def _run_prove(args) -> int:
+def _run_prove(args: argparse.Namespace) -> int:
     pairs = (
         [(p, m) for p in PROVE_PATTERN_NAMES for m in PROVER_MAPPING_NAMES]
         if args.all
@@ -232,7 +289,7 @@ def _run_prove(args) -> int:
     return 0
 
 
-def _run_lint(args) -> int:
+def _run_lint(args: argparse.Namespace) -> int:
     report = lint_paths(args.paths)
     print(report.to_json() if args.format == "json" else report.render())
     if args.fail_on_warn and not report.clean:
@@ -240,7 +297,7 @@ def _run_lint(args) -> int:
     return 0
 
 
-def _analyze_diagnosis(args):
+def _analyze_diagnosis(args: argparse.Namespace) -> "KernelDiagnosis":
     """Build and analyze the requested transpose kernel."""
     from repro.access.transpose import transpose_indices
     from repro.gpu.analyzer import analyze_kernel
@@ -254,7 +311,7 @@ def _analyze_diagnosis(args):
     return analyze_kernel(args.w, steps, seed=args.seed)
 
 
-def _run_analyze(args) -> int:
+def _run_analyze(args: argparse.Namespace) -> int:
     diagnosis = _analyze_diagnosis(args)
     best = diagnosis.best_layout()
     best_worst = max(
@@ -297,7 +354,7 @@ def _run_analyze(args) -> int:
     return 0
 
 
-def _run_certify(args) -> int:
+def _run_certify(args: argparse.Namespace) -> int:
     from repro.analysis.verify import verify_kernel
     from repro.apps import BUILTIN_PROGRAMS, build_app_program
     from repro.core.mappings import mapping_by_name
@@ -378,6 +435,79 @@ def _run_certify(args) -> int:
     return 0
 
 
+def _run_plan(args: argparse.Namespace) -> int:
+    from repro.analysis.ir import kernel_ir
+    from repro.analysis.plan import compile_plan
+    from repro.apps import BUILTIN_PROGRAMS, build_app_program
+    from repro.core.mappings import RAWMapping
+
+    if args.app != "all" and args.app not in BUILTIN_PROGRAMS:
+        print(
+            f"unknown --app {args.app!r}; expected 'all' or one of "
+            f"{', '.join(sorted(BUILTIN_PROGRAMS))}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.min_coverage is not None and not 0.0 <= args.min_coverage <= 1.0:
+        print(
+            f"--min-coverage must lie in [0, 1], got {args.min_coverage}",
+            file=sys.stderr,
+        )
+        return 2
+    apps = sorted(BUILTIN_PROGRAMS) if args.app == "all" else [args.app]
+    families = (
+        ("RAW", "RAS", "RAP") if args.mapping == "ALL" else (args.mapping,)
+    )
+
+    entries = []
+    shortfalls = []
+    for family in families:
+        for app in apps:
+            # The skeleton is mapping-independent; the concrete RAW
+            # instance only pins array bases and input data.
+            kernel = build_app_program(app, RAWMapping(args.w), seed=args.seed)
+            plan = compile_plan(kernel, family, app)
+            ir = kernel_ir(kernel) if args.ir else None
+            entries.append((app, family, plan, ir))
+            if (
+                args.min_coverage is not None
+                and plan.stage_coverage < args.min_coverage
+            ):
+                shortfalls.append((app, family, plan.stage_coverage))
+
+    if args.json:
+        payload = {
+            "w": args.w,
+            "seed": args.seed,
+            "programs": [
+                {
+                    **plan.to_dict(),
+                    **({"ir": ir.to_dict()} if ir is not None else {}),
+                }
+                for _, _, plan, ir in entries
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for _, _, plan, ir in entries:
+            print(plan.render())
+            if ir is not None:
+                print(ir.render())
+        resolved = sum(p.resolved_steps for _, _, p, _ in entries)
+        total = sum(len(p.steps) for _, _, p, _ in entries)
+        print(f"\n{resolved}/{total} steps statically resolved.")
+
+    if shortfalls:
+        app, family, coverage = shortfalls[0]
+        print(
+            f"COVERAGE: {app} under {family} resolves {coverage:.1%} of "
+            f"stages < --min-coverage {args.min_coverage:.1%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the analysis subcommands; returns an exit code."""
     args = build_parser().parse_args(argv)
@@ -387,6 +517,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_lint(args)
     if args.command == "certify":
         return _run_certify(args)
+    if args.command == "plan":
+        return _run_plan(args)
     return _run_analyze(args)
 
 

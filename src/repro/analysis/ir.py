@@ -1,0 +1,358 @@
+"""Dataflow IR over DMM memory programs — def-use, liveness, DSE.
+
+A compiled :class:`~repro.dmm.trace.MemoryProgram` is a straight-line
+sequence of SIMD reads and writes; this module lifts it into a small
+dataflow IR so the plan compiler (:mod:`repro.analysis.plan`) and the
+``repro plan --ir`` surface can reason about it *statically*:
+
+**def-use chains**
+    A read *defines* its register at its active lanes; a
+    register-carrying write *uses* it.  Edges are lane-accurate: read
+    ``d`` feeds write ``u`` iff some lane of ``u`` still holds ``d``'s
+    value when ``u`` issues (masked redefinitions only kill the lanes
+    they cover).
+
+**register liveness**
+    Backward lane-level liveness with the program's *observable state*
+    as the exit condition: final memory and final register files are
+    what the executors report, so both are live-out of the last
+    instruction.
+
+**dead-step / dead-store elimination**
+    A read is dead when every lane it defines is overwritten before any
+    use (and before program exit); a write is dead when every address
+    it stores is overwritten before any load.  :meth:`ProgramIR.eliminate`
+    drops them — final memory and final registers are provably
+    unchanged (property-tested in ``tests/test_ir.py``).  Timing *does*
+    change (fewer instructions dispatch), which is exactly why the plan
+    executor keeps dead steps: its contract is bit-identical timing.
+    One guard keeps data semantics exact: a dead read is resurrected if
+    it is the only definition of a register that a retained write
+    consumes, since the scalar machine faults on a write from a
+    never-defined register.
+
+**duplicate-address merge detection**
+    Per instruction, how many active lanes request an address another
+    lane of the same warp already requested — the CRCW merges the
+    staging layer (:meth:`~repro.gpu.kernel.SharedMemoryKernel.program_batch`)
+    resolves statically.
+
+The IR is exact for the concrete program instance (addresses are flat
+physical addresses), deliberately conservative nowhere: every "dead"
+label is a theorem about observable state, not a heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.dmm.trace import INACTIVE, Instruction, MemoryProgram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.kernel import SharedMemoryKernel
+
+__all__ = ["IRNode", "ProgramIR", "build_ir", "kernel_ir"]
+
+
+@dataclass(frozen=True)
+class IRNode:
+    """One instruction's dataflow facts.
+
+    Attributes
+    ----------
+    index:
+        Instruction index in program order.
+    op, array, register:
+        What the instruction does (``array`` is ``"-"`` for raw
+        programs, whose instructions carry no array name).
+    active_lanes:
+        Lanes that issue a memory request.
+    dispatched_warps:
+        Warps with at least one active lane.
+    merged_lanes:
+        Active lanes whose address duplicates an earlier lane of the
+        same warp (CRCW-merged at dispatch).
+    defines, consumes:
+        The register a read defines / a register-write uses (``None``
+        otherwise; immediate writes consume nothing).
+    uses:
+        For a read: indices of the writes its value reaches.  Empty for
+        writes.
+    live_out:
+        Registers with at least one observable lane immediately after
+        this instruction.
+    dead:
+        True when eliminating the instruction provably leaves final
+        memory and final registers unchanged.
+    """
+
+    index: int
+    op: str
+    array: str
+    register: str
+    active_lanes: int
+    dispatched_warps: int
+    merged_lanes: int
+    defines: Optional[str]
+    consumes: Optional[str]
+    uses: tuple[int, ...]
+    live_out: tuple[str, ...]
+    dead: bool
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by the golden IR dumps)."""
+        return {
+            "step": self.index,
+            "op": self.op,
+            "array": self.array,
+            "register": self.register,
+            "active": self.active_lanes,
+            "warps": self.dispatched_warps,
+            "merged": self.merged_lanes,
+            "defines": self.defines,
+            "consumes": self.consumes,
+            "uses": list(self.uses),
+            "live_out": list(self.live_out),
+            "dead": self.dead,
+        }
+
+
+def _merged_lane_count(instr: Instruction, w: int) -> int:
+    """Active lanes CRCW-merged into an earlier lane of their warp."""
+    rows = instr.addresses.reshape(-1, w)
+    srt = np.sort(rows, axis=1)
+    dup = (srt[:, 1:] == srt[:, :-1]) & (srt[:, 1:] != INACTIVE)
+    return int(dup.sum())
+
+
+@dataclass(frozen=True)
+class ProgramIR:
+    """The dataflow IR of one program: nodes plus elimination verdicts.
+
+    Attributes
+    ----------
+    p, w:
+        Thread count and warp width the program was analyzed at.
+    nodes:
+        One :class:`IRNode` per instruction, in program order.
+    dead_reads, dead_stores:
+        Indices of eliminable reads / writes (disjoint subsets of the
+        ``dead`` nodes, split by op).
+    """
+
+    p: int
+    w: int
+    nodes: tuple[IRNode, ...]
+    dead_reads: tuple[int, ...]
+    dead_stores: tuple[int, ...]
+
+    @property
+    def dead_steps(self) -> tuple[int, ...]:
+        """All eliminable instruction indices, in program order."""
+        return tuple(sorted(self.dead_reads + self.dead_stores))
+
+    @property
+    def live_steps(self) -> int:
+        """Instructions that survive elimination."""
+        return len(self.nodes) - len(self.dead_steps)
+
+    def eliminate(self, program: MemoryProgram) -> MemoryProgram:
+        """The program with every dead step removed.
+
+        ``program`` must be the program this IR was built from (same
+        instruction sequence); the result produces identical final
+        memory and identical final register files on the scalar and
+        batched machines.  Timing is *not* preserved — eliminated steps
+        stop occupying pipeline stages, which is the point.
+        """
+        if len(program) != len(self.nodes):
+            raise ValueError(
+                f"program has {len(program)} instructions, IR was built "
+                f"over {len(self.nodes)}"
+            )
+        dead = set(self.dead_steps)
+        out = MemoryProgram(p=program.p)
+        for idx, instr in enumerate(program):
+            if idx not in dead:
+                out.append(instr)
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-serializable dump (stable across runs — golden-testable)."""
+        return {
+            "p": self.p,
+            "w": self.w,
+            "steps": len(self.nodes),
+            "dead_reads": list(self.dead_reads),
+            "dead_stores": list(self.dead_stores),
+            "nodes": [node.to_dict() for node in self.nodes],
+        }
+
+    def render(self) -> str:
+        """Human-readable IR listing, one line per instruction."""
+        lines = [
+            f"program IR: p={self.p}, w={self.w}, {len(self.nodes)} steps, "
+            f"{len(self.dead_reads)} dead read(s), "
+            f"{len(self.dead_stores)} dead store(s)"
+        ]
+        for node in self.nodes:
+            flow = ""
+            if node.defines is not None:
+                targets = ",".join(str(u) for u in node.uses) or "-"
+                flow = f" def {node.defines} -> [{targets}]"
+            elif node.consumes is not None:
+                flow = f" use {node.consumes}"
+            dead = "  DEAD" if node.dead else ""
+            lines.append(
+                f"  {node.index:3d}: {node.op:5s} {node.array:8s}"
+                f" lanes={node.active_lanes:<4d} warps={node.dispatched_warps:<3d}"
+                f" merged={node.merged_lanes:<3d}{flow}{dead}"
+            )
+        return "\n".join(lines)
+
+
+def build_ir(
+    program: MemoryProgram, w: int, arrays: Optional[list[str]] = None
+) -> ProgramIR:
+    """Build the dataflow IR of a compiled program.
+
+    Parameters
+    ----------
+    program:
+        The straight-line instruction sequence to analyze.
+    w:
+        Warp width (for warp-granular facts: dispatch and merge counts).
+    arrays:
+        Optional per-instruction array labels (supplied by
+        :func:`kernel_ir`); raw programs show ``"-"``.
+    """
+    if program.p % w != 0:
+        raise ValueError(
+            f"program p={program.p} is not a multiple of warp width {w}"
+        )
+    n = len(program)
+    p = program.p
+    labels = arrays if arrays is not None else ["-"] * n
+    if len(labels) != n:
+        raise ValueError(
+            f"{len(labels)} array labels for {n} instructions"
+        )
+
+    # -- forward pass: lane-accurate reaching definitions ---------------
+    last_def: dict[str, np.ndarray] = {}
+    uses: list[set[int]] = [set() for _ in range(n)]
+    for idx, instr in enumerate(program):
+        active = instr.active_mask
+        if instr.op == "read":
+            lanes = last_def.setdefault(
+                instr.register, np.full(p, -1, dtype=np.int64)
+            )
+            lanes[active] = idx
+        elif (reg := instr.consumed_register) is not None:
+            reaching = last_def.get(reg)
+            if reaching is not None:
+                for d in np.unique(reaching[active]):
+                    if d >= 0:
+                        uses[int(d)].add(idx)
+
+    # -- backward pass: observable-state liveness -----------------------
+    # At program exit both final memory and final registers are
+    # observable, so every memory word and every register lane starts
+    # live.  A read is dead when none of its defined lanes is live; a
+    # write is dead when none of its stored addresses is observed.
+    # Dead instructions neither kill (reads) nor use (writes), so the
+    # verdicts describe the *eliminated* program in one pass.
+    top = program.max_address()
+    obs_mem = np.ones(max(top, 0) + 1, dtype=bool)
+    reg_live: dict[str, np.ndarray] = {
+        name: np.ones(p, dtype=bool) for name in program.defined_registers()
+    }
+    dead = [False] * n
+    live_out: list[tuple[str, ...]] = [()] * n
+    for idx in range(n - 1, -1, -1):
+        instr = program.instructions[idx]
+        live_out[idx] = tuple(
+            sorted(name for name, lanes in reg_live.items() if lanes.any())
+        )
+        active = instr.active_mask
+        addrs = instr.addresses[active]
+        if instr.op == "write":
+            dead[idx] = addrs.size > 0 and not obs_mem[addrs].any()
+            if not dead[idx] and (reg := instr.consumed_register) is not None:
+                lanes = reg_live.get(reg)
+                if lanes is not None:
+                    lanes[active] = True
+            obs_mem[addrs] = False
+        else:
+            lanes = reg_live.get(instr.register)
+            defined = lanes is not None and bool(active.any())
+            dead[idx] = defined and not lanes[active].any()
+            if defined and not dead[idx]:
+                lanes[active] = False
+            obs_mem[addrs] = True
+
+    # -- resurrection guard: a consuming write needs *some* definition --
+    # The machines fault on a write from a never-defined register, so
+    # if elimination would strip every read of a register that a
+    # retained write consumes, the closest preceding read comes back
+    # (its value is still unobserved — only the register's existence
+    # matters, so data semantics are unchanged).
+    for idx, instr in enumerate(program):
+        if instr.op != "write" or dead[idx]:
+            continue
+        reg = instr.consumed_register
+        if reg is None:
+            continue
+        defs = [
+            k
+            for k in range(idx)
+            if program.instructions[k].op == "read"
+            and program.instructions[k].register == reg
+        ]
+        if defs and all(dead[k] for k in defs):
+            dead[defs[-1]] = False
+
+    nodes = []
+    dead_reads = []
+    dead_stores = []
+    for idx, instr in enumerate(program):
+        active = int(instr.active_mask.sum())
+        warps = int((instr.addresses.reshape(-1, w) != INACTIVE).any(axis=1).sum())
+        nodes.append(
+            IRNode(
+                index=idx,
+                op=instr.op,
+                array=labels[idx],
+                register=instr.register,
+                active_lanes=active,
+                dispatched_warps=warps,
+                merged_lanes=_merged_lane_count(instr, w),
+                defines=instr.defined_register,
+                consumes=instr.consumed_register,
+                uses=tuple(sorted(uses[idx])),
+                live_out=live_out[idx],
+                dead=dead[idx],
+            )
+        )
+        if dead[idx]:
+            (dead_reads if instr.op == "read" else dead_stores).append(idx)
+
+    return ProgramIR(
+        p=p,
+        w=w,
+        nodes=tuple(nodes),
+        dead_reads=tuple(dead_reads),
+        dead_stores=tuple(dead_stores),
+    )
+
+
+def kernel_ir(kernel: "SharedMemoryKernel") -> ProgramIR:
+    """The IR of a kernel's compiled program, with array labels."""
+    return build_ir(
+        kernel.program(),
+        kernel.w,
+        arrays=[step.array for step in kernel.steps],
+    )

@@ -3,7 +3,7 @@
 PR 1 bought bit-identical results for any worker count and cache
 state; this module *enforces* the coding rules that made that possible
 instead of hoping future patches remember them.  One AST pass per
-file, five rules:
+file, six rules:
 
 =========  ==========================================================
 rule       flags
@@ -16,6 +16,10 @@ SEED001    public ``run_*``/``make_*`` entry points in ``sim``/``apps``
 TIME001    wall-clock reads (``time.time``, ``datetime.now``, ...)
            in result-producing code
 DEF001     mutable default arguments (``[]``, ``{}``, ``set()``, ...)
+ADDR001    narrow integer dtypes (``np.int32``, ``"int16"``, ...) in
+           the address-handling modules (``access/``, ``dmm/``) — the
+           large-w overflow bug class: a flat staged index reaches
+           ``trials * (2 w^2 + 1)`` and silently wraps narrow ints
 =========  ==========================================================
 
 Every finding carries a fix hint.  A line can opt out with an inline
@@ -77,6 +81,14 @@ RULES = {
         "mutable default argument",
         "default to None and create the object inside the function body",
     ),
+    "ADDR001": (
+        "narrow integer dtype in address-handling code",
+        "flat addresses and staged indices overflow 16/32-bit integers "
+        "at large w x trials; compute address arithmetic in np.int64 "
+        "(widen narrow staging dtypes before any offset add), or mark "
+        "a deliberately narrow non-address dtype with "
+        "`# repro: noqa[ADDR001]`",
+    ),
 }
 
 #: files (matched by trailing path parts) exempt from the RNG rules —
@@ -97,6 +109,15 @@ _WALL_CLOCK_TAILS = {
 }
 
 _MUTABLE_CALL_NAMES = {"list", "dict", "set", "bytearray"}
+
+#: numpy dtype names ADDR001 flags in address-handling modules.
+_NARROW_INTS = {"int8", "int16", "int32", "uint8", "uint16", "uint32"}
+
+
+def _is_address_module(path: Path) -> bool:
+    """Does ADDR001 apply to this file (an access/ or dmm/ module)?"""
+    parts = set(path.parts)
+    return bool(parts & {"access", "dmm"})
 
 
 @dataclass(frozen=True)
@@ -197,13 +218,14 @@ def _is_seed_module(path: Path) -> bool:
 class _Visitor(ast.NodeVisitor):
     """Single-pass rule evaluation over one module's AST."""
 
-    def __init__(self, path: Path, display_path: str, source_lines: Sequence[str]):
+    def __init__(self, path: Path, display_path: str, source_lines: Sequence[str]) -> None:
         self.path = path
         self.display_path = display_path
         self.source_lines = source_lines
         self.findings: list[LintFinding] = []
         self.rng_exempt = tuple(path.parts[-2:]) == _RNG_WRAPPER
         self.seed_rule_applies = _is_seed_module(path)
+        self.addr_rule_applies = _is_address_module(path)
 
     # -- plumbing -------------------------------------------------------
     def _flag(self, rule: str, node: ast.AST, detail: str) -> None:
@@ -235,6 +257,37 @@ class _Visitor(ast.NodeVisitor):
                 self._flag("RNG002", node, f"`{'.'.join(chain)}(...)`")
         if tuple(chain[-2:]) in _WALL_CLOCK_TAILS:
             self._flag("TIME001", node, f"`{'.'.join(chain)}()`")
+        # ADDR001: narrow dtype *strings* ("int32") reaching a dtype=
+        # keyword or an astype() call; the np.int32 attribute form is
+        # caught in visit_Attribute.
+        if self.addr_rule_applies:
+            narrow_args: list[ast.AST] = [
+                kw.value
+                for kw in node.keywords
+                if kw.arg == "dtype"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value in _NARROW_INTS
+            ]
+            if chain and chain[-1] == "astype":
+                narrow_args.extend(
+                    a
+                    for a in node.args[:1]
+                    if isinstance(a, ast.Constant) and a.value in _NARROW_INTS
+                )
+            for arg in narrow_args:
+                self._flag("ADDR001", arg, f'`"{arg.value}"`')
+        self.generic_visit(node)
+
+    # -- ADDR001 (narrow dtype attributes) -------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self.addr_rule_applies:
+            chain = _attr_chain(node)
+            if (
+                len(chain) == 2
+                and chain[0] in ("np", "numpy")
+                and chain[1] in _NARROW_INTS
+            ):
+                self._flag("ADDR001", node, f"`{'.'.join(chain)}`")
         self.generic_visit(node)
 
     # -- RNG002 (imports) -----------------------------------------------

@@ -58,11 +58,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import gcd
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
 from repro.analysis.affine import AffineAccess
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.swizzle import XORSwizzleMapping
+
 from repro.core.congestion import congestion_batch
 from repro.core.mappings import AddressMapping, ShiftedRowMapping, mapping_by_name
 from repro.util.rng import SeedLike
@@ -244,7 +248,9 @@ def _shifted_row_step(
     return None
 
 
-def _xor_swizzle_step(access: AffineAccess, mapping) -> Optional[SymbolicStep]:
+def _xor_swizzle_step(
+    access: AffineAccess, mapping: "XORSwizzleMapping"
+) -> Optional[SymbolicStep]:
     """Closed forms for the XOR swizzle's tractable regimes."""
     w = access.w
     if access.rj % w == 0:

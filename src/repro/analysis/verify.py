@@ -156,7 +156,7 @@ class SanitizerReport:
 class VerificationError(ValueError):
     """Raised by ``kernel.program(verify=True)`` on sanitizer findings."""
 
-    def __init__(self, report: SanitizerReport):
+    def __init__(self, report: SanitizerReport) -> None:
         self.report = report
         super().__init__(report.render())
 

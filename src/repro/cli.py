@@ -18,12 +18,17 @@ Static-analysis subcommands (dispatched to
   (``python -m repro analyze --kernel crsw --json --max-worst 1``).
 * ``certify`` — program-level sanitizer + congestion certificates for
   every builtin app (``python -m repro certify --mapping RAP``).
+* ``plan`` — compile app skeletons into static execution plans with
+  per-step resolution verdicts, coverage stats, and the dataflow IR
+  (``python -m repro plan --app shearsort --mapping RAP --json``).
 
 Performance subcommand:
 
 * ``bench-dmm`` — scalar-vs-batched DMM executor throughput on the
   builtin apps, verified identical before timing
-  (``python -m repro bench-dmm --trials 100 --json BENCH_dmm.json``).
+  (``python -m repro bench-dmm --trials 100 --json BENCH_dmm.json``);
+  ``--plan`` benchmarks the plan-compiled executor against the plain
+  batched path instead.
 
 Adversarial subcommand:
 
@@ -71,7 +76,7 @@ __all__ = ["main", "build_parser", "run_experiment", "ANALYSIS_COMMANDS"]
 
 #: first positional arguments routed to the analysis CLI instead of
 #: the experiment runner.
-ANALYSIS_COMMANDS = ("prove", "lint", "analyze", "certify")
+ANALYSIS_COMMANDS = ("prove", "lint", "analyze", "certify", "plan")
 
 
 def _workers_arg(value: str) -> int:

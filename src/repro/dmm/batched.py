@@ -31,9 +31,10 @@ trial's lane order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.core.congestion import congestion_batch, max_run_lengths
 from repro.dmm.memory import BatchedMemory
@@ -157,7 +158,7 @@ class BatchedInstruction:
     #: check per run instead of one per access.
     max_address: int = field(default=INACTIVE, init=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.op not in ("read", "write"):
             raise ValueError(f"op must be 'read' or 'write', got {self.op!r}")
         addresses = np.ascontiguousarray(self.addresses)
@@ -264,7 +265,7 @@ class BatchedProgram:
     trials: int
     instructions: list[BatchedInstruction] = field(default_factory=list)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_positive_int(self.p, "p")
         check_positive_int(self.trials, "trials")
         for instr in self.instructions:
@@ -292,7 +293,7 @@ class BatchedProgram:
     def __len__(self) -> int:
         return len(self.instructions)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[BatchedInstruction]:
         return iter(self.instructions)
 
 
@@ -413,8 +414,13 @@ class BatchedDMM:
     """
 
     def __init__(
-        self, w: int, latency: int, memory_size: int, trials: int, dtype=np.float64
-    ):
+        self,
+        w: int,
+        latency: int,
+        memory_size: int,
+        trials: int,
+        dtype: "npt.DTypeLike" = np.float64,
+    ) -> None:
         self.w = check_positive_int(w, "w")
         self.latency = check_latency(latency)
         self.trials = check_positive_int(trials, "trials")
@@ -425,8 +431,7 @@ class BatchedDMM:
         self.memory.fill_word(base, np.asarray(values))
 
     # -- execution -------------------------------------------------------
-    def run(self, program: BatchedProgram) -> BatchedExecutionResult:
-        """Execute the batch; returns per-trial data and exact timing."""
+    def _check_program(self, program: BatchedProgram) -> None:
         if program.trials != self.trials:
             raise ValueError(
                 f"program stages {program.trials} trials, machine has {self.trials}"
@@ -440,6 +445,10 @@ class BatchedDMM:
             raise IndexError(
                 f"program touches address {top}, memory size {self.memory.size}"
             )
+
+    def run(self, program: BatchedProgram) -> BatchedExecutionResult:
+        """Execute the batch; returns per-trial data and exact timing."""
+        self._check_program(program)
         registers: dict[str, np.ndarray] = {}
         time_units = np.zeros(self.trials, dtype=np.int64)
         result = BatchedExecutionResult(
@@ -447,6 +456,49 @@ class BatchedDMM:
         )
         for instr in program:
             trace = self._execute(instr, registers)
+            result.traces.append(trace)
+            time_units += trace.time_units
+        result.time_units = time_units
+        return result
+
+    def execute_plan(self, program: BatchedProgram) -> BatchedExecutionResult:
+        """Execute a plan-staged batch, skipping resolved-step simulation.
+
+        The plan compiler (:func:`repro.analysis.plan.compile_plan`)
+        stages statically resolved instructions with an empty
+        ``dynamic_warps`` set: their per-warp congestion is a certified
+        constant for every draw of the mapping family, so this path
+        settles their congestion tuple and completion time in closed
+        form — no bank counting, no key sort, only the data movement
+        (which bit-identity requires).  Residual instructions execute
+        exactly as under :meth:`run`.  The result is indistinguishable
+        from :meth:`run` on the same program; the saving is wall-clock.
+        """
+        self._check_program(program)
+        registers: dict[str, np.ndarray] = {}
+        time_units = np.zeros(self.trials, dtype=np.int64)
+        result = BatchedExecutionResult(
+            time_units=time_units, registers=registers, memory=self.memory
+        )
+        for instr in program:
+            static = instr.static_congestions
+            dyn = instr.dynamic_warps
+            if static is not None and dyn is not None and dyn.size == 0:
+                # Statically resolved: per-trial congestion is the
+                # certified constant vector, and the completion time is
+                # StageSchedule's closed form on its (constant) total.
+                cong = np.broadcast_to(
+                    static[None, :], (self.trials, static.size)
+                )
+                total = int(static.sum())
+                per_trial = total + self.latency - 1 if total > 0 else 0
+                times = np.full(self.trials, per_trial, dtype=np.int64)
+                self._move_data(instr, registers)
+                trace = BatchedInstructionTrace(
+                    op=instr.op, congestions=cong, time_units=times
+                )
+            else:
+                trace = self._execute(instr, registers)
             result.traces.append(trace)
             time_units += trace.time_units
         result.time_units = time_units
@@ -461,7 +513,15 @@ class BatchedDMM:
     ) -> BatchedInstructionTrace:
         cong = self._congestions(instr)
         times = batch_completion_times(cong.sum(axis=1), self.latency)
+        self._move_data(instr, registers)
+        return BatchedInstructionTrace(
+            op=instr.op, congestions=cong, time_units=times
+        )
 
+    def _move_data(
+        self, instr: BatchedInstruction, registers: dict[str, np.ndarray]
+    ) -> None:
+        """The data half of one instruction: gathers, scatters, registers."""
         mask = instr.mask
         # INACTIVE lanes pass straight through: the flat index
         # t*stride - 1 is always *some* trial's scratch cell (see
@@ -502,7 +562,3 @@ class BatchedDMM:
                 self.memory.write_flat(addresses, source)
             else:
                 self.memory.write(addresses, source)
-
-        return BatchedInstructionTrace(
-            op=instr.op, congestions=cong, time_units=times
-        )

@@ -33,8 +33,10 @@ same registers); only completion timing differs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.core.congestion import warp_congestion
 from repro.dmm.memory import BankedMemory
@@ -99,9 +101,9 @@ class EventDrivenDMM:
         w: int,
         latency: int,
         memory_size: int,
-        dtype=np.float64,
-        stage_rule=None,
-    ):
+        dtype: "npt.DTypeLike" = np.float64,
+        stage_rule: Optional[Callable[[np.ndarray, int], int]] = None,
+    ) -> None:
         self.w = check_positive_int(w, "w")
         self.latency = check_latency(latency)
         self.memory = BankedMemory(w, memory_size, dtype=dtype)

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.core.congestion import congestion_batch
 from repro.dmm.memory import BankedMemory
@@ -125,7 +126,13 @@ class DiscreteMemoryMachine:
         paper's kernels).
     """
 
-    def __init__(self, w: int, latency: int, memory_size: int, dtype=np.float64):
+    def __init__(
+        self,
+        w: int,
+        latency: int,
+        memory_size: int,
+        dtype: "npt.DTypeLike" = np.float64,
+    ) -> None:
         self.w = check_positive_int(w, "w")
         self.latency = check_latency(latency)
         self.memory = BankedMemory(w, memory_size, dtype=dtype)

@@ -12,6 +12,7 @@ fancy assignment resolves duplicate indices (last occurrence wins).
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.util.validation import check_positive_int
 
@@ -35,7 +36,13 @@ class BankedMemory:
         Initial value of every word.
     """
 
-    def __init__(self, w: int, size: int, dtype=np.float64, fill=0):
+    def __init__(
+        self,
+        w: int,
+        size: int,
+        dtype: "npt.DTypeLike" = np.float64,
+        fill: float = 0,
+    ) -> None:
         self.w = check_positive_int(w, "w")
         self.size = check_positive_int(size, "size")
         self._store = np.full(size, fill, dtype=dtype)
@@ -46,21 +53,21 @@ class BankedMemory:
         return self._store
 
     @property
-    def dtype(self):
+    def dtype(self) -> np.dtype:
         """Element dtype of the backing store."""
         return self._store.dtype
 
-    def bank_of(self, addresses) -> np.ndarray:
+    def bank_of(self, addresses: "npt.ArrayLike") -> np.ndarray:
         """Bank index of each address: ``a mod w``."""
         addresses = self._validate(addresses)
         return addresses % self.w
 
-    def row_of(self, addresses) -> np.ndarray:
+    def row_of(self, addresses: "npt.ArrayLike") -> np.ndarray:
         """Row (position within the bank) of each address: ``a // w``."""
         addresses = self._validate(addresses)
         return addresses // self.w
 
-    def read(self, addresses) -> np.ndarray:
+    def read(self, addresses: "npt.ArrayLike") -> np.ndarray:
         """Concurrent gather: return ``m[a]`` for each requested address.
 
         Duplicate addresses are allowed (they merge into one physical
@@ -70,7 +77,7 @@ class BankedMemory:
         addresses = self._validate(addresses)
         return self._store[addresses]
 
-    def write(self, addresses, values) -> None:
+    def write(self, addresses: "npt.ArrayLike", values: "npt.ArrayLike") -> None:
         """Concurrent scatter with CRCW-arbitrary duplicate resolution.
 
         When several threads write the same address, exactly one value
@@ -86,7 +93,7 @@ class BankedMemory:
             )
         self._store[addresses] = values
 
-    def _validate(self, addresses) -> np.ndarray:
+    def _validate(self, addresses: "npt.ArrayLike") -> np.ndarray:
         addresses = np.asarray(addresses, dtype=np.int64)
         if ((addresses < 0) | (addresses >= self.size)).any():
             raise IndexError(
@@ -123,7 +130,14 @@ class BatchedMemory:
     scalar machine.
     """
 
-    def __init__(self, w: int, size: int, trials: int, dtype=np.float64, fill=0):
+    def __init__(
+        self,
+        w: int,
+        size: int,
+        trials: int,
+        dtype: "npt.DTypeLike" = np.float64,
+        fill: float = 0,
+    ) -> None:
         self.w = check_positive_int(w, "w")
         self.size = check_positive_int(size, "size")
         self.trials = check_positive_int(trials, "trials")
@@ -134,7 +148,7 @@ class BatchedMemory:
         self.offsets = (np.arange(trials, dtype=np.int64) * self._stride)[:, None]
 
     @property
-    def dtype(self):
+    def dtype(self) -> np.dtype:
         """Element dtype of the backing store."""
         return self._store.dtype
 
@@ -170,7 +184,7 @@ class BatchedMemory:
         """
         return self._store.ravel()[addresses + self.offsets]
 
-    def write(self, addresses: np.ndarray, values) -> None:
+    def write(self, addresses: np.ndarray, values: "npt.ArrayLike") -> None:
         """Scatter per trial; duplicate addresses resolve last-lane-wins.
 
         Scratch addresses (``size`` or ``-1``) land outside every
@@ -187,7 +201,7 @@ class BatchedMemory:
         """
         return self._store.ravel()[flat_indices]
 
-    def write_flat(self, flat_indices: np.ndarray, values) -> None:
+    def write_flat(self, flat_indices: np.ndarray, values: "npt.ArrayLike") -> None:
         """Scatter pre-offset flat indices; duplicates last-lane-wins."""
         self._store.ravel()[flat_indices] = values
 

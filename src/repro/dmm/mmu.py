@@ -91,7 +91,7 @@ class PipelinedMMU:
         ``l`` time units.
     """
 
-    def __init__(self, w: int, latency: int):
+    def __init__(self, w: int, latency: int) -> None:
         self.w = check_positive_int(w, "w")
         self.latency = check_latency(latency)
 

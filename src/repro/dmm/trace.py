@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.util.validation import check_positive_int
 
@@ -30,7 +31,7 @@ __all__ = ["INACTIVE", "Instruction", "read", "write", "MemoryProgram"]
 INACTIVE: int = -1
 
 
-def _as_address_array(addresses) -> np.ndarray:
+def _as_address_array(addresses: "npt.ArrayLike") -> np.ndarray:
     arr = np.ascontiguousarray(addresses, dtype=np.int64)
     if arr.ndim != 1:
         raise ValueError(f"addresses must be 1-D (one per thread), got shape {arr.shape}")
@@ -64,7 +65,7 @@ class Instruction:
     register: str = "r0"
     values: Optional[np.ndarray] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.op not in ("read", "write"):
             raise ValueError(f"op must be 'read' or 'write', got {self.op!r}")
         object.__setattr__(self, "addresses", _as_address_array(self.addresses))
@@ -125,12 +126,16 @@ class Instruction:
         return None
 
 
-def read(addresses, register: str = "r0") -> Instruction:
+def read(addresses: "npt.ArrayLike", register: str = "r0") -> Instruction:
     """Build a read instruction: ``register[t] <- mem[addresses[t]]``."""
     return Instruction("read", addresses, register)
 
 
-def write(addresses, register: str = "r0", values=None) -> Instruction:
+def write(
+    addresses: "npt.ArrayLike",
+    register: str = "r0",
+    values: Optional["npt.ArrayLike"] = None,
+) -> Instruction:
     """Build a write instruction: ``mem[addresses[t]] <- register[t]``.
 
     Pass ``values`` to write immediates instead of register contents.
@@ -157,7 +162,7 @@ class MemoryProgram:
     p: int
     instructions: list[Instruction] = field(default_factory=list)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_positive_int(self.p, "p")
         for instr in self.instructions:
             self._check(instr)

@@ -18,6 +18,7 @@ executable.  Data semantics (CRCW-arbitrary) are identical.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.dmm.machine import ExecutionResult, InstructionTrace
 from repro.dmm.memory import BankedMemory
@@ -53,7 +54,13 @@ class UnifiedMemoryMachine:
     :class:`~repro.dmm.machine.DiscreteMemoryMachine`.
     """
 
-    def __init__(self, w: int, latency: int, memory_size: int, dtype=np.float64):
+    def __init__(
+        self,
+        w: int,
+        latency: int,
+        memory_size: int,
+        dtype: "npt.DTypeLike" = np.float64,
+    ) -> None:
         self.w = check_positive_int(w, "w")
         self.latency = check_latency(latency)
         self.memory = BankedMemory(w, memory_size, dtype=dtype)

@@ -300,7 +300,9 @@ class SharedMemoryKernel:
                 prog.append(write(flat, register=step.register))
         return prog
 
-    def program_batch(self, shifts: np.ndarray) -> BatchedProgram:
+    def program_batch(
+        self, shifts: np.ndarray, plan: Optional[object] = None
+    ) -> BatchedProgram:
         """Stage the kernel under ``T`` shift draws for the batched DMM.
 
         ``shifts`` is a ``(T, w)`` matrix (one
@@ -324,6 +326,22 @@ class SharedMemoryKernel:
           pre-staged ``bank_keys`` — bank values with merged/inactive
           lanes replaced by sentinels at build time — letting the
           executor skip the per-trial address sort on its hot path.
+
+        With ``plan`` (a :class:`~repro.analysis.plan.CompiledPlan` or
+        its step sequence, compiled from this kernel), staging gets two
+        further static wins:
+
+        * steps the plan *resolved* carry the certified per-warp
+          congestion vector and an empty dynamic-warp set — no
+          duplicate-merge pass, no bank-key gather, and
+          :meth:`~repro.dmm.batched.BatchedDMM.execute_plan` settles
+          their timing in closed form; and
+        * steps sharing a plan ``table`` id (same array, same index
+          grids, same mask) share one staged address block instead of
+          re-gathering it per step.
+
+        ``shifts`` must be draws of the plan's family — that contract
+        is checked by :meth:`run_plan`, not here.
         """
         shifts = np.ascontiguousarray(shifts, dtype=np.int64)
         if shifts.ndim != 2 or shifts.shape[1] != self.w:
@@ -358,8 +376,17 @@ class SharedMemoryKernel:
         flat_table = table.astype(np.int64)
         flat_table += (np.arange(trials, dtype=np.int64) * stride)[:, None]
 
-        batched = BatchedProgram(p=p, trials=trials)
-        for step in self.steps:
+        plan_steps = None
+        if plan is not None:
+            plan_steps = list(getattr(plan, "steps", plan))
+            if len(plan_steps) != len(self.steps):
+                raise ValueError(
+                    f"plan has {len(plan_steps)} steps, kernel has "
+                    f"{len(self.steps)}"
+                )
+
+        def stage(step, resolved_congestions):
+            """Stage one step's address block and congestion machinery."""
             iif = step.ii.ravel()
             jjf = step.jj.ravel()
             maskf = None if step.mask is None else step.mask.ravel()
@@ -369,44 +396,55 @@ class SharedMemoryKernel:
                 # table column is irrelevant (rebased below), but keep
                 # it in range.
                 idx = np.where(maskf, idx, 0)
-            # Static duplicate merge: lanes of one warp collide iff
-            # they share (i, j) — the mapping is injective per trial —
-            # so the merge structure is trial-independent.  Dead lanes
-            # get unique keys >= p and can never mark a live lane.
-            pos = idx if maskf is None else np.where(maskf, idx, p + lane)
-            by_warp = pos.reshape(-1, w)
-            n_warps = by_warp.shape[0]
-            order = np.argsort(by_warp, axis=1, kind="stable")
-            rows = np.arange(n_warps)[:, None]
-            srt = by_warp[rows, order]
-            dup_sorted = np.zeros_like(srt, dtype=bool)
-            dup_sorted[:, 1:] = srt[:, 1:] == srt[:, :-1]
-            dup = np.zeros_like(dup_sorted)
-            dup[rows, order] = dup_sorted
-            drop = dup.ravel()
-            if maskf is not None:
-                drop = drop | ~maskf
-            # Per-warp static congestion: a warp whose active lanes all
-            # sit in one matrix row has congestion exactly 1 under
-            # *every* shift draw (distinct columns of a row occupy
-            # distinct banks), and a fully inactive warp has 0.  Only
-            # the remaining warps need per-trial keys.
-            act_w = (
-                np.ones((n_warps, w), dtype=bool)
-                if maskf is None
-                else maskf.reshape(n_warps, w)
-            )
-            any_act = act_w.any(axis=1)
-            ii_w = iif.reshape(n_warps, w)
-            ref_row = ii_w[np.arange(n_warps), act_w.argmax(axis=1)]
-            row_local = (~act_w | (ii_w == ref_row[:, None])).all(axis=1)
-            static_congestions = (any_act & row_local).astype(np.int64)
-            dynamic_warps = np.flatnonzero(any_act & ~row_local)
-            # Congestion keys for the dynamic warps only: real bank at
-            # counted lanes, sentinel at merged/inactive lanes — one
-            # gather, no fixup pass.
-            key_cols = np.where(drop, p + lane, idx).reshape(n_warps, w)
-            bank_keys = table[:, key_cols[dynamic_warps].ravel()]
+            if resolved_congestions is not None:
+                # The plan certified this step's per-warp congestion
+                # for every draw of the family: no duplicate-merge
+                # pass, no bank keys — the executor never counts.
+                static_congestions = np.ascontiguousarray(
+                    resolved_congestions, dtype=np.int64
+                )
+                dynamic_warps = np.empty(0, dtype=np.int64)
+                bank_keys = np.empty((trials, 0), dtype=key_dtype)
+            else:
+                # Static duplicate merge: lanes of one warp collide iff
+                # they share (i, j) — the mapping is injective per
+                # trial — so the merge structure is trial-independent.
+                # Dead lanes get unique keys >= p and can never mark a
+                # live lane.
+                pos = idx if maskf is None else np.where(maskf, idx, p + lane)
+                by_warp = pos.reshape(-1, w)
+                n_warps = by_warp.shape[0]
+                order = np.argsort(by_warp, axis=1, kind="stable")
+                rows = np.arange(n_warps)[:, None]
+                srt = by_warp[rows, order]
+                dup_sorted = np.zeros_like(srt, dtype=bool)
+                dup_sorted[:, 1:] = srt[:, 1:] == srt[:, :-1]
+                dup = np.zeros_like(dup_sorted)
+                dup[rows, order] = dup_sorted
+                drop = dup.ravel()
+                if maskf is not None:
+                    drop = drop | ~maskf
+                # Per-warp static congestion: a warp whose active lanes
+                # all sit in one matrix row has congestion exactly 1
+                # under *every* shift draw (distinct columns of a row
+                # occupy distinct banks), and a fully inactive warp has
+                # 0.  Only the remaining warps need per-trial keys.
+                act_w = (
+                    np.ones((n_warps, w), dtype=bool)
+                    if maskf is None
+                    else maskf.reshape(n_warps, w)
+                )
+                any_act = act_w.any(axis=1)
+                ii_w = iif.reshape(n_warps, w)
+                ref_row = ii_w[np.arange(n_warps), act_w.argmax(axis=1)]
+                row_local = (~act_w | (ii_w == ref_row[:, None])).all(axis=1)
+                static_congestions = (any_act & row_local).astype(np.int64)
+                dynamic_warps = np.flatnonzero(any_act & ~row_local)
+                # Congestion keys for the dynamic warps only: real bank
+                # at counted lanes, sentinel at merged/inactive lanes —
+                # one gather, no fixup pass.
+                key_cols = np.where(drop, p + lane, idx).reshape(n_warps, w)
+                bank_keys = table[:, key_cols[dynamic_warps].ravel()]
             row_base = self.bases[step.array] + iif * w  # (p,) int64
             if maskf is None:
                 addresses = flat_table[:, idx]
@@ -422,6 +460,36 @@ class SharedMemoryKernel:
                 addresses = flat_table[:, addr_idx]
                 addresses += rebase[None, :]
                 mask_out = maskf
+            return (
+                addresses,
+                mask_out,
+                static_congestions,
+                dynamic_warps,
+                bank_keys,
+            )
+
+        batched = BatchedProgram(p=p, trials=trials)
+        staged_cache: dict[int, tuple] = {}
+        for step_idx, step in enumerate(self.steps):
+            sp = None if plan_steps is None else plan_steps[step_idx]
+            if sp is not None and (sp.op != step.op or sp.array != step.array):
+                raise ValueError(
+                    f"plan step {step_idx} is {sp.op} {sp.array!r}, kernel "
+                    f"step is {step.op} {step.array!r} — plan was compiled "
+                    "from a different kernel"
+                )
+            if sp is not None and sp.table in staged_cache:
+                # Plan-pooled address table: same array, same index
+                # grids, same mask — share the staged block instead of
+                # re-gathering it (the arrays are only ever read).
+                staged = staged_cache[sp.table]
+            else:
+                staged = stage(
+                    step, sp.congestions if sp is not None else None
+                )
+                if sp is not None:
+                    staged_cache[sp.table] = staged
+            addresses, mask_out, static_congestions, dynamic_warps, bank_keys = staged
             values = (
                 np.arange(p, dtype=np.float64)
                 if step.op == "write" and step.immediate
@@ -464,6 +532,31 @@ class SharedMemoryKernel:
         """
         machine = self.make_batched_machine(shifts.shape[0], latency)
         return machine.run(self.program_batch(shifts))
+
+    def run_plan(
+        self, shifts: np.ndarray, plan, latency: int = 1
+    ) -> BatchedExecutionResult:
+        """Execute the kernel under a compiled plan (see
+        :func:`repro.analysis.plan.compile_plan`).
+
+        Stages :meth:`program_batch` with the plan's static verdicts
+        and address pooling, then runs
+        :meth:`~repro.dmm.batched.BatchedDMM.execute_plan` — resolved
+        steps never replay addresses for congestion counting.  The
+        result is bit-identical to :meth:`run_batch` (and to the scalar
+        machine per trial); ``shifts`` must be draws of the plan's
+        mapping family, which is checked up front.
+        """
+        from repro.analysis.plan import check_family_shifts
+
+        if plan.w != self.w:
+            raise ValueError(
+                f"plan was compiled at w={plan.w}, kernel has w={self.w}"
+            )
+        shifts = np.ascontiguousarray(shifts, dtype=np.int64)
+        check_family_shifts(plan.family, shifts, self.w)
+        machine = self.make_batched_machine(shifts.shape[0], latency)
+        return machine.execute_plan(self.program_batch(shifts, plan=plan))
 
     def verify(self, certify: bool = True):
         """Statically verify the kernel without executing it.

@@ -22,6 +22,15 @@ other repeats absorb scheduler noise.
 Timing uses ``perf_counter`` only, and all randomness flows through
 the seeded :func:`~repro.core.mappings.sample_shift_batch` draw, so
 the measured *work* is deterministic; only the wall clock varies.
+
+``--plan`` switches the comparison one level up: **plain batched**
+(the baseline above) vs **plan-executed** — compile the skeleton once
+with :func:`~repro.analysis.plan.compile_plan`, stage with the plan's
+static verdicts and pooled address tables, and run
+:meth:`~repro.dmm.batched.BatchedDMM.execute_plan`, which settles
+certified steps' timing in closed form.  Compilation is inside the
+timed section (it is part of the cost a caller pays), and both paths
+are still verified to agree per trial before any number is reported.
 """
 
 from __future__ import annotations
@@ -46,11 +55,24 @@ from repro.core.mappings import (
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_positive_int
 
-__all__ = ["DEFAULT_BENCH_APPS", "BenchResult", "bench_app", "render_bench", "main"]
+__all__ = [
+    "DEFAULT_BENCH_APPS",
+    "DEFAULT_PLAN_APPS",
+    "BenchResult",
+    "bench_app",
+    "bench_plan_app",
+    "render_bench",
+    "main",
+]
 
 #: Apps benchmarked by default: the issue's throughput targets, spanning
 #: the dynamic-heavy (fft, sort) and fully-static (stencil_row) regimes.
 DEFAULT_BENCH_APPS = ("fft", "sort", "stencil_row")
+
+#: Apps benchmarked by default under ``--plan``: the certificate-heavy
+#: zoo schedules, whose stages the plan compiler resolves completely
+#: under RAP.
+DEFAULT_PLAN_APPS = ("shearsort", "cf_permute")
 
 
 @dataclass(frozen=True)
@@ -62,6 +84,12 @@ class BenchResult:
     construction — the scalar path rebuilds the program per trial and
     the batched path stages it once, because that is the real cost
     difference a caller experiences.
+
+    Under ``mode="plan"`` the same two slots hold the comparison one
+    level up: ``scalar_s`` is the plain batched path (the previous
+    winner, now the baseline) and ``batched_s`` the plan-compiled
+    path, with ``stage_coverage`` recording the fraction of dispatched
+    warps the plan settled statically.
     """
 
     app: str
@@ -73,6 +101,8 @@ class BenchResult:
     repeats: int
     scalar_s: float
     batched_s: float
+    mode: str = "batched"
+    stage_coverage: float | None = None
 
     def __post_init__(self):
         if self.trials < 0:
@@ -126,7 +156,24 @@ class BenchResult:
     def as_dict(self) -> dict:
         """JSON-ready form (used by ``BENCH_dmm.json``); saturated
         rates (``inf`` from a zero-duration section) become ``null``
-        so the artifact stays strict JSON."""
+        so the artifact stays strict JSON.  ``mode="plan"`` results use
+        ``batched_s``/``plan_s`` keys (the baseline there is the plain
+        batched path)."""
+        if self.mode == "plan":
+            return {
+                "app": self.app,
+                "w": self.w,
+                "trials": self.trials,
+                "mapping": self.mapping,
+                "latency": self.latency,
+                "steps": self.steps,
+                "repeats": self.repeats,
+                "mode": self.mode,
+                "batched_s": round(self.scalar_s, 6),
+                "plan_s": round(self.batched_s, 6),
+                "speedup": self._json_num(self.speedup, 2),
+                "stage_coverage": self.stage_coverage,
+            }
         return {
             "app": self.app,
             "w": self.w,
@@ -209,10 +256,105 @@ def bench_app(
     )
 
 
+def bench_plan_app(
+    app: str,
+    w: int = 32,
+    trials: int = 100,
+    mapping: str = "RAP",
+    latency: int = 1,
+    seed: SeedLike = 2014,
+    repeats: int = 3,
+) -> BenchResult:
+    """Time one app plain-batched vs plan-executed; verify agreement.
+
+    The baseline is :meth:`~repro.gpu.kernel.SharedMemoryKernel.run_batch`
+    (already 12-17x over scalar); the contender compiles the skeleton
+    with :func:`~repro.analysis.plan.compile_plan` *inside* the timed
+    section, stages with the plan, and runs
+    :meth:`~repro.dmm.batched.BatchedDMM.execute_plan`.  The skeleton
+    itself is built once, outside both timed sections: both executors
+    consume the identical kernel, so its (possibly heavy, e.g.
+    ``cf_permute``'s routing) construction cost would only dilute the
+    executor comparison.  Raises ``AssertionError`` if the paths
+    disagree on any trial.
+    """
+    from repro.analysis.plan import compile_plan
+
+    if app not in BUILTIN_PROGRAMS:
+        raise ValueError(f"unknown app {app!r}; expected one of {sorted(BUILTIN_PROGRAMS)}")
+    check_positive_int(w, "w")
+    check_positive_int(trials, "trials")
+    check_positive_int(repeats, "repeats")
+    shifts = sample_shift_batch(mapping, w, trials, as_generator(seed))
+    skeleton_seed = 2014  # fixes app input data; any constant works
+    kernel = build_app_program(app, RAWMapping(w), seed=skeleton_seed)
+    steps = len(kernel.steps)
+
+    batched_s = math.inf
+    batched_times = None
+    for _ in range(repeats):
+        start = perf_counter()
+        result = kernel.run_batch(shifts, latency=latency)
+        batched_s = min(batched_s, perf_counter() - start)
+        batched_times = result.time_units
+
+    plan_s = math.inf
+    plan_times = None
+    coverage = 0.0
+    for _ in range(repeats):
+        start = perf_counter()
+        plan = compile_plan(kernel, mapping, app)
+        result = kernel.run_plan(shifts, plan, latency=latency)
+        plan_s = min(plan_s, perf_counter() - start)
+        plan_times = result.time_units
+        coverage = plan.stage_coverage
+
+    if not np.array_equal(batched_times, plan_times):
+        raise AssertionError(
+            f"{app}: plan executor disagrees with batched "
+            f"(batched={batched_times!r}, plan={plan_times!r})"
+        )
+    return BenchResult(
+        app=app,
+        w=w,
+        trials=trials,
+        mapping=mapping,
+        latency=latency,
+        steps=steps,
+        repeats=repeats,
+        scalar_s=batched_s,
+        batched_s=plan_s,
+        mode="plan",
+        stage_coverage=round(coverage, 6),
+    )
+
+
 def render_bench(results: Sequence[BenchResult]) -> str:
     """ASCII table of benchmark results (one row per app)."""
     from repro.report.tables import format_grid
 
+    first = results[0]
+    if first.mode == "plan":
+        rows = [
+            [
+                r.app,
+                str(r.steps),
+                f"{r.scalar_s * 1e3:.1f}",
+                f"{r.batched_s * 1e3:.1f}",
+                f"{(r.stage_coverage or 0.0):.0%}",
+                f"{r.speedup:.1f}x",
+            ]
+            for r in results
+        ]
+        return format_grid(
+            ["app", "steps", "batched ms", "plan ms", "static stages", "speedup"],
+            rows,
+            title=(
+                f"Plan-compiled executor vs plain batched "
+                f"(w={first.w}, trials={first.trials}, mapping={first.mapping}, "
+                f"best of {first.repeats})"
+            ),
+        )
     rows = [
         [
             r.app,
@@ -225,7 +367,6 @@ def render_bench(results: Sequence[BenchResult]) -> str:
         ]
         for r in results
     ]
-    first = results[0]
     return format_grid(
         ["app", "steps", "scalar ms", "batched ms",
          "scalar trials/s", "batched trials/s", "speedup"],
@@ -251,9 +392,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--apps",
         nargs="+",
-        default=list(DEFAULT_BENCH_APPS),
+        default=None,
         choices=sorted(BUILTIN_PROGRAMS),
-        help=f"apps to benchmark (default: {' '.join(DEFAULT_BENCH_APPS)})",
+        help=(
+            f"apps to benchmark (default: {' '.join(DEFAULT_BENCH_APPS)}, "
+            f"or {' '.join(DEFAULT_PLAN_APPS)} with --plan)"
+        ),
     )
     parser.add_argument("--w", type=int, default=32, help="warp width / banks (default 32)")
     parser.add_argument(
@@ -284,14 +428,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="X",
         help="exit nonzero unless every app reaches this speedup (CI gate)",
     )
+    parser.add_argument(
+        "--plan",
+        action="store_true",
+        help=(
+            "benchmark the plan-compiled executor against the plain "
+            "batched path instead of batched-vs-scalar "
+            f"(default apps: {' '.join(DEFAULT_PLAN_APPS)})"
+        ),
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``repro bench-dmm``; returns an exit code."""
     args = build_parser().parse_args(argv)
+    apps = args.apps
+    if apps is None:
+        apps = list(DEFAULT_PLAN_APPS if args.plan else DEFAULT_BENCH_APPS)
+    bench = bench_plan_app if args.plan else bench_app
     results = [
-        bench_app(
+        bench(
             app,
             w=args.w,
             trials=args.trials,
@@ -300,7 +457,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed=args.seed,
             repeats=args.repeats,
         )
-        for app in args.apps
+        for app in apps
     ]
     payload = {
         "w": args.w,
@@ -309,6 +466,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "latency": args.latency,
         "seed": args.seed,
         "repeats": args.repeats,
+        "mode": "plan" if args.plan else "batched",
         "apps": {r.app: r.as_dict() for r in results},
     }
     if args.json == "-":

@@ -1,0 +1,83 @@
+"""Regenerate the checked-in analysis baselines, byte for byte.
+
+Run from the repository root:
+
+    PYTHONPATH=src python tests/data/regen_baselines.py
+
+Two artifacts live next to this script:
+
+``certify_baseline.json``
+    The exact stdout of ``python -m repro certify --mapping ALL
+    --json`` (w=16, seed=2014) — the file the CI ``certify`` job
+    diffs against a fresh run.
+
+``ir_baseline.json``
+    Golden dataflow-IR dumps (:func:`repro.analysis.ir.kernel_ir`) of
+    every builtin app skeleton at w=8, seed=2014: def-use edges,
+    liveness, dead steps, duplicate-merge counts.
+
+``tests/test_baselines.py`` asserts both checked-in files are
+byte-identical to what this script writes, so the baselines can never
+drift from the code that defines them: change the analysis, rerun
+this script, commit both.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from contextlib import redirect_stdout
+from pathlib import Path
+
+DATA_DIR = Path(__file__).resolve().parent
+
+#: width and seed of the golden IR dumps (small enough to keep the
+#: artifact reviewable; every structural fact is width-generic).
+IR_W = 8
+IR_SEED = 2014
+
+
+def certify_baseline_text() -> str:
+    """The certify CLI's stdout for the CI baseline invocation."""
+    from repro.analysis.cli import main
+
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["certify", "--mapping", "ALL", "--json"])
+    if code != 0:
+        raise RuntimeError(f"certify exited {code}; baseline not regenerated")
+    return buffer.getvalue()
+
+
+def ir_baseline_text() -> str:
+    """Golden IR dumps for every builtin app, as one JSON document."""
+    from repro.analysis.ir import kernel_ir
+    from repro.apps import BUILTIN_PROGRAMS, build_app_program
+    from repro.core.mappings import RAWMapping
+
+    programs = {}
+    for app in sorted(BUILTIN_PROGRAMS):
+        kernel = build_app_program(app, RAWMapping(IR_W), seed=IR_SEED)
+        programs[app] = kernel_ir(kernel).to_dict()
+    payload = {"w": IR_W, "seed": IR_SEED, "programs": programs}
+    return json.dumps(payload, indent=2) + "\n"
+
+
+BASELINES = {
+    "certify_baseline.json": certify_baseline_text,
+    "ir_baseline.json": ir_baseline_text,
+}
+
+
+def main() -> int:
+    for name, regen in BASELINES.items():
+        target = DATA_DIR / name
+        text = regen()
+        changed = not target.exists() or target.read_text() != text
+        target.write_text(text)
+        print(f"{'wrote' if changed else 'unchanged'} {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

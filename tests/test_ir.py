@@ -1,0 +1,275 @@
+"""Tests for repro.analysis.ir — dataflow IR, liveness, elimination.
+
+The soundness contract: every ``dead`` verdict is a theorem about
+observable state, so running the eliminated program must leave final
+memory and final registers bit-identical to the original on the
+scalar machine — for every builtin app and for randomized programs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ir import build_ir, kernel_ir
+from repro.apps import BUILTIN_PROGRAMS, build_app_program
+from repro.core.mappings import RAWMapping
+from repro.dmm.machine import DiscreteMemoryMachine
+from repro.dmm.trace import INACTIVE, MemoryProgram, read, write
+from repro.util.rng import as_generator
+
+W = 4
+P = W * W
+
+
+def _program(*instructions):
+    return MemoryProgram(p=P, instructions=list(instructions))
+
+
+def _observables(program, memory_size=P, w=W):
+    machine = DiscreteMemoryMachine(w, latency=1, memory_size=memory_size)
+    result = machine.run(program)
+    return machine.memory.store.copy(), {
+        name: reg.copy() for name, reg in result.registers.items()
+    }
+
+
+def _assert_elimination_sound(program, ir, memory_size=P, w=W):
+    mem_a, regs_a = _observables(program, memory_size, w)
+    mem_b, regs_b = _observables(ir.eliminate(program), memory_size, w)
+    assert np.array_equal(mem_a, mem_b)
+    assert set(regs_a) == set(regs_b)
+    for name in regs_a:
+        assert np.array_equal(regs_a[name], regs_b[name])
+
+
+# ---------------------------------------------------------------------------
+# def-use chains
+# ---------------------------------------------------------------------------
+
+
+class TestDefUse:
+    def test_read_feeds_consuming_write(self):
+        prog = _program(
+            read(np.arange(P), register="v"),
+            write(np.arange(P), register="v"),
+        )
+        ir = build_ir(prog, W)
+        assert ir.nodes[0].defines == "v"
+        assert ir.nodes[0].uses == (1,)
+        assert ir.nodes[1].consumes == "v"
+        assert ir.nodes[1].uses == ()
+
+    def test_full_redefinition_cuts_the_edge(self):
+        prog = _program(
+            read(np.arange(P), register="v"),
+            read(np.arange(P)[::-1].copy(), register="v"),
+            write(np.arange(P), register="v"),
+        )
+        ir = build_ir(prog, W)
+        assert ir.nodes[0].uses == ()
+        assert ir.nodes[1].uses == (2,)
+
+    def test_masked_redefinition_keeps_surviving_lanes(self):
+        half = np.where(np.arange(P) < P // 2, np.arange(P), INACTIVE)
+        prog = _program(
+            read(np.arange(P), register="v"),
+            read(half, register="v"),
+            write(np.arange(P), register="v"),
+        )
+        ir = build_ir(prog, W)
+        # Lanes >= P/2 still hold step 0's value at the write.
+        assert ir.nodes[0].uses == (2,)
+        assert ir.nodes[1].uses == (2,)
+
+    def test_immediate_write_consumes_nothing(self):
+        prog = _program(write(np.arange(P), values=np.arange(P, dtype=float)))
+        ir = build_ir(prog, W)
+        assert ir.nodes[0].consumes is None
+        assert ir.nodes[0].defines is None
+
+
+# ---------------------------------------------------------------------------
+# dead reads / dead stores
+# ---------------------------------------------------------------------------
+
+
+class TestDeadSteps:
+    def test_overwritten_unused_read_is_dead(self):
+        prog = _program(
+            read(np.arange(P), register="v"),
+            read(np.arange(P)[::-1].copy(), register="v"),
+            write(np.arange(P), register="v"),
+        )
+        ir = build_ir(prog, W)
+        assert ir.dead_reads == (0,)
+        assert ir.nodes[0].dead
+        _assert_elimination_sound(prog, ir)
+
+    def test_final_register_state_is_observable(self):
+        # A read whose value is never stored is still live: the
+        # machine reports final register files.
+        prog = _program(read(np.arange(P), register="v"))
+        ir = build_ir(prog, W)
+        assert ir.dead_reads == ()
+        assert ir.nodes[0].live_out == ("v",)
+
+    def test_overwritten_store_is_dead(self):
+        prog = _program(
+            write(np.arange(P), values=np.zeros(P)),
+            write(np.arange(P), values=np.arange(P, dtype=float)),
+        )
+        ir = build_ir(prog, W)
+        assert ir.dead_stores == (0,)
+        _assert_elimination_sound(prog, ir)
+
+    def test_store_read_back_is_live(self):
+        prog = _program(
+            write(np.arange(P), values=np.zeros(P)),
+            read(np.arange(P), register="v"),
+            write(np.arange(P), values=np.arange(P, dtype=float)),
+        )
+        ir = build_ir(prog, W)
+        assert ir.dead_stores == ()
+
+    def test_partially_observed_store_is_live(self):
+        # Second write covers only half the first one's addresses.
+        half = np.where(np.arange(P) < P // 2, np.arange(P), INACTIVE)
+        prog = _program(
+            write(np.arange(P), values=np.zeros(P)),
+            write(half, values=np.arange(P, dtype=float)),
+        )
+        ir = build_ir(prog, W)
+        assert ir.dead_stores == ()
+
+    def test_consuming_write_always_keeps_a_definition(self):
+        # Read into the low lanes, consume "v" at the *other* lanes
+        # (stored zeros), then overwrite everything.  The consuming
+        # write is a dead store, but the read must stay: the machine
+        # faults on a write from a never-defined register, and final
+        # register files are observable anyway.
+        low = np.where(np.arange(P) < P // 2, np.arange(P), INACTIVE)
+        high = np.where(np.arange(P) >= P // 2, np.arange(P), INACTIVE)
+        prog = _program(
+            read(low, register="v"),
+            write(high, register="v"),
+            write(np.arange(P), values=np.arange(P, dtype=float)),
+        )
+        ir = build_ir(prog, W)
+        assert ir.dead_stores == (1,)
+        assert ir.dead_reads == ()
+        _assert_elimination_sound(prog, ir)
+
+    def test_dead_cascade_is_single_pass_sound(self):
+        # read A -> overwritten by read B -> overwritten by read C;
+        # only C is consumed.  A and B must both be dead.
+        prog = _program(
+            read(np.arange(P), register="v"),
+            read(np.roll(np.arange(P), 1), register="v"),
+            read(np.roll(np.arange(P), 2), register="v"),
+            write(np.arange(P), register="v"),
+        )
+        ir = build_ir(prog, W)
+        assert ir.dead_reads == (0, 1)
+        _assert_elimination_sound(prog, ir)
+
+    def test_shearsort_round_reads_are_dead(self):
+        # Zoo skeleton structure: every round is read-then-immediate-
+        # write, so all reads except the last (live at exit) are dead.
+        kernel = build_app_program("shearsort", RAWMapping(8), seed=2014)
+        ir = kernel_ir(kernel)
+        n_reads = sum(n.op == "read" for n in ir.nodes)
+        assert len(ir.dead_reads) == n_reads - 1
+        assert ir.dead_stores == ()
+
+    def test_eliminate_requires_matching_program(self):
+        prog = _program(read(np.arange(P), register="v"))
+        ir = build_ir(prog, W)
+        longer = _program(
+            read(np.arange(P), register="v"),
+            write(np.arange(P), register="v"),
+        )
+        with pytest.raises(ValueError, match="instructions"):
+            ir.eliminate(longer)
+
+
+# ---------------------------------------------------------------------------
+# structural facts
+# ---------------------------------------------------------------------------
+
+
+class TestStructure:
+    def test_merged_lane_counts(self):
+        addrs = np.arange(P)
+        addrs[1] = addrs[0]  # one duplicate inside warp 0
+        prog = _program(read(addrs, register="v"))
+        ir = build_ir(prog, W)
+        assert ir.nodes[0].merged_lanes == 1
+        assert ir.nodes[0].active_lanes == P
+        assert ir.nodes[0].dispatched_warps == W
+
+    def test_inactive_lanes_counted_out(self):
+        addrs = np.where(np.arange(P) < W, np.arange(P), INACTIVE)
+        prog = _program(read(addrs, register="v"))
+        ir = build_ir(prog, W)
+        assert ir.nodes[0].active_lanes == W
+        assert ir.nodes[0].dispatched_warps == 1
+
+    def test_width_must_divide_p(self):
+        prog = _program(read(np.arange(P), register="v"))
+        with pytest.raises(ValueError, match="multiple"):
+            build_ir(prog, 3)
+
+    def test_render_lists_every_step(self):
+        kernel = build_app_program("scan", RAWMapping(8), seed=2014)
+        ir = kernel_ir(kernel)
+        text = ir.render()
+        assert text.count("\n") == len(ir.nodes)
+        assert "DEAD" in text  # scan has dead reads
+
+    def test_to_dict_is_json_stable(self):
+        import json
+
+        kernel = build_app_program("fft", RAWMapping(8), seed=2014)
+        a = json.dumps(kernel_ir(kernel).to_dict())
+        b = json.dumps(kernel_ir(kernel).to_dict())
+        assert a == b
+
+
+# ---------------------------------------------------------------------------
+# soundness property: elimination never changes observable state
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("app", sorted(BUILTIN_PROGRAMS))
+def test_elimination_sound_on_builtin_apps(app):
+    kernel = build_app_program(app, RAWMapping(8), seed=2014)
+    ir = kernel_ir(kernel)
+    prog = kernel.program()
+    size = len(kernel.arrays) * kernel.mapping.storage_words
+    _assert_elimination_sound(prog, ir, memory_size=size, w=8)
+
+
+@pytest.mark.parametrize("trial", range(10))
+def test_elimination_sound_on_random_programs(trial):
+    rng = as_generator(9000 + trial)
+    instructions = []
+    registers = []
+    for _ in range(int(rng.integers(3, 12))):
+        addrs = rng.integers(0, P, size=P)
+        mask = rng.random(P) < 0.7
+        addrs = np.where(mask, addrs, INACTIVE)
+        roll = rng.random()
+        if roll < 0.45 or not registers:
+            reg = f"r{int(rng.integers(0, 3))}"
+            instructions.append(read(addrs, register=reg))
+            registers.append(reg)
+        elif roll < 0.75:
+            instructions.append(
+                write(addrs, register=registers[int(rng.integers(len(registers)))])
+            )
+        else:
+            instructions.append(
+                write(addrs, values=rng.random(P))
+            )
+    prog = MemoryProgram(p=P, instructions=instructions)
+    ir = build_ir(prog, W)
+    _assert_elimination_sound(prog, ir)

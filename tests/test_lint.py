@@ -100,6 +100,57 @@ class TestRules:
         assert [f.rule for f in findings] == ["PARSE"]
 
 
+class TestAddressWidth:
+    """ADDR001: narrow integer dtypes in address-handling modules."""
+
+    ADDR_PATH = Path("repro/dmm/batched.py")
+
+    def test_narrow_attribute_flagged(self):
+        src = "import numpy as np\nidx = np.zeros(4, np.int32)\n"
+        findings = lint_source(src, self.ADDR_PATH)
+        assert rules_of(findings) == ["ADDR001"]
+        assert findings[0].line == 2
+
+    def test_dtype_keyword_string_flagged(self):
+        src = "import numpy as np\nidx = np.zeros(4, dtype=\"uint32\")\n"
+        assert rules_of(lint_source(src, self.ADDR_PATH)) == ["ADDR001"]
+
+    def test_astype_narrow_string_flagged(self):
+        src = "def f(a):\n    return a.astype(\"int16\")\n"
+        assert rules_of(lint_source(src, self.ADDR_PATH)) == ["ADDR001"]
+
+    def test_int64_clean(self):
+        src = (
+            "import numpy as np\n"
+            "idx = np.zeros(4, dtype=np.int64)\n"
+            "out = idx.astype(\"int64\")\n"
+        )
+        assert lint_source(src, self.ADDR_PATH) == []
+
+    def test_access_package_in_scope(self):
+        src = "import numpy as np\nx = np.int32(3)\n"
+        assert rules_of(
+            lint_source(src, Path("repro/access/patterns.py"))
+        ) == ["ADDR001"]
+
+    def test_other_packages_out_of_scope(self):
+        # Narrow dtypes are fine outside address-handling code (e.g.
+        # register payloads in repro.gpu).
+        src = "import numpy as np\nx = np.int16(3)\n"
+        assert lint_source(src, Path("repro/gpu/kernel.py")) == []
+        assert lint_source(src, Path("repro/core/congestion.py")) == []
+
+    def test_noqa_escape(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.int32(3)  # repro: noqa[ADDR001]\n"
+        )
+        assert lint_source(src, self.ADDR_PATH) == []
+
+    def test_rule_registered(self):
+        assert "ADDR001" in RULES
+
+
 class TestNoqa:
     def test_blanket_noqa(self):
         src = "import numpy as np\nX = np.random.rand(4)  # repro: noqa\n"
