@@ -44,11 +44,41 @@ Two legs, both pure analysis (no DMM execution, no Monte-Carlo):
     vs *residual* (simulated as before).  Consumed by
     :meth:`repro.dmm.batched.BatchedDMM.execute_plan`.
 
+**Abstract interpreter** (:mod:`repro.analysis.absint`)
+    The sound middle tier past affine: a reduced product of interval
+    and congruence domains per address expression, plus a per-warp
+    coset abstraction of shifted-row bank behaviour.  Steps whose
+    warps all factor into per-row full cosets get an **exact closed
+    form of the shift draw** (the residue-multiset argument) — the
+    ``method="absint"`` certificate tier, the plan compiler's
+    :class:`~repro.analysis.absint.CosetRecipe` resolution, for-all-w
+    certificates over the affine pattern templates, and the
+    width-generic OOB/WIDTH proofs of the verifier.
+
 CLI surface: ``python -m repro prove``, ``python -m repro lint``,
 ``python -m repro analyze``, ``python -m repro certify``, and
 ``python -m repro plan`` (see :mod:`repro.analysis.cli`).
 """
 
+from repro.analysis.absint import (
+    ABSINT_FAMILIES,
+    METHOD_ABSINT,
+    CosetRecipe,
+    ForAllWCertificate,
+    IntCong,
+    ProgramAbstract,
+    StepAbstract,
+    WidthGenericProof,
+    abstract_step,
+    ap_bank_bound,
+    forall_w_matrix,
+    interpret_kernel,
+    interpret_program,
+    prove_pattern_forall_w,
+    prove_width_generic,
+    step_bound,
+    step_recipe,
+)
 from repro.analysis.affine import AffineAccess, affine_pattern
 from repro.analysis.certificates import (
     ProgramCertificate,
@@ -87,6 +117,23 @@ from repro.analysis.verify import (
 __all__ = [
     "AffineAccess",
     "affine_pattern",
+    "ABSINT_FAMILIES",
+    "METHOD_ABSINT",
+    "CosetRecipe",
+    "ForAllWCertificate",
+    "IntCong",
+    "ProgramAbstract",
+    "StepAbstract",
+    "WidthGenericProof",
+    "abstract_step",
+    "ap_bank_bound",
+    "forall_w_matrix",
+    "interpret_kernel",
+    "interpret_program",
+    "prove_pattern_forall_w",
+    "prove_width_generic",
+    "step_bound",
+    "step_recipe",
     "CongestionProof",
     "METHOD_ENUMERATE",
     "METHOD_SYMBOLIC",

@@ -16,13 +16,23 @@ aggregate.  Each step is labelled with how its number was obtained:
     This is how stride and contiguous steps under RAP certify worst
     congestion 1 for any width and any permutation draw (Theorem 1).
 
-``method="enumerate"``
-    No closed form applies (masked lanes, data-dependent grids,
-    non-affine mappings, array bases that break the bank arithmetic) —
-    the step's concrete warp accesses are counted exactly, the same
-    arithmetic the cycle-accurate machine performs at dispatch time.
+``method="absint"``
+    The grids are not affine (masked lanes, data-dependent indices)
+    but the abstract interpreter (:mod:`repro.analysis.absint`) closes
+    every warp — row-local, or per-row full cosets of one subgroup
+    ``k*Z_w`` — so the congestion is the residue-multiset closed form
+    evaluated on the mapping's own shift vector: still exact, derived
+    from structure rather than counted from addresses.  This is the
+    tier between ``symbolic`` and ``enumerate``, and the same closed
+    form the plan compiler executes per draw.
 
-Either way the numbers are exact, never bounds: a certificate's worst
+``method="enumerate"``
+    No closed form applies (unstructured grids, non-shifted-row
+    mappings, array bases that break the bank arithmetic) — the step's
+    concrete warp accesses are counted exactly, the same arithmetic
+    the cycle-accurate machine performs at dispatch time.
+
+In every tier the numbers are exact, never bounds: a certificate's worst
 congestion equals what :class:`~repro.dmm.machine.DiscreteMemoryMachine`
 observes when the program actually runs (a property test pins this for
 every builtin app program).
@@ -35,9 +45,11 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.analysis.absint import METHOD_ABSINT, abstract_step, step_recipe
 from repro.analysis.affine import AffineAccess
 from repro.analysis.prover import METHOD_ENUMERATE, METHOD_SYMBOLIC, symbolic_step
 from repro.core.congestion import congestion_batch
+from repro.core.mappings import ShiftedRowMapping
 from repro.dmm.trace import INACTIVE, MemoryProgram
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -68,7 +80,9 @@ class StepCertificate:
         Sum of per-warp congestion — the pipeline stages this step
         occupies.
     method:
-        ``"symbolic"`` (closed form) or ``"enumerate"`` (exact count).
+        ``"symbolic"`` (affine closed form), ``"absint"`` (coset
+        closed form evaluated on the mapping's draw), or
+        ``"enumerate"`` (exact count).
     argument:
         The proof sketch, or a note on what was enumerated.
     """
@@ -131,6 +145,11 @@ class ProgramCertificate:
         """How many steps were closed symbolically."""
         return sum(s.method == METHOD_SYMBOLIC for s in self.steps)
 
+    @property
+    def absint_steps(self) -> int:
+        """How many steps were closed by the abstract interpreter."""
+        return sum(s.method == METHOD_ABSINT for s in self.steps)
+
     def to_dict(self) -> dict:
         return {
             "program": self.program,
@@ -139,6 +158,7 @@ class ProgramCertificate:
             "worst": self.worst,
             "total_stages": self.total_stages,
             "symbolic_steps": self.symbolic_steps,
+            "absint_steps": self.absint_steps,
             "steps": [s.to_dict() for s in self.steps],
         }
 
@@ -146,7 +166,8 @@ class ProgramCertificate:
         lines = [
             f"{self.program} under {self.mapping} (w={self.w}): "
             f"worst congestion {self.worst}, {self.total_stages} stages, "
-            f"{self.symbolic_steps}/{len(self.steps)} steps symbolic"
+            f"{self.symbolic_steps}/{len(self.steps)} steps symbolic, "
+            f"{self.absint_steps} absint"
         ]
         for s in self.steps:
             lines.append(
@@ -209,6 +230,48 @@ def certify_kernel(
                         method=METHOD_SYMBOLIC,
                         argument=proved.argument,
                     )
+        if (
+            cert is None
+            and base % w == 0
+            and isinstance(mapping, ShiftedRowMapping)
+        ):
+            # Absint tier: no affine form, but if every warp factors
+            # into per-row full cosets (or stays row-local), the
+            # congestion is the residue-multiset closed form evaluated
+            # on this mapping's own shift vector — exact, no address
+            # enumerated.
+            abstract = abstract_step(step, w, index=idx)
+            recipe = step_recipe(abstract)
+            if recipe is not None:
+                cong = recipe.congestions(mapping.shifts[None, :])[0]
+                cong = cong[cong > 0]
+                if cong.size == 0:
+                    worst, mean, total = 0, 0.0, 0
+                    note = "no active lane; the step dispatches no warp"
+                else:
+                    worst = int(cong.max())
+                    mean = float(cong.mean())
+                    total = int(cong.sum())
+                    ks = sorted(
+                        {int(g.k) for g in recipe.groups}
+                    )
+                    note = (
+                        f"abstract interpretation: {abstract.coset_warps} "
+                        f"coset warp(s) (k in {ks}) over {cong.size} "
+                        "dispatched — congestion is the residue-multiset "
+                        "closed form of the draw, evaluated on this "
+                        "mapping's shifts"
+                    )
+                cert = StepCertificate(
+                    step=idx,
+                    op=step.op,
+                    array=step.array,
+                    worst=worst,
+                    mean=mean,
+                    total=total,
+                    method=METHOD_ABSINT,
+                    argument=note,
+                )
         if cert is None:
             addr = base + mapping.address(step.ii, step.jj)
             flat = addr.ravel()

@@ -6,7 +6,11 @@ Five subcommands, dispatched from ``python -m repro``:
     Symbolic congestion proof for one pattern x mapping x width (or
     the full ``--all`` matrix).  ``--json`` emits a machine-readable
     proof; exit code 1 if ``--expect N`` is given and the proved
-    congestion differs — so CI can assert Theorem 1 facts.
+    congestion differs — so CI can assert Theorem 1 facts.  With
+    ``--forall-w`` the proof quantifies over widths instead: a
+    :class:`~repro.analysis.absint.ForAllWCertificate` valid for every
+    ``w >= 2`` (affine patterns x shifted-row families only), with
+    ``--expect`` checked against the certified congestion at ``--w``.
 
 ``repro lint``
     The determinism linter of :mod:`repro.analysis.lint` over the
@@ -27,7 +31,9 @@ Five subcommands, dispatched from ``python -m repro``:
     closed form.  ``--json`` emits the full certificate set (the CI
     baseline artifact); ``--max-worst N`` exits 1 when any program's
     certified worst congestion exceeds ``N``; any sanitizer finding
-    exits 1.
+    exits 1.  ``--forall-w`` appends the for-all-w certificate matrix
+    (every affine pattern x RAW/RAS/RAP, one closed form per cell
+    valid at every width) to the report.
 
 ``repro plan``
     The plan compiler (:mod:`repro.analysis.plan`) over the builtin
@@ -122,6 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
     prove.add_argument(
         "--json", action="store_true", help="emit the proof as JSON"
     )
+    prove.add_argument(
+        "--forall-w",
+        action="store_true",
+        help="prove the congestion for every width w >= 2 instead of "
+        "one width (affine patterns x RAW/RAS/RAP only)",
+    )
 
     lint = sub.add_parser("lint", help="run the determinism/hygiene linter")
     lint.add_argument(
@@ -205,6 +217,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="regression gate: exit 1 if any program's certified worst "
         "congestion exceeds this value",
     )
+    certify.add_argument(
+        "--forall-w",
+        action="store_true",
+        help="also emit the for-all-w certificate matrix (affine "
+        "patterns x RAW/RAS/RAP, valid at every width)",
+    )
 
     plan = sub.add_parser(
         "plan",
@@ -239,6 +257,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also emit the dataflow IR (def-use, liveness, dead steps)",
     )
     plan.add_argument(
+        "--absint",
+        action="store_true",
+        help="also emit the program-level abstract interpretation "
+        "(interval x congruence address elements, sound per-step "
+        "bounds, IR-dead flags)",
+    )
+    plan.add_argument(
         "--json", action="store_true", help="emit plans (and IR) as JSON"
     )
     plan.add_argument(
@@ -252,7 +277,67 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_prove_forall_w(args: argparse.Namespace) -> int:
+    from repro.analysis.absint import ABSINT_FAMILIES, prove_pattern_forall_w
+    from repro.analysis.affine import AFFINE_PATTERNS
+
+    if args.all:
+        pairs = [
+            (p, f) for p in sorted(AFFINE_PATTERNS) for f in ABSINT_FAMILIES
+        ]
+    else:
+        if args.pattern not in AFFINE_PATTERNS:
+            print(
+                f"--forall-w needs a width-generic affine pattern; "
+                f"{args.pattern!r} is not one of "
+                f"{', '.join(sorted(AFFINE_PATTERNS))}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.mapping not in ABSINT_FAMILIES:
+            print(
+                f"--forall-w covers the shifted-row families "
+                f"{', '.join(ABSINT_FAMILIES)}; got {args.mapping!r}",
+                file=sys.stderr,
+            )
+            return 2
+        pairs = [(args.pattern, args.mapping)]
+    certs = [prove_pattern_forall_w(p, f) for p, f in pairs]
+    if args.json:
+        payload = (
+            certs[0].to_dict()
+            if len(certs) == 1
+            else [c.to_dict() for c in certs]
+        )
+        print(json.dumps(payload, indent=2))
+    else:
+        for cert in certs:
+            print(cert.render())
+        if args.all:
+            exact = sum(c.kind == "exact" for c in certs)
+            print(
+                f"\n{len(certs)}/{len(certs)} cells closed for all w "
+                f"({exact} exact, {len(certs) - exact} attained suprema)."
+            )
+    if args.expect is not None:
+        mismatched = [
+            c for c in certs if c.congestion_at(args.w) != args.expect
+        ]
+        if mismatched:
+            bad = mismatched[0]
+            print(
+                f"EXPECTATION FAILED: {bad.pattern}/{bad.family} certifies "
+                f"congestion {bad.congestion_at(args.w)} at w={args.w}, "
+                f"expected {args.expect}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _run_prove(args: argparse.Namespace) -> int:
+    if args.forall_w:
+        return _run_prove_forall_w(args)
     pairs = (
         [(p, m) for p in PROVE_PATTERN_NAMES for m in PROVER_MAPPING_NAMES]
         if args.all
@@ -384,6 +469,12 @@ def _run_certify(args: argparse.Namespace) -> int:
             if args.max_worst is not None and cert.worst > args.max_worst:
                 regressions.append((app, mapping_name, cert.worst))
 
+    forall_w = None
+    if args.forall_w:
+        from repro.analysis.absint import forall_w_matrix
+
+        forall_w = forall_w_matrix()
+
     if args.json:
         payload = {
             "w": args.w,
@@ -397,6 +488,8 @@ def _run_certify(args: argparse.Namespace) -> int:
                 for app, mapping_name, report in entries
             ],
         }
+        if forall_w is not None:
+            payload["forall_w"] = [c.to_dict() for c in forall_w]
         print(json.dumps(payload, indent=2))
     else:
         for app, mapping_name, report in entries:
@@ -406,13 +499,17 @@ def _run_certify(args: argparse.Namespace) -> int:
                 f"{app} under {mapping_name} (w={args.w}): worst "
                 f"{cert.worst}, {cert.total_stages} stages, "
                 f"{cert.symbolic_steps}/{len(cert.steps)} symbolic "
-                f"[sanitizer {status}]"
+                f"({cert.absint_steps} absint) [sanitizer {status}]"
             )
             if not report.ok:
                 for line in report.sanitizer.render().splitlines():
                     print(f"  {line}")
         certified = sum(r.ok for _, _, r in entries)
         print(f"\n{certified}/{len(entries)} program certificates clean.")
+        if forall_w is not None:
+            print("\nfor-all-w certificates:")
+            for c in forall_w:
+                print(c.render())
 
     if dirty:
         findings = sum(
@@ -467,8 +564,13 @@ def _run_plan(args: argparse.Namespace) -> int:
             # instance only pins array bases and input data.
             kernel = build_app_program(app, RAWMapping(args.w), seed=args.seed)
             plan = compile_plan(kernel, family, app)
-            ir = kernel_ir(kernel) if args.ir else None
-            entries.append((app, family, plan, ir))
+            ir = kernel_ir(kernel) if args.ir or args.absint else None
+            absint = None
+            if args.absint:
+                from repro.analysis.absint import interpret_program
+
+                absint = interpret_program(kernel.program(), args.w, ir=ir)
+            entries.append((app, family, plan, ir if args.ir else None, absint))
             if (
                 args.min_coverage is not None
                 and plan.stage_coverage < args.min_coverage
@@ -483,18 +585,25 @@ def _run_plan(args: argparse.Namespace) -> int:
                 {
                     **plan.to_dict(),
                     **({"ir": ir.to_dict()} if ir is not None else {}),
+                    **(
+                        {"absint": absint.to_dict()}
+                        if absint is not None
+                        else {}
+                    ),
                 }
-                for _, _, plan, ir in entries
+                for _, _, plan, ir, absint in entries
             ],
         }
         print(json.dumps(payload, indent=2))
     else:
-        for _, _, plan, ir in entries:
+        for _, _, plan, ir, absint in entries:
             print(plan.render())
             if ir is not None:
                 print(ir.render())
-        resolved = sum(p.resolved_steps for _, _, p, _ in entries)
-        total = sum(len(p.steps) for _, _, p, _ in entries)
+            if absint is not None:
+                print(absint.render())
+        resolved = sum(p.resolved_steps for _, _, p, _, _ in entries)
+        total = sum(len(p.steps) for _, _, p, _, _ in entries)
         print(f"\n{resolved}/{total} steps statically resolved.")
 
     if shortfalls:

@@ -159,6 +159,19 @@ class ProgramIR:
         """Instructions that survive elimination."""
         return len(self.nodes) - len(self.dead_steps)
 
+    @property
+    def dead_mask(self) -> np.ndarray:
+        """Per-instruction dead flags, ``(len(nodes),)`` bool.
+
+        Vector form of :attr:`dead_steps` for consumers that walk the
+        program positionally (the abstract interpreter tags each
+        :class:`~repro.analysis.absint.InstructionAbstract` with it).
+        """
+        mask = np.zeros(len(self.nodes), dtype=bool)
+        if self.dead_steps:
+            mask[list(self.dead_steps)] = True
+        return mask
+
     def eliminate(self, program: MemoryProgram) -> MemoryProgram:
         """The program with every dead step removed.
 

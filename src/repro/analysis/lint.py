@@ -17,9 +17,10 @@ TIME001    wall-clock reads (``time.time``, ``datetime.now``, ...)
            in result-producing code
 DEF001     mutable default arguments (``[]``, ``{}``, ``set()``, ...)
 ADDR001    narrow integer dtypes (``np.int32``, ``"int16"``, ...) in
-           the address-handling modules (``access/``, ``dmm/``) — the
-           large-w overflow bug class: a flat staged index reaches
-           ``trials * (2 w^2 + 1)`` and silently wraps narrow ints
+           the address-handling modules (``access/``, ``dmm/``,
+           ``gpu/``, ``analysis/``) — the large-w overflow bug class:
+           a flat staged index reaches ``trials * (2 w^2 + 1)`` and
+           silently wraps narrow ints
 =========  ==========================================================
 
 Every finding carries a fix hint.  A line can opt out with an inline
@@ -115,9 +116,16 @@ _NARROW_INTS = {"int8", "int16", "int32", "uint8", "uint16", "uint32"}
 
 
 def _is_address_module(path: Path) -> bool:
-    """Does ADDR001 apply to this file (an access/ or dmm/ module)?"""
+    """Does ADDR001 apply to this file?
+
+    Address arithmetic lives in ``access/`` and ``dmm/`` (since PR 1)
+    and, as of the abstract-interpretation work, also in ``gpu/``
+    (kernel staging bakes flat indices) and ``analysis/`` (the
+    interpreter and plan compiler manipulate raw addresses and coset
+    offsets).
+    """
     parts = set(path.parts)
-    return bool(parts & {"access", "dmm"})
+    return bool(parts & {"access", "dmm", "gpu", "analysis"})
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,17 @@ steps:
       member, so any step's exact per-warp enumeration is
       trial-independent (``method="deterministic"``).
 
+    * *coset-structured (absint)* — a step whose every warp factors
+      into per-row full cosets under the abstract interpreter
+      (:mod:`repro.analysis.absint`) is resolved with a
+      :class:`~repro.analysis.absint.CosetRecipe`: its congestion is
+      not one constant but an **exact closed form of the draw**
+      (max multiplicity of ``(offset_r + shift[row_r]) mod k``),
+      evaluated from the shift vectors alone — the executor still
+      skips address replay and bank-key staging
+      (``method="absint"``).  This is what resolves diagonal-type
+      and masked compare-exchange steps the affine rules miss.
+
 **residual**
     Everything else (draw-dependent congestion: diagonal-type accesses
     under RAS/RAP, shift-histogram regimes) — handed to the existing
@@ -55,6 +66,13 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from repro.analysis.absint import (
+    METHOD_ABSINT,
+    CosetRecipe,
+    abstract_step,
+    step_bound,
+    step_recipe,
+)
 from repro.core.congestion import congestion_batch
 from repro.dmm.trace import INACTIVE
 
@@ -89,22 +107,31 @@ class StepPlan:
     step, op, array, register:
         What the step does, in program order.
     resolved:
-        True when the step's per-warp congestion is proved identical
-        for every draw of the family — the executor then skips its
-        congestion counting entirely.
+        True when the step's congestion is statically settled for the
+        whole family — either one constant vector every trial shares,
+        or a closed form of the draw — so the executor never replays
+        its addresses for counting.
     method:
         ``"symbolic"`` (row-local / column-local-under-permutation
         proof), ``"deterministic"`` (RAW: singleton family, enumerated
-        once), or ``"residual"``.
+        once), ``"absint"`` (coset-structured: exact closed form of
+        the draw via the abstract interpreter), or ``"residual"``.
     argument:
         The proof sketch, or why the step stays residual.
     congestions:
-        Resolved steps only: the ``(n_warps,)`` per-warp congestion
-        vector every trial shares (``None`` for residual steps).
+        Draw-independent resolved steps only: the ``(n_warps,)``
+        per-warp congestion vector every trial shares (``None`` for
+        residual and absint steps).
+    recipe:
+        Absint steps only: the
+        :class:`~repro.analysis.absint.CosetRecipe` whose
+        ``congestions(shifts)`` is the exact per-trial per-warp
+        congestion matrix (``None`` otherwise).
     static_warps, active_warps:
-        Warps whose congestion is statically settled (row-local warps
-        count even inside residual steps — the staged fast path already
-        carries them) vs warps dispatching at all.
+        Warps whose congestion is statically settled — no per-trial
+        address replay or bank-key sort (row-local warps count even
+        inside residual steps; every warp of an absint step counts) —
+        vs warps dispatching at all.
     table:
         Address-pool id: steps with equal ids touch the same array
         through identical index grids and share one staged address
@@ -122,10 +149,11 @@ class StepPlan:
     static_warps: int
     active_warps: int
     table: int
+    recipe: Optional[CosetRecipe] = None
 
     @property
     def total_stages(self) -> int:
-        """Pipeline stages of a resolved step (-1 when residual)."""
+        """Stages of a draw-independent step (-1 when draw-dependent)."""
         if self.congestions is None:
             return -1
         return int(self.congestions.sum())
@@ -185,11 +213,12 @@ class CompiledPlan:
 
     @property
     def stage_coverage(self) -> float:
-        """Fraction of dispatched warps whose congestion is static.
+        """Fraction of dispatched warps settled without address replay.
 
         Counts row-local warps of residual steps too — the staged fast
         path settles those without per-trial work even when the step as
-        a whole must be simulated.
+        a whole must be simulated — and every warp of an absint step,
+        whose congestion is a closed form of the draw.
         """
         active = sum(s.active_warps for s in self.steps)
         if active == 0:
@@ -198,8 +227,16 @@ class CompiledPlan:
 
     @property
     def static_stages(self) -> int:
-        """Pipeline stages settled at compile time (resolved steps)."""
-        return sum(s.total_stages for s in self.steps if s.resolved)
+        """Stages settled at compile time (draw-independent steps).
+
+        Absint steps are excluded: their stage count is exact but
+        draw-dependent, so it has no single compile-time value.
+        """
+        return sum(
+            s.total_stages
+            for s in self.steps
+            if s.resolved and s.congestions is not None
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -223,7 +260,11 @@ class CompiledPlan:
             f"{self.stage_coverage:.0%}, {self.tables} address table(s)"
         ]
         for s in self.steps:
-            stages = f" stages={s.total_stages}" if s.resolved else ""
+            stages = (
+                f" stages={s.total_stages}"
+                if s.resolved and s.congestions is not None
+                else ""
+            )
             lines.append(
                 f"  step {s.step}: {s.op} {s.array} [{s.method}]"
                 f"{stages} — {s.argument}"
@@ -321,6 +362,7 @@ def compile_plan(
         resolved = False
         method = METHOD_RESIDUAL
         congestions: Optional[np.ndarray] = None
+        recipe: Optional[CosetRecipe] = None
         if base % w != 0:
             # A base that is not a whole number of bank periods skews
             # the bank arithmetic; no symbolic rule applies.
@@ -365,12 +407,30 @@ def compile_plan(
                     )
                 argument = "; ".join(parts) if parts else "no warp dispatches"
             else:
-                dyn = active_warps - static_warps
-                argument = (
-                    f"{dyn}/{active_warps} warp(s) mix rows and columns: "
-                    f"congestion depends on the concrete {family} draw — "
-                    "residual (per-trial bank count)"
-                )
+                abstract = abstract_step(step, w, index=idx)
+                recipe = step_recipe(abstract)
+                if recipe is not None:
+                    resolved = True
+                    method = METHOD_ABSINT
+                    static_warps = active_warps
+                    bound, _ = step_bound(abstract, family)
+                    ks = sorted({int(g.k) for g in recipe.groups})
+                    argument = (
+                        f"{abstract.coset_warps} coset warp(s) "
+                        f"(k in {ks}): every touched row's columns form "
+                        "a full coset, so congestion is the exact "
+                        "residue-multiset closed form of the draw — "
+                        f"per-bank load <= {bound} for every {family} "
+                        "draw"
+                    )
+                else:
+                    dyn = active_warps - static_warps
+                    argument = (
+                        f"{dyn}/{active_warps} warp(s) mix rows and "
+                        "columns with no coset structure: congestion "
+                        f"depends on the concrete {family} draw — "
+                        "residual (per-trial bank count)"
+                    )
         plans.append(
             StepPlan(
                 step=idx,
@@ -384,6 +444,7 @@ def compile_plan(
                 static_warps=static_warps,
                 active_warps=active_warps,
                 table=table,
+                recipe=recipe,
             )
         )
     return CompiledPlan(

@@ -73,6 +73,7 @@ from repro.util.rng import SeedLike
 
 __all__ = [
     "METHOD_SYMBOLIC",
+    "METHOD_ABSINT",
     "METHOD_ENUMERATE",
     "SymbolicStep",
     "CongestionProof",
@@ -83,6 +84,12 @@ __all__ = [
 ]
 
 METHOD_SYMBOLIC = "symbolic"
+#: the tier between the two: no affine closed form, but the abstract
+#: interpreter (:mod:`repro.analysis.absint`) factors every warp into
+#: per-row cosets and evaluates the exact residue-multiset closed form
+#: — the same coset counting as the ``cj = 0`` regime above, lifted
+#: past affine grids.
+METHOD_ABSINT = "absint"
 METHOD_ENUMERATE = "enumerate"
 
 #: mapping names accepted by :func:`prove_pattern` (superset of the

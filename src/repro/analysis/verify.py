@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.absint import WidthGenericProof, prove_width_generic
 from repro.analysis.certificates import (
     ProgramCertificate,
     certify_kernel,
@@ -163,10 +164,18 @@ class VerificationError(ValueError):
 
 @dataclass(frozen=True)
 class VerificationReport:
-    """Sanitizer report plus (optionally) the congestion certificate."""
+    """Sanitizer report plus (optionally) the congestion certificate.
+
+    ``width_generic`` (kernel path only) lifts the OOB and WIDTH
+    verdicts past the tested width: interval-domain proofs from
+    :func:`repro.analysis.absint.prove_width_generic` that hold for
+    **every** width the kernel's step grids generalize to, not just
+    the one the sanitizer ran at.
+    """
 
     sanitizer: SanitizerReport
     certificate: Optional[ProgramCertificate]
+    width_generic: tuple[WidthGenericProof, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -175,6 +184,8 @@ class VerificationReport:
 
     def render(self) -> str:
         parts = [self.sanitizer.render()]
+        for proof in self.width_generic:
+            parts.append(proof.render())
         if self.certificate is not None:
             parts.append(self.certificate.render())
         return "\n".join(parts)
@@ -182,6 +193,7 @@ class VerificationReport:
     def to_dict(self) -> dict:
         return {
             "sanitizer": self.sanitizer.to_dict(),
+            "width_generic": [p.to_dict() for p in self.width_generic],
             "certificate": (
                 self.certificate.to_dict() if self.certificate else None
             ),
@@ -397,4 +409,8 @@ def verify_kernel(
         describe=describe,
     )
     certificate = certify_kernel(kernel) if certify else None
-    return VerificationReport(sanitizer=report, certificate=certificate)
+    return VerificationReport(
+        sanitizer=report,
+        certificate=certificate,
+        width_generic=prove_width_generic(kernel),
+    )

@@ -77,10 +77,16 @@ def instruction_congestions(
 ) -> np.ndarray:
     """Per-trial, per-warp congestion of one staged instruction.
 
-    Takes the pre-staged fast path (static congestions + bank keys)
-    when the staging layer provided it, otherwise falls back to the
-    inactive-aware address count.  Shape ``(trials, n_warps)``.
+    Preference order: ``planned_congestions`` (the plan compiler's
+    exact per-trial matrix, already evaluated — absint coset steps
+    stage this and nothing else, so it **must** win over the address
+    fallback, whose flat pre-baked addresses carry per-trial offsets
+    that skew ``addr % w``), then the pre-staged fast path (static
+    congestions + bank keys), then the inactive-aware address count.
+    Shape ``(trials, n_warps)``.
     """
+    if instr.planned_congestions is not None:
+        return instr.planned_congestions
     n_warps = instr.p // w
     if instr.static_congestions is not None:
         cong = np.empty((trials, n_warps), dtype=np.int64)
@@ -144,6 +150,13 @@ class BatchedInstruction:
     static_congestions: Optional[np.ndarray] = None
     dynamic_warps: Optional[np.ndarray] = None
     bank_keys: Optional[np.ndarray] = None
+    #: Optional fully evaluated congestion matrix, shape
+    #: ``(T, n_warps)``: the plan compiler's exact closed form of the
+    #: draw (absint coset steps).  When set it supersedes every other
+    #: congestion source — such instructions stage no bank keys, and
+    #: their flat pre-baked addresses must never reach the ``% w``
+    #: fallback.
+    planned_congestions: Optional[np.ndarray] = None
     #: When set, ``addresses`` holds *flat store indices* with each
     #: trial's offset pre-baked (``t * stride + address``; inactive
     #: lanes at ``t * stride - 1``, a scratch cell).  The executor then
@@ -207,12 +220,13 @@ class BatchedInstruction:
         addresses: np.ndarray,
         register: str,
         values: Optional[np.ndarray],
-        static_congestions: np.ndarray,
-        dynamic_warps: np.ndarray,
-        bank_keys: np.ndarray,
+        static_congestions: Optional[np.ndarray],
+        dynamic_warps: Optional[np.ndarray],
+        bank_keys: Optional[np.ndarray],
         mask: Optional[np.ndarray],
         max_address: int,
         flat_stride: Optional[int] = None,
+        planned_congestions: Optional[np.ndarray] = None,
     ) -> "BatchedInstruction":
         """Trusted construction for staging layers that guarantee the
         invariants themselves (correct shapes, INACTIVE exactly at
@@ -238,6 +252,7 @@ class BatchedInstruction:
         instr.static_congestions = static_congestions
         instr.dynamic_warps = dynamic_warps
         instr.bank_keys = bank_keys
+        instr.planned_congestions = planned_congestions
         instr.mask = mask
         instr.max_address = max_address
         instr.flat_stride = flat_stride
@@ -470,9 +485,14 @@ class BatchedDMM:
         constant for every draw of the mapping family, so this path
         settles their congestion tuple and completion time in closed
         form — no bank counting, no key sort, only the data movement
-        (which bit-identity requires).  Residual instructions execute
-        exactly as under :meth:`run`.  The result is indistinguishable
-        from :meth:`run` on the same program; the saving is wall-clock.
+        (which bit-identity requires).  Absint-resolved instructions
+        carry ``planned_congestions`` (the coset closed form, already
+        evaluated from the shift draws) and take the standard execute
+        path, where :func:`instruction_congestions` serves the planned
+        matrix without touching the addresses.  Residual instructions
+        execute exactly as under :meth:`run`.  The result is
+        indistinguishable from :meth:`run` on the same program; the
+        saving is wall-clock.
         """
         self._check_program(program)
         registers: dict[str, np.ndarray] = {}

@@ -25,7 +25,7 @@ symbolic path is exact, not approximate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -33,6 +33,9 @@ from repro.core.congestion import congestion_batch
 from repro.core.mappings import AddressMapping, RAWMapping
 from repro.gpu.kernel import KernelStep
 from repro.util.rng import SeedLike
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dmm.trace import MemoryProgram
 
 __all__ = [
     "StepDiagnosis",
@@ -91,7 +94,7 @@ class KernelDiagnosis:
 
     def best_layout(self) -> str:
         """Layout with the lowest total expected stages."""
-        return min(self.totals, key=self.totals.get)
+        return min(self.totals, key=lambda name: self.totals[name])
 
     def worst_step(self, layout: str) -> StepDiagnosis:
         """The step that dominates the given layout's cost."""
@@ -181,7 +184,7 @@ class ProgramDiagnosis:
         ]
 
 
-def analyze_program(program, w: int) -> ProgramDiagnosis:
+def analyze_program(program: "MemoryProgram", w: int) -> ProgramDiagnosis:
     """Profile a compiled :class:`~repro.dmm.trace.MemoryProgram`.
 
     Unlike :func:`analyze_kernel` (which works on logical index grids

@@ -18,7 +18,7 @@ write your kernel against logical indices, pick
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -33,6 +33,11 @@ from repro.dmm.machine import DiscreteMemoryMachine, ExecutionResult
 from repro.dmm.trace import INACTIVE, MemoryProgram, read, write
 from repro.gpu.timing import GPUTimingModel
 from repro.util.rng import SeedLike
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.absint import CosetRecipe
+    from repro.analysis.plan import CompiledPlan
+    from repro.analysis.verify import VerificationReport
 
 __all__ = ["KernelStep", "KernelReport", "SharedMemoryKernel", "transpose_kernel"]
 
@@ -75,7 +80,7 @@ class KernelStep:
     mask: Optional[np.ndarray] = None
     immediate: bool = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.op not in ("read", "write"):
             raise ValueError(f"op must be 'read' or 'write', got {self.op!r}")
         label = f"KernelStep({self.op} {self.array!r})"
@@ -225,7 +230,7 @@ class SharedMemoryKernel:
         mapping: AddressMapping | str = "RAW",
         seed: SeedLike = None,
         inputs: Optional[Sequence[str]] = None,
-    ):
+    ) -> None:
         if isinstance(mapping, str):
             mapping = mapping_by_name(mapping, w, seed)
         if mapping.w != w:
@@ -335,7 +340,11 @@ class SharedMemoryKernel:
           congestion vector and an empty dynamic-warp set — no
           duplicate-merge pass, no bank-key gather, and
           :meth:`~repro.dmm.batched.BatchedDMM.execute_plan` settles
-          their timing in closed form; and
+          their timing in closed form; absint-resolved steps instead
+          carry their :class:`~repro.analysis.absint.CosetRecipe`
+          evaluated here against ``shifts`` (one sort over rows, not
+          addresses) as a pre-planned ``(T, n_warps)`` congestion
+          matrix; and
         * steps sharing a plan ``table`` id (same array, same index
           grids, same mask) share one staged address block instead of
           re-gathering it per step.
@@ -356,7 +365,7 @@ class SharedMemoryKernel:
         # Bank values and sentinels both fit comfortably in int16 for
         # any realistic width; the narrow dtype roughly halves the cost
         # of the executor's per-instruction key sort.
-        key_dtype = np.int16 if 2 * w <= np.iinfo(np.int16).max else np.int64
+        key_dtype = np.int16 if 2 * w <= np.iinfo(np.int16).max else np.int64  # repro: noqa[ADDR001]
         # One extended lookup table answers both gathers per step:
         # column i*w + j holds trial t's bank (j + shifts[t, i]) mod w,
         # column p + lane holds lane's sentinel (same in every trial).
@@ -385,7 +394,18 @@ class SharedMemoryKernel:
                     f"{len(self.steps)}"
                 )
 
-        def stage(step, resolved_congestions):
+        def stage(
+            step: KernelStep,
+            resolved_congestions: Optional[np.ndarray],
+            recipe: "Optional[CosetRecipe]",
+        ) -> tuple[
+            np.ndarray,
+            Optional[np.ndarray],
+            Optional[np.ndarray],
+            Optional[np.ndarray],
+            Optional[np.ndarray],
+            Optional[np.ndarray],
+        ]:
             """Stage one step's address block and congestion machinery."""
             iif = step.ii.ravel()
             jjf = step.jj.ravel()
@@ -396,6 +416,7 @@ class SharedMemoryKernel:
                 # table column is irrelevant (rebased below), but keep
                 # it in range.
                 idx = np.where(maskf, idx, 0)
+            planned_congestions = None
             if resolved_congestions is not None:
                 # The plan certified this step's per-warp congestion
                 # for every draw of the family: no duplicate-merge
@@ -405,6 +426,15 @@ class SharedMemoryKernel:
                 )
                 dynamic_warps = np.empty(0, dtype=np.int64)
                 bank_keys = np.empty((trials, 0), dtype=key_dtype)
+            elif recipe is not None:
+                # Absint-resolved: the coset closed form gives every
+                # trial's per-warp congestion from the shift vectors
+                # alone — no duplicate-merge pass, no bank keys, no
+                # address replay for counting.
+                planned_congestions = recipe.congestions(shifts)
+                static_congestions = None
+                dynamic_warps = None
+                bank_keys = None
             else:
                 # Static duplicate merge: lanes of one warp collide iff
                 # they share (i, j) — the mapping is injective per
@@ -466,6 +496,7 @@ class SharedMemoryKernel:
                 static_congestions,
                 dynamic_warps,
                 bank_keys,
+                planned_congestions,
             )
 
         batched = BatchedProgram(p=p, trials=trials)
@@ -485,11 +516,20 @@ class SharedMemoryKernel:
                 staged = staged_cache[sp.table]
             else:
                 staged = stage(
-                    step, sp.congestions if sp is not None else None
+                    step,
+                    sp.congestions if sp is not None else None,
+                    sp.recipe if sp is not None else None,
                 )
                 if sp is not None:
                     staged_cache[sp.table] = staged
-            addresses, mask_out, static_congestions, dynamic_warps, bank_keys = staged
+            (
+                addresses,
+                mask_out,
+                static_congestions,
+                dynamic_warps,
+                bank_keys,
+                planned_congestions,
+            ) = staged
             values = (
                 np.arange(p, dtype=np.float64)
                 if step.op == "write" and step.immediate
@@ -507,6 +547,7 @@ class SharedMemoryKernel:
                     mask=mask_out,
                     max_address=self.bases[step.array] + p - 1,
                     flat_stride=stride,
+                    planned_congestions=planned_congestions,
                 )
             )
         return batched
@@ -534,7 +575,7 @@ class SharedMemoryKernel:
         return machine.run(self.program_batch(shifts))
 
     def run_plan(
-        self, shifts: np.ndarray, plan, latency: int = 1
+        self, shifts: np.ndarray, plan: "CompiledPlan", latency: int = 1
     ) -> BatchedExecutionResult:
         """Execute the kernel under a compiled plan (see
         :func:`repro.analysis.plan.compile_plan`).
@@ -558,7 +599,7 @@ class SharedMemoryKernel:
         machine = self.make_batched_machine(shifts.shape[0], latency)
         return machine.execute_plan(self.program_batch(shifts, plan=plan))
 
-    def verify(self, certify: bool = True):
+    def verify(self, certify: bool = True) -> "VerificationReport":
         """Statically verify the kernel without executing it.
 
         Returns a :class:`~repro.analysis.verify.VerificationReport`

@@ -70,7 +70,9 @@ class MatmulOutcome:
     max_read_congestion: int
 
 
-def _tile_addresses(mapping: AddressMapping, base: int, ii, jj) -> np.ndarray:
+def _tile_addresses(
+    mapping: AddressMapping, base: int, ii: np.ndarray, jj: np.ndarray
+) -> np.ndarray:
     return base + mapping.address(ii, jj)
 
 

@@ -150,7 +150,7 @@ class GPUTimingModel:
         stages = np.array([_EXPECTED_STAGES[k] for k in keys])
         ops = np.array([_EXPECTED_OPS[k[1]] for k in keys])
         target = np.array([PAPER_TABLE3_NS[k] for k in keys])
-        errors = {}
+        errors: dict[tuple[str, str], float] = {}
         for hold in range(len(keys)):
             mask = np.arange(len(keys)) != hold
             design = np.column_stack(

@@ -4,6 +4,10 @@ Run from the repository root:
 
     PYTHONPATH=src python tests/data/regen_baselines.py
 
+or, to verify without writing (CI / pre-commit; exits 1 on drift):
+
+    PYTHONPATH=src python tests/data/regen_baselines.py --check
+
 Two artifacts live next to this script:
 
 ``certify_baseline.json``
@@ -24,6 +28,7 @@ this script, commit both.
 
 from __future__ import annotations
 
+import argparse
 import io
 import json
 from contextlib import redirect_stdout
@@ -69,13 +74,36 @@ BASELINES = {
 }
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the checked-in files without writing; "
+        "exit 1 if any baseline has drifted",
+    )
+    args = parser.parse_args(argv)
+
+    drifted = 0
     for name, regen in BASELINES.items():
         target = DATA_DIR / name
         text = regen()
         changed = not target.exists() or target.read_text() != text
-        target.write_text(text)
-        print(f"{'wrote' if changed else 'unchanged'} {target}")
+        if args.check:
+            if changed:
+                drifted += 1
+                print(f"STALE {target}")
+            else:
+                print(f"ok    {target}")
+        else:
+            target.write_text(text)
+            print(f"{'wrote' if changed else 'unchanged'} {target}")
+    if args.check and drifted:
+        print(
+            f"{drifted} baseline(s) stale; regenerate with "
+            "`PYTHONPATH=src python tests/data/regen_baselines.py` and commit"
+        )
+        return 1
     return 0
 
 

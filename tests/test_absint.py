@@ -1,0 +1,407 @@
+"""Property tests for the abstract congestion interpreter.
+
+Soundness is checked against brute force everywhere: abstract bounds
+must dominate the exact congestion of every sampled draw, coset
+recipes must reproduce it exactly, and the for-all-w certificates must
+validate by enumeration at widths the prover never saw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.absint import (
+    ABSINT_FAMILIES,
+    IntCong,
+    abstract_step,
+    ap_bank_bound,
+    forall_w_matrix,
+    interpret_program,
+    prove_pattern_forall_w,
+    prove_width_generic,
+    step_bound,
+    step_recipe,
+)
+from repro.analysis.affine import AFFINE_PATTERNS, AffineAccess
+from repro.analysis.ir import kernel_ir
+from repro.analysis.prover import symbolic_step
+from repro.apps import BUILTIN_PROGRAMS, build_app_program
+from repro.core.congestion import congestion_batch
+from repro.core.mappings import (
+    RAWMapping,
+    mapping_from_shifts,
+    sample_shift_batch,
+)
+from repro.gpu.kernel import KernelStep, SharedMemoryKernel
+from repro.util.rng import as_generator
+
+W = 8
+DRAWS = 8
+
+
+def _shift_draws(family: str, w: int, n: int, seed: int) -> np.ndarray:
+    if family == "RAW":
+        return np.zeros((1, w), dtype=np.int64)
+    return sample_shift_batch(family, w, n, as_generator(seed))
+
+
+def _exact_step_congestions(step: KernelStep, shifts: np.ndarray, w: int):
+    """(T, n_warps) exact per-draw congestion of one kernel step."""
+    out = []
+    for s in shifts:
+        mapping = mapping_from_shifts("RAS", s % w)
+        addrs = mapping.address(step.ii, step.jj)
+        if step.mask is not None:
+            addrs = np.where(step.mask, addrs, -1)
+            out.append(congestion_batch(addrs, w, inactive=-1))
+        else:
+            out.append(congestion_batch(addrs, w))
+    return np.stack(out)
+
+
+def _random_step(rng: np.random.Generator, w: int) -> KernelStep:
+    """A random affine-ish grid with random masking — not nec. coset."""
+    a, b = int(rng.integers(0, w)), int(rng.integers(0, w))
+    c, d = int(rng.integers(0, w)), int(rng.integers(0, w))
+    ii, jj = np.meshgrid(np.arange(w), np.arange(w), indexing="ij")
+    rows = (a * ii + b * jj + int(rng.integers(0, w))) % w
+    cols = (c * ii + d * jj + int(rng.integers(0, w))) % w
+    mask = None
+    if rng.random() < 0.5:
+        mask = rng.random((w, w)) < 0.8
+    return KernelStep("read", "buf", rows, cols, register="v", mask=mask)
+
+
+def _random_coset_step(rng: np.random.Generator, w: int) -> KernelStep:
+    """A grid whose every warp is coset-structured by construction."""
+    divisors = [k for k in range(1, w + 1) if w % k == 0]
+    k = int(rng.choice(divisors))
+    span = w // k  # lanes (and coset members) per touched row
+    rows = np.empty((w, w), dtype=np.int64)
+    cols = np.empty((w, w), dtype=np.int64)
+    for wi in range(w):
+        touched = rng.choice(w, size=k, replace=False)
+        offsets = rng.integers(0, k, size=k)
+        for j in range(w):
+            r = j // span
+            rows[wi, j] = touched[r]
+            cols[wi, j] = (offsets[r] + k * (j % span)) % w
+    return KernelStep("read", "buf", rows, cols, register="v")
+
+
+# ---------------------------------------------------------------------------
+# the interval x congruence domain
+# ---------------------------------------------------------------------------
+
+
+class TestIntCong:
+    def test_abstract_round_trips_aps(self):
+        el = IntCong.abstract(np.array([3, 7, 11, 15]))
+        assert (el.lo, el.hi, el.stride) == (3, 15, 4)
+        assert el.exact
+        assert list(el.values()) == [3, 7, 11, 15]
+
+    def test_abstract_of_gaps_is_overapprox(self):
+        el = IntCong.abstract(np.array([0, 4, 12]))
+        assert (el.lo, el.hi, el.stride) == (0, 12, 4)
+        assert not el.exact
+        assert el.contains(8)
+
+    def test_singleton(self):
+        el = IntCong.abstract(np.array([5]))
+        assert (el.lo, el.hi, el.stride) == (5, 5, 0)
+        assert el.exact and el.size == 1
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_transfer_functions_sound(self, seed):
+        rng = as_generator(seed)
+        xs = np.unique(rng.integers(0, 64, size=rng.integers(1, 10)))
+        ys = np.unique(rng.integers(0, 64, size=rng.integers(1, 10)))
+        ex, ey = IntCong.abstract(xs), IntCong.abstract(ys)
+        c = int(rng.integers(-5, 6))
+        m = int(rng.integers(2, 33))
+        # gamma(op(abstract)) must cover op applied pointwise.
+        for v in xs + c:
+            assert ex.add_const(c).contains(int(v))
+        for v in xs * c:
+            assert ex.scale(c).contains(int(v))
+        joined = ex.join(ey)
+        for v in np.concatenate([xs, ys]):
+            assert joined.contains(int(v))
+        summed = ex.add(ey)
+        for vx in xs:
+            for vy in ys:
+                assert summed.contains(int(vx + vy))
+        modded = ex.mod(m)
+        for v in xs % m:
+            assert modded.contains(int(v))
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_exactness_claims_honest(self, seed):
+        # Whenever an element says exact, its concretization must be
+        # precisely the transferred set, not a superset.
+        rng = as_generator(seed)
+        xs = np.unique(rng.integers(0, 64, size=rng.integers(1, 10)))
+        el = IntCong.abstract(xs)
+        if el.exact:
+            assert list(el.values()) == list(xs)
+        m = int(rng.integers(2, 33))
+        modded = el.mod(m)
+        if modded.exact:
+            assert sorted(set(modded.values())) == sorted(set(xs % m))
+
+    def test_mod_translate_path(self):
+        # No wrap: mod is a pure translation, exactness preserved.
+        el = IntCong.abstract(np.array([33, 35, 37]))
+        modded = el.mod(32)
+        assert modded.exact
+        assert list(modded.values()) == [1, 3, 5]
+
+    def test_rejects_bad_lattice(self):
+        with pytest.raises(ValueError):
+            IntCong(lo=5, hi=3, stride=1)
+        with pytest.raises(ValueError):
+            IntCong(lo=0, hi=4, stride=-2)
+
+
+class TestApBankBound:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_sound_and_tight_on_full_aps(self, seed):
+        rng = as_generator(100 + seed)
+        w = int(rng.choice([8, 16, 32]))
+        n = int(rng.integers(1, 3 * w))
+        stride = int(rng.integers(0, 4 * w))
+        addrs = np.arange(n, dtype=np.int64) * stride + int(
+            rng.integers(0, w)
+        )
+        exact = int(
+            congestion_batch(np.unique(addrs)[None, :], w)[0]
+        )
+        bound = min(int(np.unique(addrs).size), ap_bank_bound(n, stride, w))
+        assert bound >= exact
+        if stride != 0:
+            # Full arithmetic progressions are the tight case.
+            assert ap_bank_bound(n, stride, w) == exact
+
+    def test_edges(self):
+        assert ap_bank_bound(0, 3, 8) == 0
+        assert ap_bank_bound(1, 3, 8) == 1
+        assert ap_bank_bound(5, 0, 8) == 1
+
+
+# ---------------------------------------------------------------------------
+# step abstraction: family bounds sound, coset recipes exact
+# ---------------------------------------------------------------------------
+
+
+class TestStepBounds:
+    @pytest.mark.parametrize("seed", range(25))
+    @pytest.mark.parametrize("family", ABSINT_FAMILIES)
+    def test_family_bound_dominates_every_draw(self, seed, family):
+        rng = as_generator(1000 + seed)
+        step = _random_step(rng, W)
+        abstract = abstract_step(step, W)
+        bound, argument = step_bound(abstract, family)
+        shifts = _shift_draws(family, W, DRAWS, 2000 + seed)
+        exact = _exact_step_congestions(step, shifts, W)
+        assert int(exact.max()) <= bound, argument
+
+    @pytest.mark.parametrize("seed", range(25))
+    @pytest.mark.parametrize("family", ("RAS", "RAP"))
+    def test_coset_recipe_exact_per_draw(self, seed, family):
+        rng = as_generator(3000 + seed)
+        step = _random_coset_step(rng, W)
+        abstract = abstract_step(step, W)
+        assert abstract.closed, "constructed grid must be coset-structured"
+        recipe = step_recipe(abstract)
+        assert recipe is not None
+        shifts = _shift_draws(family, W, DRAWS, 4000 + seed)
+        assert np.array_equal(
+            recipe.congestions(shifts),
+            _exact_step_congestions(step, shifts, W),
+        )
+
+    @pytest.mark.parametrize("pattern", sorted(AFFINE_PATTERNS))
+    @pytest.mark.parametrize("family", ("RAS", "RAP"))
+    @pytest.mark.parametrize("w", (8, 16))
+    def test_tight_on_affine(self, pattern, family, w):
+        # On the prover's own language the interpreter loses nothing:
+        # the recipe's per-draw value equals the symbolic closed form.
+        acc = AffineAccess.from_pattern(pattern, w)
+        rows, cols = acc.grids()
+        step = KernelStep("read", "buf", rows, cols, register="v")
+        abstract = abstract_step(step, w)
+        recipe = step_recipe(abstract)
+        assert recipe is not None, "affine grids are coset-structured"
+        seed = sum(ord(ch) for ch in pattern) * 31 + w
+        shifts = _shift_draws(family, w, 6, seed)
+        for s in shifts:
+            mapping = mapping_from_shifts(family, s)
+            got = int(recipe.congestions(s[None, :])[0].max())
+            sym = symbolic_step(acc, mapping)
+            if sym is not None:
+                # The prover closes this instance: lose nothing to it.
+                assert got == sym.worst, (pattern, family)
+            exact = int(
+                congestion_batch(mapping.address(rows, cols), w).max()
+            )
+            assert got == exact, (pattern, family)
+
+    def test_broadcast_is_row_local(self):
+        acc = AffineAccess.from_pattern("broadcast", W)
+        rows, cols = acc.grids()
+        step = KernelStep("read", "buf", rows, cols, register="v")
+        abstract = abstract_step(step, W)
+        assert all(wa.kind == "row-local" for wa in abstract.warps)
+        for family in ABSINT_FAMILIES:
+            assert step_bound(abstract, family)[0] == 1
+
+    def test_unknown_family_rejected(self):
+        rng = as_generator(0)
+        abstract = abstract_step(_random_step(rng, W), W)
+        with pytest.raises(ValueError, match="unknown family"):
+            step_bound(abstract, "XOR")
+
+
+# ---------------------------------------------------------------------------
+# program-level interpretation
+# ---------------------------------------------------------------------------
+
+
+class TestInterpretProgram:
+    @pytest.mark.parametrize("app", sorted(BUILTIN_PROGRAMS))
+    def test_bounds_dominate_machine_congestion(self, app):
+        kernel = build_app_program(app, RAWMapping(W), seed=2014)
+        absint = interpret_program(kernel.program(), W)
+        machine = kernel.make_machine(latency=4)
+        result = machine.run(kernel.program())
+        assert len(absint.steps) == len(result.traces)
+        for ia, trace in zip(absint.steps, result.traces):
+            worst = max(trace.congestions) if trace.congestions else 0
+            assert worst <= ia.bound, (app, ia.step)
+            if ia.exact:
+                assert worst == ia.bound, (app, ia.step)
+        assert absint.worst_bound >= max(
+            ia.bound for ia in absint.steps
+        )
+
+    def test_ir_transfers_dead_verdicts(self):
+        kernel = build_app_program("fft", RAWMapping(W), seed=2014)
+        ir = kernel_ir(kernel)
+        absint = interpret_program(kernel.program(), W, ir=ir)
+        dead = ir.dead_mask
+        assert [ia.dead for ia in absint.steps] == list(dead)
+        assert absint.live_worst_bound <= absint.worst_bound
+
+    def test_dead_mask_aligned(self):
+        kernel = build_app_program("scan", RAWMapping(W), seed=2014)
+        ir = kernel_ir(kernel)
+        mask = ir.dead_mask
+        assert mask.shape == (len(ir.nodes),)
+        assert mask.dtype == bool
+        assert sorted(np.flatnonzero(mask)) == sorted(ir.dead_steps)
+
+    def test_rejects_misaligned_ir_and_width(self):
+        kernel = build_app_program("gather", RAWMapping(W), seed=2014)
+        other = build_app_program("fft", RAWMapping(W), seed=2014)
+        with pytest.raises(ValueError, match="nodes"):
+            interpret_program(
+                kernel.program(), W, ir=kernel_ir(other)
+            )
+        with pytest.raises(ValueError, match="multiple"):
+            interpret_program(kernel.program(), W - 1)
+
+
+# ---------------------------------------------------------------------------
+# for-all-w certificates, validated by enumeration at sampled widths
+# ---------------------------------------------------------------------------
+
+
+VALIDATION_WIDTHS = (8, 16, 32, 64, 256)
+
+
+class TestForAllW:
+    def test_matrix_closes_every_cell(self):
+        certs = forall_w_matrix()
+        assert len(certs) == len(AFFINE_PATTERNS) * len(ABSINT_FAMILIES)
+        assert all(c.kind in ("exact", "worst") for c in certs)
+
+    @pytest.mark.parametrize(
+        "cert",
+        forall_w_matrix(),
+        ids=lambda c: f"{c.pattern}-{c.family}",
+    )
+    def test_certificate_validates_by_enumeration(self, cert):
+        for w in VALIDATION_WIDTHS:
+            draws = 2 if w >= 256 else 6
+            acc = AffineAccess.from_pattern(cert.pattern, w)
+            rows, cols = acc.grids()
+            claim = cert.congestion_at(w)
+            shifts = _shift_draws(cert.family, w, draws, w * 17 + 3)
+            for s in shifts:
+                mapping = mapping_from_shifts(cert.family, s % w)
+                worst = int(
+                    congestion_batch(mapping.address(rows, cols), w).max()
+                )
+                if cert.kind == "exact":
+                    assert worst == claim, (cert.pattern, cert.family, w)
+                else:
+                    assert worst <= claim, (cert.pattern, cert.family, w)
+            if cert.kind == "worst":
+                wit = cert.witness_shifts(w)
+                mapping = mapping_from_shifts(cert.family, wit)
+                attained = int(
+                    congestion_batch(mapping.address(rows, cols), w).max()
+                )
+                assert attained == claim, (cert.pattern, cert.family, w)
+
+    def test_theorem1_cells_are_parametric(self):
+        for pattern in ("contiguous", "stride"):
+            cert = prove_pattern_forall_w(pattern, "RAP")
+            assert cert.kind == "exact"
+            assert cert.congestion_at(1024) == 1
+
+    def test_below_w0_rejected(self):
+        cert = prove_pattern_forall_w("stride", "RAP")
+        with pytest.raises(ValueError):
+            cert.congestion_at(1)
+
+    def test_unknown_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            prove_pattern_forall_w("random", "RAP")
+        with pytest.raises(ValueError):
+            prove_pattern_forall_w("stride", "XOR")
+
+    def test_round_trips_to_dict(self):
+        cert = prove_pattern_forall_w("diagonal", "RAS")
+        payload = cert.to_dict()
+        assert payload["pattern"] == "diagonal"
+        assert payload["kind"] == "worst"
+        assert payload["form"] == "w"
+
+
+# ---------------------------------------------------------------------------
+# width-generic verifier proofs
+# ---------------------------------------------------------------------------
+
+
+class TestWidthGeneric:
+    @pytest.mark.parametrize("app", sorted(BUILTIN_PROGRAMS))
+    def test_builtin_apps_prove_clean(self, app):
+        kernel = build_app_program(app, RAWMapping(W), seed=2014)
+        proofs = prove_width_generic(kernel)
+        codes = {p.code for p in proofs}
+        assert codes == {"WIDTH", "OOB"}
+        assert all(p.proved for p in proofs), [p.render() for p in proofs]
+
+    def test_escaping_grid_reports_obstacle(self):
+        ii = np.zeros((W, W), dtype=np.int64)
+        jj = np.zeros((W, W), dtype=np.int64)
+        mask = np.zeros((W, W), dtype=bool)  # all-masked: indices free
+        step = KernelStep("read", "a", ii, jj, register="v", mask=mask)
+        kernel = SharedMemoryKernel(
+            W, [step], arrays=("a",), mapping=RAWMapping(W)
+        )
+        proofs = prove_width_generic(kernel)
+        assert {p.code for p in proofs} == {"WIDTH", "OOB"}

@@ -58,7 +58,7 @@ class TestJson:
         cert = entry["certificate"]
         assert cert["w"] == 8
         assert all(
-            step["method"] in ("symbolic", "enumerate")
+            step["method"] in ("symbolic", "absint", "enumerate")
             for step in cert["steps"]
         )
 

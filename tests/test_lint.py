@@ -133,11 +133,19 @@ class TestAddressWidth:
             lint_source(src, Path("repro/access/patterns.py"))
         ) == ["ADDR001"]
 
+    def test_gpu_and_analysis_packages_in_scope(self):
+        # Kernel staging bakes flat indices and the abstract
+        # interpreter manipulates raw addresses: both joined the
+        # ADDR001 scope with the absint work.
+        src = "import numpy as np\nx = np.int16(3)\n"
+        for mod in ("repro/gpu/kernel.py", "repro/analysis/absint.py"):
+            assert rules_of(lint_source(src, Path(mod))) == ["ADDR001"], mod
+
     def test_other_packages_out_of_scope(self):
         # Narrow dtypes are fine outside address-handling code (e.g.
-        # register payloads in repro.gpu).
+        # aggregated trial counts in repro.sim).
         src = "import numpy as np\nx = np.int16(3)\n"
-        assert lint_source(src, Path("repro/gpu/kernel.py")) == []
+        assert lint_source(src, Path("repro/sim/bench.py")) == []
         assert lint_source(src, Path("repro/core/congestion.py")) == []
 
     def test_noqa_escape(self):

@@ -94,23 +94,34 @@ class TestCompileVerdicts:
             assert plan.stage_coverage == 1.0, app
             assert all(s.method == "symbolic" for s in plan.steps)
 
-    def test_diagonal_transpose_stays_residual(self):
-        # transpose_drdw is diagonal on both sides: draw-dependent
-        # congestion under any randomized family.
-        plan = self._plan("transpose_drdw", "RAP")
-        assert plan.resolved_steps == 0
-        assert all(s.method == "residual" for s in plan.steps)
-        assert all(s.congestions is None for s in plan.steps)
-        assert all(s.total_stages == -1 for s in plan.steps)
+    def test_diagonal_transpose_resolves_via_coset_recipe(self):
+        # transpose_drdw is diagonal on both sides: no affine
+        # certificate closes it, but every warp's merged columns form
+        # a full coset (k = w), so the abstract interpreter resolves
+        # it with an exact per-draw closed form under both families.
+        for family in ("RAS", "RAP"):
+            plan = self._plan("transpose_drdw", family)
+            assert plan.step_coverage == 1.0, family
+            assert all(s.method == "absint" for s in plan.steps)
+            assert all(s.recipe is not None for s in plan.steps)
+            # absint steps carry no per-draw congestion table: the
+            # recipe is evaluated against the shifts at staging time.
+            assert all(s.congestions is None for s in plan.steps)
+            assert all(s.total_stages == -1 for s in plan.steps)
 
     def test_column_local_rule_needs_permutation(self):
         # gather's data-dependent read is column-local: congestion 1
-        # for every RAP draw (injective sigma), but draw-dependent
-        # under RAS where shifts may repeat.
+        # for every RAP draw (injective sigma) — the affine rule.
+        # Under RAS shifts may repeat, so no constant bound exists,
+        # but each touched row holds a single column (a k = w coset):
+        # the absint recipe closes the step with the exact
+        # residue-multiset form of the draw.
         rap = self._plan("gather", "RAP")
         ras = self._plan("gather", "RAS")
         assert rap.step_coverage == 1.0
-        assert ras.resolved_steps < len(ras.steps)
+        assert all(s.method != "absint" for s in rap.steps)
+        assert ras.step_coverage == 1.0
+        assert any(s.method == "absint" for s in ras.steps)
 
     def test_resolved_congestions_are_per_warp_int64(self):
         plan = self._plan("stencil_row", "RAS")
@@ -143,6 +154,62 @@ class TestCompileVerdicts:
         text = self._plan("shearsort", "RAP").render()
         assert "112/112 steps resolved" in text
         assert "stage coverage 100%" in text
+
+
+# ---------------------------------------------------------------------------
+# absint coverage uplift: the coset tier must strictly raise coverage
+# on the non-affine apps and leave the already-closed ones untouched
+# ---------------------------------------------------------------------------
+
+
+class TestAbsintUplift:
+    #: non-zoo apps whose RAP step coverage the coset tier must raise.
+    UPLIFT_APPS = ("fft", "scan", "sort", "transpose_drdw")
+    #: apps the affine tier already closes fully: no change expected.
+    CLOSED_APPS = ("gather", "stencil_row", "transpose_crsw")
+
+    def _coverages(self, app, family, monkeypatch):
+        """(affine-only, with-absint) step coverage of one app plan."""
+        import repro.analysis.plan as plan_mod
+
+        kernel = build_app_program(app, RAWMapping(W), seed=2014)
+        after = compile_plan(kernel, family, app)
+        with monkeypatch.context() as m:
+            m.setattr(plan_mod, "step_recipe", lambda abstract: None)
+            before = compile_plan(kernel, family, app)
+        return before, after
+
+    @pytest.mark.parametrize("app", UPLIFT_APPS)
+    def test_rap_step_coverage_strictly_increases(self, app, monkeypatch):
+        before, after = self._coverages(app, "RAP", monkeypatch)
+        assert after.step_coverage > before.step_coverage, app
+        assert after.stage_coverage > before.stage_coverage, app
+        assert any(s.method == "absint" for s in after.steps)
+
+    @pytest.mark.parametrize("app", CLOSED_APPS)
+    def test_closed_apps_unaffected_under_rap(self, app, monkeypatch):
+        before, after = self._coverages(app, "RAP", monkeypatch)
+        assert before.step_coverage == after.step_coverage == 1.0, app
+
+    def test_uplifted_plans_still_execute_exactly(self, monkeypatch):
+        # The uplift is only admissible because staging evaluates the
+        # recipe to the same per-draw congestion the simulator counts;
+        # spot-check one uplifted app end to end per family.
+        for family in ("RAS", "RAP"):
+            rng = as_generator(SEED)
+            shifts = sample_shift_batch(family, W, TRIALS, rng)
+            kernel = build_app_program("transpose_drdw", RAWMapping(W), seed=SEED)
+            plan = compile_plan(kernel, family, "transpose_drdw")
+            assert any(s.method == "absint" for s in plan.steps)
+            res = kernel.run_plan(shifts, plan, latency=4)
+            for t in range(TRIALS):
+                mapping = mapping_from_shifts(family, shifts[t])
+                scalar_kernel = build_app_program(
+                    "transpose_drdw", mapping, seed=SEED
+                )
+                machine = scalar_kernel.make_machine(latency=4)
+                scalar_result = machine.run(scalar_kernel.program())
+                _assert_trial_matches(res, t, scalar_result, machine)
 
 
 # ---------------------------------------------------------------------------
@@ -250,8 +317,10 @@ class TestPlanCLI:
         capsys.readouterr()
 
     def test_min_coverage_gate_trips(self, capsys):
+        # histogram's data-dependent scatter stays residual (no coset
+        # structure), so its stage coverage sits at 0.5 under RAP.
         code = self.main(
-            ["plan", "--app", "transpose_drdw", "--min-coverage", "0.9"]
+            ["plan", "--app", "histogram", "--min-coverage", "0.9"]
         )
         assert code == 1
         assert "COVERAGE" in capsys.readouterr().err
