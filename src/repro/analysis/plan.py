@@ -62,7 +62,7 @@ RAS, and RAP).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
@@ -77,6 +77,7 @@ from repro.core.congestion import congestion_batch
 from repro.dmm.trace import INACTIVE
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.dmm.backends import PlanBackend, Resolution, StagedPlan
     from repro.dmm.batched import BatchedExecutionResult
     from repro.gpu.kernel import KernelStep, SharedMemoryKernel
 
@@ -86,6 +87,8 @@ __all__ = [
     "CompiledPlan",
     "compile_plan",
     "check_family_shifts",
+    "stage_compiled",
+    "run_compiled",
 ]
 
 #: mapping families the plan compiler reasons about: the shifted-row
@@ -455,3 +458,58 @@ def compile_plan(
         steps=tuple(plans),
         tables=len(pool),
     )
+
+
+def stage_compiled(
+    kernel: "SharedMemoryKernel",
+    shifts: np.ndarray,
+    plan: CompiledPlan,
+    latency: int = 1,
+    backend: Union[str, "PlanBackend", None] = "auto",
+) -> "tuple[Resolution, StagedPlan]":
+    """Stage a compiled plan on an execution backend without running it.
+
+    The staging handoff between the plan compiler and
+    :mod:`repro.dmm.backends`: validates the draw batch against the
+    plan's family (a plan's verdicts are theorems about one family),
+    builds the batched machine and the plan-staged program, resolves
+    ``backend`` (graceful fallback included), and returns the
+    :class:`~repro.dmm.backends.Resolution` alongside the backend's
+    :class:`~repro.dmm.backends.StagedPlan`.  Callers that want to pay
+    staging once and execute later (or inspect *which* backend will
+    run, e.g. the bench harness) use this; one-shot callers use
+    :func:`run_compiled` or
+    :meth:`~repro.gpu.kernel.SharedMemoryKernel.run_plan`.
+    """
+    from repro.dmm.backends import resolve_backend
+
+    if plan.w != kernel.w:
+        raise ValueError(
+            f"plan was compiled at w={plan.w}, kernel has w={kernel.w}"
+        )
+    shifts = np.ascontiguousarray(shifts, dtype=np.int64)
+    check_family_shifts(plan.family, shifts, kernel.w)
+    resolution = resolve_backend(backend)
+    machine = kernel.make_batched_machine(shifts.shape[0], latency)
+    program = kernel.program_batch(shifts, plan=plan)
+    return resolution, resolution.backend.stage(machine, program)
+
+
+def run_compiled(
+    kernel: "SharedMemoryKernel",
+    shifts: np.ndarray,
+    plan: CompiledPlan,
+    latency: int = 1,
+    backend: Union[str, "PlanBackend", None] = "auto",
+) -> "BatchedExecutionResult":
+    """Stage and execute a compiled plan on a backend in one call.
+
+    Equivalent to
+    ``kernel.run_plan(shifts, plan, latency, backend=backend)`` except
+    that ``backend`` defaults to ``"auto"`` (fastest available) rather
+    than the numpy reference.  Bit-identical across backends.
+    """
+    resolution, staged = stage_compiled(
+        kernel, shifts, plan, latency=latency, backend=backend
+    )
+    return resolution.backend.execute(staged)

@@ -28,7 +28,11 @@ Performance subcommand:
   builtin apps, verified identical before timing
   (``python -m repro bench-dmm --trials 100 --json BENCH_dmm.json``);
   ``--plan`` benchmarks the plan-compiled executor against the plain
-  batched path instead.
+  batched path instead, ``--plan --backend numba`` the numba execution
+  backend against the numpy reference, and
+  ``--plan --compare-backends`` every registered backend side by side
+  (``python -m repro bench-dmm --plan --compare-backends --w 32 256
+  --json BENCH_backends.json``).
 
 Adversarial subcommand:
 

@@ -1,0 +1,204 @@
+"""The ``PlanBackend`` protocol and the shared instruction-loop core.
+
+A *backend* is an execution strategy for staged batched programs (the
+``(T, p)``-blocked :class:`~repro.dmm.batched.BatchedProgram` that
+:meth:`repro.gpu.kernel.SharedMemoryKernel.program_batch` produces,
+with or without a compiled plan's static verdicts).  Every backend
+implements the same two-phase contract:
+
+``stage(machine, program) -> StagedPlan``
+    One-time preparation: validate the program against the machine,
+    move address tables / bank keys wherever the backend executes
+    (host arrays for numpy/numba, device arrays for cupy), and compile
+    whatever kernels the backend needs.  Staging may be paid once and
+    the result executed later.
+
+``execute(staged) -> BatchedExecutionResult``
+    Run the staged program.  The result must be **bit-identical** to
+    the reference numpy path — per-trial congestion matrices, dispatch
+    sets, completion times, final registers, and final memory — which
+    in turn is pinned to the scalar machine.  A backend is a
+    wall-clock transform, never a semantic one.
+
+:class:`InstructionLoopBackend` factors the loop every host-side
+backend shares — the statically-resolved closed form, the residual
+congestion count, the timing arithmetic — so a subclass only replaces
+the two hot primitives (congestion counting and data movement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.dmm.mmu import batch_completion_times
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dmm.batched import (
+        BatchedDMM,
+        BatchedExecutionResult,
+        BatchedInstruction,
+        BatchedProgram,
+    )
+
+__all__ = [
+    "BackendUnavailable",
+    "StagedPlan",
+    "PlanBackend",
+    "InstructionLoopBackend",
+]
+
+
+class BackendUnavailable(RuntimeError):
+    """Raised when a backend is asked to stage/execute without its deps."""
+
+
+@dataclass
+class StagedPlan:
+    """A program prepared by one backend, ready to execute.
+
+    Attributes
+    ----------
+    backend:
+        Name of the backend that staged this plan; :meth:`execute`
+        refuses a plan staged by a different backend.
+    machine:
+        The :class:`~repro.dmm.batched.BatchedDMM` holding the run's
+        memory and timing parameters.
+    program:
+        The staged instruction blocks.
+    state:
+        Backend-private preparation (compiled kernels, device arrays);
+        ``None`` for backends that execute the program in place.
+    """
+
+    backend: str
+    machine: "BatchedDMM"
+    program: "BatchedProgram"
+    state: Any = None
+
+
+@runtime_checkable
+class PlanBackend(Protocol):
+    """Execution backend for staged batched programs."""
+
+    #: registry name (``"numpy"``, ``"numba"``, ``"cupy"``, ...).
+    name: str
+
+    def available(self) -> bool:
+        """Can this backend execute here (deps importable, device up)?"""
+
+    def unavailable_reason(self) -> Optional[str]:
+        """Why :meth:`available` is False (``None`` when available)."""
+
+    def stage(self, machine: "BatchedDMM", program: "BatchedProgram") -> StagedPlan:
+        """Prepare ``program`` for execution on ``machine``."""
+
+    def execute(self, staged: StagedPlan) -> "BatchedExecutionResult":
+        """Run a staged plan; bit-identical to the reference path."""
+
+
+class InstructionLoopBackend:
+    """Shared host-side instruction loop (numpy reference semantics).
+
+    The loop is exactly :meth:`repro.dmm.batched.BatchedDMM.execute_plan`'s:
+
+    * a statically *resolved* instruction (plan-certified constant
+      per-warp congestion, empty dynamic-warp set) settles its
+      congestion matrix and completion time in closed form and only
+      moves data;
+    * every other instruction counts congestion (planned matrix >
+      pre-staged bank keys > raw addresses) and runs the vectorized
+      timing arithmetic.
+
+    Subclasses override :meth:`_congestions` and :meth:`_move_data` to
+    swap in compiled kernels; the loop structure — and therefore the
+    exactness contract — stays shared.
+    """
+
+    name = "abstract"
+
+    def available(self) -> bool:
+        return True
+
+    def unavailable_reason(self) -> Optional[str]:
+        return None
+
+    def stage(self, machine: "BatchedDMM", program: "BatchedProgram") -> StagedPlan:
+        machine._check_program(program)
+        return StagedPlan(
+            backend=self.name,
+            machine=machine,
+            program=program,
+            state=self._prepare(machine, program),
+        )
+
+    def _prepare(self, machine: "BatchedDMM", program: "BatchedProgram") -> Any:
+        """Backend-private staging hook (default: nothing to prepare)."""
+        return None
+
+    def execute(self, staged: StagedPlan) -> "BatchedExecutionResult":
+        from repro.dmm.batched import (
+            BatchedExecutionResult,
+            BatchedInstructionTrace,
+        )
+
+        if staged.backend != self.name:
+            raise ValueError(
+                f"staged plan belongs to backend {staged.backend!r}, "
+                f"this is {self.name!r}"
+            )
+        machine = staged.machine
+        registers: dict[str, np.ndarray] = {}
+        time_units = np.zeros(machine.trials, dtype=np.int64)
+        result = BatchedExecutionResult(
+            time_units=time_units, registers=registers, memory=machine.memory
+        )
+        for instr in staged.program:
+            static = instr.static_congestions
+            dyn = instr.dynamic_warps
+            if static is not None and dyn is not None and dyn.size == 0:
+                # Statically resolved: the certified constant vector,
+                # and StageSchedule's closed form on its total.
+                cong = np.broadcast_to(
+                    static[None, :], (machine.trials, static.size)
+                )
+                total = int(static.sum())
+                per_trial = total + machine.latency - 1 if total > 0 else 0
+                times = np.full(machine.trials, per_trial, dtype=np.int64)
+            else:
+                cong = self._congestions(machine, instr, staged)
+                times = batch_completion_times(
+                    cong.sum(axis=1), machine.latency
+                )
+            self._move_data(machine, instr, registers, staged)
+            result.traces.append(
+                BatchedInstructionTrace(
+                    op=instr.op, congestions=cong, time_units=times
+                )
+            )
+            time_units += times
+        result.time_units = time_units
+        return result
+
+    # -- the two hot primitives subclasses replace -----------------------
+    def _congestions(
+        self,
+        machine: "BatchedDMM",
+        instr: "BatchedInstruction",
+        staged: StagedPlan,
+    ) -> np.ndarray:
+        from repro.dmm.batched import instruction_congestions
+
+        return instruction_congestions(instr, machine.w, machine.trials)
+
+    def _move_data(
+        self,
+        machine: "BatchedDMM",
+        instr: "BatchedInstruction",
+        registers: dict[str, np.ndarray],
+        staged: StagedPlan,
+    ) -> None:
+        machine._move_data(instr, registers)

@@ -1,0 +1,325 @@
+"""The cupy backend: device-resident plan execution.
+
+Closes the loop with the source paper — the DMM's shared-memory model
+executing on actual GPU memory.  Staging moves every per-instruction
+array (flat address tables, bank keys, immediate values, masks) and
+the batched memory image to the device once; execution then runs the
+whole trial axis as device kernels and performs a **single host
+synchronization per run**, after which congestion matrices, timing,
+registers, and the final memory image are copied back so the returned
+:class:`~repro.dmm.batched.BatchedExecutionResult` is indistinguishable
+from the numpy reference's.
+
+Two semantic points need care on a GPU:
+
+* **CRCW last-lane-wins**: cupy's fancy scatter resolves duplicate
+  indices nondeterministically, so every write first reduces its index
+  block to the *last occurrence* of each flat index (stable argsort +
+  run-tail selection).  The surviving scatter has unique indices and
+  is deterministic — and keeps numpy's highest-lane-wins resolution
+  exactly.
+* **Congestion counting**: the device path mirrors the reference
+  sort-then-longest-run over pre-staged bank keys
+  (:func:`repro.core.congestion.max_run_lengths` re-derived with a
+  running-maximum scan), so the integer results are identical.
+
+cupy is imported lazily; without it — or without a visible CUDA
+device — the backend reports unavailable and the registry falls back
+(see :func:`repro.dmm.backends.resolve_backend`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+import numpy as np
+
+from repro.dmm.backends.base import BackendUnavailable, StagedPlan
+from repro.dmm.mmu import batch_completion_times
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dmm.batched import (
+        BatchedDMM,
+        BatchedExecutionResult,
+        BatchedProgram,
+    )
+
+__all__ = ["CupyBackend"]
+
+
+@dataclass
+class _DeviceInstruction:
+    """One instruction's device-resident staging."""
+
+    op: str
+    register: str
+    flat: bool
+    addresses: Any  # cp.ndarray (T, p) int64
+    values: Optional[Any]  # cp.ndarray (p,) or (T, p), or None
+    mask: Optional[Any]  # cp.ndarray bool (p,) or (T, p), or None
+    static_congestions: Optional[np.ndarray]  # host (n_warps,)
+    dynamic_warps: Optional[np.ndarray]  # host indices
+    bank_keys: Optional[Any]  # cp.ndarray (T, n_dyn * w)
+    planned_congestions: Optional[Any]  # cp.ndarray (T, n_warps)
+    resolved: bool
+
+
+@dataclass
+class _DeviceState:
+    """Everything :meth:`CupyBackend.execute` needs on the device."""
+
+    cp: Any
+    store: Any  # cp.ndarray, flat (trials * stride,)
+    offsets: Any  # cp.ndarray (trials, 1) int64
+    instructions: list[_DeviceInstruction] = field(default_factory=list)
+
+
+def _max_run_lengths_device(cp: Any, sorted_keys: Any) -> Any:
+    """Device analogue of :func:`repro.core.congestion.max_run_lengths`.
+
+    For each row of an in-row-sorted key block, the longest run of
+    equal keys: positions where the value changes start a run, a
+    running maximum of start positions tags every lane with its run's
+    start, and ``lane - start + 1`` maximized per row is the answer.
+    """
+    n, width = sorted_keys.shape
+    lane = cp.arange(width, dtype=cp.int64)
+    change = cp.empty((n, width), dtype=cp.bool_)
+    change[:, 0] = True
+    change[:, 1:] = sorted_keys[:, 1:] != sorted_keys[:, :-1]
+    starts = cp.maximum.accumulate(
+        cp.where(change, lane[None, :], cp.int64(-1)), axis=1
+    )
+    return (lane[None, :] - starts + 1).max(axis=1)
+
+
+def _scatter_last_wins(cp: Any, store: Any, indices: Any, values: Any) -> None:
+    """Deterministic CRCW scatter: keep each flat index's last lane.
+
+    ``indices``/``values`` are flattened in lane order; a stable
+    argsort groups equal indices with lane order preserved, the tail
+    of each group is the winning lane, and the surviving scatter has
+    unique indices (deterministic on any device).
+    """
+    order = cp.argsort(indices, kind="stable")
+    ordered = indices[order]
+    keep = cp.empty(ordered.shape, dtype=cp.bool_)
+    if int(ordered.size):
+        keep[:-1] = ordered[:-1] != ordered[1:]
+        keep[-1] = True
+    winners = order[keep]
+    store[indices[winners]] = values[winners]
+
+
+class CupyBackend:
+    """GPU backend over cupy; optional, skipped cleanly without a device."""
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        self._avail: Optional[bool] = None
+        self._reason: Optional[str] = None
+
+    def available(self) -> bool:
+        if self._avail is None:
+            try:
+                import cupy
+
+                if cupy.cuda.runtime.getDeviceCount() < 1:
+                    raise RuntimeError("no CUDA device visible")
+                self._avail, self._reason = True, None
+            except Exception as exc:
+                self._avail = False
+                self._reason = f"cupy unavailable ({type(exc).__name__}: {exc})"
+        return self._avail
+
+    def unavailable_reason(self) -> Optional[str]:
+        self.available()
+        return self._reason
+
+    def stage(self, machine: "BatchedDMM", program: "BatchedProgram") -> StagedPlan:
+        if not self.available():
+            raise BackendUnavailable(
+                f"cupy backend cannot stage: {self._reason}"
+            )
+        import cupy as cp
+
+        machine._check_program(program)
+        memory = machine.memory
+        state = _DeviceState(
+            cp=cp,
+            store=cp.asarray(memory.flat_store),
+            offsets=cp.asarray(memory.offsets),
+        )
+        for instr in program:
+            flat = instr.flat_stride is not None
+            if flat and instr.flat_stride != memory.stride:
+                raise ValueError(
+                    f"instruction staged for memory stride {instr.flat_stride}, "
+                    f"machine has {memory.stride}"
+                )
+            static = instr.static_congestions
+            dyn = instr.dynamic_warps
+            resolved = static is not None and dyn is not None and dyn.size == 0
+            state.instructions.append(
+                _DeviceInstruction(
+                    op=instr.op,
+                    register=instr.register,
+                    flat=flat,
+                    addresses=cp.asarray(instr.addresses),
+                    values=None if instr.values is None else cp.asarray(instr.values),
+                    mask=None if instr.mask is None else cp.asarray(instr.mask),
+                    static_congestions=static,
+                    dynamic_warps=dyn,
+                    bank_keys=(
+                        None
+                        if instr.bank_keys is None or resolved
+                        else cp.asarray(instr.bank_keys)
+                    ),
+                    planned_congestions=(
+                        None
+                        if instr.planned_congestions is None
+                        else cp.asarray(instr.planned_congestions)
+                    ),
+                    resolved=resolved,
+                )
+            )
+        return StagedPlan(
+            backend=self.name, machine=machine, program=program, state=state
+        )
+
+    def execute(self, staged: StagedPlan) -> "BatchedExecutionResult":
+        from repro.dmm.batched import (
+            BatchedExecutionResult,
+            BatchedInstructionTrace,
+        )
+
+        if staged.backend != self.name:
+            raise ValueError(
+                f"staged plan belongs to backend {staged.backend!r}, "
+                f"this is {self.name!r}"
+            )
+        state: _DeviceState = staged.state
+        cp = state.cp
+        machine = staged.machine
+        trials, w = machine.trials, machine.w
+        registers: dict[str, Any] = {}
+        dev_traces: list[tuple[str, Any]] = []
+        host_times: list[Optional[np.ndarray]] = []
+        for dins, instr in zip(state.instructions, staged.program):
+            n_warps = instr.p // w
+            if dins.resolved:
+                # Certified constant congestion: closed form on host,
+                # nothing to count on the device.
+                static = dins.static_congestions
+                assert static is not None
+                cong_host = np.broadcast_to(
+                    static[None, :], (trials, static.size)
+                )
+                total = int(static.sum())
+                per_trial = total + machine.latency - 1 if total > 0 else 0
+                times = np.full(trials, per_trial, dtype=np.int64)
+                dev_traces.append((dins.op, cong_host))
+                host_times.append(times)
+            else:
+                if dins.planned_congestions is not None:
+                    cong = dins.planned_congestions
+                elif dins.static_congestions is not None:
+                    static_dev = cp.asarray(dins.static_congestions)
+                    cong = cp.empty((trials, n_warps), dtype=cp.int64)
+                    cong[:] = static_dev[None, :]
+                    dyn = dins.dynamic_warps
+                    if dyn is not None and dyn.size:
+                        keys = dins.bank_keys.reshape(-1, w)
+                        runs = _max_run_lengths_device(
+                            cp, cp.sort(keys, axis=1)
+                        )
+                        cong[:, cp.asarray(dyn)] = runs.reshape(
+                            trials, int(dyn.size)
+                        )
+                else:
+                    # Raw-address fallback: the device mirror of
+                    # congestion_batch — sort to merge duplicate
+                    # addresses (CRCW), sentinel out merged/inactive
+                    # lanes, count the longest bank run.
+                    from repro.dmm.trace import INACTIVE
+
+                    rows = dins.addresses.reshape(-1, w)
+                    srt = cp.sort(rows, axis=1)
+                    fresh = cp.empty(srt.shape, dtype=cp.bool_)
+                    fresh[:, 0] = True
+                    fresh[:, 1:] = srt[:, 1:] != srt[:, :-1]
+                    fresh &= srt != INACTIVE
+                    lane = cp.arange(w, dtype=cp.int64)
+                    banks = cp.where(fresh, srt % w, w + lane[None, :])
+                    runs = _max_run_lengths_device(cp, cp.sort(banks, axis=1))
+                    runs = runs * fresh.any(axis=1)
+                    cong = runs.reshape(trials, n_warps)
+                dev_traces.append((dins.op, cong))
+                host_times.append(None)  # filled after the sync
+            self._move_data(state, machine, dins, registers)
+        # -- single host synchronization point ---------------------------
+        cp.cuda.get_current_stream().synchronize()
+        result = BatchedExecutionResult(
+            time_units=np.zeros(trials, dtype=np.int64),
+            registers={},
+            memory=machine.memory,
+        )
+        total_time = np.zeros(trials, dtype=np.int64)
+        for (op, cong), times in zip(dev_traces, host_times):
+            cong_host = cong if isinstance(cong, np.ndarray) else cp.asnumpy(cong)
+            if times is None:
+                times = batch_completion_times(
+                    cong_host.sum(axis=1), machine.latency
+                )
+            result.traces.append(
+                BatchedInstructionTrace(
+                    op=op, congestions=cong_host, time_units=times
+                )
+            )
+            total_time += times
+        result.time_units = total_time
+        for name, reg in registers.items():
+            result.registers[name] = cp.asnumpy(reg)
+        machine.memory.flat_store[:] = cp.asnumpy(state.store)
+        return result
+
+    def _move_data(
+        self,
+        state: _DeviceState,
+        machine: "BatchedDMM",
+        dins: _DeviceInstruction,
+        registers: dict[str, Any],
+    ) -> None:
+        cp = state.cp
+        indices = (
+            dins.addresses
+            if dins.flat
+            else dins.addresses + state.offsets
+        )
+        if dins.op == "read":
+            gathered = state.store[indices]
+            if dins.mask is None:
+                registers[dins.register] = gathered
+            else:
+                reg = registers.get(dins.register)
+                if reg is None:
+                    reg = cp.zeros(
+                        (machine.trials, int(dins.addresses.shape[1])),
+                        dtype=state.store.dtype,
+                    )
+                registers[dins.register] = cp.where(dins.mask, gathered, reg)
+        else:
+            if dins.values is not None:
+                source = dins.values
+            else:
+                if dins.register not in registers:
+                    raise KeyError(
+                        f"write from register {dins.register!r} before any read into it"
+                    )
+                source = registers[dins.register]
+            source = cp.broadcast_to(source, indices.shape)
+            _scatter_last_wins(
+                cp, state.store, indices.ravel(), source.ravel()
+            )

@@ -1,0 +1,174 @@
+"""The numba backend: ``@njit``-compiled residual-step hot loops.
+
+The numpy reference path spends its residual time in three places:
+the per-warp bank-key sort behind congestion counting, the fancy
+gather/scatter pair behind data movement, and the masked register
+merge.  This backend swaps each for a fused compiled loop
+(:mod:`repro.dmm.backends.kernels`):
+
+* congestion over pre-baked bank keys becomes a per-warp histogram —
+  O(w) per warp instead of a sort, no temporaries;
+* flat gathers/scatters (INACTIVE lanes pass through as negative
+  indices, exactly as in numpy) run as single loops without the
+  intermediate index arrays;
+* CRCW last-lane-wins falls out of the forward store order.
+
+numba is imported lazily, only when the backend is probed or staged;
+in environments without it the backend reports unavailable and the
+registry falls back to numpy (see
+:func:`repro.dmm.backends.resolve_backend`).  Passing an explicit
+kernel set (e.g. :data:`~repro.dmm.backends.kernels.PYTHON_KERNELS`)
+bypasses the import entirely — the equivalence tests use this to pin
+the backend's logic to the reference semantics even without numba.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.dmm.backends.base import BackendUnavailable, InstructionLoopBackend, StagedPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dmm.batched import BatchedDMM, BatchedInstruction, BatchedProgram
+
+__all__ = ["NumbaBackend"]
+
+Kernels = Dict[str, Callable[..., None]]
+
+
+class NumbaBackend(InstructionLoopBackend):
+    """Compiled-kernel backend, bit-identical to the numpy reference.
+
+    Parameters
+    ----------
+    kernels:
+        Optional explicit kernel set (name -> callable).  Default
+        ``None`` compiles :data:`~repro.dmm.backends.kernels.KERNEL_NAMES`
+        with ``numba.njit`` on first staging; tests pass
+        :data:`~repro.dmm.backends.kernels.PYTHON_KERNELS` to exercise
+        the identical logic without numba.
+    """
+
+    name = "numba"
+
+    def __init__(self, kernels: Optional[Kernels] = None) -> None:
+        self._kernels = kernels
+        self._avail: Optional[bool] = None
+        self._reason: Optional[str] = None
+
+    def available(self) -> bool:
+        if self._avail is None:
+            try:
+                import numba  # noqa: F401
+
+                self._avail, self._reason = True, None
+            except Exception as exc:  # ImportError, broken install, ...
+                self._avail = False
+                self._reason = f"numba not importable ({type(exc).__name__})"
+        return self._avail
+
+    def unavailable_reason(self) -> Optional[str]:
+        self.available()
+        return self._reason
+
+    def _prepare(self, machine: "BatchedDMM", program: "BatchedProgram") -> Kernels:
+        if self._kernels is None:
+            if not self.available():
+                raise BackendUnavailable(
+                    f"numba backend cannot stage: {self._reason}"
+                )
+            from repro.dmm.backends.kernels import load_kernels
+
+            self._kernels = load_kernels(jit=True)
+        return self._kernels
+
+    # -- hot primitives ---------------------------------------------------
+    def _congestions(
+        self,
+        machine: "BatchedDMM",
+        instr: "BatchedInstruction",
+        staged: StagedPlan,
+    ) -> np.ndarray:
+        if instr.planned_congestions is not None:
+            return instr.planned_congestions
+        w, trials = machine.w, machine.trials
+        static = instr.static_congestions
+        if static is not None:
+            kernels: Kernels = staged.state
+            n_warps = instr.p // w
+            cong = np.empty((trials, n_warps), dtype=np.int64)
+            cong[:] = static
+            dyn = instr.dynamic_warps
+            if dyn is not None and dyn.size:
+                assert instr.bank_keys is not None
+                keys = instr.bank_keys.reshape(-1, w)
+                runs = np.empty(keys.shape[0], dtype=np.int64)
+                kernels["hist_congestion"](keys, w, runs)
+                cong[:, dyn] = runs.reshape(trials, dyn.size)
+            return cong
+        # Raw-address fallback (hand-built batches): the reference
+        # count is already one vectorized call; nothing to compile.
+        from repro.dmm.batched import instruction_congestions
+
+        return instruction_congestions(instr, w, trials)
+
+    def _move_data(
+        self,
+        machine: "BatchedDMM",
+        instr: "BatchedInstruction",
+        registers: dict[str, np.ndarray],
+        staged: StagedPlan,
+    ) -> None:
+        kernels: Kernels = staged.state
+        memory = machine.memory
+        addresses = instr.addresses
+        flat = instr.flat_stride is not None
+        if flat and instr.flat_stride != memory.stride:
+            raise ValueError(
+                f"instruction staged for memory stride {instr.flat_stride}, "
+                f"machine has {memory.stride}"
+            )
+        store = memory.flat_store
+        mask = instr.mask
+        if instr.op == "read":
+            gathered = np.empty(addresses.shape, dtype=memory.dtype)
+            if flat:
+                kernels["gather_flat"](store, addresses, gathered)
+            else:
+                kernels["gather_offset"](store, addresses, memory.stride, gathered)
+            if mask is None:
+                registers[instr.register] = gathered
+            else:
+                reg = registers.setdefault(
+                    instr.register,
+                    np.zeros((machine.trials, instr.p), dtype=memory.dtype),
+                )
+                if mask.ndim == 1:
+                    kernels["masked_assign_row"](reg, gathered, mask)
+                else:
+                    kernels["masked_assign_full"](reg, gathered, mask)
+        else:
+            if instr.values is not None:
+                source = instr.values
+            else:
+                if instr.register not in registers:
+                    raise KeyError(
+                        f"write from register {instr.register!r} before any read into it"
+                    )
+                source = registers[instr.register]
+            if source.ndim == 1:
+                if flat:
+                    kernels["scatter_flat_row"](store, addresses, source)
+                else:
+                    kernels["scatter_offset_row"](
+                        store, addresses, memory.stride, source
+                    )
+            else:
+                if flat:
+                    kernels["scatter_flat"](store, addresses, source)
+                else:
+                    kernels["scatter_offset"](
+                        store, addresses, memory.stride, source
+                    )

@@ -31,10 +31,13 @@ trial's lane order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence, Union
 
 import numpy as np
 import numpy.typing as npt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dmm.backends import PlanBackend
 
 from repro.core.congestion import congestion_batch, max_run_lengths
 from repro.dmm.memory import BatchedMemory
@@ -174,17 +177,23 @@ class BatchedInstruction:
     def __post_init__(self) -> None:
         if self.op not in ("read", "write"):
             raise ValueError(f"op must be 'read' or 'write', got {self.op!r}")
-        addresses = np.ascontiguousarray(self.addresses)
+        addresses = (
+            self.addresses
+            if isinstance(self.addresses, np.ndarray)
+            else np.asarray(self.addresses)
+        )
         if not np.issubdtype(addresses.dtype, np.integer):
             raise ValueError(
                 f"addresses must be integers, got dtype {addresses.dtype}"
             )
-        if addresses.dtype != np.int64:
+        if addresses.dtype != np.int64 or not addresses.flags.c_contiguous:
             # Normalize narrow staging dtypes up front: at w = 1024 a
             # flat index reaches trials * (2 w^2 + 1), which wraps
             # int16/int32 silently once the per-trial offset is baked
-            # in.  Widening here keeps every downstream add exact.
-            addresses = addresses.astype(np.int64)
+            # in.  One conversion covers layout and width together;
+            # contiguous int64 input (the staging hot path) skips the
+            # copy entirely.
+            addresses = np.ascontiguousarray(addresses, dtype=np.int64)
         if addresses.ndim != 2:
             raise ValueError(
                 f"addresses must be (trials, p), got shape {addresses.shape}"
@@ -476,7 +485,11 @@ class BatchedDMM:
         result.time_units = time_units
         return result
 
-    def execute_plan(self, program: BatchedProgram) -> BatchedExecutionResult:
+    def execute_plan(
+        self,
+        program: BatchedProgram,
+        backend: Union[str, "PlanBackend", None] = None,
+    ) -> BatchedExecutionResult:
         """Execute a plan-staged batch, skipping resolved-step simulation.
 
         The plan compiler (:func:`repro.analysis.plan.compile_plan`)
@@ -493,36 +506,21 @@ class BatchedDMM:
         execute exactly as under :meth:`run`.  The result is
         indistinguishable from :meth:`run` on the same program; the
         saving is wall-clock.
+
+        ``backend`` selects *where* the loop runs: ``None`` keeps the
+        numpy reference path, a registered name (``"numba"``,
+        ``"cupy"``, ``"auto"``) or a
+        :class:`~repro.dmm.backends.PlanBackend` instance routes through
+        :func:`repro.dmm.backends.resolve_backend`.  Every backend is
+        bit-identical to the reference; the choice only moves
+        wall-clock.
         """
-        self._check_program(program)
-        registers: dict[str, np.ndarray] = {}
-        time_units = np.zeros(self.trials, dtype=np.int64)
-        result = BatchedExecutionResult(
-            time_units=time_units, registers=registers, memory=self.memory
-        )
-        for instr in program:
-            static = instr.static_congestions
-            dyn = instr.dynamic_warps
-            if static is not None and dyn is not None and dyn.size == 0:
-                # Statically resolved: per-trial congestion is the
-                # certified constant vector, and the completion time is
-                # StageSchedule's closed form on its (constant) total.
-                cong = np.broadcast_to(
-                    static[None, :], (self.trials, static.size)
-                )
-                total = int(static.sum())
-                per_trial = total + self.latency - 1 if total > 0 else 0
-                times = np.full(self.trials, per_trial, dtype=np.int64)
-                self._move_data(instr, registers)
-                trace = BatchedInstructionTrace(
-                    op=instr.op, congestions=cong, time_units=times
-                )
-            else:
-                trace = self._execute(instr, registers)
-            result.traces.append(trace)
-            time_units += trace.time_units
-        result.time_units = time_units
-        return result
+        from repro.dmm.backends import resolve_backend
+
+        chosen = resolve_backend(
+            "numpy" if backend is None else backend
+        ).backend
+        return chosen.execute(chosen.stage(self, program))
 
     def _congestions(self, instr: BatchedInstruction) -> np.ndarray:
         """Per-trial, per-warp congestion, shape ``(T, n_warps)``."""

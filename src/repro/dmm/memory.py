@@ -171,6 +171,17 @@ class BatchedMemory:
         """The ``(trials, size)`` addressable words (a view)."""
         return self._store[:, : self.size]
 
+    @property
+    def flat_store(self) -> np.ndarray:
+        """The raw contiguous flat store including scratch cells (a view).
+
+        Execution backends gather/scatter through this array with
+        pre-offset flat indices; mutating it mutates the memory.
+        Unlike :attr:`store` (a non-contiguous slice), ravelling here
+        never copies.
+        """
+        return self._store.ravel()
+
     def trial(self, t: int) -> np.ndarray:
         """Copy of trial ``t``'s memory image, shape ``(size,)``."""
         return self._store[t, : self.size].copy()

@@ -18,7 +18,7 @@ write your kernel against logical indices, pick
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import numpy as np
 
@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.absint import CosetRecipe
     from repro.analysis.plan import CompiledPlan
     from repro.analysis.verify import VerificationReport
+    from repro.dmm.backends import PlanBackend
 
 __all__ = ["KernelStep", "KernelReport", "SharedMemoryKernel", "transpose_kernel"]
 
@@ -575,7 +576,11 @@ class SharedMemoryKernel:
         return machine.run(self.program_batch(shifts))
 
     def run_plan(
-        self, shifts: np.ndarray, plan: "CompiledPlan", latency: int = 1
+        self,
+        shifts: np.ndarray,
+        plan: "CompiledPlan",
+        latency: int = 1,
+        backend: Union[str, "PlanBackend", None] = None,
     ) -> BatchedExecutionResult:
         """Execute the kernel under a compiled plan (see
         :func:`repro.analysis.plan.compile_plan`).
@@ -586,7 +591,11 @@ class SharedMemoryKernel:
         steps never replay addresses for congestion counting.  The
         result is bit-identical to :meth:`run_batch` (and to the scalar
         machine per trial); ``shifts`` must be draws of the plan's
-        mapping family, which is checked up front.
+        mapping family, which is checked up front.  ``backend`` selects
+        the execution backend for the residual steps (``None`` = numpy
+        reference; see :func:`repro.dmm.backends.resolve_backend`) —
+        every backend is bit-identical, the choice only moves
+        wall-clock.
         """
         from repro.analysis.plan import check_family_shifts
 
@@ -597,7 +606,9 @@ class SharedMemoryKernel:
         shifts = np.ascontiguousarray(shifts, dtype=np.int64)
         check_family_shifts(plan.family, shifts, self.w)
         machine = self.make_batched_machine(shifts.shape[0], latency)
-        return machine.execute_plan(self.program_batch(shifts, plan=plan))
+        return machine.execute_plan(
+            self.program_batch(shifts, plan=plan), backend=backend
+        )
 
     def verify(self, certify: bool = True) -> "VerificationReport":
         """Statically verify the kernel without executing it.

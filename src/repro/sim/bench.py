@@ -31,6 +31,16 @@ static verdicts and pooled address tables, and run
 certified steps' timing in closed form.  Compilation is inside the
 timed section (it is part of the cost a caller pays), and both paths
 are still verified to agree per trial before any number is reported.
+
+``--plan --backend X`` moves the comparison one more level: **numpy
+plan path** (the previous winner, now the baseline) vs the same plan
+executed on backend ``X`` (:mod:`repro.dmm.backends`) — the number CI
+gates with ``--min-speedup``.  When the requested backend is
+unavailable in this environment the row reports the graceful numpy
+fallback and the gate is skipped with a warning rather than failing.
+``--plan --compare-backends`` benchmarks every registered backend
+side by side (one row per ``w`` x app x backend; ``--w`` accepts
+several widths), which is how ``BENCH_backends.json`` is produced.
 """
 
 from __future__ import annotations
@@ -58,10 +68,13 @@ from repro.util.validation import check_positive_int
 __all__ = [
     "DEFAULT_BENCH_APPS",
     "DEFAULT_PLAN_APPS",
+    "DEFAULT_BACKEND_APPS",
     "BenchResult",
     "bench_app",
     "bench_plan_app",
+    "bench_backend_compare",
     "render_bench",
+    "render_backend_compare",
     "main",
 ]
 
@@ -73,6 +86,12 @@ DEFAULT_BENCH_APPS = ("fft", "sort", "stencil_row")
 #: zoo schedules, whose stages the plan compiler resolves completely
 #: under RAP.
 DEFAULT_PLAN_APPS = ("shearsort", "cf_permute")
+
+#: Apps benchmarked by default under ``--plan --backend`` /
+#: ``--compare-backends``: the residual-heavy pair, where the plan
+#: compiler leaves real per-trial work for the backend's kernels (a
+#: fully-resolved app measures nothing but the shared closed form).
+DEFAULT_BACKEND_APPS = ("fft", "sort")
 
 
 @dataclass(frozen=True)
@@ -90,6 +109,13 @@ class BenchResult:
     winner, now the baseline) and ``batched_s`` the plan-compiled
     path, with ``stage_coverage`` recording the fraction of dispatched
     warps the plan settled statically.
+
+    Under ``mode="plan-backend"`` the slots move one more level:
+    ``scalar_s`` is the *numpy* plan path and ``batched_s`` the same
+    plan on ``backend`` — the ``--backend`` comparison CI gates.
+    ``backend_available`` is False when the requested backend fell
+    back to numpy (``note`` says why), in which case the speedup is
+    ~1.0 by construction and min-speedup gates skip the row.
     """
 
     app: str
@@ -103,6 +129,10 @@ class BenchResult:
     batched_s: float
     mode: str = "batched"
     stage_coverage: float | None = None
+    backend: str = "numpy"
+    requested_backend: str | None = None
+    backend_available: bool = True
+    note: str | None = None
 
     def __post_init__(self):
         if self.trials < 0:
@@ -158,7 +188,27 @@ class BenchResult:
         rates (``inf`` from a zero-duration section) become ``null``
         so the artifact stays strict JSON.  ``mode="plan"`` results use
         ``batched_s``/``plan_s`` keys (the baseline there is the plain
-        batched path)."""
+        batched path); ``mode="plan-backend"`` uses
+        ``numpy_plan_s``/``backend_plan_s``."""
+        if self.mode == "plan-backend":
+            return {
+                "app": self.app,
+                "w": self.w,
+                "trials": self.trials,
+                "mapping": self.mapping,
+                "latency": self.latency,
+                "steps": self.steps,
+                "repeats": self.repeats,
+                "mode": self.mode,
+                "backend": self.backend,
+                "requested_backend": self.requested_backend,
+                "available": self.backend_available,
+                "numpy_plan_s": round(self.scalar_s, 6),
+                "backend_plan_s": round(self.batched_s, 6),
+                "speedup": self._json_num(self.speedup, 2),
+                "stage_coverage": self.stage_coverage,
+                "note": self.note,
+            }
         if self.mode == "plan":
             return {
                 "app": self.app,
@@ -256,6 +306,35 @@ def bench_app(
     )
 
 
+def _time_plan_path(
+    kernel,
+    app: str,
+    mapping: str,
+    shifts: np.ndarray,
+    latency: int,
+    repeats: int,
+    backend,
+) -> tuple[float, np.ndarray, float]:
+    """Best-of-``repeats`` wall time of the plan path on one backend.
+
+    Compilation is inside the timed section (part of the cost a caller
+    pays); returns ``(seconds, per-trial times, stage coverage)``.
+    """
+    from repro.analysis.plan import compile_plan
+
+    best = math.inf
+    times = None
+    coverage = 0.0
+    for _ in range(repeats):
+        start = perf_counter()
+        plan = compile_plan(kernel, mapping, app)
+        result = kernel.run_plan(shifts, plan, latency=latency, backend=backend)
+        best = min(best, perf_counter() - start)
+        times = result.time_units
+        coverage = plan.stage_coverage
+    return best, times, coverage
+
+
 def bench_plan_app(
     app: str,
     w: int = 32,
@@ -264,6 +343,7 @@ def bench_plan_app(
     latency: int = 1,
     seed: SeedLike = 2014,
     repeats: int = 3,
+    backend: str | None = None,
 ) -> BenchResult:
     """Time one app plain-batched vs plan-executed; verify agreement.
 
@@ -277,9 +357,14 @@ def bench_plan_app(
     ``cf_permute``'s routing) construction cost would only dilute the
     executor comparison.  Raises ``AssertionError`` if the paths
     disagree on any trial.
-    """
-    from repro.analysis.plan import compile_plan
 
+    With a non-numpy ``backend`` the comparison moves one level up
+    (``mode="plan-backend"``): baseline = the numpy plan path,
+    contender = the same plan on ``backend``, resolved through
+    :func:`repro.dmm.backends.resolve_backend` (graceful fallback —
+    an unavailable backend yields a ~1.0x row flagged
+    ``backend_available=False`` instead of an exception).
+    """
     if app not in BUILTIN_PROGRAMS:
         raise ValueError(f"unknown app {app!r}; expected one of {sorted(BUILTIN_PROGRAMS)}")
     check_positive_int(w, "w")
@@ -290,6 +375,39 @@ def bench_plan_app(
     kernel = build_app_program(app, RAWMapping(w), seed=skeleton_seed)
     steps = len(kernel.steps)
 
+    if backend is not None and backend != "numpy":
+        from repro.dmm.backends import resolve_backend
+
+        resolution = resolve_backend(backend)
+        base_s, base_times, coverage = _time_plan_path(
+            kernel, app, mapping, shifts, latency, repeats, "numpy"
+        )
+        back_s, back_times, _ = _time_plan_path(
+            kernel, app, mapping, shifts, latency, repeats, resolution.backend
+        )
+        if not np.array_equal(base_times, back_times):
+            raise AssertionError(
+                f"{app}: {resolution.backend.name} backend disagrees with numpy "
+                f"(numpy={base_times!r}, backend={back_times!r})"
+            )
+        return BenchResult(
+            app=app,
+            w=w,
+            trials=trials,
+            mapping=mapping,
+            latency=latency,
+            steps=steps,
+            repeats=repeats,
+            scalar_s=base_s,
+            batched_s=back_s,
+            mode="plan-backend",
+            stage_coverage=round(coverage, 6),
+            backend=resolution.backend.name,
+            requested_backend=backend,
+            backend_available=not resolution.fell_back,
+            note=resolution.note,
+        )
+
     batched_s = math.inf
     batched_times = None
     for _ in range(repeats):
@@ -298,16 +416,9 @@ def bench_plan_app(
         batched_s = min(batched_s, perf_counter() - start)
         batched_times = result.time_units
 
-    plan_s = math.inf
-    plan_times = None
-    coverage = 0.0
-    for _ in range(repeats):
-        start = perf_counter()
-        plan = compile_plan(kernel, mapping, app)
-        result = kernel.run_plan(shifts, plan, latency=latency)
-        plan_s = min(plan_s, perf_counter() - start)
-        plan_times = result.time_units
-        coverage = plan.stage_coverage
+    plan_s, plan_times, coverage = _time_plan_path(
+        kernel, app, mapping, shifts, latency, repeats, None
+    )
 
     if not np.array_equal(batched_times, plan_times):
         raise AssertionError(
@@ -326,7 +437,100 @@ def bench_plan_app(
         batched_s=plan_s,
         mode="plan",
         stage_coverage=round(coverage, 6),
+        requested_backend=backend,
     )
+
+
+def bench_backend_compare(
+    apps: Sequence[str],
+    widths: Sequence[int],
+    trials: int = 100,
+    mapping: str = "RAP",
+    latency: int = 1,
+    seed: SeedLike = 2014,
+    repeats: int = 3,
+) -> list[dict]:
+    """Plan-path timing of every registered backend, side by side.
+
+    One row per ``w`` x app x backend.  numpy rows are the baseline
+    (speedup 1.0 by definition); every other backend's per-trial times
+    are verified equal to the numpy plan path's before its number is
+    reported (the plan path itself is pinned to the plain batched path
+    and the scalar machine by ``--plan`` mode and the test suite).  A
+    backend that cannot execute here is reported honestly as
+    unavailable (with the reason) rather than silently skipped — the
+    committed ``BENCH_backends.json`` records what *this* environment
+    could and could not measure.
+    """
+    from repro.dmm.backends import backend_names, get_backend
+
+    rows: list[dict] = []
+    for w in widths:
+        for app in apps:
+            if app not in BUILTIN_PROGRAMS:
+                raise ValueError(
+                    f"unknown app {app!r}; expected one of {sorted(BUILTIN_PROGRAMS)}"
+                )
+            shifts = sample_shift_batch(mapping, w, trials, as_generator(seed))
+            kernel = build_app_program(app, RAWMapping(w), seed=2014)
+            steps = len(kernel.steps)
+            base_s, base_times, _ = _time_plan_path(
+                kernel, app, mapping, shifts, latency, repeats, "numpy"
+            )
+            rows.append(
+                {
+                    "w": w,
+                    "app": app,
+                    "steps": steps,
+                    "backend": "numpy",
+                    "available": True,
+                    "plan_s": round(base_s, 6),
+                    "speedup_vs_numpy": 1.0,
+                    "note": None,
+                }
+            )
+            for name in backend_names():
+                if name == "numpy":
+                    continue
+                probe = get_backend(name)
+                if not probe.available():
+                    rows.append(
+                        {
+                            "w": w,
+                            "app": app,
+                            "steps": steps,
+                            "backend": name,
+                            "available": False,
+                            "plan_s": None,
+                            "speedup_vs_numpy": None,
+                            "note": probe.unavailable_reason(),
+                        }
+                    )
+                    continue
+                back_s, back_times, _ = _time_plan_path(
+                    kernel, app, mapping, shifts, latency, repeats, probe
+                )
+                if not np.array_equal(base_times, back_times):
+                    raise AssertionError(
+                        f"{app} (w={w}): {name} backend disagrees with numpy "
+                        f"(numpy={base_times!r}, backend={back_times!r})"
+                    )
+                speedup = (
+                    base_s / back_s if back_s > 0 else math.inf
+                )
+                rows.append(
+                    {
+                        "w": w,
+                        "app": app,
+                        "steps": steps,
+                        "backend": name,
+                        "available": True,
+                        "plan_s": round(back_s, 6),
+                        "speedup_vs_numpy": BenchResult._json_num(speedup, 2),
+                        "note": None,
+                    }
+                )
+    return rows
 
 
 def render_bench(results: Sequence[BenchResult]) -> str:
@@ -334,6 +538,28 @@ def render_bench(results: Sequence[BenchResult]) -> str:
     from repro.report.tables import format_grid
 
     first = results[0]
+    if first.mode == "plan-backend":
+        rows = [
+            [
+                r.app,
+                str(r.steps),
+                f"{r.scalar_s * 1e3:.1f}",
+                f"{r.batched_s * 1e3:.1f}",
+                r.backend if r.backend_available else f"{r.backend} (fallback)",
+                f"{r.speedup:.2f}x",
+            ]
+            for r in results
+        ]
+        return format_grid(
+            ["app", "steps", "numpy plan ms", "backend plan ms", "backend", "speedup"],
+            rows,
+            title=(
+                f"Plan execution backend vs numpy reference "
+                f"(requested {first.requested_backend}, w={first.w}, "
+                f"trials={first.trials}, mapping={first.mapping}, "
+                f"best of {first.repeats})"
+            ),
+        )
     if first.mode == "plan":
         rows = [
             [
@@ -379,6 +605,39 @@ def render_bench(results: Sequence[BenchResult]) -> str:
     )
 
 
+def render_backend_compare(
+    rows: Sequence[dict], trials: int, mapping: str, repeats: int
+) -> str:
+    """ASCII table of a backend comparison (one row per w/app/backend)."""
+    from repro.report.tables import format_grid
+
+    grid = []
+    for r in rows:
+        if r["available"]:
+            speedup = r["speedup_vs_numpy"]
+            grid.append(
+                [
+                    str(r["w"]),
+                    r["app"],
+                    r["backend"],
+                    f"{r['plan_s'] * 1e3:.1f}",
+                    "inf" if speedup is None else f"{speedup:.2f}x",
+                ]
+            )
+        else:
+            grid.append(
+                [str(r["w"]), r["app"], r["backend"], "unavailable", "-"]
+            )
+    return format_grid(
+        ["w", "app", "backend", "plan ms", "vs numpy"],
+        grid,
+        title=(
+            f"Plan execution backends "
+            f"(trials={trials}, mapping={mapping}, best of {repeats})"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Argument parser for ``repro bench-dmm`` (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -399,7 +658,13 @@ def build_parser() -> argparse.ArgumentParser:
             f"or {' '.join(DEFAULT_PLAN_APPS)} with --plan)"
         ),
     )
-    parser.add_argument("--w", type=int, default=32, help="warp width / banks (default 32)")
+    parser.add_argument(
+        "--w",
+        type=int,
+        nargs="+",
+        default=[32],
+        help="warp width(s) / banks; several run back to back (default 32)",
+    )
     parser.add_argument(
         "--trials", type=int, default=100, help="mapping redraws per app (default 100)"
     )
@@ -437,49 +702,161 @@ def build_parser() -> argparse.ArgumentParser:
             f"(default apps: {' '.join(DEFAULT_PLAN_APPS)})"
         ),
     )
+    from repro.dmm.backends import BACKEND_CHOICES
+
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default=None,
+        help=(
+            "with --plan: execute the plan path on this backend and "
+            "compare against the numpy reference (default apps: "
+            f"{' '.join(DEFAULT_BACKEND_APPS)}); an unavailable "
+            "backend falls back to numpy with a warning"
+        ),
+    )
+    parser.add_argument(
+        "--compare-backends",
+        action="store_true",
+        help=(
+            "with --plan: benchmark every registered backend side by "
+            "side, one row per w x app x backend (unavailable backends "
+            "are reported, not skipped)"
+        ),
+    )
     return parser
+
+
+def _emit_json(payload: dict, path: str | None) -> None:
+    if path == "-":
+        print(json.dumps(payload, indent=2))
+    elif path:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {path}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``repro bench-dmm``; returns an exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if (args.backend is not None or args.compare_backends) and not args.plan:
+        parser.error("--backend/--compare-backends require --plan")
+    if args.backend is not None and args.compare_backends:
+        parser.error("--backend and --compare-backends are mutually exclusive")
+    widths = list(args.w)
+    for w in widths:
+        check_positive_int(w, "w")
+    backend_mode = args.backend is not None and args.backend != "numpy"
     apps = args.apps
     if apps is None:
-        apps = list(DEFAULT_PLAN_APPS if args.plan else DEFAULT_BENCH_APPS)
-    bench = bench_plan_app if args.plan else bench_app
-    results = [
-        bench(
-            app,
-            w=args.w,
+        if args.compare_backends or backend_mode:
+            apps = list(DEFAULT_BACKEND_APPS)
+        elif args.plan:
+            apps = list(DEFAULT_PLAN_APPS)
+        else:
+            apps = list(DEFAULT_BENCH_APPS)
+
+    if args.compare_backends:
+        rows = bench_backend_compare(
+            apps,
+            widths,
             trials=args.trials,
             mapping=args.mapping,
             latency=args.latency,
             seed=args.seed,
             repeats=args.repeats,
         )
-        for app in apps
-    ]
+        payload = {
+            "mode": "backend-compare",
+            "widths": widths,
+            "trials": args.trials,
+            "mapping": args.mapping,
+            "latency": args.latency,
+            "seed": args.seed,
+            "repeats": args.repeats,
+            "rows": rows,
+        }
+        if args.json != "-":
+            print(render_backend_compare(rows, args.trials, args.mapping, args.repeats))
+        _emit_json(payload, args.json)
+        if args.min_speedup is not None:
+            print(
+                "note: --min-speedup is ignored under --compare-backends",
+                file=sys.stderr,
+            )
+        return 0
+
+    results = []
+    for w in widths:
+        for app in apps:
+            if args.plan:
+                results.append(
+                    bench_plan_app(
+                        app,
+                        w=w,
+                        trials=args.trials,
+                        mapping=args.mapping,
+                        latency=args.latency,
+                        seed=args.seed,
+                        repeats=args.repeats,
+                        backend=args.backend,
+                    )
+                )
+            else:
+                results.append(
+                    bench_app(
+                        app,
+                        w=w,
+                        trials=args.trials,
+                        mapping=args.mapping,
+                        latency=args.latency,
+                        seed=args.seed,
+                        repeats=args.repeats,
+                    )
+                )
+    if args.plan and args.backend is not None:
+        mode = "plan-backend" if backend_mode else "plan"
+    else:
+        mode = "plan" if args.plan else "batched"
+    single_width = len(widths) == 1
     payload = {
-        "w": args.w,
+        "w": widths[0] if single_width else widths,
         "trials": args.trials,
         "mapping": args.mapping,
         "latency": args.latency,
         "seed": args.seed,
         "repeats": args.repeats,
-        "mode": "plan" if args.plan else "batched",
-        "apps": {r.app: r.as_dict() for r in results},
+        "mode": mode,
+        "apps": {
+            (r.app if single_width else f"{r.app}@w={r.w}"): r.as_dict()
+            for r in results
+        },
     }
-    if args.json == "-":
-        print(json.dumps(payload, indent=2))
-    else:
-        print(render_bench(results))
-        if args.json:
-            with open(args.json, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=2)
-                fh.write("\n")
-            print(f"wrote {args.json}")
+    if args.backend is not None:
+        payload["backend"] = args.backend
+    if args.json != "-":
+        for w in widths:
+            print(render_bench([r for r in results if r.w == w]))
+    _emit_json(payload, args.json)
+    for r in results:
+        if r.mode == "plan-backend" and not r.backend_available:
+            print(f"warning: {r.app} (w={r.w}): {r.note}", file=sys.stderr)
     if args.min_speedup is not None:
-        slow = [r for r in results if r.speedup < args.min_speedup]
+        gated = [
+            r
+            for r in results
+            if not (r.mode == "plan-backend" and not r.backend_available)
+        ]
+        skipped = len(results) - len(gated)
+        if skipped:
+            print(
+                f"note: min-speedup gate skipped for {skipped} row(s) whose "
+                "requested backend is unavailable here (graceful fallback)",
+                file=sys.stderr,
+            )
+        slow = [r for r in gated if r.speedup < args.min_speedup]
         for r in slow:
             print(
                 f"FAIL: {r.app} speedup {r.speedup:.1f}x "

@@ -202,6 +202,82 @@ class TestStackPrograms:
         with pytest.raises(ValueError, match="trials"):
             machine.run(stack_programs(programs))
 
+    def test_empty_program_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one program"):
+            stack_programs([])
+
+    def test_single_step_programs_stack_and_match_scalar(self):
+        # The minimal batch: one instruction per program, still exact.
+        rng = as_generator(31)
+        p = W * W
+        programs = [
+            MemoryProgram(
+                p=p,
+                instructions=[
+                    write(
+                        rng.integers(0, W * W, size=p),
+                        values=rng.random(p),
+                    )
+                ],
+            )
+            for _ in range(3)
+        ]
+        machine = BatchedDMM(W, latency=1, memory_size=W * W, trials=3)
+        res = machine.run(stack_programs(programs))
+        assert len(res.traces) == 1
+        for t, program in enumerate(programs):
+            scalar = DiscreteMemoryMachine(W, latency=1, memory_size=W * W)
+            scalar_result = scalar.run(program)
+            _assert_trial_matches(res, t, scalar_result, scalar)
+
+    def test_all_masked_warp_has_zero_congestion_everywhere(self):
+        # One warp entirely INACTIVE in every trial: it must dispatch
+        # nothing and contribute zero congestion, in every trial.
+        p = 2 * W
+        addrs = np.arange(p) % (W * W)
+        masked = addrs.copy()
+        masked[W:] = INACTIVE  # second warp fully inactive
+        programs = [
+            MemoryProgram(p=p, instructions=[read(masked, register="r")])
+            for _ in range(3)
+        ]
+        machine = BatchedDMM(W, latency=1, memory_size=W * W, trials=3)
+        res = machine.run(stack_programs(programs))
+        assert np.array_equal(
+            res.traces[0].congestions[:, 1], np.zeros(3, dtype=np.int64)
+        )
+        for t in range(3):
+            assert res.traces[0].trial_dispatched(t) == (0,)
+
+    def test_mixed_value_and_register_columns_rejected(self):
+        # Same op/register but one program writes an immediate while
+        # the other writes from a register: structurally different.
+        p = W * W
+        addrs = np.arange(p) % (W * W)
+        with_values = MemoryProgram(
+            p=p,
+            instructions=[write(addrs, values=np.ones(p))],
+        )
+        from_register = MemoryProgram(
+            p=p,
+            instructions=[write(addrs, register="acc")],
+        )
+        with pytest.raises(ValueError, match="instruction 0 differs structurally"):
+            stack_programs([with_values, from_register])
+
+    def test_mismatched_thread_count_rejected(self):
+        a = MemoryProgram(p=W, instructions=[read(np.arange(W))])
+        b = MemoryProgram(p=2 * W, instructions=[read(np.arange(2 * W))])
+        with pytest.raises(ValueError, match="thread and instruction counts"):
+            stack_programs([a, b])
+
+    def test_mismatched_instruction_count_rejected(self):
+        addrs = np.arange(W)
+        a = MemoryProgram(p=W, instructions=[read(addrs)])
+        b = MemoryProgram(p=W, instructions=[read(addrs), read(addrs)])
+        with pytest.raises(ValueError, match="thread and instruction counts"):
+            stack_programs([a, b])
+
 
 class TestStagedFlatAddressing:
     def test_stride_mismatch_rejected(self):
