@@ -40,18 +40,31 @@ Adversarial subcommand:
   and width, with a RAW-vs-RAP separation gate
   (``python -m repro adversary --w 32 --budget tiny``).
 
-Maintenance subcommand:
+Maintenance subcommands:
 
 * ``cache`` — audit the on-disk result cache
   (``python -m repro cache verify|stats|clear``).  ``verify``
-  quarantines invalid entries and exits non-zero when any were found.
+  quarantines invalid entries and exits non-zero when any were found;
+  ``clear --quarantine`` prunes aged-out quarantined entries only.
+* ``journal`` — inspect a sweep journal offline
+  (``python -m repro journal verify|stats|tail PATH``).  ``verify``
+  checks the header and every per-line checksum, exit 1 on corruption.
+
+Sweep orchestration:
+
+* ``sweep-all`` — every journal-aware sweep (table2, table4, growth,
+  lemma1) back to back with checkpoint journals always on; rerunning
+  resumes byte-identically (``python -m repro sweep-all --fabric
+  workers=4``).
 
 Options let the user trade runtime for precision (``--trials``), pin
 reproducibility (``--seed``), distribute Monte-Carlo trials over
-worker processes (``--workers``), and control the on-disk result
-cache (``--no-cache``; ``--stats`` prints the engine's throughput and
-cache counters).  For a fixed seed the printed numbers are
-bit-identical for every worker count and cache state.
+worker processes (``--workers``) or the lease-based sweep fabric
+(``--fabric workers=N``), and control the on-disk result cache
+(``--no-cache``; ``--stats`` prints the engine's throughput and
+cache counters, plus per-worker fabric accounting when --fabric is
+on).  For a fixed seed the printed numbers are bit-identical for
+every worker count, fabric spec, and cache state.
 
 Checkpoint/resume: ``--journal [PATH]`` makes the journal-aware
 experiments (``table2``, ``table4``, ``growth``, ``lemma1``) record
@@ -109,8 +122,17 @@ def _engine_from_args(args) -> "MonteCarloEngine":
         from repro.sim.engine import MonteCarloEngine
 
         cache = None if getattr(args, "no_cache", False) else ResultCache()
+        faults = None
+        chaos = getattr(args, "chaos", None)
+        if chaos is not None:
+            from repro.resilience.faults import builtin_worker_fault_plan
+
+            faults = builtin_worker_fault_plan(chaos)
         engine = MonteCarloEngine(
-            workers=getattr(args, "workers", 1), cache=cache
+            workers=getattr(args, "workers", 1),
+            cache=cache,
+            faults=faults,
+            fabric=getattr(args, "fabric", None),
         )
         args._engine = engine
     return engine
@@ -519,6 +541,29 @@ def build_parser() -> argparse.ArgumentParser:
         "cache hits) after the experiment output",
     )
     parser.add_argument(
+        "--fabric",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "run Monte-Carlo shards on the distributed sweep fabric: "
+            "N lease-based work-stealing workers with failure detection "
+            "(e.g. 'workers=4' or 'workers=4,backend=pool'; backends: "
+            "inproc, pool, spawned).  Results are bit-identical to "
+            "--workers execution."
+        ),
+    )
+    parser.add_argument(
+        "--chaos",
+        metavar="PLAN",
+        default=None,
+        help=(
+            "inject a builtin worker-fault schedule (kill-worker, "
+            "kill-two-workers, worker-blackout, slow-worker, "
+            "corrupt-result, kill-coordinator) — the CI chaos gate: "
+            "output must stay byte-identical to a fault-free run"
+        ),
+    )
+    parser.add_argument(
         "--journal",
         metavar="PATH",
         default=None,
@@ -550,7 +595,9 @@ def _cache_main(argv: Sequence[str]) -> int:
             "checks every entry's integrity checksum, quarantines "
             "invalid ones, and exits non-zero when any were found; "
             "'stats' prints a directory snapshot; 'clear' deletes all "
-            "entries plus orphaned .tmp staging files."
+            "entries plus orphaned .tmp staging files ('clear "
+            "--quarantine' instead prunes only quarantined entries "
+            "older than the 1h grace period)."
         ),
     )
     parser.add_argument("action", choices=("verify", "stats", "clear"))
@@ -566,6 +613,13 @@ def _cache_main(argv: Sequence[str]) -> int:
         help="verify only: report invalid entries without moving them "
         "to quarantine/",
     )
+    parser.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="clear only: prune aged-out quarantined entries (past the "
+        "same 1h grace used for .tmp orphans) and leave live cache "
+        "entries alone",
+    )
     args = parser.parse_args(list(argv))
     from repro.sim.cache import ResultCache
 
@@ -575,6 +629,13 @@ def _cache_main(argv: Sequence[str]) -> int:
             print(f"{field}: {value}")
         return 0
     if args.action == "clear":
+        if args.quarantine:
+            removed = cache.prune_quarantine()
+            print(
+                f"pruned {removed} aged-out quarantined entr"
+                f"{'y' if removed == 1 else 'ies'} from {cache.quarantine_dir}"
+            )
+            return 0
         removed = cache.clear()
         print(f"removed {removed} file(s) from {cache.root}")
         return 0
@@ -590,6 +651,167 @@ def _cache_main(argv: Sequence[str]) -> int:
             print(f"  {name}")
         return 1
     print("cache is clean")
+    return 0
+
+
+def _journal_main(argv: Sequence[str]) -> int:
+    """``python -m repro journal verify|stats|tail PATH``."""
+    parser = argparse.ArgumentParser(
+        prog="rap-repro journal",
+        description=(
+            "Inspect a sweep journal offline.  'verify' checks the "
+            "header line and every record's checksum, exiting non-zero "
+            "on corruption (a bad journal otherwise only surfaces "
+            "mid---resume); 'stats' summarizes the file; 'tail' prints "
+            "the most recent records."
+        ),
+    )
+    parser.add_argument("action", choices=("verify", "stats", "tail"))
+    parser.add_argument("path", help="journal file (JSONL)")
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=10,
+        help="tail: how many records to show (default 10)",
+    )
+    args = parser.parse_args(list(argv))
+    import json
+
+    from repro.resilience.journal import verify_journal
+
+    report = verify_journal(args.path)
+
+    if args.action == "verify":
+        if report.header is not None:
+            print(f"header: {json.dumps(report.header, sort_keys=True)}")
+        print(
+            f"checked {report.path}: {len(report.records)} valid record(s), "
+            f"{len(report.bad_lines)} bad line(s)"
+        )
+        for line_no, reason in report.bad_lines:
+            print(f"  line {line_no}: {reason}")
+        if report.ok:
+            print("journal is clean")
+            return 0
+        if report.torn_tail_only:
+            print(
+                "note: the only damage is a torn final line (the crash "
+                "signature --resume tolerates: that cell is recomputed)"
+            )
+        return 1
+
+    if args.action == "stats":
+        if report.header is None:
+            print(f"error: {report.path} is not a usable journal", file=sys.stderr)
+            for line_no, reason in report.bad_lines:
+                print(f"  line {line_no}: {reason}", file=sys.stderr)
+            return 1
+        size = report.path.stat().st_size
+        keys = report.keys
+        print(f"path: {report.path}")
+        print(f"size: {size} bytes")
+        for field in sorted(report.header):
+            print(f"header.{field}: {json.dumps(report.header[field], sort_keys=True)}")
+        print(f"records: {len(report.records)}")
+        print(f"distinct cells: {len(keys)}")
+        print(f"bad lines: {len(report.bad_lines)}")
+        return 0 if report.ok else 1
+
+    # tail
+    if report.header is None:
+        print(f"error: {report.path} is not a usable journal", file=sys.stderr)
+        return 1
+    for line_no, key, payload in report.records[-max(0, args.count):]:
+        text = json.dumps(payload, sort_keys=True, default=str)
+        if len(text) > 72:
+            text = text[:69] + "..."
+        print(f"line {line_no}: {key} = {text}")
+    if not report.records:
+        print("(no records)")
+    return 0
+
+
+#: The journal-aware sweeps ``sweep-all`` runs, in order.
+SWEEP_ALL_EXPERIMENTS = ("table2", "table4", "growth", "lemma1")
+
+
+def _sweep_all_main(argv: Sequence[str]) -> int:
+    """``python -m repro sweep-all``: every journal-aware sweep, resumably.
+
+    Runs ``table2``, ``table4``, ``growth``, and ``lemma1`` with
+    per-experiment journals (always on), so an interrupted pass —
+    Ctrl-C, OOM, a killed coordinator — picks up where it left off and
+    prints output byte-identical to an uninterrupted run.  ``--fabric``
+    executes every sweep's shards on the distributed fabric.
+    """
+    parser = argparse.ArgumentParser(
+        prog="rap-repro sweep-all",
+        description=(
+            "Run every journal-aware sweep (table2, table4, growth, "
+            "lemma1) back to back with checkpoint journals always on; "
+            "rerunning resumes from the journals byte-identically.  "
+            "--fabric distributes each sweep over lease-based "
+            "work-stealing workers."
+        ),
+    )
+    parser.add_argument("--trials", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument(
+        "--widths", type=int, nargs="+", default=[16, 32, 64, 128, 256]
+    )
+    parser.add_argument("--w4", type=int, default=32)
+    parser.add_argument("--format", choices=("ascii", "md"), default="ascii")
+    parser.add_argument("--workers", type=_workers_arg, default=1)
+    parser.add_argument(
+        "--fabric",
+        metavar="SPEC",
+        default=None,
+        help="fabric spec, e.g. 'workers=4' or 'workers=4,backend=pool'",
+    )
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--stats", action="store_true")
+    parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help=(
+            "base path for the per-experiment journal files (default: "
+            "journals/sweep-all-<experiment>.jsonl under the cache dir)"
+        ),
+    )
+    parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard existing journals and start the sweeps over",
+    )
+    args = parser.parse_args(list(argv))
+    # Reuse the experiment runners verbatim: `experiment = "all"` makes
+    # _journal_for derive one journal file per experiment from the base
+    # path, exactly like a journaled `repro all` run.
+    args.experiment = "all"
+    args.resume = not args.fresh
+    if args.journal is None:
+        from repro.sim.cache import default_cache_dir
+
+        args.journal = str(default_cache_dir() / "journals" / "sweep-all.jsonl")
+    from repro.resilience.journal import JournalError
+
+    try:
+        for name in SWEEP_ALL_EXPERIMENTS:
+            print(run_experiment(name, args))
+            print()
+        if args.stats:
+            print(_engine_from_args(args).collector.summary())
+            print()
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        return 0
+    finally:
+        engine = getattr(args, "_engine", None)
+        if engine is not None:
+            engine.close()
     return 0
 
 
@@ -619,6 +841,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return adversary_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "journal":
+        return _journal_main(argv[1:])
+    if argv and argv[0] == "sweep-all":
+        return _sweep_all_main(argv[1:])
     args = build_parser().parse_args(argv)
     names = (
         list(_TABLE_RUNNERS) + list(ALL_FIGURES)

@@ -11,7 +11,46 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["RetryRecord", "RunStatsCollector", "ShardRecord"]
+__all__ = ["FabricWorkerStats", "RetryRecord", "RunStatsCollector", "ShardRecord"]
+
+
+@dataclass
+class FabricWorkerStats:
+    """Per-worker accounting for one fabric worker.
+
+    Attributes
+    ----------
+    worker:
+        Fabric worker id (the degraded-mode fallback worker uses the
+        first id past the configured worker count).
+    backend:
+        Backend kind (``inproc``/``pool``/``spawned``/``inproc-fallback``).
+    shards:
+        Shard results this worker delivered and the coordinator
+        accepted.
+    steals:
+        Shards this worker claimed from outside its own partition.
+    lease_expiries:
+        Leases this worker lost — to a missed-heartbeat death, a
+        deadline overrun, or its own crash.
+    fenced:
+        Stale (zombie) deliveries from this worker the coordinator
+        discarded.
+    deaths:
+        Times the coordinator declared this worker dead (a killed
+        worker dies once; a blacked-out worker can die and rejoin).
+    rejoins:
+        Times a declared-dead worker resumed heartbeating.
+    """
+
+    worker: int
+    backend: str = ""
+    shards: int = 0
+    steals: int = 0
+    lease_expiries: int = 0
+    fenced: int = 0
+    deaths: int = 0
+    rejoins: int = 0
 
 
 @dataclass(frozen=True)
@@ -68,6 +107,8 @@ class RunStatsCollector:
     retries: list[RetryRecord] = field(default_factory=list)
     pool_respawns: int = 0
     degraded_runs: int = 0
+    fabric_workers: dict[int, FabricWorkerStats] = field(default_factory=dict)
+    quarantined: list[tuple[str, int]] = field(default_factory=list)
 
     def record_shard(self, task: str, trials: int, seconds: float) -> None:
         self.shards.append(ShardRecord(task, trials, seconds))
@@ -91,6 +132,46 @@ class RunStatsCollector:
     def record_degraded(self) -> None:
         """Pool recovery gave up; a run finished serially in-process."""
         self.degraded_runs += 1
+
+    # -- fabric events (see repro.fabric.supervisor) ----------------------
+
+    def fabric_worker(self, worker: int, backend: str = "") -> FabricWorkerStats:
+        """Get-or-create the per-worker stats row for ``worker``."""
+        stats = self.fabric_workers.get(worker)
+        if stats is None:
+            stats = FabricWorkerStats(worker=worker, backend=backend)
+            self.fabric_workers[worker] = stats
+        elif backend and not stats.backend:
+            stats.backend = backend
+        return stats
+
+    def record_fabric_shard(self, worker: int) -> None:
+        """The coordinator accepted one shard result from ``worker``."""
+        self.fabric_worker(worker).shards += 1
+
+    def record_steal(self, worker: int) -> None:
+        """``worker`` claimed a shard outside its own partition."""
+        self.fabric_worker(worker).steals += 1
+
+    def record_lease_expiry(self, worker: int) -> None:
+        """``worker`` lost a lease (death, deadline overrun, or crash)."""
+        self.fabric_worker(worker).lease_expiries += 1
+
+    def record_fenced(self, worker: int) -> None:
+        """A stale delivery from ``worker`` was fenced (discarded)."""
+        self.fabric_worker(worker).fenced += 1
+
+    def record_worker_death(self, worker: int) -> None:
+        """The coordinator declared ``worker`` dead."""
+        self.fabric_worker(worker).deaths += 1
+
+    def record_worker_rejoin(self, worker: int) -> None:
+        """A declared-dead ``worker`` resumed heartbeating."""
+        self.fabric_worker(worker).rejoins += 1
+
+    def record_quarantine(self, task: str, shard: int) -> None:
+        """A shard was quarantined (failed on K distinct workers)."""
+        self.quarantined.append((task, shard))
 
     @property
     def retry_counts(self) -> dict[str, int]:
@@ -195,6 +276,41 @@ class RunStatsCollector:
                     else ""
                 )
             )
+        if self.fabric_workers:
+            rows = [
+                [
+                    str(stats.worker),
+                    stats.backend or "?",
+                    str(stats.shards),
+                    str(stats.steals),
+                    str(stats.lease_expiries),
+                    str(stats.fenced),
+                    str(stats.deaths),
+                    str(stats.rejoins),
+                ]
+                for _, stats in sorted(self.fabric_workers.items())
+            ]
+            lines.append(
+                format_grid(
+                    [
+                        "worker",
+                        "backend",
+                        "shards",
+                        "steals",
+                        "leases lost",
+                        "fenced",
+                        "deaths",
+                        "rejoins",
+                    ],
+                    rows,
+                    title="Fabric workers",
+                )
+            )
+            if self.quarantined:
+                cells = ", ".join(
+                    f"{task} shard {shard}" for task, shard in self.quarantined
+                )
+                lines.append(f"quarantined: {cells}")
         total = self.total_seconds
         lines.append(
             f"total: {self.total_trials} trials in {total:.3f}s worker time"

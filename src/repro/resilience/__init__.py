@@ -26,30 +26,50 @@ Modules
 
 from repro.resilience.faults import (
     BUILTIN_FAULT_PLANS,
+    BUILTIN_WORKER_FAULT_PLANS,
     FaultPlan,
     InjectedCrash,
     InjectedFault,
     ShardFault,
     SimulatedTimeout,
+    WorkerFault,
+    WorkerKilled,
     builtin_fault_plan,
+    builtin_worker_fault_plan,
 )
-from repro.resilience.journal import JournalError, JournalMismatch, SweepJournal
+from repro.resilience.journal import (
+    JournalError,
+    JournalMismatch,
+    JournalReport,
+    SweepJournal,
+    record_checksum,
+    tail_records,
+    verify_journal,
+)
 from repro.resilience.policy import RetryPolicy, deterministic_jitter
 from repro.resilience.supervisor import ShardFailure, ShardSupervisor
 
 __all__ = [
     "BUILTIN_FAULT_PLANS",
+    "BUILTIN_WORKER_FAULT_PLANS",
     "FaultPlan",
     "InjectedCrash",
     "InjectedFault",
     "JournalError",
     "JournalMismatch",
+    "JournalReport",
     "RetryPolicy",
     "ShardFailure",
     "ShardFault",
     "ShardSupervisor",
     "SimulatedTimeout",
     "SweepJournal",
+    "WorkerFault",
+    "WorkerKilled",
     "builtin_fault_plan",
+    "builtin_worker_fault_plan",
     "deterministic_jitter",
+    "record_checksum",
+    "tail_records",
+    "verify_journal",
 ]

@@ -36,6 +36,34 @@ Cache faults are put-indexed (the Nth ``put`` of the cache instance):
 ``tear_puts`` simulates a torn non-atomic write (a truncated JSON file
 appears under the entry's real name, plus an orphaned ``.tmp``);
 ``corrupt_puts`` flips the entry's bytes after a successful write.
+
+Worker faults
+-------------
+The distributed sweep fabric (:mod:`repro.fabric`) adds a second fault
+coordinate system: *workers*.  A :class:`WorkerFault` targets a fabric
+worker id and/or a shard, in the fabric's deterministic virtual time:
+
+``kill_worker``
+    The worker dies permanently when it executes the matching shard
+    (``os._exit`` for subprocess-backed workers, :class:`WorkerKilled`
+    for in-process ones).  Its leases are orphaned and stolen.
+``blackout``
+    The worker misses heartbeats for ``ticks`` virtual ticks starting
+    at ``at_tick`` and cannot deliver results while partitioned.  The
+    coordinator declares it dead, steals its leases, and *fences* the
+    stale result it delivers after rejoining.
+``slow_worker``
+    The matching attempt costs ``ticks`` virtual ticks instead of one;
+    past the lease deadline the shard is stolen and the slow worker's
+    eventual result is fenced.
+``corrupt_result``
+    The matching attempt's result envelope is corrupted after its
+    checksum is computed; the coordinator's per-record checksum
+    validation detects it and the shard is re-executed.
+
+A plan may also set ``kill_coordinator_after``: the coordinator itself
+raises :class:`~repro.fabric.CoordinatorKilled` after that many shard
+completions — the resume-from-journal chaos case.
 """
 
 from __future__ import annotations
@@ -46,12 +74,16 @@ from dataclasses import dataclass
 
 __all__ = [
     "BUILTIN_FAULT_PLANS",
+    "BUILTIN_WORKER_FAULT_PLANS",
     "FaultPlan",
     "InjectedCrash",
     "InjectedFault",
     "ShardFault",
     "SimulatedTimeout",
+    "WorkerFault",
+    "WorkerKilled",
     "builtin_fault_plan",
+    "builtin_worker_fault_plan",
     "inject_shard_fault",
 ]
 
@@ -66,6 +98,12 @@ class InjectedCrash(InjectedFault):
 
 class SimulatedTimeout(InjectedFault):
     """A scheduled delay surfacing as a timeout in serial mode."""
+
+
+class WorkerKilled(InjectedFault):
+    """A scheduled worker death (fault kind ``kill_worker``) for
+    workers that execute in the coordinator's own process; subprocess
+    workers die for real via ``os._exit``."""
 
 
 @dataclass(frozen=True)
@@ -109,6 +147,68 @@ class ShardFault:
 
 
 @dataclass(frozen=True)
+class WorkerFault:
+    """One scheduled fault against a fabric worker and/or shard.
+
+    Attributes
+    ----------
+    kind:
+        ``"kill_worker"``, ``"blackout"``, ``"slow_worker"``, or
+        ``"corrupt_result"`` (see the module docstring for semantics).
+    worker:
+        Target fabric worker id; ``None`` matches any worker.  A plan
+        targeting a worker id that does not exist at the current worker
+        count is a no-op there (mirroring ``break_pool`` in serial
+        mode), which is what keeps one plan usable at every count.
+    shard:
+        Target shard index; ``None`` matches any shard.
+    attempts:
+        Attempt numbers the fault fires on; ``None`` matches every
+        attempt (used to build poisoned shards for quarantine tests).
+    at_tick:
+        Virtual tick a ``blackout`` starts on (1-based; the fabric's
+        clock starts at tick 1).
+    ticks:
+        ``blackout``: how many ticks the worker is partitioned.
+        ``slow_worker``: the matching attempt's cost in ticks (a cost
+        beyond the lease duration forces a steal).
+    """
+
+    kind: str
+    worker: int | None = None
+    shard: int | None = None
+    attempts: tuple[int, ...] | None = (0,)
+    at_tick: int = 1
+    ticks: int = 0
+
+    _KINDS = ("kill_worker", "blackout", "slow_worker", "corrupt_result")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {self._KINDS}")
+        if self.worker is not None and self.worker < 0:
+            raise ValueError(f"worker must be >= 0, got {self.worker}")
+        if self.shard is not None and self.shard < 0:
+            raise ValueError(f"shard must be >= 0, got {self.shard}")
+        if self.attempts is not None and any(a < 0 for a in self.attempts):
+            raise ValueError(f"attempts must be >= 0, got {self.attempts}")
+        if self.at_tick < 1:
+            raise ValueError(f"at_tick must be >= 1, got {self.at_tick}")
+        if self.ticks < 0:
+            raise ValueError(f"ticks must be >= 0, got {self.ticks}")
+
+    def matches(self, worker: int, shard: int, attempt: int) -> bool:
+        """Does this fault fire for ``worker`` running ``(shard, attempt)``?"""
+        if self.worker is not None and worker != self.worker:
+            return False
+        if self.shard is not None and shard != self.shard:
+            return False
+        if self.attempts is not None and attempt not in self.attempts:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, picklable fault schedule for one supervised run.
 
@@ -127,12 +227,21 @@ class FaultPlan:
     corrupt_puts:
         0-based cache ``put`` indices whose entry is overwritten with
         garbage bytes *after* a successful atomic write.
+    worker_faults:
+        Worker-level faults consumed by the fabric coordinator
+        (:mod:`repro.fabric`); the single-pool supervisor ignores them.
+    kill_coordinator_after:
+        When set, the fabric coordinator raises
+        :class:`~repro.fabric.CoordinatorKilled` after this many shard
+        completions of one task — the journal-resume chaos case.
     """
 
     name: str = "custom"
     shard_faults: tuple[ShardFault, ...] = ()
     tear_puts: tuple[int, ...] = ()
     corrupt_puts: tuple[int, ...] = ()
+    worker_faults: tuple[WorkerFault, ...] = ()
+    kill_coordinator_after: int | None = None
 
     def fault_for(self, shard: int, attempt: int) -> ShardFault | None:
         """First scheduled fault matching ``(shard, attempt)``, if any."""
@@ -146,6 +255,45 @@ class FaultPlan:
 
     def corrupts_put(self, index: int) -> bool:
         return index in self.corrupt_puts
+
+    # -- worker-fault queries (fabric coordinate system) ------------------
+
+    def _worker_fault_for(
+        self, kind: str, worker: int, shard: int, attempt: int
+    ) -> WorkerFault | None:
+        for fault in self.worker_faults:
+            if fault.kind == kind and fault.matches(worker, shard, attempt):
+                return fault
+        return None
+
+    def kills_worker(self, worker: int, shard: int, attempt: int) -> bool:
+        """Does ``worker`` die executing ``(shard, attempt)``?"""
+        return self._worker_fault_for("kill_worker", worker, shard, attempt) is not None
+
+    def corrupts_result(self, worker: int, shard: int, attempt: int) -> bool:
+        """Is the result envelope of ``(shard, attempt)`` corrupted?"""
+        return (
+            self._worker_fault_for("corrupt_result", worker, shard, attempt)
+            is not None
+        )
+
+    def blacked_out(self, worker: int, tick: int) -> bool:
+        """Is ``worker`` heartbeat-partitioned at virtual ``tick``?"""
+        for fault in self.worker_faults:
+            if (
+                fault.kind == "blackout"
+                and (fault.worker is None or fault.worker == worker)
+                and fault.at_tick <= tick < fault.at_tick + fault.ticks
+            ):
+                return True
+        return False
+
+    def attempt_cost(self, worker: int, shard: int, attempt: int) -> int:
+        """Virtual-tick cost of one attempt (1 unless a slow fault hits)."""
+        fault = self._worker_fault_for("slow_worker", worker, shard, attempt)
+        if fault is None:
+            return 1
+        return max(1, fault.ticks)
 
 
 def inject_shard_fault(
@@ -217,4 +365,61 @@ def builtin_fault_plan(name: str) -> FaultPlan:
         raise KeyError(
             f"unknown fault plan {name!r}; builtin plans: "
             f"{', '.join(sorted(BUILTIN_FAULT_PLANS))}"
+        ) from None
+
+
+#: Builtin *worker*-fault schedules for the fabric chaos tests and the
+#: CI ``chaos`` matrix.  Faults are shard-keyed wherever a counter must
+#: be worker-count-independent; worker-keyed faults target worker 1 so
+#: the plan degrades to a no-op at ``workers=1`` (worker 0 only), the
+#: same convention ``break_pool`` uses for serial mode.
+BUILTIN_WORKER_FAULT_PLANS: dict[str, FaultPlan] = {
+    "kill-worker": FaultPlan(
+        name="kill-worker",
+        worker_faults=(WorkerFault(kind="kill_worker", worker=1, shard=1),),
+    ),
+    "kill-two-workers": FaultPlan(
+        name="kill-two-workers",
+        worker_faults=(
+            WorkerFault(kind="kill_worker", worker=1, shard=1),
+            WorkerFault(kind="kill_worker", worker=2, shard=2),
+        ),
+    ),
+    "worker-blackout": FaultPlan(
+        name="worker-blackout",
+        worker_faults=(
+            WorkerFault(kind="blackout", worker=1, at_tick=1, ticks=4),
+        ),
+    ),
+    # Cost 6 > the coordinator's lease of 4 ticks: the shard is stolen
+    # and the slow worker's late delivery is fenced.
+    "slow-worker": FaultPlan(
+        name="slow-worker",
+        worker_faults=(
+            WorkerFault(kind="slow_worker", worker=1, shard=1, ticks=6),
+        ),
+    ),
+    # Shard-keyed (any worker): the retry counter must not depend on
+    # which worker drew shard 3.
+    "corrupt-result": FaultPlan(
+        name="corrupt-result",
+        worker_faults=(
+            WorkerFault(kind="corrupt_result", shard=3, attempts=(0,)),
+        ),
+    ),
+    "kill-coordinator": FaultPlan(
+        name="kill-coordinator",
+        kill_coordinator_after=3,
+    ),
+}
+
+
+def builtin_worker_fault_plan(name: str) -> FaultPlan:
+    """Look up a builtin worker-fault plan (KeyError lists the options)."""
+    try:
+        return BUILTIN_WORKER_FAULT_PLANS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown worker fault plan {name!r}; builtin plans: "
+            f"{', '.join(sorted(BUILTIN_WORKER_FAULT_PLANS))}"
         ) from None

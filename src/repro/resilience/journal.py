@@ -30,9 +30,18 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["JournalError", "JournalMismatch", "SweepJournal"]
+__all__ = [
+    "JournalError",
+    "JournalMismatch",
+    "JournalReport",
+    "SweepJournal",
+    "record_checksum",
+    "tail_records",
+    "verify_journal",
+]
 
 _MAGIC = "repro-journal-v1"
 
@@ -45,9 +54,20 @@ class JournalMismatch(JournalError):
     """The journal on disk belongs to a different run identity."""
 
 
-def _line_checksum(record: dict) -> str:
+def record_checksum(record: dict) -> str:
+    """Truncated SHA-256 over a record's canonical JSON encoding.
+
+    This is the integrity primitive shared by journal lines and the
+    fabric's result envelopes (:mod:`repro.fabric.workers`): both sides
+    of a hand-off compute it over the same sorted-key JSON body, so a
+    flipped bit anywhere in the payload fails verification.
+    """
     body = json.dumps(record, sort_keys=True)
     return hashlib.sha256((_MAGIC + body).encode()).hexdigest()[:16]
+
+
+# Internal alias kept for the module's own call sites.
+_line_checksum = record_checksum
 
 
 def _encode_line(record: dict) -> str:
@@ -160,3 +180,101 @@ class SweepJournal:
             handle.flush()
             os.fsync(handle.fileno())
         self.completed[key] = payload
+
+
+# -- offline inspection (``repro journal verify|stats|tail``) -------------
+
+
+@dataclass
+class JournalReport:
+    """What :func:`verify_journal` found in one journal file.
+
+    Attributes
+    ----------
+    path:
+        The inspected file.
+    header:
+        The decoded header dict, or ``None`` if the header line itself
+        is missing/corrupt (which makes the whole file unusable).
+    records:
+        Valid data lines, in file order, as ``(line_no, key, payload)``
+        with 1-based line numbers.  Duplicate keys are kept — ``keys``
+        deduplicates the way resume does.
+    bad_lines:
+        ``(line_no, reason)`` for every line that failed checksum or
+        JSON decoding.  A *single* bad final line is the torn-tail crash
+        signature resume tolerates; anything else is corruption.
+    """
+
+    path: Path
+    header: dict | None = None
+    records: list[tuple[int, str, object]] = field(default_factory=list)
+    bad_lines: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def keys(self) -> dict[str, object]:
+        """Last-wins key -> payload view (what resume would load)."""
+        return {key: payload for _, key, payload in self.records}
+
+    @property
+    def torn_tail_only(self) -> bool:
+        """True when the only damage is a single torn final line."""
+        if self.header is None or len(self.bad_lines) != 1:
+            return False
+        last_data_line = self.records[-1][0] if self.records else 1
+        return self.bad_lines[0][0] > last_data_line
+
+    @property
+    def ok(self) -> bool:
+        """Fully intact: valid header, every line verified."""
+        return self.header is not None and not self.bad_lines
+
+
+def verify_journal(path: str | Path) -> JournalReport:
+    """Validate every line of a journal file without loading it as a run.
+
+    Unlike constructing a :class:`SweepJournal` (which needs the
+    expected header and silently skips bad lines), this reports what is
+    actually on disk: the header, each valid record, and the line
+    number and failure mode of every line that does not verify.
+    """
+    path = Path(path)
+    report = JournalReport(path=path)
+    if not path.exists():
+        report.bad_lines.append((0, "file does not exist"))
+        return report
+    lines = path.read_text().splitlines()
+    if not lines:
+        report.bad_lines.append((0, "empty file (no header line)"))
+        return report
+    head = _decode_line(lines[0])
+    if head is None:
+        report.bad_lines.append((1, "header line failed checksum/decoding"))
+    elif "header" not in head:
+        report.bad_lines.append((1, "first line is not a header record"))
+    else:
+        report.header = head["header"]
+    for line_no, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        record = _decode_line(line)
+        if record is None:
+            report.bad_lines.append((line_no, "failed checksum/decoding"))
+        elif "key" not in record:
+            report.bad_lines.append((line_no, "valid line without a cell key"))
+        else:
+            report.records.append((line_no, record["key"], record.get("payload")))
+    return report
+
+
+def tail_records(path: str | Path, count: int = 10) -> list[tuple[int, str, object]]:
+    """The last ``count`` valid records of a journal, oldest first.
+
+    Raises :class:`JournalError` when the file is missing or its header
+    is unusable (a tail of garbage is not worth printing).
+    """
+    report = verify_journal(path)
+    if report.header is None:
+        reasons = "; ".join(reason for _, reason in report.bad_lines)
+        raise JournalError(f"{path}: {reasons or 'no valid header'}")
+    return report.records[-count:] if count > 0 else []

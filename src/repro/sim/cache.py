@@ -302,16 +302,31 @@ class ResultCache:
             handle.write(text[: len(text) // 3])
 
     def _quarantine(self, path: Path) -> None:
-        """Move an invalid entry aside (never delete evidence)."""
+        """Move an invalid entry aside (never delete evidence).
+
+        Each quarantine also prunes quarantined files past the grace
+        period, so the directory's growth is bounded by the corruption
+        *rate* instead of the cache's lifetime — old evidence ages out
+        exactly like orphaned ``.tmp`` staging files do.
+        """
         try:
             self.quarantine_dir.mkdir(parents=True, exist_ok=True)
-            os.replace(path, self.quarantine_dir / path.name)
+            dest = self.quarantine_dir / path.name
+            os.replace(path, dest)
         except OSError:
             try:
                 path.unlink()
             except OSError:
                 return
+        else:
+            # Restart the age clock: the grace period runs from the
+            # *quarantine*, not from whenever the corrupt bytes landed.
+            try:
+                os.utime(dest)
+            except OSError:
+                pass
         self.quarantined += 1
+        self.prune_quarantine()
 
     # -- auditing / maintenance ------------------------------------------
 
@@ -403,6 +418,31 @@ class ResultCache:
             "tmp_orphans": len(self._tmp_orphans()),
             "quarantined": quarantined,
         }
+
+    def prune_quarantine(self, grace: float | None = None) -> int:
+        """Age out quarantined entries; returns how many were deleted.
+
+        Quarantine preserves corrupt entries as *evidence*, but
+        evidence nobody inspected within the grace period (default: the
+        same ``tmp_grace`` hour used for orphaned ``.tmp`` files) is
+        just disk growth.  Ages are judged against the cache
+        filesystem's own clock (:meth:`_fs_now`), so client/server
+        skew cannot age out a just-quarantined entry.
+        """
+        if grace is None:
+            grace = self.tmp_grace
+        if not self.quarantine_dir.is_dir():
+            return 0
+        now = self._fs_now()
+        removed = 0
+        for path in self.quarantine_dir.glob("*"):
+            try:
+                if now - path.stat().st_mtime >= grace:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        return removed
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed.

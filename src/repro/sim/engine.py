@@ -32,6 +32,13 @@ its stream from its own spawned ``SeedSequence``, so a run that
 survives faults stays bit-identical to a fault-free run — the
 determinism contract doubles as a *recovery* contract
 (``tests/test_chaos.py``).
+
+Built with a ``fabric`` spec, the engine routes the same shard plan
+through :class:`repro.fabric.FabricSupervisor` instead: N pluggable
+workers under lease-based work stealing with heartbeat failure
+detection, epoch fencing, and quarantine (``tests/test_fabric.py``).
+Either way the supervisor is an execution detail — results are
+bit-identical across serial, pool, and fabric execution.
 """
 
 from __future__ import annotations
@@ -45,7 +52,9 @@ import multiprocessing
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.fabric import FabricSpec
     from repro.report.run_stats import RunStatsCollector
+    from repro.resilience.journal import SweepJournal
 
 from repro.resilience.faults import FaultPlan
 from repro.resilience.policy import RetryPolicy
@@ -135,6 +144,16 @@ class MonteCarloEngine:
         Optional :class:`~repro.resilience.faults.FaultPlan` — the
         deterministic chaos harness.  Production runs leave this
         ``None``.
+    fabric:
+        Optional :class:`~repro.fabric.FabricSpec` (or a spec string
+        like ``"workers=4,backend=pool"``) selecting the distributed
+        sweep fabric instead of the single-pool supervisor.  The shard
+        plan, streams, and merge order are unchanged, so fabric
+        results are bit-identical to pool and serial results.
+    fabric_journal:
+        Optional :class:`~repro.resilience.journal.SweepJournal` the
+        fabric checkpoints accepted shards into (per-shard resume for
+        a killed coordinator).  Ignored without ``fabric``.
 
     Examples
     --------
@@ -151,6 +170,8 @@ class MonteCarloEngine:
         collector: "RunStatsCollector | None" = None,
         policy: RetryPolicy | None = None,
         faults: FaultPlan | None = None,
+        fabric: "FabricSpec | str | None" = None,
+        fabric_journal: "SweepJournal | None" = None,
     ) -> None:
         # Imported here, not at module level: repro.report's package
         # init pulls in the table renderers, which import
@@ -168,14 +189,31 @@ class MonteCarloEngine:
         self.policy = policy if policy is not None else RetryPolicy()
         self.faults = faults
         self._pool: ProcessPoolExecutor | None = None
-        self._supervisor = ShardSupervisor(
-            workers=self.workers,
-            policy=self.policy,
-            collector=self.collector,
-            plan=self.faults,
-            get_pool=self._get_pool,
-            respawn_pool=self._respawn_pool,
-        )
+        if fabric is not None:
+            from repro.fabric import FabricSupervisor, parse_fabric_spec
+
+            if isinstance(fabric, str):
+                fabric = parse_fabric_spec(fabric)
+            self.fabric = fabric
+            self._supervisor: "ShardSupervisor | FabricSupervisor" = (
+                FabricSupervisor(
+                    spec=fabric,
+                    policy=self.policy,
+                    collector=self.collector,
+                    plan=self.faults,
+                    journal=fabric_journal,
+                )
+            )
+        else:
+            self.fabric = None
+            self._supervisor = ShardSupervisor(
+                workers=self.workers,
+                policy=self.policy,
+                collector=self.collector,
+                plan=self.faults,
+                get_pool=self._get_pool,
+                respawn_pool=self._respawn_pool,
+            )
 
     # -- pool lifecycle --------------------------------------------------
 
@@ -198,7 +236,7 @@ class MonteCarloEngine:
         return self._get_pool()
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent).
+        """Shut the worker pool / fabric backends down (idempotent).
 
         Cancels queued futures so an ``__exit__`` during pending work
         (e.g. after a shard failure propagated) returns promptly
@@ -207,6 +245,9 @@ class MonteCarloEngine:
         if self._pool is not None:
             self._pool.shutdown(cancel_futures=True)
             self._pool = None
+        close_fabric = getattr(self._supervisor, "close", None)
+        if close_fabric is not None:
+            close_fabric()
 
     def __enter__(self) -> "MonteCarloEngine":
         return self

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.fabric import FabricSpec
     from repro.resilience.journal import SweepJournal
 
 from repro.access.patterns_nd import ND_PATTERN_NAMES
@@ -654,6 +655,7 @@ def app_time_sweep(
     batched: bool = True,
     skeleton_seed: int = 2014,
     journal: "SweepJournal | None" = None,
+    fabric: "FabricSpec | str | None" = None,
 ) -> dict[tuple[str, str], AppTimingResult]:
     """Per-trial app completion times over mapping redraws.
 
@@ -668,9 +670,10 @@ def app_time_sweep(
     for benchmarking and cross-validation).  ``skeleton_seed`` fixes
     the app's input data; the program *skeleton* (grids and masks) is
     mapping-independent, which is what makes batching across draws
-    possible.
+    possible.  ``fabric`` selects the distributed sweep fabric for the
+    default engine (ignored when ``engine`` is supplied).
     """
-    engine = engine or MonteCarloEngine()
+    engine = engine or MonteCarloEngine(fabric=fabric)
     cells = [(app, mapping) for app in apps for mapping in mappings]
     seqs = spawn_seed_sequences(seed, len(cells))
     out: dict[tuple[str, str], AppTimingResult] = {}

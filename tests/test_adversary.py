@@ -232,6 +232,46 @@ class TestJournalResume:
         )
         assert second.results[("RAP", 8)] == first.results[("RAP", 8)]
 
+    def test_crash_mid_search_resumes_byte_identically(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """Chaos: the search process dies partway through the sweep.
+        Rerunning ``repro adversary --journal`` over the same journal
+        resumes the remaining cells and prints output byte-identical
+        to an uninterrupted run."""
+        import repro.adversary.search as search
+
+        argv = ["--w", "8", "16", "--budget", "tiny",
+                "--mappings", "RAW", "RAP", "--json", "-"]
+
+        # The uninterrupted reference run (its own journal).
+        assert adversary_main(
+            [*argv, "--journal", str(tmp_path / "ref.journal")]
+        ) == 0
+        reference = capsys.readouterr().out
+
+        # Chaos run: the second searched cell crashes the process.
+        real = search.find_worst_pattern
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise RuntimeError("injected crash mid-search")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(search, "find_worst_pattern", flaky)
+        path = tmp_path / "adv.journal"
+        with pytest.raises(RuntimeError, match="injected crash"):
+            adversary_main([*argv, "--journal", str(path)])
+        capsys.readouterr()
+        assert path.exists()  # the first cell checkpointed
+
+        # Resume with the fault healed: byte-identical output.
+        monkeypatch.setattr(search, "find_worst_pattern", real)
+        assert adversary_main([*argv, "--journal", str(path)]) == 0
+        assert capsys.readouterr().out == reference
+
 
 # -- CLI ------------------------------------------------------------------
 

@@ -23,6 +23,8 @@ PACKAGES = [
     "repro.report",
     "repro.util",
     "repro.analysis",
+    "repro.resilience",
+    "repro.fabric",
 ]
 
 MODULES = [

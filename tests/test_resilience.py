@@ -230,6 +230,49 @@ def test_cache_clear_empties_quarantine(tmp_path):
     assert len(list(cache.quarantine_dir.glob("*"))) == 0
 
 
+def test_quarantine_prune_ages_out_old_evidence(tmp_path):
+    cache = ResultCache(root=tmp_path, tmp_grace=3600.0)
+    (tmp_path / "bad.json").write_text("not json")
+    assert cache.get("bad") is None
+    entry = cache.quarantine_dir / "bad.json"
+    assert entry.exists()
+    # Fresh evidence survives an explicit prune.
+    assert cache.prune_quarantine() == 0
+    # Aged past the grace period, the next prune removes it.
+    old = entry.stat().st_mtime - 7200
+    os.utime(entry, (old, old))
+    assert cache.prune_quarantine() == 1
+    assert not entry.exists()
+
+
+def test_quarantine_growth_bounded_by_opportunistic_prune(tmp_path):
+    """Each new quarantine prunes aged-out wreckage, so the directory
+    is bounded by the corruption *rate*, not the cache's lifetime."""
+    cache = ResultCache(root=tmp_path)
+    (tmp_path / "old.json").write_text("not json")
+    assert cache.get("old") is None
+    aged = cache.quarantine_dir / "old.json"
+    past = aged.stat().st_mtime - 7200
+    os.utime(aged, (past, past))
+    (tmp_path / "new.json").write_text("still not json")
+    assert cache.get("new") is None
+    assert not aged.exists()  # swept by the second quarantine
+    assert (cache.quarantine_dir / "new.json").exists()
+
+
+def test_quarantine_restarts_age_clock(tmp_path):
+    """A corrupt entry carrying an ancient mtime must not age out the
+    moment it lands — the grace period runs from quarantine time."""
+    cache = ResultCache(root=tmp_path)
+    bad = tmp_path / "ancient.json"
+    bad.write_text("not json")
+    past = bad.stat().st_mtime - 7200
+    os.utime(bad, (past, past))
+    assert cache.get("ancient") is None
+    assert (cache.quarantine_dir / "ancient.json").exists()
+    assert cache.prune_quarantine() == 0
+
+
 def test_cache_verify_reports_and_quarantines(tmp_path):
     cache = ResultCache(root=tmp_path)
     cache.put("good", STATS)
